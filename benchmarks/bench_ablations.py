@@ -1,0 +1,87 @@
+"""ABLATE — design-constraint ablations.
+
+Each load-bearing design constraint in the program catalogue is removed
+and the model checker times the discovery of the counterexample that
+justifies it (see tests/test_ablations.py for the full battery)."""
+
+import pytest
+
+from repro.core import (
+    Action,
+    Predicate,
+    Program,
+    TRUE,
+    TransitionSystem,
+    Variable,
+    assign,
+    check_leads_to,
+)
+from repro.programs.token_ring import has_token
+
+
+def raw_ring(size: int, k: int) -> Program:
+    """The ring without the builder's K validation."""
+    variables = [Variable(f"x{i}", list(range(k))) for i in range(size)]
+    tokens = {i: has_token(i, size) for i in range(size)}
+    actions = [
+        Action(
+            "move0", tokens[0],
+            assign(x0=lambda s, n=size, kk=k: (s[f"x{n - 1}"] + 1) % kk),
+        )
+    ]
+    for i in range(1, size):
+        actions.append(
+            Action(f"move{i}", tokens[i],
+                   assign(**{f"x{i}": lambda s, i=i: s[f"x{i - 1}"]}))
+        )
+    return Program(variables, actions, name=f"ring(n={size},K={k})")
+
+
+def one_token(size: int) -> Predicate:
+    tokens = {i: has_token(i, size) for i in range(size)}
+    return Predicate(
+        lambda s, ts=tokens: sum(1 for t in ts.values() if t(s)) == 1,
+        name="one token",
+    )
+
+
+@pytest.mark.parametrize("size,k,expected", [(4, 3, True), (4, 2, False),
+                                             (5, 4, True), (5, 3, False)])
+def bench_ablate_ring_counter_bound(benchmark, report, size, k, expected):
+    ring = raw_ring(size, k)
+
+    def check():
+        ts = TransitionSystem(ring, list(ring.states()))
+        return check_leads_to(ts, TRUE, one_token(size))
+
+    result = benchmark(check)
+    assert bool(result) == expected
+    verdict = "stabilizes" if expected else "LIVELOCK (lasso found)"
+    report("ABLATE", f"Dijkstra ring n={size}, K={k}: {verdict}")
+
+
+def bench_ablate_reset_wave_guard(benchmark, report):
+    from repro.core import is_nonmasking_tolerant
+    from repro.programs import distributed_reset
+
+    model = distributed_reset.build(3, 2)
+    rebuilt = []
+    for action in model.program.actions:
+        if action.name == "reset_root":
+            rebuilt.append(
+                Action("reset_root",
+                       Predicate(lambda s: s["req0"], name="req0"),
+                       action.statement)
+            )
+        else:
+            rebuilt.append(action)
+    broken = model.program.with_actions(rebuilt, name="reset_no_guard")
+
+    result = benchmark(
+        lambda: is_nonmasking_tolerant(
+            broken, model.faults, model.spec, model.invariant, model.span
+        )
+    )
+    assert not result
+    report("ABLATE", "distributed reset without the wave-completion guard: "
+                     "livelock exhibited")

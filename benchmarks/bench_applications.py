@@ -1,0 +1,137 @@
+"""APP-MISC — the remaining application catalogue (paper §1's list).
+
+Verification cost of each application's headline certificate: mutual
+exclusion (masking to token loss), leader election (nonmasking,
+self-stabilizing), termination detection (a pure detector), distributed
+reset (a distributed corrector), and the hierarchical component
+constructions."""
+
+from repro.components.hierarchy import (
+    parallel_detector,
+    sequential_detector,
+    wave_corrector,
+)
+from repro.core import (
+    Action,
+    Predicate,
+    TRUE,
+    Variable,
+    assign,
+    is_detector,
+    is_masking_tolerant,
+    is_nonmasking_tolerant,
+)
+from repro.programs import (
+    distributed_reset,
+    leader_election,
+    termination_detection,
+)
+
+
+def bench_app_mutex_masking(benchmark, mutex, report):
+    result = benchmark(
+        lambda: is_masking_tolerant(
+            mutex.tolerant, mutex.faults, mutex.spec,
+            mutex.invariant, mutex.span,
+        )
+    )
+    assert result
+    report("APP-MISC", "mutual exclusion: masking to token loss "
+                       f"({mutex.tolerant.state_count()} states)")
+
+
+def bench_app_leader_election(benchmark, report):
+    model = leader_election.build((3, 1, 2))
+    result = benchmark(
+        lambda: is_nonmasking_tolerant(
+            model.program, model.faults, model.spec, model.invariant, TRUE
+        )
+    )
+    assert result
+    report("APP-MISC", "leader election: nonmasking (self-stabilizing) "
+                       f"({model.program.state_count()} states)")
+
+
+def bench_app_termination_detection(benchmark, report):
+    model = termination_detection.build(3)
+    result = benchmark(
+        lambda: is_detector(
+            model.detector, model.done, model.terminated, model.from_
+        )
+    )
+    assert result
+    report("APP-MISC", "termination detection: 'done detects terminated' "
+                       f"({model.detector.state_count()} states)")
+
+
+def bench_app_distributed_reset(benchmark, report):
+    model = distributed_reset.build(3, 2)
+    result = benchmark(
+        lambda: is_nonmasking_tolerant(
+            model.program, model.faults, model.spec,
+            model.invariant, model.span,
+        )
+    )
+    assert result
+    report("APP-MISC", "distributed reset: nonmasking wave corrector "
+                       f"({model.program.state_count()} states)")
+
+
+def bench_app_tree_maintenance(benchmark, report):
+    from repro.programs import tree_maintenance
+
+    model = tree_maintenance.build()
+    result = benchmark(
+        lambda: is_nonmasking_tolerant(
+            model.program, model.faults, model.spec, model.invariant, TRUE
+        )
+    )
+    assert result
+    report("APP-MISC", "tree maintenance: self-stabilizing BFS tree "
+                       f"({model.program.state_count()} states)")
+
+
+def bench_app_barrier(benchmark, report):
+    from repro.programs import barrier
+
+    model = barrier.build(3)
+    result = benchmark(
+        lambda: is_masking_tolerant(
+            model.tolerant, model.faults, model.spec,
+            model.invariant, model.span,
+        )
+    )
+    assert result
+    report("APP-MISC", "barrier: masking to arrival-flag loss "
+                       f"({model.tolerant.state_count()} states)")
+
+
+def _bits(count):
+    return [Variable(f"b{i}", [False, True]) for i in range(count)]
+
+
+def _conjuncts(count):
+    return [
+        Predicate(lambda s, i=i: s[f"b{i}"], name=f"b{i}") for i in range(count)
+    ]
+
+
+def bench_app_hierarchical_detector(benchmark, report):
+    instance = sequential_detector(_bits(4), _conjuncts(4))
+    assert benchmark(instance.verify)
+    report("APP-MISC", "hierarchical (scanning) detector over 4 conjuncts: PASS")
+
+
+def bench_app_distributed_detector(benchmark, report):
+    instance = parallel_detector(_bits(4), _conjuncts(4))
+    assert benchmark(instance.verify)
+    report("APP-MISC", "distributed (per-conjunct) detector over 4 conjuncts: PASS")
+
+
+def bench_app_wave_corrector(benchmark, report):
+    repairs = [
+        Action(f"repair{i}", TRUE, assign(**{f"b{i}": True})) for i in range(4)
+    ]
+    instance = wave_corrector(_bits(4), _conjuncts(4), repairs)
+    assert benchmark(instance.verify)
+    report("APP-MISC", "hierarchical wave corrector over 4 stages: PASS")

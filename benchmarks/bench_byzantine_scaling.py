@@ -1,0 +1,88 @@
+"""APP-BYZ — the general Byzantine case (n = 3f + 1, Section 6.2 / [11]).
+
+The paper model-checks n = 4, f = 1 (SEC62) and defers f > 1.  Here the
+OM(m) substrate reproduces the general claim:
+
+- agreement and validity hold for (n, f) ∈ {(4,1), (7,2), (10,3)}
+  against adversarial strategies;
+- the 3f + 1 threshold is sharp: at n = 3f validity/agreement break;
+- message complexity grows as O(n^(f+1)) — the classical exponential
+  blow-up the paper's efficiency discussion alludes to."""
+
+import pytest
+
+from repro.programs.oral_messages import (
+    check_agreement,
+    check_validity,
+    constant_lie_strategy,
+    random_strategy,
+    run_oral_messages,
+    split_strategy,
+)
+
+STRATEGIES = [
+    ("constant0", constant_lie_strategy(0)),
+    ("split", split_strategy()),
+    ("random", random_strategy(13)),
+]
+
+
+@pytest.mark.parametrize("n,f", [(4, 1), (7, 2), (10, 3)])
+def bench_om_agreement_at_threshold(benchmark, report, n, f):
+    byzantine_sets = [tuple(range(f)), tuple(range(1, f + 1)), (0,) + tuple(
+        range(2, f + 1)
+    )]
+
+    def campaign():
+        runs = 0
+        for byzantine in byzantine_sets:
+            for _, strategy in STRATEGIES:
+                for value in (0, 1):
+                    run = run_oral_messages(
+                        n, f, general_value=value,
+                        byzantine=byzantine, strategy=strategy,
+                    )
+                    assert check_agreement(run), (n, f, byzantine)
+                    assert check_validity(run), (n, f, byzantine)
+                    runs += 1
+        return runs
+
+    runs = benchmark(campaign)
+    report("APP-BYZ", f"n={n}, f={f}: agreement+validity over {runs} "
+                      f"adversarial runs: PASS")
+
+
+@pytest.mark.parametrize("f", [1, 2])
+def bench_om_threshold_is_sharp(benchmark, report, f):
+    """At n = 3f the algorithm must fail for some strategy."""
+    n = 3 * f
+
+    def find_violation():
+        import itertools
+
+        for byzantine in itertools.combinations(range(n), f):
+            for _, strategy in STRATEGIES:
+                for value in (0, 1):
+                    run = run_oral_messages(
+                        n, f, general_value=value,
+                        byzantine=byzantine, strategy=strategy,
+                    )
+                    if not (check_agreement(run) and check_validity(run)):
+                        return True
+        return False
+
+    assert benchmark(find_violation)
+    report("APP-BYZ", f"n={n} (= 3f): correctness breaks — the 3f+1 bound "
+                      f"is sharp")
+
+
+@pytest.mark.parametrize("n,f", [(4, 1), (7, 2), (10, 3)])
+def bench_om_message_complexity(benchmark, report, n, f):
+    run = benchmark(
+        lambda: run_oral_messages(
+            n, f, byzantine=tuple(range(1, f + 1)),
+            strategy=split_strategy(),
+        )
+    )
+    report("APP-BYZ", f"n={n}, f={f}: {run.rounds} rounds, "
+                      f"{run.messages_sent} messages (O(n^(f+1)) shape)")

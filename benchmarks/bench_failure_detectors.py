@@ -1,0 +1,53 @@
+"""FD — the Chandra–Toueg comparison (Section 7).
+
+Model-level: the heartbeat failure detector IS a detector (of its
+timeout predicate), satisfies completeness, refutes strong accuracy.
+Simulation-level: detection latency vs timeout, and the latency /
+false-suspicion tradeoff under loss and jitter."""
+
+import pytest
+
+from repro.core import is_detector
+from repro.core.fairness import check_leads_to
+from repro.failure_detectors import build, run_crash_experiment
+
+
+@pytest.fixture(scope="module")
+def fd():
+    return build(limit=2)
+
+
+def bench_fd_is_detector(benchmark, fd, report):
+    result = benchmark(
+        lambda: is_detector(fd.program, fd.suspected, fd.timed_out, fd.from_)
+    )
+    assert result
+    report("FD", "heartbeat FD refines 'suspect detects timeout'")
+
+
+def bench_fd_completeness(benchmark, fd, report):
+    def check():
+        ts = fd.faults.system(fd.program, fd.from_)
+        return check_leads_to(ts, fd.crashed, fd.suspected)
+
+    assert benchmark(check)
+    report("FD", "completeness: crashed leads-to suspected")
+
+
+def bench_fd_strong_accuracy_refuted(benchmark, fd, report):
+    result = benchmark(
+        lambda: is_detector(fd.program, fd.suspected, fd.crashed, fd.from_)
+    )
+    assert not result
+    report("FD", "strong accuracy refuted (asynchrony counterexample)")
+
+
+@pytest.mark.parametrize("timeout", [1.5, 3.0, 6.0, 12.0])
+def bench_fd_latency_vs_timeout(benchmark, report, timeout):
+    result = benchmark(
+        lambda: run_crash_experiment(
+            timeout, jitter=0.5, loss_probability=0.05, seed=11
+        )
+    )
+    assert result.detection_latency is not None
+    report("FD", result.as_row())

@@ -1,0 +1,49 @@
+"""FIG2 — Figure 2 / Section 4.3: nonmasking memory access.
+
+The corrector program ``pn`` re-adds the missing entry; the composed
+system transiently errs but converges — nonmasking tolerance, certified
+by Theorem 4.3 with S = X1 and T = true.
+"""
+
+from repro import theory
+from repro.core import (
+    is_failsafe_tolerant,
+    is_nonmasking_tolerant,
+)
+
+
+def bench_fig2_pn_nonmasking_certificate(benchmark, memory, report):
+    result = benchmark(
+        lambda: is_nonmasking_tolerant(
+            memory.pn, memory.fault_anytime, memory.spec,
+            memory.S_pn, memory.T_pn,
+        )
+    )
+    assert result
+    report("FIG2", "pn is nonmasking page-fault-tolerant to SPEC_mem: PASS")
+
+
+def bench_fig2_pn_is_not_failsafe(benchmark, memory, report):
+    """The separation the figure illustrates: the corrector-only
+    program sacrifices transient safety."""
+    result = benchmark(
+        lambda: is_failsafe_tolerant(
+            memory.pn, memory.fault_anytime, memory.spec,
+            memory.S_pn, memory.T_pn,
+        )
+    )
+    assert not result
+    report("FIG2", "pn is NOT fail-safe tolerant (transient wrong data): "
+                   "counterexample produced")
+
+
+def bench_fig2_theorem_4_3_extraction(benchmark, memory, report):
+    result = benchmark(
+        lambda: theory.theorem_4_3(
+            memory.pn, memory.p, memory.spec,
+            invariant=memory.S_p, restored=memory.S_pn,
+            span=memory.T_pn, faults=memory.fault_anytime,
+        )
+    )
+    assert result
+    report("FIG2", "Theorem 4.3 on (pn, p): corrector extracted and verified")

@@ -1,0 +1,55 @@
+"""MULTI — multitolerance (the paper's concluding programme / [4]).
+
+The mutual-exclusion application made masking tolerant to *two*
+fault-classes at once — token loss (regeneration corrector) and token
+duplication (one-token entry detector + dedup corrector) — including
+the interaction check where both classes strike in one run."""
+
+from repro.core import (
+    ToleranceRequirement,
+    is_masking_tolerant,
+    is_multitolerant,
+)
+
+
+def _requirements(mutex):
+    return (
+        ToleranceRequirement(mutex.faults, "masking", mutex.span),
+        ToleranceRequirement(mutex.duplication, "masking",
+                             mutex.span_duplication),
+    )
+
+
+def bench_multi_combined_requirement(benchmark, mutex, report):
+    result = benchmark(
+        lambda: is_multitolerant(
+            mutex.multitolerant, mutex.spec_strong, mutex.invariant,
+            _requirements(mutex),
+        )
+    )
+    assert result
+    report("MULTI", "mutex is masking tolerant to loss AND duplication "
+                    "(with interaction check): PASS")
+
+
+def bench_multi_single_class_baseline(benchmark, mutex, report):
+    result = benchmark(
+        lambda: is_masking_tolerant(
+            mutex.tolerant, mutex.faults, mutex.spec, mutex.invariant,
+            mutex.span,
+        )
+    )
+    assert result
+    report("MULTI", "baseline: single-fault-class mutex is masking to loss")
+
+
+def bench_multi_baseline_fails_duplication(benchmark, mutex, report):
+    result = benchmark(
+        lambda: is_masking_tolerant(
+            mutex.tolerant, mutex.duplication, mutex.spec_strong,
+            mutex.invariant, mutex.span_duplication,
+        )
+    )
+    assert not result
+    report("MULTI", "baseline mutex is NOT tolerant to duplication "
+                    "(counterexample produced)")

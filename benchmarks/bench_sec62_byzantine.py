@@ -1,0 +1,54 @@
+"""SEC62 — Section 6.2: Byzantine agreement by composition (n=4, f=1).
+
+The ladder: IB‖BYZ violates agreement; adding DB (witness-guarded
+outputs) gives fail-safe tolerance; adding CB gives masking tolerance —
+each rung model-checked over the full 23k-state space."""
+
+from repro.core import (
+    is_failsafe_tolerant,
+    is_masking_tolerant,
+    violates_spec,
+)
+
+
+def bench_sec62_ib_violates_agreement(benchmark, byz, report):
+    result = benchmark(
+        lambda: violates_spec(
+            byz.ib_with_byz, byz.spec.safety_part(), byz.invariant_ib,
+            fault_actions=list(byz.faults.actions),
+        )
+    )
+    assert result
+    report("SEC62", "IB‖BYZ violates agreement under ≤1 Byzantine process")
+
+
+def bench_sec62_failsafe_composition(benchmark, byz, report):
+    result = benchmark(
+        lambda: is_failsafe_tolerant(
+            byz.failsafe, byz.faults, byz.spec, byz.invariant, byz.span
+        )
+    )
+    assert result
+    report("SEC62", "IB1‖DB;IB2‖BYZ is fail-safe Byzantine-tolerant")
+
+
+def bench_sec62_failsafe_blocks(benchmark, byz, report):
+    """The motivation for CB: without it a minority-copy process blocks
+    (masking fails on liveness)."""
+    result = benchmark(
+        lambda: is_masking_tolerant(
+            byz.failsafe, byz.faults, byz.spec, byz.invariant, byz.span
+        )
+    )
+    assert not result
+    report("SEC62", "fail-safe composition is NOT masking (a process blocks)")
+
+
+def bench_sec62_masking_composition(benchmark, byz, report):
+    result = benchmark(
+        lambda: is_masking_tolerant(
+            byz.masking, byz.faults, byz.spec, byz.invariant, byz.span
+        )
+    )
+    assert result
+    report("SEC62", "IB1‖DB;IB2‖CB‖BYZ is masking Byzantine-tolerant")

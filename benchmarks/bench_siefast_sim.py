@@ -1,0 +1,178 @@
+"""SIEFAST — the simulation environment (Section 7).
+
+Throughput of the discrete-event kernel, fault-injection campaign over
+the mutual-exclusion application (detector latency and corrector
+recovery time distributions), and scheduler comparison on the token
+ring."""
+
+import random
+
+import pytest
+
+from repro.programs import mutual_exclusion, token_ring
+from repro.sim import (
+    ChannelConfig,
+    CrashInjector,
+    Network,
+    PredicateMonitor,
+    RandomScheduler,
+    RoundRobinScheduler,
+    SimProcess,
+    convergence_steps,
+    simulate,
+)
+
+
+class Gossiper(SimProcess):
+    """Each received rumour is forwarded to the next process — a
+    message-churn workload for throughput measurement."""
+
+    def __init__(self, pid, peers):
+        super().__init__(pid)
+        self.peers = peers
+        self.seen = 0
+
+    def on_start(self):
+        if self.pid == 0:
+            for _ in range(10):
+                self.send(self.peers[0], "rumour")
+
+    def on_message(self, sender, message):
+        self.seen += 1
+        if self.seen < 200:
+            self.send(self.peers[self.seen % len(self.peers)], message)
+
+
+def bench_siefast_kernel_throughput(benchmark, report):
+    def run():
+        network = Network(seed=1, default_channel=ChannelConfig(delay=0.5))
+        size = 8
+        for pid in range(size):
+            peers = [p for p in range(size) if p != pid]
+            network.add_process(Gossiper(pid, peers))
+        network.run(until=2000)
+        return network.simulator.events_processed
+
+    events = benchmark(run)
+    assert events > 1000
+    report("SIEFAST", f"gossip workload: {events} events per run")
+
+
+def bench_siefast_crash_campaign(benchmark, report):
+    """Crash/restart campaign with an online global-predicate monitor —
+    availability of 'someone is answering' across the campaign."""
+
+    class Server(SimProcess):
+        def __init__(self, pid):
+            super().__init__(pid)
+            self.answered = 0
+
+        def on_message(self, sender, message):
+            self.answered += 1
+            self.send(sender, "ack")
+
+    class Client(SimProcess):
+        def __init__(self, pid, servers):
+            super().__init__(pid)
+            self.servers = servers
+            self.acks = 0
+            self.sent = 0
+
+        def on_start(self):
+            self.set_timer("tick", 1.0)
+
+        def on_timer(self, name):
+            self.send(self.servers[self.sent % len(self.servers)], "req")
+            self.sent += 1
+            self.set_timer("tick", 1.0)
+
+        def on_message(self, sender, message):
+            self.acks += 1
+
+    def run():
+        network = Network(seed=7, default_channel=ChannelConfig(delay=0.2))
+        for sid in ("s1", "s2"):
+            network.add_process(Server(sid))
+        client = network.add_process(Client("c", servers=["s1", "s2"]))
+        from repro.sim import RestartInjector
+
+        CrashInjector(time=20.0, pid="s1").arm(network)
+        RestartInjector(time=40.0, pid="s1").arm(network)
+        CrashInjector(time=60.0, pid="s2").arm(network)
+        monitor = PredicateMonitor(
+            network,
+            predicate=lambda snap: not (
+                snap["s1"]["crashed"] and snap["s2"]["crashed"]
+            ),
+            period=1.0,
+        )
+        network.run(until=100)
+        return client.acks, monitor.fraction_true()
+
+    acks, availability = benchmark(run)
+    assert acks > 0
+    assert availability == 1.0, "at most one server is ever down"
+    report("SIEFAST", f"crash campaign: {acks} acks, service availability "
+                      f"{availability:.2f}")
+
+
+def bench_siefast_mutex_recovery_distribution(benchmark, report):
+    """Corrector recovery time: steps from token loss to regeneration
+    across random schedules (the runtime counterpart of the nonmasking
+    convergence certificate)."""
+    model = mutual_exclusion.build(3)
+    legitimate = next(
+        s for s in model.tolerant.states() if model.invariant(s)
+    )
+
+    def campaign():
+        recovery_steps = []
+        for seed in range(20):
+            trace = simulate(
+                model.tolerant, legitimate, RandomScheduler(seed),
+                steps=60, faults=model.faults, fault_times=[5],
+            )
+            lost_at = None
+            for index, state in enumerate(trace):
+                tokens = sum(
+                    1 for i in range(model.size) if state[f"tok{i}"]
+                )
+                if tokens == 0 and lost_at is None:
+                    lost_at = index
+                if lost_at is not None and tokens == 1:
+                    recovery_steps.append(index - lost_at)
+                    break
+        return recovery_steps
+
+    recoveries = benchmark(campaign)
+    assert recoveries and all(r >= 1 for r in recoveries)
+    mean = sum(recoveries) / len(recoveries)
+    report("SIEFAST", f"mutex corrector recovery: mean {mean:.1f} steps over "
+                      f"{len(recoveries)} injected token losses")
+
+
+@pytest.mark.parametrize("scheduler_name", ["random", "round_robin"])
+def bench_siefast_scheduler_comparison(benchmark, report, scheduler_name):
+    model = token_ring.build(4)
+    rng = random.Random(0)
+    states = list(model.ring.states())
+    starts = [rng.choice(states) for _ in range(20)]
+
+    def run():
+        total = 0
+        for index, start in enumerate(starts):
+            scheduler = (
+                RandomScheduler(index)
+                if scheduler_name == "random"
+                else RoundRobinScheduler()
+            )
+            steps = convergence_steps(
+                model.ring, start, model.invariant, scheduler
+            )
+            assert steps is not None
+            total += steps
+        return total / len(starts)
+
+    mean = benchmark(run)
+    report("SIEFAST", f"token-ring stabilization, {scheduler_name} scheduler: "
+                      f"mean {mean:.1f} moves")

@@ -1,0 +1,72 @@
+"""APP-TR — the token-ring case study (Section 7 / Dijkstra [9]).
+
+Self-stabilization as nonmasking tolerance: verification cost and
+stabilization time (exact demonic worst case + random-schedule average)
+as the ring grows."""
+
+import random
+
+import pytest
+
+from repro.core import TRUE, is_corrector, is_nonmasking_tolerant
+from repro.programs import token_ring
+from repro.sim import RandomScheduler, convergence_steps, \
+    worst_case_convergence_steps
+
+
+@pytest.mark.parametrize("size", [3, 4, 5])
+def bench_ring_nonmasking_verification(benchmark, report, size):
+    model = token_ring.build(size)
+    result = benchmark(
+        lambda: is_nonmasking_tolerant(
+            model.ring, model.faults, model.spec, model.invariant, TRUE
+        )
+    )
+    assert result
+    report("APP-TR", f"n={size}: nonmasking tolerance verified over "
+                     f"{model.ring.state_count()} states")
+
+
+@pytest.mark.parametrize("size", [3, 4, 5])
+def bench_ring_corrector_verification(benchmark, report, size):
+    model = token_ring.build(size)
+    result = benchmark(
+        lambda: is_corrector(model.ring, model.invariant, model.invariant, TRUE)
+    )
+    assert result
+    report("APP-TR", f"n={size}: the ring is a corrector of its invariant")
+
+
+@pytest.mark.parametrize("size", [3, 4, 5, 6])
+def bench_ring_worst_case_stabilization(benchmark, report, size):
+    model = token_ring.build(size)
+    bound = benchmark(
+        lambda: worst_case_convergence_steps(
+            model.ring, model.ring.states(), model.invariant
+        )
+    )
+    assert 0 < bound <= 3 * size * size
+    report("APP-TR", f"n={size}: worst-case stabilization = {bound} moves "
+                     f"(O(n²) shape)")
+
+
+@pytest.mark.parametrize("size", [3, 4, 5, 6])
+def bench_ring_average_stabilization(benchmark, report, size):
+    model = token_ring.build(size)
+    rng = random.Random(size)
+    states = list(model.ring.states())
+    samples = [rng.choice(states) for _ in range(30)]
+
+    def average():
+        total = 0
+        for index, start in enumerate(samples):
+            steps = convergence_steps(
+                model.ring, start, model.invariant, RandomScheduler(index)
+            )
+            assert steps is not None
+            total += steps
+        return total / len(samples)
+
+    mean = benchmark(average)
+    report("APP-TR", f"n={size}: mean random-schedule stabilization = "
+                     f"{mean:.1f} moves")

@@ -1,0 +1,60 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark corresponds to one experiment id in DESIGN.md (FIG1-3,
+SEC61, SEC62, THM, SYNTH, APP-TR, APP-BYZ, EXTANT, SIEFAST, FD).  Each
+bench function *asserts* the qualitative claim (who wins / what holds)
+and *times* the operation that establishes it; the ``report`` fixture
+prints the paper-style rows recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.programs import (
+    byzantine,
+    memory_access,
+    mutual_exclusion,
+    token_ring,
+    tmr,
+)
+
+
+@pytest.fixture(scope="session")
+def memory():
+    return memory_access.build()
+
+
+@pytest.fixture(scope="session")
+def tmr_model():
+    return tmr.build()
+
+
+@pytest.fixture(scope="session")
+def byz():
+    return byzantine.build()
+
+
+@pytest.fixture(scope="session")
+def mutex():
+    return mutual_exclusion.build(3)
+
+
+@pytest.fixture(scope="session")
+def report(tmp_path_factory):
+    """Append experiment rows to the experiment log (pytest captures
+    stdout/stderr, so rows go to a file: ``REPRO_EXPERIMENT_LOG`` or
+    ``experiment_rows.log`` in the working directory).  The log is
+    truncated once per benchmark session; EXPERIMENTS.md is written from
+    it."""
+    import os
+
+    path = os.environ.get("REPRO_EXPERIMENT_LOG", "experiment_rows.log")
+    with open(path, "w", encoding="utf-8"):
+        pass  # truncate at session start
+
+    def emit(experiment: str, row: str) -> None:
+        with open(path, "a", encoding="utf-8") as log:
+            log.write(f"[{experiment}] {row}\n")
+
+    return emit

@@ -1,0 +1,70 @@
+"""Multitolerance: one system, two fault-classes, two component sets.
+
+Run:  python examples/multitolerant_mutex.py
+
+The paper's closing argument is that detectors and correctors enable
+*multitolerance* — tolerating several fault-classes, each to the
+appropriate degree.  The mutual-exclusion ring here faces:
+
+- **token loss**   → corrected by a regeneration corrector;
+- **token duplication** → detected by a one-token entry guard (so
+  exclusion is never violated) and corrected by a dedup corrector.
+
+Each claim is model-checked separately, then jointly (both fault
+classes striking in the same run), and the baseline without the second
+component set is shown to fail with a counterexample.
+"""
+
+from repro.core import (
+    ToleranceRequirement,
+    is_masking_tolerant,
+    is_multitolerant,
+)
+from repro.programs import mutual_exclusion
+
+
+def main() -> None:
+    mutex = mutual_exclusion.build(3)
+
+    print("— requirement 1: masking tolerance to token loss —")
+    print(
+        is_masking_tolerant(
+            mutex.multitolerant, mutex.faults, mutex.spec_strong,
+            mutex.invariant, mutex.span,
+        )
+    )
+
+    print("\n— requirement 2: masking tolerance to token duplication —")
+    print(
+        is_masking_tolerant(
+            mutex.multitolerant, mutex.duplication, mutex.spec_strong,
+            mutex.invariant, mutex.span_duplication,
+        )
+    )
+
+    print("\n— both at once (interaction check included) —")
+    requirements = (
+        ToleranceRequirement(mutex.faults, "masking", mutex.span),
+        ToleranceRequirement(
+            mutex.duplication, "masking", mutex.span_duplication
+        ),
+    )
+    print(
+        is_multitolerant(
+            mutex.multitolerant, mutex.spec_strong, mutex.invariant,
+            requirements,
+        )
+    )
+
+    print("\n— the baseline (loss-only components) against duplication —")
+    verdict = is_masking_tolerant(
+        mutex.tolerant, mutex.duplication, mutex.spec_strong,
+        mutex.invariant, mutex.span_duplication,
+    )
+    print(verdict)
+    print("\nThe counterexample above is the design argument: tolerating a "
+          "new fault-class is adding the detector/corrector pair for it.")
+
+
+if __name__ == "__main__":
+    main()

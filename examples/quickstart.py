@@ -1,0 +1,125 @@
+"""Quickstart: build a tiny fault-intolerant program, add a detector and
+a corrector, and certify all three tolerance classes.
+
+Run:  python examples/quickstart.py
+
+The scenario is a single register that a writer must publish correctly:
+``ready`` may only be raised once ``value`` holds the payload, and a
+glitch fault can clear the value.  We build:
+
+- the intolerant writer (raises ``ready`` blindly);
+- a fail-safe version (a *detector* guards the publish);
+- a nonmasking version (a *corrector* rewrites the value);
+- a masking version (both) — and model-check each claim.
+"""
+
+from repro import (
+    Action,
+    FaultClass,
+    LeadsTo,
+    Predicate,
+    Program,
+    Spec,
+    StateInvariant,
+    TRUE,
+    Variable,
+    assign,
+    is_detector,
+    is_failsafe_tolerant,
+    is_masking_tolerant,
+    is_nonmasking_tolerant,
+)
+
+PAYLOAD = 7
+
+value = Variable("value", [0, PAYLOAD])
+ready = Variable("ready", [False, True])
+
+value_ok = Predicate(lambda s: s["value"] == PAYLOAD, name="value=payload")
+published = Predicate(lambda s: s["ready"], name="ready")
+
+# The problem specification: never publish a wrong value; eventually publish.
+spec = Spec(
+    [
+        StateInvariant(published.implies(value_ok), name="published ⇒ correct"),
+        LeadsTo(TRUE, published, name="eventually published"),
+    ],
+    name="SPEC_publish",
+)
+
+# The fault: a glitch clears the value (only before publication — the
+# paper's page fault is guarded the same way for the same reason: the
+# fault-span must be closed under the fault).
+glitch = FaultClass(
+    [Action("glitch", value_ok & ~published, assign(value=0))],
+    name="glitch",
+)
+
+# 1. The intolerant writer: writes the payload, then publishes blindly.
+intolerant = Program(
+    [value, ready],
+    [
+        Action("write", ~value_ok, assign(value=PAYLOAD)),
+        Action("publish", ~published, assign(ready=True)),
+    ],
+    name="writer",
+)
+
+# 2. Fail-safe: a detector (the guard `value_ok`) restricts publication —
+#    the paper's ∧-composition of a detector with an action.
+failsafe = Program(
+    [value, ready],
+    [
+        Action("publish", value_ok & ~published, assign(ready=True)),
+    ],
+    name="writer_failsafe",
+)
+
+# 3. Nonmasking: a corrector rewrites the value after a glitch.
+nonmasking = Program(
+    [value, ready],
+    [
+        Action("publish", ~published, assign(ready=True)),
+        Action("correct", ~value_ok, assign(value=PAYLOAD)),
+    ],
+    name="writer_nonmasking",
+)
+
+# 4. Masking: detector AND corrector.
+masking = Program(
+    [value, ready],
+    [
+        Action("publish", value_ok & ~published, assign(ready=True)),
+        Action("correct", ~value_ok, assign(value=PAYLOAD)),
+    ],
+    name="writer_masking",
+)
+
+
+def main() -> None:
+    invariant = value_ok
+    span = TRUE
+
+    print("— the detector in isolation —")
+    detector = Program(
+        [value, ready],
+        [Action("witness", value_ok & ~published, assign(ready=True))],
+        name="publish_guard",
+    )
+    print(is_detector(detector, published, value_ok,
+                      published.implies(value_ok)))
+
+    print("\n— the tolerance ladder —")
+    print(is_failsafe_tolerant(failsafe, glitch, spec, invariant, span))
+    print()
+    print(is_nonmasking_tolerant(nonmasking, glitch, spec, TRUE, span))
+    print()
+    print(is_masking_tolerant(masking, glitch, spec, invariant, span))
+
+    print("\n— and the intolerant writer, for contrast —")
+    verdict = is_failsafe_tolerant(intolerant, glitch, spec, invariant, span)
+    print(verdict)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Dijkstra's token ring: self-stabilization = nonmasking tolerance.
+
+Run:  python examples/self_stabilizing_token_ring.py
+
+Certifies the ring as a corrector of its own invariant (the Arora–Gouda
+special case), then measures stabilization: exact demonic worst case vs
+random-schedule averages, for growing rings — the quantitative table of
+experiment APP-TR.
+"""
+
+import random
+
+from repro.core import TRUE, is_corrector, is_nonmasking_tolerant
+from repro.programs import token_ring
+from repro.sim import (
+    AdversarialScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    convergence_steps,
+    worst_case_convergence_steps,
+)
+
+
+def main() -> None:
+    print("— qualitative certificates (n = 4) —")
+    model = token_ring.build(4)
+    print(
+        is_nonmasking_tolerant(
+            model.ring, model.faults, model.spec, model.invariant, TRUE
+        )
+    )
+    print()
+    print(is_corrector(model.ring, model.invariant, model.invariant, TRUE))
+
+    print("\n— stabilization cost —")
+    print(f"{'n':>3} {'states':>7} {'worst case':>11} "
+          f"{'random mean':>12} {'adversarial':>12}")
+    for size in (3, 4, 5, 6):
+        model = token_ring.build(size)
+        states = list(model.ring.states())
+        worst = worst_case_convergence_steps(
+            model.ring, states, model.invariant
+        )
+        rng = random.Random(size)
+        samples = [rng.choice(states) for _ in range(25)]
+        random_mean = sum(
+            convergence_steps(model.ring, s, model.invariant,
+                              RandomScheduler(i))
+            for i, s in enumerate(samples)
+        ) / len(samples)
+        adversary_start = max(
+            samples,
+            key=lambda s: convergence_steps(
+                model.ring, s, model.invariant, RoundRobinScheduler()
+            ),
+        )
+        adversarial = convergence_steps(
+            model.ring, adversary_start, model.invariant,
+            AdversarialScheduler(model.ring, model.invariant, adversary_start),
+        )
+        print(f"{size:>3} {model.ring.state_count():>7} {worst:>11} "
+              f"{random_mean:>12.1f} {adversarial:>12}")
+
+    print("\nThe worst-case column grows quadratically — Dijkstra's "
+          "classical O(n²) stabilization bound.")
+
+
+if __name__ == "__main__":
+    main()

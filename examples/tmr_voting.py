@@ -1,0 +1,72 @@
+"""Section 6.1 — triple modular redundancy, two ways.
+
+Run:  python examples/tmr_voting.py
+
+First the paper's route: compose the detector DR and corrector CR with
+the intolerant IR and certify each rung.  Then the synthesis route:
+*calculate* the masking version from the bare IR with the companion
+method, and compare the two.
+"""
+
+from repro import synthesis
+from repro.core import (
+    is_detector,
+    is_failsafe_tolerant,
+    is_masking_tolerant,
+    refines_program,
+    violates_spec,
+)
+from repro.programs import tmr
+
+
+def main() -> None:
+    model = tmr.build()
+
+    print("— the intolerant IR under one-input corruption —")
+    print(
+        violates_spec(
+            model.ir, model.spec.safety_part(), model.invariant,
+            fault_actions=list(model.faults.actions),
+        )
+    )
+
+    print("\n— DR as a stateless detector —")
+    print(
+        is_detector(
+            model.detector_eval, model.witness_dr, model.detection_dr,
+            model.span_inputs,
+        )
+    )
+
+    print("\n— DR;IR is fail-safe —")
+    print(
+        is_failsafe_tolerant(
+            model.dr_ir, model.faults, model.spec,
+            model.invariant, model.span,
+        )
+    )
+
+    print("\n— DR;IR ‖ CR is masking (this IS classical TMR) —")
+    print(
+        is_masking_tolerant(
+            model.tmr, model.faults, model.spec,
+            model.invariant, model.span,
+        )
+    )
+
+    print("\n— the synthesis route: calculate masking TMR from bare IR —")
+    synthesized = synthesis.add_masking(model.ir, model.faults, model.spec)
+    print(synthesized.verify(model.faults, model.spec))
+    print(f"  synthesized program: {synthesized.program!r}")
+    print("  detection predicate guards:",
+          {name: pred.name
+           for name, pred in synthesized.failsafe_stage
+           .detection_predicates.items()})
+
+    print("\n— the synthesized and hand-composed systems coincide —")
+    print(refines_program(synthesized.program, model.tmr, model.invariant,
+                          check_fairness=False))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so that
+``pip install -e . --no-build-isolation`` (and ``python setup.py develop``)
+work in offline environments that lack the ``wheel`` package needed for
+PEP 660 editable installs.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,30 @@
+"""repro — an executable reproduction of *Detectors and Correctors: A
+Theory of Fault-Tolerance Components* (Arora & Kulkarni, ICDCS 1998).
+
+The library has six layers:
+
+- :mod:`repro.core` — the paper's formal model: guarded-command programs,
+  specifications, faults, tolerance classes, and the detector/corrector
+  component specifications, all executable and model-checked.
+- :mod:`repro.theory` — the paper's theorems as constructive, mechanically
+  verified witness builders.
+- :mod:`repro.synthesis` — the companion design methods: transforming a
+  fault-intolerant program into fail-safe / nonmasking / masking tolerant
+  versions by adding detectors and correctors.
+- :mod:`repro.components` — the reusable component framework: comparators,
+  watchdogs, acceptance tests, voters, resets, checkpoint/rollback.
+- :mod:`repro.programs` — every worked example from the paper (memory
+  access, TMR, Byzantine agreement) and the application catalogue (token
+  ring, mutual exclusion, leader election, termination detection,
+  distributed reset).
+- :mod:`repro.sim` — a SIEFAST-style discrete-event simulation
+  environment with fault injection, plus :mod:`repro.failure_detectors`
+  for the Chandra–Toueg comparison.
+"""
+
+from . import core
+from .core import *  # noqa: F401,F403 — the core API is the package API
+
+__version__ = "1.0.0"
+
+__all__ = list(core.__all__) + ["__version__"]

@@ -1,0 +1,274 @@
+"""Command-line verifier for the program catalogue.
+
+Usage::
+
+    python -m repro list
+    python -m repro verify memory_access
+    python -m repro verify tmr byzantine
+    python -m repro verify --all
+
+``verify`` runs every tolerance/detector/corrector certificate a
+catalogue entry registers and prints the PASS/FAIL lines with
+counterexamples — a one-command reproduction of each construction in
+the paper.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Iterable, List, Tuple
+
+from .core import (
+    CheckResult,
+    TRUE,
+    is_corrector,
+    is_detector,
+    is_failsafe_tolerant,
+    is_masking_tolerant,
+    is_nonmasking_tolerant,
+)
+
+__all__ = ["main", "CATALOGUE"]
+
+#: name -> callable returning (description, [CheckResult factories])
+CatalogueEntry = Callable[[], Tuple[str, List[Callable[[], CheckResult]]]]
+
+
+def _memory_access():
+    from .programs import memory_access
+
+    m = memory_access.build()
+    checks = [
+        lambda: is_failsafe_tolerant(
+            m.pf, m.fault_before_witness, m.spec, m.S_pf, m.T_pf
+        ),
+        lambda: is_nonmasking_tolerant(
+            m.pn, m.fault_anytime, m.spec, m.S_pn, m.T_pn
+        ),
+        lambda: is_masking_tolerant(
+            m.pm, m.fault_before_witness, m.spec, m.S_pm, m.T_pm
+        ),
+    ]
+    return "memory access ladder (paper Figures 1-3)", checks
+
+
+def _tmr():
+    from .programs import tmr
+
+    t = tmr.build()
+    checks = [
+        lambda: is_detector(
+            t.detector_eval, t.witness_dr, t.detection_dr, t.span_inputs
+        ),
+        lambda: is_failsafe_tolerant(
+            t.dr_ir, t.faults, t.spec, t.invariant, t.span
+        ),
+        lambda: is_masking_tolerant(
+            t.tmr, t.faults, t.spec, t.invariant, t.span
+        ),
+    ]
+    return "triple modular redundancy (paper §6.1)", checks
+
+
+def _byzantine():
+    from .programs import byzantine
+
+    b = byzantine.build()
+    checks = [
+        lambda: is_failsafe_tolerant(
+            b.failsafe, b.faults, b.spec, b.invariant, b.span
+        ),
+        lambda: is_masking_tolerant(
+            b.masking, b.faults, b.spec, b.invariant, b.span
+        ),
+    ]
+    return "Byzantine agreement, n=4 f=1 (paper §6.2)", checks
+
+
+def _token_ring():
+    from .programs import token_ring
+
+    r = token_ring.build(4)
+    checks = [
+        lambda: is_nonmasking_tolerant(
+            r.ring, r.faults, r.spec, r.invariant, TRUE
+        ),
+        lambda: is_corrector(r.ring, r.invariant, r.invariant, TRUE),
+    ]
+    return "Dijkstra's K-state token ring (self-stabilization)", checks
+
+
+def _mutual_exclusion():
+    from .core import ToleranceRequirement, is_multitolerant
+    from .programs import mutual_exclusion
+
+    x = mutual_exclusion.build(3)
+    checks = [
+        lambda: is_masking_tolerant(
+            x.tolerant, x.faults, x.spec, x.invariant, x.span
+        ),
+        lambda: is_multitolerant(
+            x.multitolerant, x.spec_strong, x.invariant,
+            (
+                ToleranceRequirement(x.faults, "masking", x.span),
+                ToleranceRequirement(
+                    x.duplication, "masking", x.span_duplication
+                ),
+            ),
+        ),
+    ]
+    return "token mutual exclusion (+ multitolerance)", checks
+
+
+def _leader_election():
+    from .programs import leader_election
+
+    e = leader_election.build((3, 1, 2))
+    checks = [
+        lambda: is_nonmasking_tolerant(
+            e.program, e.faults, e.spec, e.invariant, TRUE
+        ),
+    ]
+    return "max-propagation leader election", checks
+
+
+def _termination_detection():
+    from .programs import termination_detection
+
+    t = termination_detection.build(3)
+    checks = [
+        lambda: is_detector(t.detector, t.done, t.terminated, t.from_),
+    ]
+    return "scan-based termination detection (a pure detector)", checks
+
+
+def _distributed_reset():
+    from .programs import distributed_reset
+
+    d = distributed_reset.build(3, 2)
+    checks = [
+        lambda: is_nonmasking_tolerant(
+            d.program, d.faults, d.spec, d.invariant, d.span
+        ),
+    ]
+    return "session-number distributed reset (a distributed corrector)", checks
+
+
+def _tree_maintenance():
+    from .programs import tree_maintenance
+
+    t = tree_maintenance.build()
+    checks = [
+        lambda: is_nonmasking_tolerant(
+            t.program, t.faults, t.spec, t.invariant, TRUE
+        ),
+        lambda: is_corrector(t.program, t.invariant, t.invariant, TRUE),
+    ]
+    return "self-stabilizing BFS spanning tree (tree maintenance)", checks
+
+
+def _barrier():
+    from .programs import barrier
+
+    b = barrier.build(3)
+    checks = [
+        lambda: is_failsafe_tolerant(
+            b.intolerant, b.faults, b.spec, b.invariant, b.span
+        ),
+        lambda: is_masking_tolerant(
+            b.tolerant, b.faults, b.spec, b.invariant, b.span
+        ),
+    ]
+    return "barrier computation with a re-announce corrector", checks
+
+
+def _failure_detector():
+    from .core.fairness import check_leads_to
+    from .failure_detectors import build
+
+    fd = build(limit=2)
+
+    def completeness():
+        ts = fd.faults.system(fd.program, fd.from_)
+        return check_leads_to(
+            ts, fd.crashed, fd.suspected,
+            description="completeness: crashed leads-to suspected",
+        )
+
+    checks = [
+        lambda: is_detector(fd.program, fd.suspected, fd.timed_out, fd.from_),
+        completeness,
+    ]
+    return "heartbeat failure detector (Chandra-Toueg comparison)", checks
+
+
+CATALOGUE: Dict[str, CatalogueEntry] = {
+    "memory_access": _memory_access,
+    "tmr": _tmr,
+    "byzantine": _byzantine,
+    "token_ring": _token_ring,
+    "mutual_exclusion": _mutual_exclusion,
+    "leader_election": _leader_election,
+    "termination_detection": _termination_detection,
+    "distributed_reset": _distributed_reset,
+    "tree_maintenance": _tree_maintenance,
+    "barrier": _barrier,
+    "failure_detector": _failure_detector,
+}
+
+
+def _verify(names: Iterable[str], out=sys.stdout) -> int:
+    failures = 0
+    for name in names:
+        try:
+            entry = CATALOGUE[name]
+        except KeyError:
+            print(f"unknown catalogue entry {name!r}; try 'list'", file=out)
+            return 2
+        description, checks = entry()
+        print(f"== {name}: {description}", file=out)
+        for check in checks:
+            result = check()
+            print(str(result), file=out)
+            if not result:
+                failures += 1
+        print(file=out)
+    if failures:
+        print(f"{failures} check(s) FAILED", file=out)
+        return 1
+    print("all checks passed", file=out)
+    return 0
+
+
+def main(argv: List[str] = None, out=sys.stdout) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="verify the paper's constructions from the command line",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list catalogue entries")
+    verify_parser = subparsers.add_parser(
+        "verify", help="run the certificates for catalogue entries"
+    )
+    verify_parser.add_argument("names", nargs="*", help="entries to verify")
+    verify_parser.add_argument(
+        "--all", action="store_true", help="verify the whole catalogue"
+    )
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name, entry in CATALOGUE.items():
+            description, checks = entry()
+            print(f"{name:24s} {description} ({len(checks)} checks)", file=out)
+        return 0
+
+    names = list(CATALOGUE) if args.all else args.names
+    if not names:
+        print("nothing to verify; pass entry names or --all", file=out)
+        return 2
+    return _verify(names, out=out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

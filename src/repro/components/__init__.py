@@ -1,0 +1,41 @@
+"""The reusable component framework (Section 7's closing programme).
+
+The paper observes that "detectors and correctors required in one program
+as well as across different programs are often similar" and proposes a
+framework of reusable components.  This package provides the classical
+instances the paper names:
+
+detectors — comparators, acceptance tests, watchdogs;
+correctors — majority voters, checkpoint/rollback recovery, resets,
+recovery blocks (alternate procedures).
+
+Each factory returns a :class:`ComponentInstance` bundling the component
+program fragment with its witness/detection (or correction) predicates
+and the predicate to verify it from, so a single call each to
+:func:`repro.core.is_detector` / :func:`repro.core.is_corrector`
+certifies the instantiation.
+"""
+
+from .hierarchy import parallel_detector, sequential_detector, wave_corrector
+from .library import (
+    ComponentInstance,
+    acceptance_test,
+    checkpoint_rollback,
+    comparator,
+    majority_voter,
+    recovery_block,
+    watchdog,
+)
+
+__all__ = [
+    "ComponentInstance",
+    "comparator",
+    "acceptance_test",
+    "watchdog",
+    "majority_voter",
+    "checkpoint_rollback",
+    "recovery_block",
+    "sequential_detector",
+    "parallel_detector",
+    "wave_corrector",
+]

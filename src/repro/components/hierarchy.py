@@ -1,0 +1,256 @@
+"""Hierarchical and distributed construction of detectors and
+correctors.
+
+The paper's introduction points to companion methods ([4]) that show
+"how to construct them hierarchically and distributively".  This module
+implements the two classical constructions for *conjunctive* global
+predicates ``X = X₁ ∧ … ∧ Xₙ``, which cannot be checked atomically in a
+distributed system:
+
+- :func:`sequential_detector` — a scan: one cursor sweeps the conjuncts
+  in order, advancing past conjuncts that hold and restarting when the
+  conjunct under the cursor fails; the witness is raised after a full
+  clean sweep.  Sound when each conjunct, once true, stays true while
+  earlier conjuncts hold (e.g. stable conjuncts) — the classical
+  hierarchical detector of [4].
+- :func:`parallel_detector` — one witness bit per conjunct, raised and
+  lowered locally (a *distributed* detector), plus a root witness
+  raised when every local witness is up.  Sound under the same
+  stability caveat; each local detector can run at a different process.
+
+- :func:`wave_corrector` — the corrector analogue: given per-conjunct
+  corrector actions, sequence them behind a cursor so correction
+  proceeds as a wave from conjunct 1 to n (each stage only runs once
+  the earlier stages' predicates hold), yielding a corrector for the
+  conjunction when each stage preserves the earlier conjuncts — the
+  hierarchical corrector stack of [5] (masking via nonmasking).
+
+Each factory returns the composed :class:`~repro.components.library.ComponentInstance`
+so the claim "the composition refines the detector/corrector spec" is a
+single ``verify()`` call — which the test suite exercises both
+positively and, for compositions violating the stability caveat,
+negatively.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..core import (
+    Action,
+    Predicate,
+    Program,
+    TRUE,
+    Variable,
+    assign,
+)
+from .library import ComponentInstance
+
+__all__ = ["sequential_detector", "parallel_detector", "wave_corrector"]
+
+
+def _conjunction(conjuncts: Sequence[Predicate]) -> Predicate:
+    combined = conjuncts[0]
+    for conjunct in conjuncts[1:]:
+        combined = combined & conjunct
+    return combined
+
+
+def sequential_detector(
+    observed: Sequence[Variable],
+    conjuncts: Sequence[Predicate],
+    cursor_name: str = "idx",
+    flag_name: str = "zall",
+) -> ComponentInstance:
+    """A hierarchical detector for ``X₁ ∧ … ∧ Xₙ`` with a scanning
+    cursor.
+
+    The component adds a cursor over ``0..n`` and a witness flag.  It
+    advances past a holding conjunct, restarts on a failing one, lowers
+    the witness when the conjunction fails, and raises it after a
+    complete sweep.
+    """
+    count = len(conjuncts)
+    if count == 0:
+        raise ValueError("need at least one conjunct")
+    cursor = Variable(cursor_name, list(range(count + 1)))
+    flag = Variable(flag_name, [False, True])
+    everything = _conjunction(conjuncts).rename("∧X")
+    witness = Predicate(lambda s, f=flag_name: s[f], name=flag_name)
+
+    def at_cursor_holds(state) -> bool:
+        index = state[cursor_name]
+        return index < count and conjuncts[index](state)
+
+    def at_cursor_fails(state) -> bool:
+        index = state[cursor_name]
+        return index < count and not conjuncts[index](state)
+
+    actions: List[Action] = [
+        Action(
+            f"{cursor_name}_advance",
+            Predicate(at_cursor_holds, name="conjunct at cursor holds"),
+            assign(**{cursor_name: lambda s: s[cursor_name] + 1}),
+        ),
+        Action(
+            f"{cursor_name}_restart",
+            Predicate(at_cursor_fails, name="conjunct at cursor fails"),
+            assign(**{cursor_name: 0, flag_name: False}),
+        ),
+        Action(
+            f"{flag_name}_raise",
+            Predicate(
+                lambda s, n=count: s[cursor_name] == n and not s[flag_name],
+                name="sweep complete",
+            ),
+            assign(**{flag_name: True}),
+        ),
+        Action(
+            f"{flag_name}_lower",
+            witness & ~everything,
+            assign(**{flag_name: False, cursor_name: 0}),
+        ),
+    ]
+    program = Program(
+        list(observed) + [cursor, flag],
+        actions,
+        name=f"sequential_detector({count} conjuncts)",
+    )
+    consistent = Predicate(
+        lambda s, n=count, cs=conjuncts: (
+            all(cs[i](s) for i in range(min(s[cursor_name], n)))
+            and (not s[flag_name] or all(c(s) for c in cs))
+        ),
+        name="U_seq (prefix verified)",
+    )
+    return ComponentInstance(
+        kind="detector",
+        program=program,
+        witness=witness,
+        claim=everything,
+        from_=consistent,
+    )
+
+
+def parallel_detector(
+    observed: Sequence[Variable],
+    conjuncts: Sequence[Predicate],
+    flag_prefix: str = "z",
+    root_name: str = "zroot",
+) -> ComponentInstance:
+    """A distributed detector: one local witness per conjunct plus a
+    root witness over the local ones."""
+    count = len(conjuncts)
+    if count == 0:
+        raise ValueError("need at least one conjunct")
+    local_flags = [Variable(f"{flag_prefix}{i}", [False, True])
+                   for i in range(count)]
+    root = Variable(root_name, [False, True])
+    everything = _conjunction(conjuncts).rename("∧X")
+    root_witness = Predicate(lambda s, r=root_name: s[r], name=root_name)
+
+    actions: List[Action] = []
+    for index, conjunct in enumerate(conjuncts):
+        local = f"{flag_prefix}{index}"
+        actions.append(
+            Action(
+                f"{local}_raise",
+                conjunct & Predicate(lambda s, f=local: not s[f], name=f"¬{f'{local}'}"),
+                assign(**{local: True}),
+            )
+        )
+        actions.append(
+            Action(
+                f"{local}_lower",
+                ~conjunct & Predicate(lambda s, f=local: s[f], name=local),
+                assign(**{local: False}),
+            )
+        )
+    all_local = Predicate(
+        lambda s, n=count, p=flag_prefix: all(s[f"{p}{i}"] for i in range(n)),
+        name="all local witnesses up",
+    )
+    actions.append(
+        Action(
+            f"{root_name}_raise",
+            all_local & ~root_witness,
+            assign(**{root_name: True}),
+        )
+    )
+    actions.append(
+        Action(
+            f"{root_name}_lower",
+            root_witness & ~everything,
+            assign(**{root_name: False}),
+        )
+    )
+    program = Program(
+        list(observed) + local_flags + [root],
+        actions,
+        name=f"parallel_detector({count} conjuncts)",
+    )
+    consistent = Predicate(
+        lambda s, n=count, p=flag_prefix, cs=conjuncts, r=root_name: (
+            all((not s[f"{p}{i}"]) or cs[i](s) for i in range(n))
+            and ((not s[r]) or all(c(s) for c in cs))
+        ),
+        name="U_par (witnesses truthful)",
+    )
+    return ComponentInstance(
+        kind="detector",
+        program=program,
+        witness=root_witness,
+        claim=everything,
+        from_=consistent,
+    )
+
+
+def wave_corrector(
+    observed: Sequence[Variable],
+    conjuncts: Sequence[Predicate],
+    repairs: Sequence[Action],
+    flag_name: str = "zfix",
+) -> ComponentInstance:
+    """A hierarchical corrector for ``X₁ ∧ … ∧ Xₙ``: stage ``i``'s
+    repair action runs only once stages ``1..i-1`` hold (the wave), and
+    a witness is raised once the whole conjunction holds.
+
+    Each ``repairs[i]`` must truthify ``conjuncts[i]``; the composition
+    is a corrector for the conjunction when every repair preserves the
+    earlier conjuncts (verified, not assumed — ``verify()`` fails
+    otherwise).
+    """
+    if len(repairs) != len(conjuncts):
+        raise ValueError("one repair action per conjunct required")
+    count = len(conjuncts)
+    flag = Variable(flag_name, [False, True])
+    everything = _conjunction(conjuncts).rename("∧X")
+    witness = Predicate(lambda s, f=flag_name: s[f], name=flag_name)
+
+    staged: List[Action] = []
+    for index, (conjunct, repair) in enumerate(zip(conjuncts, repairs)):
+        earlier_hold = Predicate(
+            lambda s, i=index, cs=conjuncts: all(cs[j](s) for j in range(i)),
+            name=f"stages<{index} hold",
+        )
+        staged.append(repair.restrict(earlier_hold & ~conjunct))
+    staged.append(
+        Action(
+            f"{flag_name}_raise",
+            everything & ~witness,
+            assign(**{flag_name: True}),
+        )
+    )
+    program = Program(
+        list(observed) + [flag],
+        staged,
+        name=f"wave_corrector({count} stages)",
+    )
+    consistent = witness.implies(everything).rename("U_wave")
+    return ComponentInstance(
+        kind="corrector",
+        program=program,
+        witness=witness,
+        claim=everything,
+        from_=consistent,
+    )

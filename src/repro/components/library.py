@@ -1,0 +1,359 @@
+"""Reusable detector and corrector components.
+
+Every factory returns a :class:`ComponentInstance`; the ``kind`` field
+says whether the instance's ``claim`` predicates should be checked with
+:func:`repro.core.is_detector` (witness *detects* detection) or
+:func:`repro.core.is_corrector` (witness *corrects* correction) —
+:meth:`ComponentInstance.verify` dispatches accordingly.
+
+Components are verified *in isolation*: the instance's variables include
+the observed ones, and the component's own actions are the only writers
+during verification.  Interference-freedom under composition is the
+composing program's obligation (checked by the tolerance machinery on
+the composed system), exactly as in the paper's framework discussion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable, Sequence
+
+from ..core import (
+    Action,
+    CheckResult,
+    Predicate,
+    Program,
+    TRUE,
+    Variable,
+    assign,
+    is_corrector,
+    is_detector,
+)
+from ..core.state import BOTTOM
+
+__all__ = [
+    "ComponentInstance",
+    "comparator",
+    "acceptance_test",
+    "watchdog",
+    "majority_voter",
+    "checkpoint_rollback",
+    "recovery_block",
+]
+
+
+@dataclass(frozen=True)
+class ComponentInstance:
+    """A component program with its specification predicates."""
+
+    kind: str                 #: "detector" or "corrector"
+    program: Program
+    witness: Predicate        #: Z
+    claim: Predicate          #: X — detection or correction predicate
+    from_: Predicate          #: U — the predicate the spec is refined from
+
+    def verify(self) -> CheckResult:
+        """Model-check the component against its own specification."""
+        if self.kind == "detector":
+            return is_detector(self.program, self.witness, self.claim, self.from_)
+        if self.kind == "corrector":
+            return is_corrector(self.program, self.witness, self.claim, self.from_)
+        raise ValueError(f"unknown component kind {self.kind!r}")
+
+
+def comparator(
+    left: Variable,
+    right: Variable,
+    flag_name: str = "eq",
+) -> ComponentInstance:
+    """Detector: the witness flag is raised exactly while the two
+    observed variables agree (e.g. duplicated computation results).
+
+    The component never writes the observed variables; the flag is
+    raised when they agree and lowered when they disagree, so Safeness
+    holds from the states where the flag is not already wrong.
+    """
+    flag = Variable(flag_name, [False, True])
+    agree = Predicate(
+        lambda s, a=left.name, b=right.name: s[a] == s[b],
+        name=f"{left.name}={right.name}",
+    )
+    raised = Predicate(lambda s, f=flag_name: s[f], name=flag_name)
+    program = Program(
+        variables=[left, right, flag],
+        actions=[
+            Action(
+                f"{flag_name}_raise",
+                agree & ~raised,
+                assign(**{flag_name: True}),
+            ),
+            Action(
+                f"{flag_name}_lower",
+                ~agree & raised,
+                assign(**{flag_name: False}),
+            ),
+        ],
+        name=f"comparator({left.name},{right.name})",
+    )
+    return ComponentInstance(
+        kind="detector",
+        program=program,
+        witness=raised,
+        claim=agree,
+        from_=raised.implies(agree).rename(f"U({flag_name}⇒agree)"),
+    )
+
+
+def acceptance_test(
+    observed: Sequence[Variable],
+    test: Callable[..., bool],
+    flag_name: str = "accepted",
+    test_name: str = "acceptance test",
+) -> ComponentInstance:
+    """Detector: raise the witness flag when a user predicate over the
+    observed variables holds (a recovery-block acceptance test)."""
+    flag = Variable(flag_name, [False, True])
+    passes = Predicate(
+        lambda s, names=[v.name for v in observed], t=test: t(
+            *[s[n] for n in names]
+        ),
+        name=test_name,
+    )
+    raised = Predicate(lambda s, f=flag_name: s[f], name=flag_name)
+    program = Program(
+        variables=list(observed) + [flag],
+        actions=[
+            Action(f"{flag_name}_raise", passes & ~raised,
+                   assign(**{flag_name: True})),
+            Action(f"{flag_name}_lower", ~passes & raised,
+                   assign(**{flag_name: False})),
+        ],
+        name=f"acceptance({test_name})",
+    )
+    return ComponentInstance(
+        kind="detector",
+        program=program,
+        witness=raised,
+        claim=passes,
+        from_=raised.implies(passes).rename(f"U({flag_name}⇒{test_name})"),
+    )
+
+
+def watchdog(
+    alive_name: str = "alive",
+    limit: int = 3,
+    counter_name: str = "missed",
+    flag_name: str = "suspect",
+) -> ComponentInstance:
+    """Detector: suspect a monitored process after ``limit`` consecutive
+    missed heartbeats.
+
+    The monitored side owns ``alive`` (sets it True on every heartbeat);
+    the watchdog consumes it — resets the miss counter when it sees a
+    heartbeat, counts when it does not, and raises ``suspect`` at the
+    limit.  In isolation (no heartbeats arriving) the detection
+    predicate is "``limit`` heartbeats have been missed"; composed with
+    a crash-fault process it detects the crash
+    (see :mod:`repro.failure_detectors`).
+    """
+    alive = Variable(alive_name, [False, True])
+    counter = Variable(counter_name, list(range(limit + 1)))
+    flag = Variable(flag_name, [False, True])
+    timed_out = Predicate(
+        lambda s, c=counter_name, lim=limit: s[c] >= lim,
+        name=f"{counter_name}≥{limit}",
+    )
+    raised = Predicate(lambda s, f=flag_name: s[f], name=flag_name)
+    program = Program(
+        variables=[alive, counter, flag],
+        actions=[
+            Action(
+                "wd_consume",
+                Predicate(lambda s, a=alive_name: s[a], name=alive_name),
+                assign(**{alive_name: False, counter_name: 0, flag_name: False}),
+            ),
+            Action(
+                "wd_count",
+                Predicate(
+                    lambda s, a=alive_name, c=counter_name, lim=limit: (
+                        not s[a] and s[c] < lim
+                    ),
+                    name=f"¬{alive_name} ∧ {counter_name}<{limit}",
+                ),
+                assign(**{counter_name: lambda s, c=counter_name: s[c] + 1}),
+            ),
+            Action(
+                "wd_suspect",
+                timed_out & ~raised,
+                assign(**{flag_name: True}),
+            ),
+        ],
+        name=f"watchdog({alive_name},limit={limit})",
+    )
+    return ComponentInstance(
+        kind="detector",
+        program=program,
+        witness=raised,
+        claim=timed_out,
+        from_=raised.implies(timed_out).rename("U(suspect⇒timeout)"),
+    )
+
+
+def majority_voter(
+    inputs: Sequence[Variable],
+    output: Variable,
+    good_value: Hashable,
+) -> ComponentInstance:
+    """Corrector: set the output to any majority-confirmed input value
+    (the generalized TMR voter, Section 6.1's ``CR``).
+
+    Verified from the states where a majority of inputs carry
+    ``good_value`` and the output is unset or already good; the
+    correction (and witness) predicate is ``output = good_value``.
+    """
+    if len(inputs) % 2 == 0:
+        raise ValueError("majority voting needs an odd number of inputs")
+    names = [v.name for v in inputs]
+    unset = Predicate(
+        lambda s, o=output.name: s[o] is BOTTOM, name=f"{output.name}=⊥"
+    )
+    actions = []
+    for voted in names:
+        others = [n for n in names if n != voted]
+        actions.append(
+            Action(
+                f"vote_{voted}",
+                unset
+                & Predicate(
+                    lambda s, v=voted, o=others: any(
+                        s[v] == s[other] for other in o
+                    ),
+                    name=f"{voted} confirmed",
+                ),
+                assign(**{output.name: lambda s, v=voted: s[v]}),
+            )
+        )
+    program = Program(
+        variables=list(inputs) + [output],
+        actions=actions,
+        name=f"voter({','.join(names)})",
+    )
+    corrected = Predicate(
+        lambda s, o=output.name, g=good_value: s[o] == g,
+        name=f"{output.name}={good_value!r}",
+    )
+    majority_good = Predicate(
+        lambda s, ns=names, g=good_value: (
+            sum(1 for n in ns if s[n] == g) * 2 > len(ns)
+        ),
+        name="majority good",
+    )
+    from_ = (
+        majority_good
+        & Predicate(
+            lambda s, o=output.name, g=good_value: s[o] is BOTTOM or s[o] == g,
+            name=f"{output.name}∈{{⊥,{good_value!r}}}",
+        )
+    ).rename("U(voter)")
+    return ComponentInstance(
+        kind="corrector",
+        program=program,
+        witness=corrected,
+        claim=corrected,
+        from_=from_,
+    )
+
+
+def checkpoint_rollback(
+    state_var: Variable,
+    good: Callable[[Hashable], bool],
+    checkpoint_name: str = "chk",
+) -> ComponentInstance:
+    """Corrector: rollback recovery.  A checkpoint variable shadows the
+    observed variable while it is good; when the observed value turns
+    bad, it is rolled back to the checkpoint.
+
+    The correction predicate is ``good(x)``; verified from the states
+    where the checkpoint itself is good.
+    """
+    good_values = [v for v in state_var.domain if good(v)]
+    if not good_values:
+        raise ValueError("no good value in the variable's domain")
+    checkpoint = Variable(checkpoint_name, list(state_var.domain))
+    x_good = Predicate(
+        lambda s, n=state_var.name, g=good: g(s[n]), name=f"good({state_var.name})"
+    )
+    chk_good = Predicate(
+        lambda s, n=checkpoint_name, g=good: g(s[n]),
+        name=f"good({checkpoint_name})",
+    )
+    program = Program(
+        variables=[state_var, checkpoint],
+        actions=[
+            Action(
+                "take_checkpoint",
+                x_good
+                & Predicate(
+                    lambda s, n=state_var.name, c=checkpoint_name: s[c] != s[n],
+                    name=f"{checkpoint_name}≠{state_var.name}",
+                ),
+                assign(**{checkpoint_name: lambda s, n=state_var.name: s[n]}),
+            ),
+            Action(
+                "rollback",
+                ~x_good,
+                assign(**{state_var.name: lambda s, c=checkpoint_name: s[c]}),
+            ),
+        ],
+        name=f"checkpoint_rollback({state_var.name})",
+    )
+    return ComponentInstance(
+        kind="corrector",
+        program=program,
+        witness=x_good,
+        claim=x_good,
+        from_=chk_good.rename("U(chk good)"),
+    )
+
+
+def recovery_block(
+    result: Variable,
+    primary_value: Hashable,
+    alternate_value: Hashable,
+    acceptable: Callable[[Hashable], bool],
+) -> ComponentInstance:
+    """Corrector: Randell's recovery block in miniature — run the
+    primary; if its result fails the acceptance test, run the alternate.
+
+    The correction predicate is "the result is acceptable"; the
+    alternate must produce an acceptable value for the component to be a
+    corrector (verified, not assumed).
+    """
+    unset = Predicate(
+        lambda s, r=result.name: s[r] is BOTTOM, name=f"{result.name}=⊥"
+    )
+    acceptable_pred = Predicate(
+        lambda s, r=result.name, a=acceptable: (
+            s[r] is not BOTTOM and a(s[r])
+        ),
+        name=f"acceptable({result.name})",
+    )
+    program = Program(
+        variables=[result],
+        actions=[
+            Action("primary", unset, assign(**{result.name: primary_value})),
+            Action(
+                "alternate",
+                ~unset & ~acceptable_pred,
+                assign(**{result.name: alternate_value}),
+            ),
+        ],
+        name=f"recovery_block({result.name})",
+    )
+    return ComponentInstance(
+        kind="corrector",
+        program=program,
+        witness=acceptable_pred,
+        claim=acceptable_pred,
+        from_=TRUE,
+    )

@@ -1,0 +1,113 @@
+"""The executable formal model of Arora & Kulkarni's theory.
+
+This package implements Section 2 of the paper — programs, state
+predicates, specifications, faults, and the three fault-tolerance classes
+— together with the detector (Section 3) and corrector (Section 4)
+component specifications and their checkers.
+
+The public names re-exported here form the library's primary API; see the
+README quickstart and :mod:`repro.programs.memory_access` for worked
+usage.
+"""
+
+from .action import Action, Statement, assign, choose, skip
+from .computation import Computation, enumerate_computations, random_computation
+from .corrector import (
+    corrects_spec,
+    is_corrector,
+    is_failsafe_tolerant_corrector,
+    is_masking_tolerant_corrector,
+    is_nonmasking_tolerant_corrector,
+)
+from .detector import (
+    detects_spec,
+    is_detector,
+    is_failsafe_tolerant_detector,
+    is_masking_tolerant_detector,
+    is_nonmasking_tolerant_detector,
+)
+from .exploration import Edge, TransitionSystem
+from .fairness import (
+    check_converges_to,
+    check_leads_to,
+    fair_recurrent_sccs,
+    strongly_connected_components,
+)
+from .faults import FaultClass, crash_variable, perturb_variable, set_variable
+from .invariants import (
+    is_detection_predicate,
+    largest_invariant_for_safety,
+    reachable_invariant,
+    weakest_detection_predicate,
+)
+from .predicate import FALSE, TRUE, Predicate, var_eq, var_in, var_ne
+from .program import Program
+from .refinement import (
+    refines_program,
+    refines_spec,
+    start_states_of,
+    system_from,
+    violates_spec,
+)
+from .results import CheckResult, Counterexample, all_of
+from .specification import (
+    LeadsTo,
+    Spec,
+    SpecComponent,
+    StateInvariant,
+    TransitionInvariant,
+    closure_spec,
+    converges_spec,
+    generalized_pair,
+    invariant_spec,
+    maintains,
+)
+from .state import BOTTOM, State, Variable, state_space
+from .multitolerance import ToleranceRequirement, is_multitolerant
+from .tolerance import (
+    check_implication,
+    is_failsafe_tolerant,
+    is_masking_tolerant,
+    is_nonmasking_tolerant,
+    is_tolerant,
+    semantic_tolerance_check,
+)
+
+__all__ = [
+    # state & predicates
+    "BOTTOM", "State", "Variable", "state_space",
+    "Predicate", "TRUE", "FALSE", "var_eq", "var_ne", "var_in",
+    # actions & programs
+    "Action", "Statement", "assign", "choose", "skip", "Program",
+    # exploration & fairness
+    "TransitionSystem", "Edge",
+    "strongly_connected_components", "fair_recurrent_sccs",
+    "check_leads_to", "check_converges_to",
+    # specifications
+    "Spec", "SpecComponent", "StateInvariant", "TransitionInvariant", "LeadsTo",
+    "closure_spec", "generalized_pair", "converges_spec", "invariant_spec",
+    "maintains",
+    # computations
+    "Computation", "enumerate_computations", "random_computation",
+    # refinement
+    "refines_spec", "refines_program", "violates_spec",
+    "start_states_of", "system_from",
+    # faults & tolerance
+    "FaultClass", "perturb_variable", "set_variable", "crash_variable",
+    "check_implication",
+    "is_failsafe_tolerant", "is_nonmasking_tolerant", "is_masking_tolerant",
+    "is_tolerant", "semantic_tolerance_check",
+    "ToleranceRequirement", "is_multitolerant",
+    # detectors & correctors
+    "detects_spec", "is_detector",
+    "is_failsafe_tolerant_detector", "is_masking_tolerant_detector",
+    "is_nonmasking_tolerant_detector",
+    "corrects_spec", "is_corrector",
+    "is_failsafe_tolerant_corrector", "is_masking_tolerant_corrector",
+    "is_nonmasking_tolerant_corrector",
+    # invariants
+    "reachable_invariant", "largest_invariant_for_safety",
+    "weakest_detection_predicate", "is_detection_predicate",
+    # results
+    "CheckResult", "Counterexample", "all_of",
+]

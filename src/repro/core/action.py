@@ -1,0 +1,156 @@
+"""Guarded-command actions.
+
+An action (Section 2.1) has a unique name and the form::
+
+    <name> :: <guard>  -->  <statement>
+
+The guard is a boolean expression over program variables (a
+:class:`~repro.core.predicate.Predicate` here) and the statement atomically
+updates zero or more variables.
+
+Statements may be *deterministic* (one successor state) or
+*nondeterministic* (a set of successor states).  Nondeterminism is needed
+to model Byzantine behaviour — the paper's ``BYZ.j`` action lets a
+Byzantine process "change its decision arbitrarily" — so an action's
+semantics here is a function from a state to the tuple of possible next
+states.
+
+Helper constructors:
+
+- :func:`assign` builds the common "set these variables to these values /
+  expressions" statement.
+- :func:`choose` builds a nondeterministic statement from alternatives.
+- :meth:`Action.restrict` implements the paper's ``Z ∧ ac`` notation:
+  strengthening the guard of an action by a state predicate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, Sequence, Tuple, Union
+
+from .predicate import Predicate, TRUE
+from .state import State
+
+__all__ = ["Statement", "Action", "assign", "choose", "skip"]
+
+#: A statement maps a state to one successor (deterministic) or to an
+#: iterable of successors (nondeterministic).
+Statement = Callable[[State], Union[State, Iterable[State]]]
+
+
+def assign(**updates: Union[Hashable, Callable[[State], Hashable]]) -> Statement:
+    """Deterministic multiple-assignment statement.
+
+    Values may be constants or callables evaluated on the *initial* state,
+    matching the paper's atomic-update semantics (all right-hand sides read
+    the pre-state)::
+
+        assign(x=1, y=lambda s: s["x"] + 1)   # y gets old x + 1
+    """
+
+    def statement(state: State) -> State:
+        resolved: Dict[str, Hashable] = {}
+        for name, value in updates.items():
+            resolved[name] = value(state) if callable(value) else value
+        return state.assign(**resolved)
+
+    return statement
+
+
+def choose(*alternatives: Statement) -> Statement:
+    """Nondeterministic choice among statements.
+
+    Executing the action may produce any successor produced by any
+    alternative.  Used for Byzantine actions and abstract environments.
+    """
+
+    def statement(state: State) -> Tuple[State, ...]:
+        successors = []
+        for alternative in alternatives:
+            result = alternative(state)
+            if isinstance(result, State):
+                successors.append(result)
+            else:
+                successors.extend(result)
+        return tuple(successors)
+
+    return statement
+
+
+def skip() -> Statement:
+    """The statement that changes nothing (a stutter step)."""
+    return lambda state: state
+
+
+class Action:
+    """A named guarded command.
+
+    Parameters
+    ----------
+    name:
+        Unique action name within a program.
+    guard:
+        Predicate enabling the action (Section 2.1 *Enabled*).
+    statement:
+        Deterministic or nondeterministic statement (see module docs).
+    """
+
+    __slots__ = ("name", "guard", "statement")
+
+    def __init__(self, name: str, guard: Predicate, statement: Statement):
+        self.name = name
+        self.guard = guard
+        self.statement = statement
+
+    def enabled(self, state: State) -> bool:
+        """True iff the guard holds at ``state``."""
+        return self.guard(state)
+
+    def successors(self, state: State) -> Tuple[State, ...]:
+        """All states reachable by executing this action at ``state``.
+
+        Returns the empty tuple when the action is disabled.  A
+        deterministic statement yields a 1-tuple.
+        """
+        if not self.guard(state):
+            return ()
+        result = self.statement(state)
+        if isinstance(result, State):
+            return (result,)
+        return tuple(result)
+
+    def restrict(self, predicate: Predicate) -> "Action":
+        """The paper's ``Z ∧ ac``: the action ``Z ∧ g --> st``."""
+        return Action(
+            name=self.name,
+            guard=predicate & self.guard,
+            statement=self.statement,
+        )
+
+    def renamed(self, name: str) -> "Action":
+        """A copy of this action under a different name."""
+        return Action(name=name, guard=self.guard, statement=self.statement)
+
+    def preserves(self, predicate: Predicate, states: Iterable[State]) -> bool:
+        """Section 2.3 *Preserves*: executing the action in any state (from
+        ``states``) where ``predicate`` holds yields only states where it
+        holds."""
+        for state in states:
+            if not predicate(state):
+                continue
+            for successor in self.successors(state):
+                if not predicate(successor):
+                    return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"Action({self.name} :: {self.guard.name} --> ...)"
+
+
+def _unique_names(actions: Sequence[Action]) -> None:
+    names = [a.name for a in actions]
+    if len(set(names)) != len(names):
+        seen, dupes = set(), set()
+        for name in names:
+            (dupes if name in seen else seen).add(name)
+        raise ValueError(f"duplicate action names: {sorted(dupes)}")

@@ -1,0 +1,176 @@
+"""Explicit computations: enumeration and random walks.
+
+The graph-based checkers in :mod:`repro.core.fairness` and
+:mod:`repro.core.refinement` decide the paper's definitions symbolically
+over the reachable transition graph.  This module provides the *semantic
+ground truth* they are cross-validated against: explicit enumeration of
+computations (bounded) and random scheduler walks.
+
+A :class:`Computation` records its states, the action names taken, and
+whether it is *complete* — i.e. a finite **maximal** computation (ended in
+a state where every program guard is false) — or a truncated prefix of a
+longer/infinite computation.  Safety properties are exact on truncated
+prefixes; liveness judgements on truncated prefixes are necessarily
+optimistic (an obligation still pending could be met later), which the
+:class:`~repro.core.specification.SpecComponent` sequence semantics
+honours via its ``complete`` flag.
+
+Fault steps (Section 2.3) may be interleaved with program steps; a fault
+budget enforces Assumption 2 (finitely many fault occurrences) and each
+computation records how many fault steps it took.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from .action import Action
+from .program import Program
+from .state import State
+
+__all__ = ["Computation", "enumerate_computations", "random_computation"]
+
+
+@dataclass(frozen=True)
+class Computation:
+    """A (prefix of a) computation: states, step labels, completeness."""
+
+    states: Tuple[State, ...]
+    actions: Tuple[str, ...]
+    complete: bool
+    fault_steps: int = 0
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    def project(self, names: Sequence[str]) -> "Computation":
+        """Projection on a variable subset (Section 2.2.1)."""
+        return Computation(
+            states=tuple(s.project(names) for s in self.states),
+            actions=self.actions,
+            complete=self.complete,
+            fault_steps=self.fault_steps,
+        )
+
+    def suffix(self, index: int) -> "Computation":
+        faults_before = sum(
+            1 for a in self.actions[:index] if a.endswith("!")
+        )
+        return Computation(
+            states=self.states[index:],
+            actions=self.actions[index:],
+            complete=self.complete,
+            fault_steps=max(0, self.fault_steps - faults_before),
+        )
+
+    def __repr__(self) -> str:
+        kind = "maximal" if self.complete else "prefix"
+        return (
+            f"Computation({kind}, {len(self.states)} states, "
+            f"{self.fault_steps} fault steps)"
+        )
+
+
+def enumerate_computations(
+    program: Program,
+    start: State,
+    max_length: int = 12,
+    fault_actions: Sequence[Action] = (),
+    max_faults: int = 0,
+) -> Iterator[Computation]:
+    """Enumerate all computations of ``program [] F`` from ``start``.
+
+    Every maximal computation of length ≤ ``max_length`` is yielded with
+    ``complete=True``; longer computations are yielded once as truncated
+    prefixes of length ``max_length`` with ``complete=False``.  Fault
+    steps (labelled with a trailing ``"!"``) are limited to
+    ``max_faults`` per computation.
+
+    The enumeration is exhaustive over schedules, so it explodes quickly;
+    intended for cross-validation on very small models only.
+    """
+    fault_list = list(fault_actions)
+
+    def extend(
+        states: List[State], labels: List[str], faults_used: int
+    ) -> Iterator[Computation]:
+        current = states[-1]
+        successors: List[Tuple[str, State, int]] = []
+        for action in program.actions:
+            for nxt in action.successors(current):
+                successors.append((action.name, nxt, faults_used))
+        if faults_used < max_faults:
+            for action in fault_list:
+                for nxt in action.successors(current):
+                    successors.append((action.name + "!", nxt, faults_used + 1))
+
+        program_enabled = any(a.enabled(current) for a in program.actions)
+        if not program_enabled:
+            # p-maximal end; fault steps are optional so this is a
+            # complete computation even if faults could still fire.
+            yield Computation(tuple(states), tuple(labels), True, faults_used)
+            if not successors:
+                return
+        if len(states) >= max_length:
+            if program_enabled:
+                yield Computation(tuple(states), tuple(labels), False, faults_used)
+            return
+        for label, nxt, fcount in successors:
+            states.append(nxt)
+            labels.append(label)
+            yield from extend(states, labels, fcount)
+            states.pop()
+            labels.pop()
+
+    yield from extend([start], [], 0)
+
+
+def random_computation(
+    program: Program,
+    start: State,
+    steps: int = 100,
+    fault_actions: Sequence[Action] = (),
+    fault_probability: float = 0.0,
+    max_faults: int = 0,
+    rng: Optional[random.Random] = None,
+) -> Computation:
+    """A single random-scheduler computation (weakly fair in expectation).
+
+    At each step a uniformly random enabled program transition is taken;
+    with probability ``fault_probability`` (while the fault budget lasts)
+    an enabled fault transition is taken instead.  Stops at deadlock
+    (complete) or after ``steps`` steps (truncated).
+    """
+    rng = rng or random.Random(0)
+    states: List[State] = [start]
+    labels: List[str] = []
+    faults_used = 0
+    for _ in range(steps):
+        current = states[-1]
+        fault_options: List[Tuple[str, State]] = []
+        if faults_used < max_faults:
+            for action in fault_actions:
+                for nxt in action.successors(current):
+                    fault_options.append((action.name + "!", nxt))
+        program_options: List[Tuple[str, State]] = []
+        for action in program.actions:
+            for nxt in action.successors(current):
+                program_options.append((action.name, nxt))
+
+        take_fault = (
+            fault_options
+            and rng.random() < fault_probability
+        )
+        if take_fault:
+            label, nxt = rng.choice(fault_options)
+            faults_used += 1
+        elif program_options:
+            label, nxt = rng.choice(program_options)
+        else:
+            return Computation(tuple(states), tuple(labels), True, faults_used)
+        states.append(nxt)
+        labels.append(label)
+    complete = not any(a.enabled(states[-1]) for a in program.actions)
+    return Computation(tuple(states), tuple(labels), complete, faults_used)

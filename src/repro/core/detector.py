@@ -1,0 +1,190 @@
+"""Detectors (Section 3).
+
+``Z detects X`` is the problem specification consisting of all sequences
+satisfying:
+
+- **Safeness** — whenever the *witness* ``Z`` holds, the *detection
+  predicate* ``X`` holds (``Z ⇒ X`` at every state);
+- **Progress** — whenever ``X`` holds, eventually ``Z`` holds or ``X``
+  is falsified;
+- **Stability** — once ``Z`` holds it stays true unless ``X`` is
+  falsified (the generalized pair ``({Z}, {Z ∨ ¬X})``).
+
+A program ``d`` *is a detector* for ``Z detects X`` from ``U`` iff it
+refines this specification from ``U``.  Note the paper's remark: the
+detection predicate is **not** required to be closed — in nonmasking
+designs ``X`` often means "something bad happened" and is deliberately
+falsified later by a corrector.
+
+Tolerant detectors are detectors that keep (part of) the specification in
+the presence of a fault-class:
+
+- fail-safe tolerant: Safeness and Stability survive the faults;
+- masking tolerant: the whole specification survives the faults;
+- nonmasking tolerant: the specification holds again on a suffix (after
+  faults stop and a recovery predicate is re-established).
+
+Well-known instances — comparators, error-detection codes, watchdogs,
+snapshot procedures, acceptance tests, exception conditions — are
+provided as program factories in :mod:`repro.components`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .faults import FaultClass
+from .predicate import Predicate
+from .program import Program
+from .refinement import refines_spec
+from .results import CheckResult, all_of
+from .specification import LeadsTo, Spec, StateInvariant, TransitionInvariant
+
+__all__ = [
+    "detects_spec",
+    "is_detector",
+    "is_failsafe_tolerant_detector",
+    "is_masking_tolerant_detector",
+    "is_nonmasking_tolerant_detector",
+]
+
+
+def detects_spec(witness: Predicate, detection: Predicate) -> Spec:
+    """The problem specification ``Z detects X`` (Section 3.1)."""
+    safeness = StateInvariant(
+        witness.implies(detection),
+        name=f"Safeness: {witness.name} ⇒ {detection.name}",
+    )
+    progress = LeadsTo(
+        detection,
+        witness | ~detection,
+        name=f"Progress: {detection.name} leads-to ({witness.name} ∨ ¬{detection.name})",
+    )
+    stability = TransitionInvariant(
+        lambda s, t, z=witness, x=detection: (not z(s)) or z(t) or not x(t),
+        name=f"Stability: ({{{witness.name}}},{{{witness.name} ∨ ¬{detection.name}}})",
+    )
+    return Spec(
+        [safeness, progress, stability],
+        name=f"'{witness.name} detects {detection.name}'",
+    )
+
+
+def is_detector(
+    component: Program,
+    witness: Predicate,
+    detection: Predicate,
+    from_: Predicate,
+) -> CheckResult:
+    """``witness detects detection in component from from_``: the
+    component refines ``Z detects X`` from ``U``."""
+    return refines_spec(component, detects_spec(witness, detection), from_)
+
+
+def is_failsafe_tolerant_detector(
+    component: Program,
+    faults: FaultClass,
+    witness: Predicate,
+    detection: Predicate,
+    from_: Predicate,
+    span: Predicate,
+) -> CheckResult:
+    """Fail-safe tolerant detector: refines ``Z detects X`` from ``U``
+    and keeps Safeness + Stability (the safety part) under the faults
+    from the span ``T``."""
+    spec = detects_spec(witness, detection)
+    what = (
+        f"{component.name} is a fail-safe {faults.name}-tolerant detector "
+        f"for {spec.name} from {from_.name}"
+    )
+    base = refines_spec(component, spec, from_)
+    ts = faults.system(component, span)
+    closed = ts.is_closed(
+        span, include_faults=True,
+        description=f"{span.name} closed in {component.name} [] {faults.name}",
+    )
+    under_faults = spec.safety_part().check(
+        ts,
+        description=(
+            f"{component.name} [] {faults.name} refines {spec.safety_part().name} "
+            f"from {span.name}"
+        ),
+    )
+    return all_of([base, closed, under_faults], description=what)
+
+
+def is_masking_tolerant_detector(
+    component: Program,
+    faults: FaultClass,
+    witness: Predicate,
+    detection: Predicate,
+    from_: Predicate,
+    span: Predicate,
+) -> CheckResult:
+    """Masking tolerant detector: the full ``Z detects X`` specification
+    (Safeness, Progress, Stability) survives the faults from ``T``."""
+    spec = detects_spec(witness, detection)
+    what = (
+        f"{component.name} is a masking {faults.name}-tolerant detector "
+        f"for {spec.name} from {from_.name}"
+    )
+    base = refines_spec(component, spec, from_)
+    ts = faults.system(component, span)
+    closed = ts.is_closed(
+        span, include_faults=True,
+        description=f"{span.name} closed in {component.name} [] {faults.name}",
+    )
+    under_faults = spec.check(
+        ts,
+        description=(
+            f"{component.name} [] {faults.name} refines {spec.name} from {span.name}"
+        ),
+    )
+    return all_of([base, closed, under_faults], description=what)
+
+
+def is_nonmasking_tolerant_detector(
+    component: Program,
+    faults: FaultClass,
+    witness: Predicate,
+    detection: Predicate,
+    from_: Predicate,
+    span: Predicate,
+    recovered: Optional[Predicate] = None,
+) -> CheckResult:
+    """Nonmasking tolerant detector: every fault-perturbed computation has
+    a suffix refining ``Z detects X``.
+
+    Certified via a *recovery predicate* (default: ``from_``): the
+    perturbed system converges to it, it is closed in the component, and
+    the component refines the detector spec from it.
+    """
+    recovered = recovered or from_
+    spec = detects_spec(witness, detection)
+    what = (
+        f"{component.name} is a nonmasking {faults.name}-tolerant detector "
+        f"for {spec.name} from {from_.name}"
+    )
+    base = refines_spec(component, spec, from_)
+    ts = faults.system(component, span)
+    closed = ts.is_closed(
+        span, include_faults=True,
+        description=f"{span.name} closed in {component.name} [] {faults.name}",
+    )
+    from .fairness import check_leads_to
+    from .predicate import TRUE
+
+    converges = check_leads_to(
+        ts, TRUE, recovered,
+        description=(
+            f"{component.name} [] {faults.name} converges to {recovered.name}"
+        ),
+    )
+    recovered_closed = ts.is_closed(
+        recovered, include_faults=False,
+        description=f"{recovered.name} closed in {component.name}",
+    )
+    suffix = refines_spec(component, spec, recovered)
+    return all_of(
+        [base, closed, converges, recovered_closed, suffix], description=what
+    )

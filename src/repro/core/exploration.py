@@ -1,0 +1,252 @@
+"""Transition systems: reachable state-space exploration.
+
+The checks in Sections 2–5 of the paper all quantify over computations of
+a program (possibly in the presence of faults).  On finite-state programs
+those checks reduce to questions about the *reachable transition graph*,
+which this module materializes:
+
+- :class:`TransitionSystem` explores the states reachable from a set of
+  start states under a program's actions plus an optional set of fault
+  actions, recording labelled edges and which labels are faults;
+- closure checks (``S is closed in p``, ``T is closed in F``) become
+  universally-quantified checks over the recorded edges;
+- deadlock detection supports the paper's *maximality* condition (a finite
+  computation must end in a state where every guard is false).
+
+Fault edges are tracked separately because the paper's Assumption 2
+(finitely many fault occurrences) means safety is judged over *all* edges
+while liveness is judged over program edges only.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .action import Action
+from .predicate import Predicate
+from .program import Program
+from .results import CheckResult, Counterexample
+from .state import State
+
+__all__ = ["Edge", "TransitionSystem"]
+
+#: A labelled edge: (source, action name, target).
+Edge = Tuple[State, str, State]
+
+
+class TransitionSystem:
+    """The reachable transition graph of ``program [] faults`` from
+    ``start_states``.
+
+    Parameters
+    ----------
+    program:
+        The program whose actions drive (fair) computation steps.
+    start_states:
+        Iterable of states exploration begins from.  Typically the states
+        satisfying an invariant or fault-span predicate.
+    fault_actions:
+        Optional extra actions representing a fault-class ``F``;
+        their edges are recorded but marked as fault edges.
+    max_states:
+        Safety valve against state-space explosion; exploration raises if
+        exceeded.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        start_states: Iterable[State],
+        fault_actions: Sequence[Action] = (),
+        max_states: int = 2_000_000,
+    ):
+        self.program = program
+        self.fault_actions: Tuple[Action, ...] = tuple(fault_actions)
+        self.fault_action_names: FrozenSet[str] = frozenset(
+            a.name for a in self.fault_actions
+        )
+        overlap = self.fault_action_names & {a.name for a in program.actions}
+        if overlap:
+            raise ValueError(f"fault actions share names with program: {overlap}")
+
+        self.start_states: Tuple[State, ...] = tuple(dict.fromkeys(start_states))
+        self.states: Set[State] = set()
+        #: outgoing program edges per state: state -> [(action, next)]
+        self._program_edges: Dict[State, List[Tuple[str, State]]] = {}
+        #: outgoing fault edges per state
+        self._fault_edges: Dict[State, List[Tuple[str, State]]] = {}
+        self._explore(max_states)
+
+    # -- construction ------------------------------------------------------
+    def _explore(self, max_states: int) -> None:
+        frontier = deque(self.start_states)
+        self.states.update(self.start_states)
+        while frontier:
+            state = frontier.popleft()
+            program_edges: List[Tuple[str, State]] = []
+            for action in self.program.actions:
+                for nxt in action.successors(state):
+                    program_edges.append((action.name, nxt))
+            fault_edges: List[Tuple[str, State]] = []
+            for action in self.fault_actions:
+                for nxt in action.successors(state):
+                    fault_edges.append((action.name, nxt))
+            self._program_edges[state] = program_edges
+            self._fault_edges[state] = fault_edges
+            for _, nxt in program_edges + fault_edges:
+                if nxt not in self.states:
+                    self.states.add(nxt)
+                    frontier.append(nxt)
+                    if len(self.states) > max_states:
+                        raise RuntimeError(
+                            f"state-space exceeds max_states={max_states} "
+                            f"for {self.program.name!r}"
+                        )
+
+    # -- views ---------------------------------------------------------------
+    def program_edges_from(self, state: State) -> List[Tuple[str, State]]:
+        return self._program_edges.get(state, [])
+
+    def fault_edges_from(self, state: State) -> List[Tuple[str, State]]:
+        return self._fault_edges.get(state, [])
+
+    def edges_from(self, state: State, include_faults: bool = True
+                   ) -> List[Tuple[str, State]]:
+        edges = list(self._program_edges.get(state, []))
+        if include_faults:
+            edges.extend(self._fault_edges.get(state, []))
+        return edges
+
+    def all_edges(self, include_faults: bool = True) -> Iterable[Edge]:
+        for state in self.states:
+            for action_name, nxt in self._program_edges.get(state, []):
+                yield (state, action_name, nxt)
+            if include_faults:
+                for action_name, nxt in self._fault_edges.get(state, []):
+                    yield (state, action_name, nxt)
+
+    def deadlock_states(self) -> List[State]:
+        """States where no *program* action is enabled.
+
+        These are the states where a maximal computation may legitimately
+        end; fault actions never count toward enabledness (computations
+        are only required to be p-maximal, Section 2.3).
+        """
+        return [
+            s
+            for s in self.states
+            if not any(a.enabled(s) for a in self.program.actions)
+        ]
+
+    def states_satisfying(self, predicate: Predicate) -> List[State]:
+        return [s for s in self.states if predicate(s)]
+
+    # -- closure checks ------------------------------------------------------
+    def is_closed(
+        self,
+        predicate: Predicate,
+        include_faults: bool = False,
+        description: Optional[str] = None,
+    ) -> CheckResult:
+        """Check that ``predicate`` is closed in the explored system.
+
+        With ``include_faults=False`` this is the paper's "S is closed in
+        p"; with ``include_faults=True`` it additionally requires every
+        fault action to preserve the predicate ("T is closed in F",
+        Section 2.3), which together with ``S ⇒ T`` makes T an F-span.
+        """
+        what = description or (
+            f"{predicate.name} closed in {self.program.name}"
+            + (" [] F" if include_faults else "")
+        )
+        for state in self.states:
+            if not predicate(state):
+                continue
+            for action_name, nxt in self.edges_from(state, include_faults):
+                if not predicate(nxt):
+                    return CheckResult.failed(
+                        what,
+                        counterexample=Counterexample(
+                            kind="transition",
+                            states=(state, nxt),
+                            actions=(action_name,),
+                            note=f"{predicate.name} falsified by {action_name}",
+                        ),
+                    )
+        return CheckResult.passed(what)
+
+    def is_fault_span(self, span: Predicate, invariant: Predicate) -> CheckResult:
+        """Section 2.3 *Fault-span*: ``S ⇒ T``, T closed in p, T closed in F."""
+        for state in self.states:
+            if invariant(state) and not span(state):
+                return CheckResult.failed(
+                    f"{span.name} is an F-span from {invariant.name}",
+                    counterexample=Counterexample(
+                        kind="state",
+                        states=(state,),
+                        note=f"{invariant.name} holds but {span.name} does not",
+                    ),
+                )
+        closed = self.is_closed(span, include_faults=True)
+        if not closed:
+            return closed
+        return CheckResult.passed(
+            f"{span.name} is an F-span of {self.program.name} from {invariant.name}"
+        )
+
+    # -- path finding -------------------------------------------------------
+    def find_path(
+        self,
+        sources: Iterable[State],
+        goal: Predicate,
+        include_faults: bool = True,
+        within: Optional[Predicate] = None,
+    ) -> Optional[Tuple[List[State], List[str]]]:
+        """BFS for a path from any source to a goal state.
+
+        ``within`` restricts intermediate states (sources must satisfy it
+        too).  Returns ``(states, actions)`` or ``None``.
+        """
+        parents: Dict[State, Optional[Tuple[State, str]]] = {}
+        frontier: deque = deque()
+        for source in sources:
+            if within is not None and not within(source):
+                continue
+            if source not in parents:
+                parents[source] = None
+                frontier.append(source)
+        while frontier:
+            state = frontier.popleft()
+            if goal(state):
+                return _reconstruct(parents, state)
+            for action_name, nxt in self.edges_from(state, include_faults):
+                if within is not None and not within(nxt):
+                    continue
+                if nxt not in parents:
+                    parents[nxt] = (state, action_name)
+                    frontier.append(nxt)
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"TransitionSystem({self.program.name!r}, {len(self.states)} states, "
+            f"{sum(len(e) for e in self._program_edges.values())} program edges, "
+            f"{sum(len(e) for e in self._fault_edges.values())} fault edges)"
+        )
+
+
+def _reconstruct(
+    parents: Dict[State, Optional[Tuple[State, str]]], goal: State
+) -> Tuple[List[State], List[str]]:
+    states: List[State] = [goal]
+    actions: List[str] = []
+    current = goal
+    while parents[current] is not None:
+        previous, action_name = parents[current]  # type: ignore[misc]
+        states.append(previous)
+        actions.append(action_name)
+        current = previous
+    states.reverse()
+    actions.reverse()
+    return states, actions

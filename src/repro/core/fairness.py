@@ -1,0 +1,359 @@
+"""Liveness checking under weak fairness.
+
+The paper's computations are *fair* and *maximal* sequences (Section 2.1):
+every action that is continuously enabled is eventually executed, and a
+finite computation ends only where every guard is false.  The liveness
+obligations in the detector and corrector specifications (*Progress*,
+*Convergence*) and in `converges to` all have the shape
+
+    leads-to:  whenever ``source`` holds, eventually ``target`` holds
+
+and on a finite transition graph they can be decided exactly:
+
+A leads-to obligation is **violated** iff from some reachable state
+satisfying ``source ∧ ¬target`` there is either
+
+1. a path inside ``¬target`` ending in a *deadlock* (no program action
+   enabled — a legitimate end of a maximal computation), or
+2. a path inside ``¬target`` into a *fair-recurrent* SCC: a strongly
+   connected subgraph with at least one internal edge in which, for every
+   program action enabled at **all** of its states, some internal edge is
+   labelled by that action.  A computation may cycle in such an SCC
+   forever without violating weak fairness; conversely, if some action is
+   enabled everywhere in the SCC but every one of its edges leaves the
+   SCC, any run confined there starves that action and is unfair.
+
+Per the paper's Assumption 2 (finitely many fault occurrences), fairness
+and hence recurrence are always judged over **program edges only**.
+Fault edges participate in two ways: they extend the set of reachable
+states where an obligation can arise, and they may carry a pending
+obligation deeper into the avoid-region (a computation may take finitely
+many more fault steps before its program-only suffix begins) — so the
+forward closure inside ``¬target`` follows fault edges as well.  Fault
+edges never count as help toward progress, since a computation is never
+required to execute them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .exploration import TransitionSystem
+from .predicate import Predicate
+from .results import CheckResult, Counterexample
+from .state import State
+
+__all__ = [
+    "strongly_connected_components",
+    "fair_recurrent_sccs",
+    "check_leads_to",
+    "check_converges_to",
+    "liveness_violating_states",
+]
+
+
+def strongly_connected_components(
+    nodes: Iterable[State],
+    edges_from,
+) -> List[Set[State]]:
+    """Iterative Tarjan SCC over an implicit graph.
+
+    ``edges_from(state)`` must yield successor states (already restricted
+    to the node set by the caller).
+    """
+    nodes = list(nodes)
+    index_of: Dict[State, int] = {}
+    lowlink: Dict[State, int] = {}
+    on_stack: Set[State] = set()
+    stack: List[State] = []
+    components: List[Set[State]] = []
+    counter = [0]
+
+    for root in nodes:
+        if root in index_of:
+            continue
+        work: List[Tuple[State, Iterable[State]]] = [(root, iter(edges_from(root)))]
+        index_of[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for successor in successors:
+                if successor not in index_of:
+                    index_of[successor] = lowlink[successor] = counter[0]
+                    counter[0] += 1
+                    stack.append(successor)
+                    on_stack.add(successor)
+                    work.append((successor, iter(edges_from(successor))))
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[successor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                component: Set[State] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+def fair_recurrent_sccs(
+    ts: TransitionSystem,
+    region: Set[State],
+    edge_filter=None,
+) -> List[Set[State]]:
+    """SCCs of the program-edge subgraph on ``region`` in which a weakly
+    fair computation can remain forever.
+
+    ``edge_filter(source, action_name, target)``, when given, further
+    restricts which program edges count as internal to the subgraph (used
+    e.g. to search for fair *stuttering* cycles in refinement checks).
+
+    See the module docstring for the characterization.
+    """
+
+    def keep(source: State, action_name: str, target: State) -> bool:
+        return edge_filter is None or edge_filter(source, action_name, target)
+
+    def internal_successors(state: State) -> List[State]:
+        return [
+            t
+            for a, t in ts.program_edges_from(state)
+            if t in region and keep(state, a, t)
+        ]
+
+    recurrent: List[Set[State]] = []
+    for component in strongly_connected_components(region, internal_successors):
+        internal_edges = [
+            (s, a, t)
+            for s in component
+            for a, t in ts.program_edges_from(s)
+            if t in component and keep(s, a, t)
+        ]
+        if not internal_edges:
+            continue  # trivial SCC without a self-loop: cannot linger
+        internal_labels: FrozenSet[str] = frozenset(a for _, a, _ in internal_edges)
+        fair = True
+        for action in ts.program.actions:
+            if all(action.enabled(s) for s in component):
+                if action.name not in internal_labels:
+                    fair = False  # continuously enabled but starved inside C
+                    break
+        if fair:
+            recurrent.append(component)
+    return recurrent
+
+
+def check_leads_to(
+    ts: TransitionSystem,
+    source: Predicate,
+    target: Predicate,
+    description: Optional[str] = None,
+) -> CheckResult:
+    """Check ``source leads-to target`` over all fair maximal computations
+    of ``ts`` (program edges), from every reachable occurrence of
+    ``source`` (including states reached via fault edges)."""
+    what = description or (
+        f"{source.name} leads-to {target.name} in {ts.program.name}"
+    )
+    avoid_region: Set[State] = {s for s in ts.states if not target(s)}
+    bad_starts = [s for s in ts.states if source(s) and s in avoid_region]
+    if not bad_starts:
+        return CheckResult.passed(what, details="source region empty or immediate")
+
+    reachable_in_region = _forward_closure(ts, bad_starts, avoid_region)
+
+    # Violation mode 1: a maximal computation dies inside ¬target.
+    for state in reachable_in_region:
+        if ts.program.is_deadlocked(state):
+            path = ts.find_path(
+                bad_starts,
+                Predicate(lambda s, d=state: s == d, name="deadlock"),
+                include_faults=True,
+                within=Predicate(
+                    lambda s, r=avoid_region: s in r, name=f"¬({target.name})"
+                ),
+            )
+            states, actions = path if path else ((state,), ())
+            return CheckResult.failed(
+                what,
+                counterexample=Counterexample(
+                    kind="trace",
+                    states=tuple(states),
+                    actions=tuple(actions),
+                    note=(
+                        f"maximal computation reaches deadlock without "
+                        f"satisfying {target.name}"
+                    ),
+                ),
+            )
+
+    # Violation mode 2: a fair cycle inside ¬target.
+    for component in fair_recurrent_sccs(ts, reachable_in_region):
+        witness = next(iter(component))
+        path = ts.find_path(
+            bad_starts,
+            Predicate(lambda s, c=component: s in c, name="fair SCC"),
+            include_faults=True,
+            within=Predicate(
+                lambda s, r=avoid_region: s in r, name=f"¬({target.name})"
+            ),
+        )
+        stem_states, stem_actions = path if path else ((witness,), ())
+        cycle_states, cycle_actions = _cycle_through(ts, component, stem_states[-1])
+        return CheckResult.failed(
+            what,
+            counterexample=Counterexample(
+                kind="lasso",
+                states=tuple(stem_states) + tuple(cycle_states[1:]),
+                actions=tuple(stem_actions) + tuple(cycle_actions),
+                loop_index=len(stem_states) - 1,
+                note=(
+                    f"fair computation cycles forever without satisfying "
+                    f"{target.name} (SCC of {len(component)} states)"
+                ),
+            ),
+        )
+
+    return CheckResult.passed(what)
+
+
+def check_converges_to(
+    ts: TransitionSystem,
+    origin: Predicate,
+    goal: Predicate,
+    description: Optional[str] = None,
+) -> CheckResult:
+    """Check the paper's ``origin converges to goal`` specification:
+    membership of every computation in ``cl(origin) ∩ cl(goal)`` together
+    with *origin leads-to goal* (Section 2.2)."""
+    what = description or (
+        f"{origin.name} converges to {goal.name} in {ts.program.name}"
+    )
+    for predicate in (origin, goal):
+        closed = ts.is_closed(predicate, include_faults=False)
+        if not closed:
+            return CheckResult.failed(
+                f"{what}: {closed.description}",
+                counterexample=closed.counterexample,
+            )
+    leads = check_leads_to(ts, origin, goal)
+    if not leads:
+        return CheckResult.failed(
+            f"{what}: {leads.description}", counterexample=leads.counterexample
+        )
+    return CheckResult.passed(what)
+
+
+def liveness_violating_states(
+    ts: TransitionSystem,
+    source: Predicate,
+    target: Predicate,
+) -> Set[State]:
+    """The states of ``ts`` from which some fair maximal computation
+    violates ``source leads-to target``.
+
+    Used by the synthesis algorithms to *shrink* a candidate invariant:
+    a violation core is any deadlock or fair-recurrent SCC inside
+    ``¬target``; the danger zone is everything in ``¬target`` that can
+    reach a core while staying in ``¬target``; a state is violating iff
+    it can reach (via any edges) a ``source``-state inside the danger
+    zone.  The violating set is closed under predecessors, so removing
+    it from a closed predicate keeps it closed.
+    """
+    avoid_region: Set[State] = {s for s in ts.states if not target(s)}
+
+    core: Set[State] = set()
+    for component in fair_recurrent_sccs(ts, avoid_region):
+        core |= component
+    for state in avoid_region:
+        if ts.program.is_deadlocked(state):
+            core.add(state)
+
+    predecessors: Dict[State, List[State]] = {s: [] for s in ts.states}
+    for state in ts.states:
+        for _, nxt in ts.edges_from(state, include_faults=True):
+            if nxt in predecessors:
+                predecessors[nxt].append(state)
+
+    # danger: backward closure of the core within ¬target
+    danger: Set[State] = set(core)
+    frontier = deque(core)
+    while frontier:
+        state = frontier.popleft()
+        for previous in predecessors[state]:
+            if previous in avoid_region and previous not in danger:
+                danger.add(previous)
+                frontier.append(previous)
+
+    bad_sources = {s for s in danger if source(s)}
+
+    violating: Set[State] = set(bad_sources)
+    frontier = deque(bad_sources)
+    while frontier:
+        state = frontier.popleft()
+        for previous in predecessors[state]:
+            if previous not in violating:
+                violating.add(previous)
+                frontier.append(previous)
+    return violating
+
+
+# -- internals ---------------------------------------------------------------
+
+def _forward_closure(
+    ts: TransitionSystem, sources: Sequence[State], region: Set[State]
+) -> Set[State]:
+    """States reachable from ``sources`` via program edges staying in
+    ``region`` (sources assumed to be in the region)."""
+    seen: Set[State] = set()
+    frontier = deque(s for s in sources if s in region)
+    seen.update(frontier)
+    while frontier:
+        state = frontier.popleft()
+        for _, nxt in ts.edges_from(state, include_faults=True):
+            if nxt in region and nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    return seen
+
+
+def _cycle_through(
+    ts: TransitionSystem, component: Set[State], start: State
+) -> Tuple[List[State], List[str]]:
+    """A cycle inside ``component`` beginning and ending at ``start``.
+
+    ``start`` must belong to the component; the component is strongly
+    connected with at least one internal edge, so a cycle exists.
+    """
+    if start not in component:
+        start = next(iter(component))
+    # one step out of start, then BFS back to start within the component
+    for action_name, nxt in ts.program_edges_from(start):
+        if nxt not in component:
+            continue
+        if nxt == start:
+            return [start, start], [action_name]
+        back = ts.find_path(
+            [nxt],
+            Predicate(lambda s, d=start: s == d, name="back"),
+            include_faults=False,
+            within=Predicate(lambda s, c=component: s in c, name="component"),
+        )
+        if back is not None:
+            states, actions = back
+            return [start] + states, [action_name] + actions
+    return [start], []

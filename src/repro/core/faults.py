@@ -1,0 +1,149 @@
+"""Faults as state-perturbing actions (Section 2.3).
+
+A *fault-class* for a program ``p`` is just a set of actions over the
+variables of ``p``.  This uniform representation covers stuck-at, crash,
+fail-stop, omission, timing, and Byzantine faults alike; what varies is
+only which perturbations the actions encode.
+
+:class:`FaultClass` bundles the fault actions with a name and offers the
+standard constructions:
+
+- :meth:`FaultClass.system` builds the transition system of ``p [] F``
+  from a predicate (fault edges marked, per Assumption 2 liveness is
+  later judged on program edges only);
+- :meth:`FaultClass.check_span` checks the paper's *F-span* condition
+  (``S ⇒ T``, ``T`` closed in ``p``, every action of ``F`` preserves
+  ``T``);
+- factory helpers build common fault shapes: :func:`perturb_variable`
+  (transient corruption of one variable to arbitrary domain values),
+  :func:`set_variable` (a specific perturbation), and
+  :func:`crash_variable` (latch a boolean "down" flag).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from .action import Action, assign
+from .exploration import TransitionSystem
+from .predicate import Predicate, TRUE
+from .program import Program
+from .results import CheckResult
+from .state import State, Variable
+
+__all__ = [
+    "FaultClass",
+    "perturb_variable",
+    "set_variable",
+    "crash_variable",
+]
+
+
+class FaultClass:
+    """A named set of fault actions for some program."""
+
+    def __init__(self, actions: Iterable[Action], name: str = "F"):
+        self.actions: Tuple[Action, ...] = tuple(actions)
+        self.name = name
+
+    def __iter__(self):
+        return iter(self.actions)
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+    def union(self, other: "FaultClass", name: Optional[str] = None) -> "FaultClass":
+        """Combine two fault-classes (tolerating multiple fault types)."""
+        return FaultClass(
+            self.actions + other.actions, name=name or f"({self.name} ∪ {other.name})"
+        )
+
+    def system(
+        self,
+        program: Program,
+        from_: Predicate,
+        max_states: int = 2_000_000,
+    ) -> TransitionSystem:
+        """The reachable transition system of ``program [] F`` from the
+        states of ``program`` satisfying ``from_``."""
+        starts = [s for s in program.states() if from_(s)]
+        return TransitionSystem(
+            program, starts, fault_actions=self.actions, max_states=max_states
+        )
+
+    def check_span(
+        self,
+        program: Program,
+        span: Predicate,
+        invariant: Predicate,
+    ) -> CheckResult:
+        """Check that ``span`` is an F-span of ``program`` from
+        ``invariant`` (Section 2.3)."""
+        ts = self.system(program, span)
+        return ts.is_fault_span(span, invariant)
+
+    def __repr__(self) -> str:
+        return f"FaultClass({self.name!r}, {len(self.actions)} actions)"
+
+
+# -- common fault shapes -------------------------------------------------------
+
+def perturb_variable(
+    variable: Variable,
+    guard: Predicate = TRUE,
+    name: Optional[str] = None,
+) -> FaultClass:
+    """Transient fault: set ``variable`` to any other value of its domain.
+
+    One fault action per target value, so model checking sees each
+    perturbation as a distinct fault edge.
+    """
+    actions: List[Action] = []
+    for value in variable.domain:
+        actions.append(
+            Action(
+                name=f"fault_{variable.name}_to_{value!r}",
+                guard=guard & Predicate(
+                    lambda s, v=variable.name, x=value: s[v] != x,
+                    name=f"{variable.name}≠{value!r}",
+                ),
+                statement=assign(**{variable.name: value}),
+            )
+        )
+    return FaultClass(actions, name=name or f"perturb({variable.name})")
+
+
+def set_variable(
+    variable_name: str,
+    value: Hashable,
+    guard: Predicate = TRUE,
+    name: Optional[str] = None,
+) -> FaultClass:
+    """Fault that sets one variable to one specific value (e.g. a page
+    fault removing an entry, a stuck-at fault)."""
+    return FaultClass(
+        [
+            Action(
+                name=f"fault_set_{variable_name}_{value!r}",
+                guard=guard,
+                statement=assign(**{variable_name: value}),
+            )
+        ],
+        name=name or f"set({variable_name}:={value!r})",
+    )
+
+
+def crash_variable(flag_name: str, name: Optional[str] = None) -> FaultClass:
+    """Crash fault: latch the boolean ``flag_name`` to True, permanently
+    marking a process as down (the process's actions should be guarded by
+    ``¬flag``)."""
+    return FaultClass(
+        [
+            Action(
+                name=f"crash_{flag_name}",
+                guard=Predicate(lambda s, f=flag_name: not s[f], name=f"¬{flag_name}"),
+                statement=assign(**{flag_name: True}),
+            )
+        ],
+        name=name or f"crash({flag_name})",
+    )

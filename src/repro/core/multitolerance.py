@@ -1,0 +1,101 @@
+"""Multitolerance: different tolerances to different fault-classes.
+
+The paper closes by crediting the component-based method with
+*multitolerant* designs — programs that are, say, masking tolerant to
+one fault-class and fail-safe tolerant to another, simultaneously
+(Arora & Kulkarni, "Component based design of multitolerance", IEEE TSE
+1998).  The definition composes pointwise: ``p`` is multitolerant to a
+requirement map ``{F_i: kind_i}`` from ``S`` with spans ``{F_i: T_i}``
+iff for each ``i``, ``p`` is ``kind_i`` ``F_i``-tolerant to SPEC from
+``S`` with span ``T_i``.
+
+Beyond the pointwise conjunction, :func:`is_multitolerant` also checks
+the *combined* perturbation for the strongest requested class on the
+union span: when several fault-classes may strike in one run, safety
+obligations of every fail-safe/masking requirement are re-checked over
+the union of all fault edges from the union of the spans — the
+interaction condition that makes multitolerance more than a batch of
+independent checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from .faults import FaultClass
+from .predicate import Predicate
+from .program import Program
+from .results import CheckResult, all_of
+from .specification import Spec
+from .tolerance import is_tolerant
+
+__all__ = ["ToleranceRequirement", "is_multitolerant"]
+
+
+@dataclass(frozen=True)
+class ToleranceRequirement:
+    """One row of a multitolerance requirement: a fault-class, the
+    tolerance kind required against it, and the certifying span."""
+
+    faults: FaultClass
+    kind: str                      #: "failsafe" | "nonmasking" | "masking"
+    span: Predicate
+
+
+def is_multitolerant(
+    program: Program,
+    spec: Spec,
+    invariant: Predicate,
+    requirements: Tuple[ToleranceRequirement, ...],
+    check_interaction: bool = True,
+) -> CheckResult:
+    """Check a multitolerance requirement set.
+
+    Each requirement is checked individually; with
+    ``check_interaction=True`` (default) the safety obligations of every
+    fail-safe/masking requirement are additionally verified against the
+    *union* of all fault-classes over the union of all spans —
+    computations in which several fault types strike must still never
+    violate safety.
+    """
+    what = (
+        f"{program.name} is multitolerant to "
+        + ", ".join(f"{r.kind}({r.faults.name})" for r in requirements)
+        + f" for {spec.name} from {invariant.name}"
+    )
+    obligations = [
+        is_tolerant(r.kind, program, r.faults, spec, invariant, r.span)
+        for r in requirements
+    ]
+
+    if check_interaction and len(requirements) > 1:
+        union_faults = requirements[0].faults
+        for requirement in requirements[1:]:
+            union_faults = union_faults.union(requirement.faults)
+        union_span = requirements[0].span
+        for requirement in requirements[1:]:
+            union_span = union_span | requirement.span
+        union_span = union_span.rename("T_union")
+
+        ts = union_faults.system(program, union_span)
+        obligations.append(
+            ts.is_closed(
+                union_span, include_faults=True,
+                description=f"{union_span.name} closed under all fault-classes",
+            )
+        )
+        needs_safety = [
+            r for r in requirements if r.kind in ("failsafe", "masking")
+        ]
+        if needs_safety:
+            obligations.append(
+                spec.safety_part().check(
+                    ts,
+                    description=(
+                        f"safety of {spec.name} under the combined "
+                        f"fault-classes from {union_span.name}"
+                    ),
+                )
+            )
+    return all_of(obligations, description=what)

@@ -1,0 +1,129 @@
+"""State predicates with a boolean algebra.
+
+The paper works pervasively with *state predicates* — boolean expressions
+over program variables — and identifies each predicate with the set of
+states in which it holds (Section 2.1).  :class:`Predicate` captures both
+views:
+
+- intensionally, a predicate wraps a function ``State -> bool``;
+- extensionally, :meth:`Predicate.from_states` builds a predicate from an
+  explicit set of states, and :meth:`Predicate.states_in` evaluates a
+  predicate over an iterable of states.
+
+Predicates compose with the operators the paper uses: ``&`` (conjunction),
+``|`` (disjunction), ``~`` (negation), and :meth:`implies`.  Every
+predicate carries a human-readable name so that check results and
+counterexamples remain legible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, Iterable, Iterator, Set
+
+from .state import State
+
+__all__ = ["Predicate", "TRUE", "FALSE", "var_eq", "var_ne", "var_in"]
+
+
+class Predicate:
+    """A state predicate: a named boolean function of a :class:`State`.
+
+    Parameters
+    ----------
+    fn:
+        Function evaluating the predicate at a state.
+    name:
+        Human-readable rendering, used in reprs, certificates, and
+        counterexample explanations.
+    """
+
+    __slots__ = ("fn", "name")
+
+    def __init__(self, fn: Callable[[State], bool], name: str = "pred"):
+        self.fn = fn
+        self.name = name
+
+    # -- evaluation --------------------------------------------------------
+    def __call__(self, state: State) -> bool:
+        return bool(self.fn(state))
+
+    def holds_everywhere(self, states: Iterable[State]) -> bool:
+        """True iff the predicate holds at every given state."""
+        return all(self(s) for s in states)
+
+    def holds_somewhere(self, states: Iterable[State]) -> bool:
+        """True iff the predicate holds at some given state."""
+        return any(self(s) for s in states)
+
+    def states_in(self, states: Iterable[State]) -> Iterator[State]:
+        """Yield the states (from ``states``) at which the predicate holds."""
+        return (s for s in states if self(s))
+
+    # -- algebra -------------------------------------------------------------
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return Predicate(
+            lambda s, a=self, b=other: a(s) and b(s),
+            name=f"({self.name} ∧ {other.name})",
+        )
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Predicate(
+            lambda s, a=self, b=other: a(s) or b(s),
+            name=f"({self.name} ∨ {other.name})",
+        )
+
+    def __invert__(self) -> "Predicate":
+        return Predicate(lambda s, a=self: not a(s), name=f"¬{self.name}")
+
+    def implies(self, other: "Predicate") -> "Predicate":
+        """The predicate ``self ⇒ other`` (pointwise implication)."""
+        return Predicate(
+            lambda s, a=self, b=other: (not a(s)) or b(s),
+            name=f"({self.name} ⇒ {other.name})",
+        )
+
+    def rename(self, name: str) -> "Predicate":
+        """Return the same predicate under a new display name."""
+        return Predicate(self.fn, name=name)
+
+    # -- extensional view ------------------------------------------------
+    @staticmethod
+    def from_states(states: Iterable[State], name: str = "set") -> "Predicate":
+        """Extensional predicate: true exactly on the given states."""
+        frozen: FrozenSet[State] = frozenset(states)
+        return Predicate(lambda s, ss=frozen: s in ss, name=name)
+
+    def implied_everywhere_by(
+        self, other: "Predicate", states: Iterable[State]
+    ) -> bool:
+        """True iff ``other ⇒ self`` holds at every state in ``states``."""
+        return all(self(s) for s in states if other(s))
+
+    def equivalent_on(self, other: "Predicate", states: Iterable[State]) -> bool:
+        """True iff the two predicates agree on every state in ``states``."""
+        return all(self(s) == other(s) for s in states)
+
+    def __repr__(self) -> str:
+        return f"Predicate({self.name})"
+
+
+TRUE = Predicate(lambda s: True, name="true")
+FALSE = Predicate(lambda s: False, name="false")
+
+
+def var_eq(name: str, value: object) -> Predicate:
+    """Predicate ``name == value``."""
+    return Predicate(lambda s: s[name] == value, name=f"{name}={value!r}")
+
+
+def var_ne(name: str, value: object) -> Predicate:
+    """Predicate ``name != value``."""
+    return Predicate(lambda s: s[name] != value, name=f"{name}≠{value!r}")
+
+
+def var_in(name: str, values: Iterable[object]) -> Predicate:
+    """Predicate ``name ∈ values``."""
+    allowed: Set[object] = set(values)
+    return Predicate(
+        lambda s: s[name] in allowed, name=f"{name}∈{sorted(map(repr, allowed))}"
+    )

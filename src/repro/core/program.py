@@ -1,0 +1,251 @@
+"""Programs and the paper's three composition operators.
+
+A program (Section 2.1) is a set of variables and a finite set of actions.
+This module provides:
+
+- :class:`Program`: variables (with finite domains) + actions, plus the
+  state-space utilities the model checker needs;
+- parallel composition ``p || q`` (:meth:`Program.parallel`, actions are
+  unioned, variables merged);
+- restriction ``Z ∧ p`` (:meth:`Program.restrict`, every guard
+  strengthened by ``Z``);
+- sequential composition ``p ;_Z q`` (:meth:`Program.sequential`, defined
+  in the paper as ``p || (Z ∧ q)``);
+- :meth:`Program.encapsulates`, an executable check of the paper's
+  *encapsulation* relation between a composed program ``p'`` and a base
+  program ``p``.
+
+There are deliberately **no initial states** in a program — the paper
+argues (Section 2.2.1) that invariants may usefully over-approximate
+reachable sets, so "where a computation starts" is always an explicit
+predicate argument to the analysis functions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .action import Action, _unique_names
+from .predicate import Predicate
+from .state import State, Variable, state_space
+
+__all__ = ["Program"]
+
+
+class Program:
+    """A guarded-command program: finite variables + named actions."""
+
+    def __init__(self, variables: Sequence[Variable], actions: Sequence[Action],
+                 name: str = "program"):
+        names = [v.name for v in variables]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate variable names: {names}")
+        _unique_names(list(actions))
+        self.variables: Tuple[Variable, ...] = tuple(variables)
+        self.actions: Tuple[Action, ...] = tuple(actions)
+        self.name = name
+        self._domains: Dict[str, Tuple] = {v.name: v.domain for v in variables}
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def variable_names(self) -> Tuple[str, ...]:
+        return tuple(v.name for v in self.variables)
+
+    def variable(self, name: str) -> Variable:
+        for v in self.variables:
+            if v.name == name:
+                return v
+        raise KeyError(name)
+
+    def action(self, name: str) -> Action:
+        for a in self.actions:
+            if a.name == name:
+                return a
+        raise KeyError(name)
+
+    def state_count(self) -> int:
+        count = 1
+        for v in self.variables:
+            count *= len(v.domain)
+        return count
+
+    def states(self) -> Iterator[State]:
+        """Enumerate the full state space (Cartesian product of domains)."""
+        return state_space(self.variables)
+
+    def validate_state(self, state: State) -> None:
+        """Raise if ``state`` is not a state of this program."""
+        for v in self.variables:
+            if v.name not in state:
+                raise ValueError(f"state {state!r} missing variable {v.name!r}")
+            if state[v.name] not in v.domain:
+                raise ValueError(
+                    f"state value {state[v.name]!r} outside domain of {v.name!r}"
+                )
+
+    # -- operational semantics ---------------------------------------------
+    def enabled_actions(self, state: State) -> List[Action]:
+        """Actions whose guard holds at ``state`` (Section 2.1 *Enabled*)."""
+        return [a for a in self.actions if a.enabled(state)]
+
+    def successors(self, state: State) -> List[Tuple[str, State]]:
+        """All ``(action name, next state)`` transitions from ``state``."""
+        result: List[Tuple[str, State]] = []
+        for action in self.actions:
+            for nxt in action.successors(state):
+                result.append((action.name, nxt))
+        return result
+
+    def is_deadlocked(self, state: State) -> bool:
+        """True iff no action is enabled at ``state`` (maximality boundary)."""
+        return not any(a.enabled(state) for a in self.actions)
+
+    # -- compositions (Section 2.1.1) ----------------------------------------
+    def parallel(self, other: "Program", name: Optional[str] = None) -> "Program":
+        """``p || q``: union of actions, merged variables.
+
+        Shared variables must agree on their domains; shared action names
+        are an error (the paper requires unique action names).
+        """
+        merged: Dict[str, Variable] = {v.name: v for v in self.variables}
+        for v in other.variables:
+            if v.name in merged:
+                if merged[v.name].domain != v.domain:
+                    raise ValueError(
+                        f"variable {v.name!r} has conflicting domains in "
+                        f"{self.name!r} and {other.name!r}"
+                    )
+            else:
+                merged[v.name] = v
+        return Program(
+            variables=list(merged.values()),
+            actions=list(self.actions) + list(other.actions),
+            name=name or f"({self.name} || {other.name})",
+        )
+
+    def __or__(self, other: "Program") -> "Program":
+        return self.parallel(other)
+
+    def restrict(self, predicate: Predicate, name: Optional[str] = None) -> "Program":
+        """``Z ∧ p``: each action ``g --> st`` becomes ``Z ∧ g --> st``."""
+        return Program(
+            variables=self.variables,
+            actions=[a.restrict(predicate) for a in self.actions],
+            name=name or f"({predicate.name} ∧ {self.name})",
+        )
+
+    def sequential(self, other: "Program", predicate: Predicate,
+                   name: Optional[str] = None) -> "Program":
+        """``p ;_Z q`` = ``p || (Z ∧ q)`` (Section 2.1.1)."""
+        return self.parallel(
+            other.restrict(predicate),
+            name=name or f"({self.name} ;[{predicate.name}] {other.name})",
+        )
+
+    def renamed(self, name: str) -> "Program":
+        return Program(self.variables, self.actions, name=name)
+
+    def with_actions(self, actions: Sequence[Action],
+                     name: Optional[str] = None) -> "Program":
+        """A program over the same variables with different actions."""
+        return Program(self.variables, actions, name=name or self.name)
+
+    def with_variables(self, extra: Sequence[Variable],
+                       name: Optional[str] = None) -> "Program":
+        """A program with additional variables (used when composing with
+        components that introduce witness variables)."""
+        return Program(
+            list(self.variables) + list(extra), self.actions,
+            name=name or self.name,
+        )
+
+    # -- encapsulation (Section 2.1) ----------------------------------------
+    def encapsulates(self, base: "Program",
+                     states: Optional[Iterable[State]] = None) -> bool:
+        """Executable check of the paper's *encapsulates* relation.
+
+        ``self`` (= ``p'``) encapsulates ``base`` (= ``p``) iff every
+        action of ``p'`` that updates variables of ``p`` behaves, on the
+        variables of ``p``, exactly like some action of ``p`` whose guard
+        it strengthens: for each ``p'``-action ``ac'`` that can change a
+        ``p``-variable there must be a ``p``-action ``ac`` such that at
+        every state where ``ac'`` is enabled, ``ac`` is enabled and the
+        projections of their effects on ``p``'s variables coincide.
+
+        The check is performed over ``states`` (default: the full state
+        space of ``self``).
+        """
+        base_vars = set(base.variable_names)
+        if not base_vars <= set(self.variable_names):
+            return False  # cannot even contain the base program
+        if states is None:
+            states = list(self.states())
+        else:
+            states = list(states)
+
+        for composed_action in self.actions:
+            touched = _updates_variables(composed_action, base_vars, states)
+            if not touched:
+                continue
+            if not _embeds_some_base_action(
+                composed_action, base, base_vars, states
+            ):
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"Program({self.name!r}, {len(self.variables)} vars, "
+            f"{len(self.actions)} actions)"
+        )
+
+
+def _updates_variables(action: Action, names: set, states: Iterable[State]) -> bool:
+    """True iff ``action`` can change any variable in ``names``."""
+    for state in states:
+        for successor in action.successors(state):
+            if any(state[n] != successor[n] for n in names if n in state):
+                return True
+    return False
+
+
+def _embeds_some_base_action(
+    composed_action: Action,
+    base: Program,
+    base_vars: set,
+    states: Iterable[State],
+) -> bool:
+    """True iff some base action matches ``composed_action`` on base vars.
+
+    For each base action ``ac`` we test: wherever ``composed_action`` is
+    enabled, ``ac`` is enabled and executing either action has the same
+    effect on the base variables (using initial-state values, matching the
+    paper's ``st || st'`` atomic semantics).
+    """
+    states = list(states)
+    for base_action in base.actions:
+        if _matches_everywhere(composed_action, base_action, base_vars, states):
+            return True
+    return False
+
+
+def _matches_everywhere(
+    composed_action: Action,
+    base_action: Action,
+    base_vars: set,
+    states: Iterable[State],
+) -> bool:
+    for state in states:
+        composed_next = composed_action.successors(state)
+        if not composed_next:
+            continue
+        base_state = state.project(base_vars)
+        base_next = base_action.successors(state)
+        if not base_next:
+            return False  # guard of composed action not a strengthening
+        base_projections = {s.project(base_vars) for s in base_next}
+        for successor in composed_next:
+            if successor.project(base_vars) not in base_projections:
+                return False
+    return True

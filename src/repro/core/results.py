@@ -1,0 +1,127 @@
+"""Check results: certificates and counterexamples.
+
+Every verification entry point in this library returns a
+:class:`CheckResult` rather than a bare boolean.  A passing result carries
+a human-readable description of *what was established*; a failing result
+carries a :class:`Counterexample` explaining *why* — a bad state, a bad
+transition, a finite trace, or a lasso (stem + fair cycle) for liveness
+violations.
+
+This mirrors the paper's methodological stance: invariants and tolerance
+claims are only useful when accompanied by the evidence that justifies
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence, Tuple
+
+from .state import State
+
+__all__ = ["Counterexample", "CheckResult", "all_of"]
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """Evidence that a check failed.
+
+    Attributes
+    ----------
+    kind:
+        One of ``"state"``, ``"transition"``, ``"trace"``, ``"lasso"``.
+    states:
+        The states involved.  For a lasso this is the stem followed by the
+        cycle (the cycle portion is ``states[loop_index:]``).
+    actions:
+        Action names labelling the steps between consecutive states (one
+        shorter than ``states`` for traces, empty for state evidence).
+    loop_index:
+        For lassos, index in ``states`` where the cycle begins.
+    note:
+        Free-form explanation.
+    """
+
+    kind: str
+    states: Tuple[State, ...]
+    actions: Tuple[str, ...] = ()
+    loop_index: Optional[int] = None
+    note: str = ""
+
+    def __str__(self) -> str:
+        lines = [f"counterexample ({self.kind}): {self.note}".rstrip()]
+        for i, state in enumerate(self.states):
+            marker = " ↻" if self.loop_index is not None and i == self.loop_index else ""
+            lines.append(f"  [{i}]{marker} {state!r}")
+            if i < len(self.actions):
+                lines.append(f"      --{self.actions[i]}-->")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of a verification check.
+
+    Truthy iff the check passed; failing results explain themselves via
+    ``counterexample`` and ``details``.
+    """
+
+    ok: bool
+    description: str
+    details: str = ""
+    counterexample: Optional[Counterexample] = None
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    @staticmethod
+    def passed(description: str, details: str = "") -> "CheckResult":
+        return CheckResult(ok=True, description=description, details=details)
+
+    @staticmethod
+    def failed(
+        description: str,
+        counterexample: Optional[Counterexample] = None,
+        details: str = "",
+    ) -> "CheckResult":
+        return CheckResult(
+            ok=False,
+            description=description,
+            details=details,
+            counterexample=counterexample,
+        )
+
+    def expect(self) -> "CheckResult":
+        """Raise ``AssertionError`` with full evidence if the check failed.
+
+        Convenient in examples and benchmarks where a failure should abort
+        loudly rather than be silently ignored.
+        """
+        if not self.ok:
+            raise AssertionError(str(self))
+        return self
+
+    def __str__(self) -> str:
+        status = "PASS" if self.ok else "FAIL"
+        parts = [f"[{status}] {self.description}"]
+        if self.details:
+            parts.append(f"  {self.details}")
+        if self.counterexample is not None:
+            parts.append(str(self.counterexample))
+        return "\n".join(parts)
+
+
+def all_of(results: Iterable[CheckResult], description: str = "all checks") -> CheckResult:
+    """Conjoin results: passes iff every result passes; reports the first
+    failure verbatim (with its counterexample)."""
+    materialized: Sequence[CheckResult] = list(results)
+    for result in materialized:
+        if not result.ok:
+            return CheckResult(
+                ok=False,
+                description=f"{description}: {result.description}",
+                details=result.details,
+                counterexample=result.counterexample,
+            )
+    detail_lines = "; ".join(r.description for r in materialized)
+    return CheckResult.passed(description, details=detail_lines)

@@ -1,0 +1,203 @@
+"""States, variables, and state spaces.
+
+The paper defines a *program* over a set of variables, each with a
+predefined nonempty domain, and a *state* as a value for each variable
+(Section 2.1).  This module makes those definitions executable:
+
+- :class:`Variable` declares a name and a finite domain.
+- :class:`State` is an immutable, hashable assignment of values to
+  variable names.  Immutability lets states serve as graph nodes and set
+  members throughout the library.
+- :func:`state_space` enumerates the full (finite) Cartesian state space
+  of a collection of variables.
+- :meth:`State.project` implements the paper's *projection* of a state of
+  ``p'`` on ``p`` (Section 2.2.1): keep only the named variables.
+
+Domains must be finite for the model-checking machinery to terminate;
+they may contain any hashable values (ints, strings, tuples, frozensets,
+or the :data:`BOTTOM` sentinel used by several example programs).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Hashable, Iterable, Iterator, Mapping, Sequence, Tuple
+
+__all__ = ["BOTTOM", "Bottom", "Variable", "State", "state_space"]
+
+
+class Bottom:
+    """Singleton sentinel for the paper's undefined value ``⊥``.
+
+    Several example programs (memory access, TMR, Byzantine agreement) use
+    ``⊥`` to mean "not yet assigned".  A dedicated singleton keeps it
+    distinct from every ordinary domain value, including ``None``.
+    """
+
+    _instance = None
+
+    def __new__(cls) -> "Bottom":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "⊥"
+
+    def __reduce__(self):
+        return (Bottom, ())
+
+
+BOTTOM = Bottom()
+
+
+class Variable:
+    """A program variable with a predefined, nonempty, finite domain.
+
+    Parameters
+    ----------
+    name:
+        Unique variable name within a program.
+    domain:
+        Iterable of the values the variable may take.  Must be nonempty;
+        duplicates are removed while preserving order.
+    """
+
+    __slots__ = ("name", "domain")
+
+    def __init__(self, name: str, domain: Iterable[Hashable]):
+        values: Tuple[Hashable, ...] = tuple(dict.fromkeys(domain))
+        if not values:
+            raise ValueError(f"variable {name!r} must have a nonempty domain")
+        self.name = name
+        self.domain = values
+
+    def __contains__(self, value: Hashable) -> bool:
+        return value in self.domain
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r}, domain={list(self.domain)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Variable):
+            return NotImplemented
+        return self.name == other.name and self.domain == other.domain
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.domain))
+
+
+class State(Mapping[str, Hashable]):
+    """An immutable assignment of values to variable names.
+
+    ``State`` behaves as a read-only mapping and supports three styles of
+    access::
+
+        s = State(x=1, y=0)
+        s["x"]            # mapping access
+        s.assign(x=2)     # functional update -> new State
+        s.project(["x"])  # projection on a subset of variables
+
+    States compare equal iff they assign the same values to the same
+    variables, and they hash consistently, so they can be used as nodes in
+    transition graphs and as members of predicates-as-sets.
+    """
+
+    __slots__ = ("_items", "_hash")
+
+    def __init__(self, mapping: Mapping[str, Hashable] = None, **values: Hashable):
+        combined: Dict[str, Hashable] = {}
+        if mapping is not None:
+            combined.update(mapping)
+        combined.update(values)
+        self._items: Tuple[Tuple[str, Hashable], ...] = tuple(
+            sorted(combined.items(), key=lambda kv: kv[0])
+        )
+        self._hash = hash(self._items)
+
+    # -- Mapping protocol ------------------------------------------------
+    def __getitem__(self, name: str) -> Hashable:
+        for key, value in self._items:
+            if key == name:
+                return value
+        raise KeyError(name)
+
+    def __iter__(self) -> Iterator[str]:
+        return (key for key, _ in self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, name: object) -> bool:
+        return any(key == name for key, _ in self._items)
+
+    # -- functional updates ----------------------------------------------
+    def assign(self, **updates: Hashable) -> "State":
+        """Return a new state with ``updates`` applied.
+
+        Raises ``KeyError`` if an update names a variable absent from the
+        state: silently introducing variables is almost always a bug in a
+        program action.
+        """
+        current = dict(self._items)
+        for name in updates:
+            if name not in current:
+                raise KeyError(
+                    f"cannot assign unknown variable {name!r}; "
+                    f"state variables are {sorted(current)}"
+                )
+        current.update(updates)
+        return State(current)
+
+    def extend(self, **new_variables: Hashable) -> "State":
+        """Return a new state with additional variables.
+
+        Unlike :meth:`assign`, this *adds* variables; it raises if a name
+        already exists, to keep the two operations unambiguous.
+        """
+        current = dict(self._items)
+        for name in new_variables:
+            if name in current:
+                raise KeyError(f"variable {name!r} already present")
+        current.update(new_variables)
+        return State(current)
+
+    def project(self, names: Iterable[str]) -> "State":
+        """Projection of this state on the given variable names.
+
+        Implements the paper's projection of a state of ``p'`` on ``p``:
+        the state obtained by considering only the variables of ``p``.
+        """
+        wanted = set(names)
+        return State({k: v for k, v in self._items if k in wanted})
+
+    # -- dunder ------------------------------------------------------------
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, State):
+            return self._items == other._items
+        if isinstance(other, Mapping):
+            return dict(self._items) == dict(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{k}={v!r}" for k, v in self._items)
+        return f"State({body})"
+
+
+def state_space(variables: Sequence[Variable]) -> Iterator[State]:
+    """Enumerate every state over ``variables`` (Cartesian product).
+
+    The order is deterministic: the product is taken in the order the
+    variables are given, each domain in its declared order.  Callers that
+    only need reachable states should prefer
+    :meth:`repro.core.exploration.TransitionSystem` which explores lazily.
+    """
+    names = [v.name for v in variables]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate variable names in {names}")
+    domains = [v.domain for v in variables]
+    for combo in itertools.product(*domains):
+        yield State(dict(zip(names, combo)))

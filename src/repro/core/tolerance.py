@@ -1,0 +1,289 @@
+"""Fault-tolerance checking (Section 2.4).
+
+``p`` is *masking / nonmasking / fail-safe F-tolerant to SPEC from S``
+iff (a) ``p`` refines SPEC from S, and (b) there is a predicate ``T ⇐ S``
+(the fault-span) such that ``p [] F`` refines the corresponding
+*tolerance specification* of SPEC from T:
+
+- masking: SPEC itself;
+- fail-safe: the smallest safety specification containing SPEC;
+- nonmasking: ``(true)*SPEC`` (some suffix lies in SPEC).
+
+The checkers here take the invariant ``S`` and the fault-span ``T``
+explicitly — the paper's definitions are parameterized the same way, and
+supplying the witnesses is what makes each claim a *certificate* rather
+than a search problem.  (Use :mod:`repro.core.invariants` to compute
+candidate invariants/spans when you do want the search.)
+
+Checking strategy per class (all exact on finite systems):
+
+- **fail-safe**: ``T`` closed in ``p [] F``; safety components of SPEC
+  hold over every reachable edge (program and fault edges alike).
+- **nonmasking**: ``T`` closed in ``p [] F``; every computation
+  converges — ``true leads-to S`` over the fault-aware graph (fairness on
+  program edges, per Assumption 2) with ``S`` closed in ``p``; and ``p``
+  refines SPEC from ``S``.  Convergence to S plus suffix closure of SPEC
+  yields the ``(true)*SPEC`` membership, exactly the argument of
+  Theorem 4.3.
+- **masking**: the fail-safe obligations *plus* the nonmasking
+  obligations — this is the decomposition proved by Theorem 5.2 and
+  Lemma 5.1 (a prefix that maintains SPEC fused with a suffix in SPEC is
+  in SPEC).  Additionally every liveness component of SPEC is checked
+  directly on the fault-aware graph.
+
+A bounded *semantic* validator based on explicit computation enumeration
+is provided for cross-checking the certificate-based answers on small
+models (used heavily in the test suite).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from .computation import enumerate_computations
+from .exploration import TransitionSystem
+from .fairness import check_leads_to
+from .faults import FaultClass
+from .predicate import Predicate, TRUE
+from .program import Program
+from .refinement import refines_spec, start_states_of
+from .results import CheckResult, Counterexample, all_of
+from .specification import Spec
+from .state import State
+
+__all__ = [
+    "check_implication",
+    "is_failsafe_tolerant",
+    "is_nonmasking_tolerant",
+    "is_masking_tolerant",
+    "is_tolerant",
+    "semantic_tolerance_check",
+]
+
+
+def check_implication(
+    program: Program, antecedent: Predicate, consequent: Predicate
+) -> CheckResult:
+    """Check ``antecedent ⇒ consequent`` over the full state space."""
+    what = f"{antecedent.name} ⇒ {consequent.name}"
+    for state in program.states():
+        if antecedent(state) and not consequent(state):
+            return CheckResult.failed(
+                what,
+                counterexample=Counterexample(kind="state", states=(state,)),
+            )
+    return CheckResult.passed(what)
+
+
+def _common_obligations(
+    program: Program,
+    faults: FaultClass,
+    spec: Spec,
+    invariant: Predicate,
+    span: Predicate,
+) -> Iterable[CheckResult]:
+    """Obligations shared by all three tolerance classes: refinement in
+    the absence of faults, ``S ⇒ T``, and ``T`` closed in ``p [] F``."""
+    yield refines_spec(program, spec, invariant)
+    yield check_implication(program, invariant, span)
+    ts = faults.system(program, span)
+    yield ts.is_closed(
+        span,
+        include_faults=True,
+        description=f"{span.name} closed in {program.name} [] {faults.name}",
+    )
+
+
+def is_failsafe_tolerant(
+    program: Program,
+    faults: FaultClass,
+    spec: Spec,
+    invariant: Predicate,
+    span: Predicate,
+) -> CheckResult:
+    """``program`` is fail-safe F-tolerant to ``spec`` from ``invariant``
+    with fault-span ``span``."""
+    what = (
+        f"{program.name} is fail-safe {faults.name}-tolerant to {spec.name} "
+        f"from {invariant.name} (span {span.name})"
+    )
+    obligations = list(_common_obligations(program, faults, spec, invariant, span))
+    ts = faults.system(program, span)
+    obligations.append(
+        spec.safety_part().check(
+            ts,
+            description=(
+                f"{program.name} [] {faults.name} refines "
+                f"{spec.safety_part().name} from {span.name}"
+            ),
+        )
+    )
+    return all_of(obligations, description=what)
+
+
+def is_nonmasking_tolerant(
+    program: Program,
+    faults: FaultClass,
+    spec: Spec,
+    invariant: Predicate,
+    span: Predicate,
+) -> CheckResult:
+    """``program`` is nonmasking F-tolerant to ``spec`` from
+    ``invariant`` with fault-span ``span``.
+
+    Convergence is certified to the supplied invariant: every fault-
+    perturbed computation must re-enter ``invariant`` (and stay, since
+    the invariant is closed), after which suffix closure of the
+    specification gives the ``(true)*SPEC`` membership.
+    """
+    what = (
+        f"{program.name} is nonmasking {faults.name}-tolerant to {spec.name} "
+        f"from {invariant.name} (span {span.name})"
+    )
+    obligations = list(_common_obligations(program, faults, spec, invariant, span))
+    ts = faults.system(program, span)
+    obligations.append(
+        ts.is_closed(
+            invariant,
+            include_faults=False,
+            description=f"{invariant.name} closed in {program.name}",
+        )
+    )
+    obligations.append(
+        check_leads_to(
+            ts,
+            TRUE,
+            invariant,
+            description=(
+                f"every computation of {program.name} [] {faults.name} from "
+                f"{span.name} converges to {invariant.name}"
+            ),
+        )
+    )
+    return all_of(obligations, description=what)
+
+
+def is_masking_tolerant(
+    program: Program,
+    faults: FaultClass,
+    spec: Spec,
+    invariant: Predicate,
+    span: Predicate,
+) -> CheckResult:
+    """``program`` is masking F-tolerant to ``spec`` from ``invariant``
+    with fault-span ``span``: ``p [] F`` refines SPEC itself from the
+    span — the safety part holds over every edge (program and fault
+    alike) and every liveness component is discharged on the fault-aware
+    graph.
+
+    Note this is the paper's *definition* (Section 2.4), which does not
+    require the perturbed system to converge back to the invariant —
+    e.g. TMR masks a corrupted input without ever repairing it.  The
+    convergence-based *sufficient* certificate of Theorem 5.2 lives in
+    :func:`repro.theory.masking.theorem_5_2`.
+    """
+    what = (
+        f"{program.name} is masking {faults.name}-tolerant to {spec.name} "
+        f"from {invariant.name} (span {span.name})"
+    )
+    obligations = list(_common_obligations(program, faults, spec, invariant, span))
+    ts = faults.system(program, span)
+    obligations.append(
+        spec.safety_part().check(
+            ts,
+            description=(
+                f"{program.name} [] {faults.name} refines "
+                f"{spec.safety_part().name} from {span.name}"
+            ),
+        )
+    )
+    for component in spec.liveness_part().components:
+        obligations.append(component.check(ts))
+    return all_of(obligations, description=what)
+
+
+def is_tolerant(
+    kind: str,
+    program: Program,
+    faults: FaultClass,
+    spec: Spec,
+    invariant: Predicate,
+    span: Predicate,
+) -> CheckResult:
+    """Dispatch on tolerance class name: ``"failsafe"``, ``"nonmasking"``,
+    or ``"masking"``."""
+    checkers = {
+        "failsafe": is_failsafe_tolerant,
+        "nonmasking": is_nonmasking_tolerant,
+        "masking": is_masking_tolerant,
+    }
+    try:
+        checker = checkers[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown tolerance kind {kind!r}; expected one of {sorted(checkers)}"
+        ) from None
+    return checker(program, faults, spec, invariant, span)
+
+
+def semantic_tolerance_check(
+    kind: str,
+    program: Program,
+    faults: FaultClass,
+    spec: Spec,
+    span: Predicate,
+    start_states: Optional[Sequence[State]] = None,
+    max_length: int = 10,
+    max_faults: int = 2,
+) -> CheckResult:
+    """Bounded ground-truth validation by explicit enumeration.
+
+    Enumerates every computation of ``program [] faults`` (length ≤
+    ``max_length``, ≤ ``max_faults`` fault steps) from each start state in
+    ``span`` and evaluates the tolerance specification directly on the
+    sequences:
+
+    - ``failsafe``: safety part of the spec on every (even truncated)
+      sequence;
+    - ``masking``: the full spec on complete sequences, the safety part on
+      truncated ones;
+    - ``nonmasking``: some suffix of every complete sequence satisfies the
+      spec (truncated sequences are inconclusive and skipped).
+
+    Exponential in ``max_length`` — use tiny models.
+    """
+    what = f"semantic {kind} tolerance of {program.name} wrt {spec.name}"
+    if start_states is None:
+        start_states = start_states_of(program, span)
+    safety = spec.safety_part()
+    for start in start_states:
+        for computation in enumerate_computations(
+            program, start, max_length=max_length,
+            fault_actions=list(faults.actions), max_faults=max_faults,
+        ):
+            sequence = computation.states
+            if kind == "failsafe":
+                ok = safety.holds_on(sequence, complete=computation.complete)
+            elif kind == "masking":
+                ok = (
+                    spec.holds_on(sequence, complete=True)
+                    if computation.complete
+                    else safety.holds_on(sequence, complete=False)
+                )
+            elif kind == "nonmasking":
+                if not computation.complete:
+                    continue
+                ok = spec.holds_on_some_suffix(sequence, complete=True)
+            else:
+                raise ValueError(f"unknown tolerance kind {kind!r}")
+            if not ok:
+                return CheckResult.failed(
+                    what,
+                    counterexample=Counterexample(
+                        kind="trace",
+                        states=sequence,
+                        actions=computation.actions,
+                        note=f"enumerated computation violates {kind} spec",
+                    ),
+                )
+    return CheckResult.passed(what)

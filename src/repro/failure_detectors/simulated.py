@@ -1,0 +1,135 @@
+"""Heartbeat failure detection on the discrete-event simulator.
+
+The runtime counterpart of :mod:`.chandra_toueg`:
+
+- :class:`HeartbeatProcess` sends ``"hb"`` to its monitor every
+  ``period`` time units (until crashed);
+- :class:`MonitorProcess` suspects the sender whenever no heartbeat has
+  arrived for ``timeout`` time units, and retracts the suspicion when a
+  late heartbeat arrives.
+
+:func:`run_crash_experiment` crashes the heartbeater mid-run and
+measures the *detection latency* (suspicion time minus crash time) and
+the count of *false suspicions* before the crash — the two quantities
+the timeout parameter trades off, reported by the benchmark sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, List, Optional
+
+from ..sim import ChannelConfig, CrashInjector, Network, SimProcess
+
+__all__ = ["HeartbeatProcess", "MonitorProcess", "run_crash_experiment",
+           "CrashExperimentResult"]
+
+
+class HeartbeatProcess(SimProcess):
+    """Send a heartbeat to ``monitor`` every ``period`` units."""
+
+    def __init__(self, pid: Hashable, monitor: Hashable, period: float = 1.0):
+        super().__init__(pid)
+        self.monitor = monitor
+        self.period = period
+
+    def on_start(self) -> None:
+        self.set_timer("beat", 0.0)
+
+    def on_timer(self, name: str) -> None:
+        if name == "beat":
+            self.send(self.monitor, "hb")
+            self.set_timer("beat", self.period)
+
+
+class MonitorProcess(SimProcess):
+    """Suspect ``watched`` after ``timeout`` units of heartbeat silence.
+
+    Records every suspicion/retraction with its timestamp.
+    """
+
+    def __init__(self, pid: Hashable, watched: Hashable, timeout: float = 3.0):
+        super().__init__(pid)
+        self.watched = watched
+        self.timeout = timeout
+        self.suspect = False
+        self.last_heartbeat: Optional[float] = None
+        self.suspicions: List[float] = []
+        self.retractions: List[float] = []
+
+    def on_start(self) -> None:
+        self.set_timer("check", self.timeout)
+
+    def on_message(self, sender: Hashable, message) -> None:
+        if sender == self.watched and message == "hb":
+            self.last_heartbeat = self.now
+            if self.suspect:
+                self.suspect = False
+                self.retractions.append(self.now)
+
+    def on_timer(self, name: str) -> None:
+        if name != "check":
+            return
+        silent_since = self.last_heartbeat if self.last_heartbeat is not None else 0.0
+        if not self.suspect and self.now - silent_since >= self.timeout:
+            self.suspect = True
+            self.suspicions.append(self.now)
+        self.set_timer("check", self.timeout / 2)
+
+
+@dataclass(frozen=True)
+class CrashExperimentResult:
+    """Measurements from one :func:`run_crash_experiment` run."""
+
+    timeout: float
+    crash_time: float
+    detection_time: Optional[float]   #: first suspicion after the crash
+    detection_latency: Optional[float]
+    false_suspicions: int             #: suspicions strictly before the crash
+
+    def as_row(self) -> str:
+        latency = (
+            f"{self.detection_latency:7.2f}" if self.detection_latency is not None
+            else "   n/a"
+        )
+        return (
+            f"timeout={self.timeout:5.1f}  latency={latency}  "
+            f"false_suspicions={self.false_suspicions}"
+        )
+
+
+def run_crash_experiment(
+    timeout: float,
+    period: float = 1.0,
+    crash_time: float = 50.0,
+    horizon: float = 100.0,
+    loss_probability: float = 0.0,
+    jitter: float = 0.0,
+    seed: int = 0,
+) -> CrashExperimentResult:
+    """Crash the heartbeater at ``crash_time``; measure detection."""
+    network = Network(
+        seed=seed,
+        default_channel=ChannelConfig(
+            delay=0.1, jitter=jitter, loss_probability=loss_probability
+        ),
+    )
+    network.add_process(HeartbeatProcess("p", monitor="fd", period=period))
+    monitor = network.add_process(
+        MonitorProcess("fd", watched="p", timeout=timeout)
+    )
+    CrashInjector(time=crash_time, pid="p").arm(network)
+    network.run(until=horizon)
+
+    detection_time = next(
+        (t for t in monitor.suspicions if t >= crash_time), None
+    )
+    return CrashExperimentResult(
+        timeout=timeout,
+        crash_time=crash_time,
+        detection_time=detection_time,
+        detection_latency=(
+            detection_time - crash_time if detection_time is not None else None
+        ),
+        false_suspicions=sum(1 for t in monitor.suspicions if t < crash_time),
+    )

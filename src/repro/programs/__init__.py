@@ -1,0 +1,7 @@
+"""Worked example programs from the paper and its application catalogue.
+
+Each module builds one program family with its specification, invariant
+and fault-span predicates, and fault classes, returning a frozen "model"
+dataclass so that tests, benchmarks, and examples share a single source
+of truth for every construction in the paper.
+"""

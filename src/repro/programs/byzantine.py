@@ -1,0 +1,368 @@
+"""Section 6.2: Byzantine agreement by detector + corrector.
+
+The problem: a general ``g`` holds a binary value ``d.g``; every
+non-general process ``j`` must eventually output a decision such that
+
+1. (validity) if ``g`` is not Byzantine, every non-Byzantine output
+   equals ``d.g``; and
+2. (agreement) even if ``g`` is Byzantine, all non-Byzantine outputs are
+   identical.
+
+With four processes (``g`` plus three non-generals) at most one process
+may be Byzantine (n = 3f + 1 with f = 1).  The paper derives the masking
+program constructively:
+
+- **IB** (fault-intolerant): each ``j`` copies ``d.g`` into ``d.j``
+  (action ``IB1.j``), then outputs it (action ``IB2.j``).
+- **BYZ.j**: following the paper, ``BYZ.j`` consists of (a) the action
+  that latches ``b.j`` (entering Byzantine mode — at most one process
+  may do so) and (b) actions that let a Byzantine process change its
+  decision and output arbitrarily.  The *latch* is the fault; the
+  arbitrary-behaviour actions appear **in the program composition**
+  (``BYZ.g ‖ (‖ j : … ‖ BYZ.j)``), i.e. they execute under weak
+  fairness like any program action.  A Byzantine write is an arbitrary
+  *value* — ``⊥`` means "not yet written" and cannot be restored, just
+  as a sent message cannot be unsent.
+- **DB.j** (detector): detection predicate ``d.j = corrdecn`` (the
+  correct decision — ``d.g`` when ``g`` is honest, else the majority of
+  the non-general decisions); witness predicate "every non-general has
+  copied a value and ``d.j`` equals their majority".  The fail-safe
+  program restricts ``IB2.j`` to the witness (``DB.j ; IB2.j``).
+- **CB.j** (corrector): same correction predicate; action ``CB1.j``
+  overwrites a minority ``d.j`` with the majority once every
+  non-general holds a value.
+- The masking program is ``BYZ.g ‖ (‖ j : IB1.j ‖ DB.j;IB2.j ‖ CB.j ‖
+  BYZ.j)`` — exactly the classical one-round Byzantine agreement for
+  n = 4.
+
+State variables: ``dg``/``bg`` for the general; per non-general ``j``:
+``d{j}`` (copied decision, ``⊥`` initially), ``out{j}`` (the output,
+``⊥`` until ``IB2.j`` fires), ``b{j}`` (Byzantine flag).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+from ..core import (
+    BOTTOM,
+    Action,
+    FaultClass,
+    LeadsTo,
+    Predicate,
+    Program,
+    Spec,
+    StateInvariant,
+    TRUE,
+    Variable,
+    assign,
+)
+
+__all__ = ["ByzantineModel", "build", "majority", "corrdecn"]
+
+NON_GENERALS: Tuple[int, ...] = (1, 2, 3)
+VALUES: Tuple[int, ...] = (0, 1)
+
+
+def majority(values: Sequence[Hashable]) -> Hashable:
+    """The strict-majority value of an odd-length sequence."""
+    counts: Dict[Hashable, int] = {}
+    for value in values:
+        counts[value] = counts.get(value, 0) + 1
+    best, best_count = max(counts.items(), key=lambda kv: kv[1])
+    if best_count * 2 <= len(values):
+        raise ValueError(f"no strict majority in {values!r}")
+    return best
+
+
+def _majority_of_state(state) -> Hashable:
+    return majority([state[f"d{j}"] for j in NON_GENERALS])
+
+
+def _all_copied(state) -> bool:
+    return all(state[f"d{j}"] is not BOTTOM for j in NON_GENERALS)
+
+
+def corrdecn(state) -> Hashable:
+    """The paper's *correct decision*: ``d.g`` when the general is
+    honest, else the majority of the non-general copies (defined once
+    every non-general holds a value)."""
+    if not state["bg"]:
+        return state["dg"]
+    return _majority_of_state(state)
+
+
+@dataclass(frozen=True)
+class ByzantineModel:
+    """All artifacts of the Section 6.2 construction (n = 4, f = 1)."""
+
+    ib: Program              #: fault-intolerant agreement (no BYZ components)
+    ib_with_byz: Program     #: IB ‖ BYZ — the intolerant program in the fault environment
+    failsafe: Program        #: BYZ.g ‖ (‖j: IB1.j ‖ DB.j;IB2.j ‖ BYZ.j)
+    masking: Program         #: BYZ.g ‖ (‖j: IB1.j ‖ DB.j;IB2.j ‖ CB.j ‖ BYZ.j)
+    spec: Spec               #: validity ∧ agreement ∧ eventual output
+    invariant_ib: Predicate  #: S for IB — nobody Byzantine, copies consistent
+    invariant: Predicate     #: S for the guarded programs (outputs ⇒ all copied)
+    span: Predicate          #: T — at most one Byzantine, outputs consistent
+    faults: FaultClass       #: the b.j := true latches
+    witnesses: Dict[int, Predicate]   #: DB.j witness per non-general
+    detections: Dict[int, Predicate]  #: d.j = corrdecn per non-general
+
+
+def _variables() -> List[Variable]:
+    variables = [Variable("dg", VALUES), Variable("bg", [False, True])]
+    for j in NON_GENERALS:
+        variables.append(Variable(f"d{j}", [BOTTOM, *VALUES]))
+        variables.append(Variable(f"out{j}", [BOTTOM, *VALUES]))
+        variables.append(Variable(f"b{j}", [False, True]))
+    return variables
+
+
+def _honest(j: int) -> Predicate:
+    return Predicate(lambda s, j=j: not s[f"b{j}"], name=f"¬b{j}")
+
+
+def _witness(j: int) -> Predicate:
+    """DB.j / CB.j witness: every non-general has copied a value and
+    ``d.j`` equals their majority."""
+    return Predicate(
+        lambda s, j=j: _all_copied(s) and s[f"d{j}"] == _majority_of_state(s),
+        name=f"W{j}: all copied ∧ d{j}=majority",
+    )
+
+
+def _detection(j: int) -> Predicate:
+    """DB.j / CB.j detection predicate: ``d.j = corrdecn`` (false while
+    the correct decision is still undefined)."""
+
+    def holds(state, j=j):
+        if state["bg"] and not _all_copied(state):
+            return False
+        return state[f"d{j}"] == corrdecn(state)
+
+    return Predicate(holds, name=f"X{j}: d{j}=corrdecn")
+
+
+def _ib_actions(j: int, guarded: bool) -> List[Action]:
+    """``IB1.j`` and ``IB2.j``; with ``guarded=True`` the output action
+    carries DB.j's witness (the fail-safe restriction ``DB.j ; IB2.j``)."""
+    copy = Action(
+        f"IB1.{j}",
+        _honest(j)
+        & Predicate(lambda s, j=j: s[f"d{j}"] is BOTTOM, name=f"d{j}=⊥"),
+        assign(**{f"d{j}": lambda s: s["dg"]}),
+    )
+    output_guard = (
+        _honest(j)
+        & Predicate(lambda s, j=j: s[f"d{j}"] is not BOTTOM, name=f"d{j}≠⊥")
+        & Predicate(lambda s, j=j: s[f"out{j}"] is BOTTOM, name=f"out{j}=⊥")
+    )
+    if guarded:
+        output_guard = output_guard & _witness(j)
+    output = Action(
+        f"IB2.{j}",
+        output_guard,
+        assign(**{f"out{j}": lambda s, j=j: s[f"d{j}"]}),
+    )
+    return [copy, output]
+
+
+def _cb_action(j: int) -> Action:
+    return Action(
+        f"CB1.{j}",
+        _honest(j)
+        & Predicate(_all_copied, name="∀k: dk≠⊥")
+        & Predicate(
+            lambda s, j=j: s[f"d{j}"] != _majority_of_state(s),
+            name=f"d{j}≠majority",
+        ),
+        assign(**{f"d{j}": lambda s: _majority_of_state(s)}),
+    )
+
+
+def _byz_behaviour_actions() -> List[Action]:
+    """The arbitrary-behaviour halves of BYZ.g and BYZ.j — program
+    actions, enabled while the respective Byzantine flag is up.  Writes
+    are arbitrary *values*: a Byzantine process may lie but cannot
+    un-send (``⊥`` is never written)."""
+    actions: List[Action] = [
+        Action(
+            "BYZ.g.lie",
+            Predicate(lambda s: s["bg"], name="bg"),
+            lambda s: tuple(
+                s.assign(dg=v) for v in VALUES
+            ),
+        )
+    ]
+    for j in NON_GENERALS:
+        actions.append(
+            Action(
+                f"BYZ.{j}.lie_d",
+                Predicate(lambda s, j=j: s[f"b{j}"], name=f"b{j}"),
+                lambda s, j=j: tuple(
+                    s.assign(**{f"d{j}": v}) for v in VALUES
+                ),
+            )
+        )
+        actions.append(
+            Action(
+                f"BYZ.{j}.lie_out",
+                Predicate(lambda s, j=j: s[f"b{j}"], name=f"b{j}"),
+                lambda s, j=j: tuple(
+                    s.assign(**{f"out{j}": v}) for v in VALUES
+                ),
+            )
+        )
+    return actions
+
+
+def _fault_latches() -> FaultClass:
+    """The fault-class proper: one latch per process, guarded so that at
+    most one process ever turns Byzantine."""
+    nobody_byzantine = Predicate(
+        lambda s: not s["bg"] and not any(s[f"b{j}"] for j in NON_GENERALS),
+        name="nobody Byzantine",
+    )
+    actions = [Action("BYZ.g.enter", nobody_byzantine, assign(bg=True))]
+    for j in NON_GENERALS:
+        actions.append(
+            Action(f"BYZ.{j}.enter", nobody_byzantine, assign(**{f"b{j}": True}))
+        )
+    return FaultClass(actions, name="BYZ (≤1 process)")
+
+
+def _spec() -> Spec:
+    def validity(state) -> bool:
+        if state["bg"]:
+            return True
+        return all(
+            state[f"b{j}"]
+            or state[f"out{j}"] is BOTTOM
+            or state[f"out{j}"] == state["dg"]
+            for j in NON_GENERALS
+        )
+
+    def agreement(state) -> bool:
+        outputs = [
+            state[f"out{j}"]
+            for j in NON_GENERALS
+            if not state[f"b{j}"] and state[f"out{j}"] is not BOTTOM
+        ]
+        return len(set(outputs)) <= 1
+
+    def all_decided(state) -> bool:
+        return all(
+            state[f"b{j}"] or state[f"out{j}"] is not BOTTOM
+            for j in NON_GENERALS
+        )
+
+    return Spec(
+        [
+            StateInvariant(Predicate(validity, name="validity"), name="validity"),
+            StateInvariant(Predicate(agreement, name="agreement"), name="agreement"),
+            LeadsTo(
+                TRUE,
+                Predicate(all_decided, name="all honest processes decided"),
+                name="every honest process eventually outputs",
+            ),
+        ],
+        name="SPEC_byz",
+    )
+
+
+def _invariant_ib() -> Predicate:
+    def holds(state) -> bool:
+        if state["bg"] or any(state[f"b{j}"] for j in NON_GENERALS):
+            return False
+        for j in NON_GENERALS:
+            if state[f"d{j}"] not in (BOTTOM, state["dg"]):
+                return False
+            if state[f"out{j}"] not in (BOTTOM, state["dg"]):
+                return False
+        return True
+
+    return Predicate(holds, name="S_ib")
+
+
+def _invariant() -> Predicate:
+    base = _invariant_ib()
+
+    def holds(state) -> bool:
+        if not base(state):
+            return False
+        return all(
+            state[f"out{j}"] is BOTTOM or _all_copied(state)
+            for j in NON_GENERALS
+        )
+
+    return Predicate(holds, name="S_byz")
+
+
+def _span() -> Predicate:
+    """T_byz: at most one Byzantine process; every honest output was
+    emitted under the witness — all copies present and the output equals
+    their (thereafter stable) majority; under an honest general, honest
+    copies and outputs carry only ``d.g``."""
+
+    def holds(state) -> bool:
+        byzantine = [state["bg"]] + [state[f"b{j}"] for j in NON_GENERALS]
+        if sum(byzantine) > 1:
+            return False
+        for j in NON_GENERALS:
+            if state[f"b{j}"]:
+                continue
+            if state[f"out{j}"] is BOTTOM:
+                continue
+            if not _all_copied(state):
+                return False
+            if state[f"out{j}"] != _majority_of_state(state):
+                return False
+        if not state["bg"]:
+            for j in NON_GENERALS:
+                if state[f"b{j}"]:
+                    continue
+                if state[f"d{j}"] not in (BOTTOM, state["dg"]):
+                    return False
+                if state[f"out{j}"] not in (BOTTOM, state["dg"]):
+                    return False
+        return True
+
+    return Predicate(holds, name="T_byz")
+
+
+def build() -> ByzantineModel:
+    """Construct the Byzantine-agreement family for n = 4, f = 1."""
+    variables = _variables()
+
+    ib_actions = [a for j in NON_GENERALS for a in _ib_actions(j, guarded=False)]
+    ib = Program(variables, ib_actions, name="IB")
+
+    byz_behaviour = _byz_behaviour_actions()
+    ib_with_byz = Program(variables, ib_actions + byz_behaviour, name="IB‖BYZ")
+    failsafe_actions = (
+        [a for j in NON_GENERALS for a in _ib_actions(j, guarded=True)]
+        + byz_behaviour
+    )
+    failsafe = Program(variables, failsafe_actions, name="IB1‖DB;IB2‖BYZ")
+
+    masking_actions = (
+        [a for j in NON_GENERALS for a in _ib_actions(j, guarded=True)]
+        + [_cb_action(j) for j in NON_GENERALS]
+        + byz_behaviour
+    )
+    masking = Program(variables, masking_actions, name="IB1‖DB;IB2‖CB‖BYZ")
+
+    return ByzantineModel(
+        ib=ib,
+        ib_with_byz=ib_with_byz,
+        failsafe=failsafe,
+        masking=masking,
+        spec=_spec(),
+        invariant_ib=_invariant_ib(),
+        invariant=_invariant(),
+        span=_span(),
+        faults=_fault_latches(),
+        witnesses={j: _witness(j) for j in NON_GENERALS},
+        detections={j: _detection(j) for j in NON_GENERALS},
+    )

@@ -1,0 +1,270 @@
+"""Token-based mutual exclusion with a token-regeneration corrector.
+
+One of the applications the paper's introduction credits to the
+detector/corrector design method.  ``n`` processes circulate a token;
+a process holding the token enters its critical section once, leaves,
+and passes the token on — so at most one process is ever inside (the
+safety half of mutual exclusion), and every process keeps re-acquiring
+the token (the liveness half).
+
+The fault *loses* the token in transit (it can only strike while the
+holder is outside its critical section — a token being used is not "in
+transit").  The corrector detects global token absence and regenerates
+the token at process 0.  Because the regeneration guard is exactly "no
+token exists", the corrector can never create a second token, so safety
+survives the fault too: the composed system is **masking** tolerant to
+token loss, while the intolerant ring is merely **fail-safe** tolerant
+(it blocks forever once the token is lost but never violates
+exclusion).
+
+Variables per process: ``tok{i}`` (token held), ``cs{i}`` (inside the
+critical section), ``done{i}`` (has used the critical section during
+the current token hold — reset when the token is passed on).  The
+``done`` flag makes each hold a bounded receive → CS → pass cycle, so
+weak fairness alone guarantees circulation (without it a process could
+re-enter its critical section forever and starve the pass action).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core import (
+    Action,
+    FaultClass,
+    LeadsTo,
+    Predicate,
+    Program,
+    Spec,
+    StateInvariant,
+    TRUE,
+    Variable,
+    assign,
+)
+
+__all__ = ["MutexModel", "build"]
+
+
+@dataclass(frozen=True)
+class MutexModel:
+    """All artifacts of the mutual-exclusion application."""
+
+    size: int
+    intolerant: Program    #: token ring without regeneration
+    tolerant: Program      #: with the token-regeneration corrector
+    corrector: Action      #: the regeneration action itself
+    spec: Spec
+    invariant: Predicate   #: exactly one token; cs/done only with it
+    span: Predicate        #: at most one token; cs only with it
+    no_token: Predicate    #: the corrector's trigger
+    faults: FaultClass     #: token loss in transit
+    # -- the multitolerant variant (paper §7's multitolerance programme) --
+    multitolerant: Program      #: + one-token entry detector + dedup corrector
+    spec_strong: Spec           #: spec + "everyone eventually enters the CS"
+    duplication: FaultClass     #: a second token materializes
+    span_duplication: Predicate #: ≤2 tokens, ≤1 CS, cs implies token
+
+
+def _token_count(state, size: int) -> int:
+    return sum(1 for i in range(size) if state[f"tok{i}"])
+
+
+def build(size: int = 3) -> MutexModel:
+    """Construct the mutual-exclusion family for ``size`` processes."""
+    if size < 2:
+        raise ValueError("need at least two processes")
+    variables = [
+        v
+        for i in range(size)
+        for v in (
+            Variable(f"tok{i}", [False, True]),
+            Variable(f"cs{i}", [False, True]),
+            Variable(f"done{i}", [False, True]),
+        )
+    ]
+
+    actions: List[Action] = []
+    for i in range(size):
+        nxt = (i + 1) % size
+        holds = Predicate(lambda s, i=i: s[f"tok{i}"], name=f"tok{i}")
+        inside = Predicate(lambda s, i=i: s[f"cs{i}"], name=f"cs{i}")
+        used = Predicate(lambda s, i=i: s[f"done{i}"], name=f"done{i}")
+        actions.append(
+            Action(
+                f"enter{i}", holds & ~inside & ~used, assign(**{f"cs{i}": True})
+            )
+        )
+        actions.append(
+            Action(
+                f"exit{i}",
+                holds & inside,
+                assign(**{f"cs{i}": False, f"done{i}": True}),
+            )
+        )
+        actions.append(
+            Action(
+                f"pass{i}",
+                holds & ~inside & used,
+                assign(
+                    **{f"tok{i}": False, f"done{i}": False, f"tok{nxt}": True}
+                ),
+            )
+        )
+    intolerant = Program(variables, actions, name=f"mutex(n={size})")
+
+    no_token = Predicate(
+        lambda s, n=size: _token_count(s, n) == 0, name="no token"
+    )
+    regenerate = Action("regenerate", no_token, assign(tok0=True))
+    tolerant = Program(
+        variables, actions + [regenerate], name=f"mutex+corrector(n={size})"
+    )
+
+    exclusion = Predicate(
+        lambda s, n=size: sum(1 for i in range(n) if s[f"cs{i}"]) <= 1,
+        name="≤1 in critical section",
+    )
+    spec = Spec(
+        [StateInvariant(exclusion, name="mutual exclusion")]
+        + [
+            LeadsTo(
+                TRUE,
+                Predicate(lambda s, i=i: s[f"tok{i}"], name=f"tok{i}"),
+                name=f"process {i} eventually acquires the token",
+            )
+            for i in range(size)
+        ],
+        name="SPEC_mutex",
+    )
+
+    one_token = Predicate(
+        lambda s, n=size: _token_count(s, n) == 1, name="exactly one token"
+    )
+    holder_consistent = Predicate(
+        lambda s, n=size: all(
+            (not s[f"cs{i}"] or s[f"tok{i}"])
+            and (not s[f"done{i}"] or s[f"tok{i}"])
+            for i in range(n)
+        ),
+        name="cs/done imply the token",
+    )
+    invariant = (one_token & holder_consistent).rename("S_mutex")
+    at_most_one = Predicate(
+        lambda s, n=size: _token_count(s, n) <= 1, name="≤1 token"
+    )
+    cs_needs_token = Predicate(
+        lambda s, n=size: all(
+            not s[f"cs{i}"] or s[f"tok{i}"] for i in range(n)
+        ),
+        name="CS implies token",
+    )
+    span = (at_most_one & cs_needs_token).rename("T_mutex")
+
+    faults = FaultClass(
+        [
+            Action(
+                f"lose{i}",
+                Predicate(
+                    lambda s, i=i: s[f"tok{i}"] and not s[f"cs{i}"],
+                    name=f"tok{i} ∧ ¬cs{i}",
+                ),
+                assign(**{f"tok{i}": False, f"done{i}": False}),
+            )
+            for i in range(size)
+        ],
+        name="token loss",
+    )
+
+    # -- the multitolerant variant ------------------------------------------
+    # A second fault-class: a spurious token materializes (duplication).
+    # Tolerating it needs (a) a *detector* guarding critical-section
+    # entry — enter only while exactly one token exists — and (b) a
+    # *dedup corrector* that removes surplus tokens (sparing a holder
+    # inside its critical section).  The entry detector is what makes
+    # exclusion survive the duplication; without it two holders can sit
+    # in their critical sections simultaneously.
+    duplication = FaultClass(
+        [
+            Action(
+                f"duplicate{i}",
+                one_token
+                & Predicate(lambda s, i=i: not s[f"tok{i}"], name=f"¬tok{i}"),
+                assign(**{f"tok{i}": True, f"done{i}": False}),
+            )
+            for i in range(size)
+        ],
+        name="token duplication",
+    )
+
+    def dedup_statement(state):
+        holders = [i for i in range(size) if state[f"tok{i}"]]
+        in_cs = [i for i in holders if state[f"cs{i}"]]
+        keep = in_cs[0] if in_cs else min(holders)
+        updates = {}
+        for holder in holders:
+            if holder != keep:
+                updates[f"tok{holder}"] = False
+                updates[f"done{holder}"] = False
+        return state.assign(**updates)
+
+    many_tokens = Predicate(
+        lambda s, n=size: _token_count(s, n) >= 2, name="≥2 tokens"
+    )
+    some_holder_out = Predicate(
+        lambda s, n=size: any(
+            s[f"tok{i}"] and not s[f"cs{i}"] for i in range(n)
+        ),
+        name="a holder is outside its CS",
+    )
+    dedup = Action("dedup", many_tokens & some_holder_out, dedup_statement)
+
+    multitolerant_actions = []
+    for action in actions:
+        if action.name.startswith("enter"):
+            multitolerant_actions.append(action.restrict(one_token))
+        else:
+            multitolerant_actions.append(action)
+    multitolerant = Program(
+        variables,
+        multitolerant_actions + [regenerate.renamed("regenerate"), dedup],
+        name=f"mutex+multitolerance(n={size})",
+    )
+
+    spec_strong = spec.conjoin(
+        Spec(
+            [
+                LeadsTo(
+                    TRUE,
+                    Predicate(lambda s, i=i: s[f"cs{i}"], name=f"cs{i}"),
+                    name=f"process {i} eventually enters its critical section",
+                )
+                for i in range(size)
+            ],
+            name="CS liveness",
+        ),
+        name="SPEC_mutex+",
+    )
+
+    at_most_two = Predicate(
+        lambda s, n=size: _token_count(s, n) <= 2, name="≤2 tokens"
+    )
+    span_duplication = (
+        at_most_two & cs_needs_token & exclusion
+    ).rename("T_dup")
+
+    return MutexModel(
+        size=size,
+        intolerant=intolerant,
+        tolerant=tolerant,
+        corrector=regenerate,
+        spec=spec,
+        invariant=invariant,
+        span=span,
+        no_token=no_token,
+        faults=faults,
+        multitolerant=multitolerant,
+        spec_strong=spec_strong,
+        duplication=duplication,
+        span_duplication=span_duplication,
+    )

@@ -1,0 +1,225 @@
+"""Lamport's Oral Messages algorithm OM(m) — the general case of
+Section 6.2.
+
+The paper restricts its worked Byzantine example to n = 4, f = 1 and
+defers the general case to the companion work [11].  To reproduce the
+*claim* that the construction generalizes (masking agreement whenever
+n ≥ 3f + 1), this module implements the classical OM(m) algorithm as an
+exponential-information-gathering (EIG) protocol over synchronous
+rounds, with pluggable Byzantine behaviour:
+
+- in round 0 the general sends its value to every lieutenant;
+- in round r each lieutenant relays every value it learned along each
+  ``(r-1)``-length path of distinct relays;
+- after m + 1 rounds each lieutenant decides by recursive majority over
+  its EIG tree.
+
+Byzantine processes lie through a *strategy*: a function
+``strategy(sender, receiver, path, true_value) -> value`` — per-receiver
+equivocation included, which is exactly what makes the problem hard.
+
+The correctness conditions (the paper's SPEC_byz, classically IC1/IC2):
+
+- **agreement** — all honest lieutenants decide the same value;
+- **validity** — if the general is honest, that value is the general's.
+
+Both hold whenever ``n > 3m`` and at most ``m`` processes are Byzantine
+(Lamport–Shostak–Pease [12]); the test suite checks them across
+adversarial strategies and the benchmark sweeps (n, f) to reproduce the
+3f + 1 threshold — including its *failure* at n = 3f.
+
+In detector/corrector terms: each EIG path is a detector sample of the
+general's value, and the recursive majority is the corrector that
+restores consistency among them — the same decomposition as Section 6.2
+(``DB.j`` = witness over collected copies, ``CB.j`` = majority
+correction), iterated m + 1 times.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "ByzantineStrategy",
+    "honest_strategy",
+    "constant_lie_strategy",
+    "split_strategy",
+    "random_strategy",
+    "OralMessagesRun",
+    "run_oral_messages",
+    "check_agreement",
+    "check_validity",
+]
+
+#: path: the sequence of process ids the value travelled through (the
+#: general first); value: what the honest protocol would send.
+ByzantineStrategy = Callable[[int, int, Tuple[int, ...], int], int]
+
+
+def honest_strategy(sender: int, receiver: int, path: Tuple[int, ...],
+                    value: int) -> int:
+    """Faithful relay (used for honest processes)."""
+    return value
+
+
+def constant_lie_strategy(lie: int) -> ByzantineStrategy:
+    """Always report ``lie`` regardless of the truth."""
+
+    def strategy(sender, receiver, path, value):
+        return lie
+
+    return strategy
+
+
+def split_strategy(values: Sequence[int] = (0, 1)) -> ByzantineStrategy:
+    """Equivocate: send ``values[receiver mod len(values)]`` — the
+    classic general-splits-the-lieutenants attack."""
+
+    def strategy(sender, receiver, path, value):
+        return values[receiver % len(values)]
+
+    return strategy
+
+
+def random_strategy(seed: int, values: Sequence[int] = (0, 1)) -> ByzantineStrategy:
+    """Independently random lies (a chaotic adversary)."""
+    rng = random.Random(seed)
+
+    def strategy(sender, receiver, path, value):
+        return rng.choice(list(values))
+
+    return strategy
+
+
+@dataclass
+class OralMessagesRun:
+    """The outcome of one OM(m) execution."""
+
+    n: int
+    m: int
+    general_value: int
+    byzantine: Tuple[int, ...]
+    decisions: Dict[int, int]           #: per honest lieutenant
+    messages_sent: int
+    rounds: int
+
+    @property
+    def honest_lieutenants(self) -> List[int]:
+        return [
+            p for p in range(1, self.n) if p not in self.byzantine
+        ]
+
+
+def run_oral_messages(
+    n: int,
+    m: int,
+    general_value: int = 1,
+    byzantine: Sequence[int] = (),
+    strategy: Optional[ByzantineStrategy] = None,
+    default_value: int = 0,
+) -> OralMessagesRun:
+    """Execute OM(m) with processes ``0..n-1`` (0 is the general).
+
+    ``byzantine`` lists the faulty processes; ``strategy`` is how they
+    lie (default: constant 0).  Returns the run record with every
+    honest lieutenant's decision.
+    """
+    if n < 2:
+        raise ValueError("need a general and at least one lieutenant")
+    if m < 0:
+        raise ValueError("m must be nonnegative")
+    byzantine = tuple(sorted(set(byzantine)))
+    if any(p < 0 or p >= n for p in byzantine):
+        raise ValueError("byzantine ids out of range")
+    strategy = strategy or constant_lie_strategy(0)
+
+    lieutenants = [p for p in range(1, n)]
+    message_count = [0]
+
+    def sent_value(sender: int, receiver: int, path: Tuple[int, ...],
+                   value: int) -> int:
+        message_count[0] += 1
+        if sender in byzantine:
+            return strategy(sender, receiver, path, value)
+        return value
+
+    # EIG tree per lieutenant: maps a path (general, relays...) to the
+    # value received along it.
+    tree: Dict[int, Dict[Tuple[int, ...], int]] = {p: {} for p in lieutenants}
+
+    # round 0: the general broadcasts.
+    for lieutenant in lieutenants:
+        tree[lieutenant][(0,)] = sent_value(
+            0, lieutenant, (0,), general_value
+        )
+
+    # rounds 1..m: relay along paths of distinct non-general relays.
+    for round_index in range(1, m + 1):
+        for lieutenant in lieutenants:
+            additions: Dict[Tuple[int, ...], int] = {}
+            for relay in lieutenants:
+                if relay == lieutenant:
+                    continue
+                for path, value in tree[relay].items():
+                    if len(path) != round_index:
+                        continue
+                    if relay in path:
+                        continue
+                    additions[path + (relay,)] = sent_value(
+                        relay, lieutenant, path + (relay,), value
+                    )
+            tree[lieutenant].update(additions)
+
+    def decide(lieutenant: int, path: Tuple[int, ...]) -> int:
+        """Recursive majority over the EIG subtree rooted at ``path``."""
+        children = [
+            p for p in tree[lieutenant]
+            if len(p) == len(path) + 1 and p[: len(path)] == path
+        ]
+        if not children:
+            return tree[lieutenant][path]
+        values = [decide(lieutenant, child) for child in children]
+        values.append(tree[lieutenant][path])
+        return _majority_or_default(values, default_value)
+
+    decisions = {
+        lieutenant: decide(lieutenant, (0,))
+        for lieutenant in lieutenants
+        if lieutenant not in byzantine
+    }
+    return OralMessagesRun(
+        n=n,
+        m=m,
+        general_value=general_value,
+        byzantine=byzantine,
+        decisions=decisions,
+        messages_sent=message_count[0],
+        rounds=m + 1,
+    )
+
+
+def _majority_or_default(values: Sequence[int], default: int) -> int:
+    counts: Dict[int, int] = {}
+    for value in values:
+        counts[value] = counts.get(value, 0) + 1
+    best_count = max(counts.values())
+    winners = [v for v, c in counts.items() if c == best_count]
+    if len(winners) == 1 and best_count * 2 > len(values):
+        return winners[0]
+    return default
+
+
+def check_agreement(run: OralMessagesRun) -> bool:
+    """IC2: all honest lieutenants decide identically."""
+    return len(set(run.decisions.values())) <= 1
+
+
+def check_validity(run: OralMessagesRun) -> bool:
+    """IC1: with an honest general every honest lieutenant decides the
+    general's value (vacuous when the general is Byzantine)."""
+    if 0 in run.byzantine:
+        return True
+    return all(v == run.general_value for v in run.decisions.values())

@@ -1,0 +1,198 @@
+"""Termination detection — a pure detector application.
+
+Termination detection is the canonical example of a *detector* whose
+detection predicate is a global, stable property: "every process is
+idle".  The paper's introduction lists it among the applications of the
+component-based design method; here we build a small scan-based
+detector and verify it against the ``Z detects X`` specification.
+
+The underlying computation: ``n`` processes, each ``active`` or idle.
+An active process may *activate* another process (spawn work) or
+*deactivate* itself.  Since only active processes activate others,
+termination ("all idle") is stable — exactly the closed detection
+predicate of the Chandy–Misra style detects relation the paper's remark
+mentions.
+
+The detector: a scanner sweeps the processes with a cursor ``idx``.  Any
+activation raises a global ``dirty`` bit; the scanner restarts (and
+clears ``dirty``) whenever it sees an active process or the dirty bit,
+advances past idle processes otherwise, and claims termination (witness
+``done``) only after a complete clean sweep.  The ``dirty`` bit is what
+makes the claim sound: without it, a process behind the cursor could be
+re-activated by one ahead of it and the scanner would wrongly report
+termination — the test suite demonstrates this classic bug on the
+``unsound`` variant.
+
+Faults: a *spurious activation* perturbs an idle process to active
+without raising ``dirty`` (e.g. a duplicated message).  The sound
+detector is **not** tolerant to it — its Safeness can be violated —
+which the model checker exhibits; this mirrors the paper's point that
+tolerance is always relative to a fault-class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core import (
+    Action,
+    FaultClass,
+    Predicate,
+    Program,
+    Spec,
+    Variable,
+    assign,
+    detects_spec,
+)
+
+__all__ = ["TerminationModel", "build"]
+
+
+@dataclass(frozen=True)
+class TerminationModel:
+    """All artifacts of the termination-detection application."""
+
+    size: int
+    detector: Program        #: computation ‖ sound scanner
+    unsound: Program         #: computation ‖ scanner without the dirty bit
+    terminated: Predicate    #: X — every process idle
+    done: Predicate          #: Z — the scanner's claim
+    from_: Predicate         #: U — scanner bookkeeping is consistent
+    spec: Spec               #: 'done detects terminated'
+    faults: FaultClass       #: spurious activation
+
+
+def build(size: int = 3) -> TerminationModel:
+    """Construct the termination-detection family for ``size``
+    processes."""
+    if size < 2:
+        raise ValueError("need at least two processes")
+    variables = [Variable(f"active{i}", [False, True]) for i in range(size)]
+    variables += [
+        Variable("idx", list(range(size + 1))),
+        Variable("dirty", [False, True]),
+        Variable("done", [False, True]),
+    ]
+
+    computation: List[Action] = []
+    for i in range(size):
+        computation.append(
+            Action(
+                f"deactivate{i}",
+                Predicate(lambda s, i=i: s[f"active{i}"], name=f"active{i}"),
+                assign(**{f"active{i}": False}),
+            )
+        )
+        for j in range(size):
+            if j == i:
+                continue
+            computation.append(
+                Action(
+                    f"activate{i}_{j}",
+                    Predicate(
+                        lambda s, i=i, j=j: s[f"active{i}"]
+                        and not s[f"active{j}"],
+                        name=f"active{i} ∧ ¬active{j}",
+                    ),
+                    assign(**{f"active{j}": True, "dirty": True}),
+                )
+            )
+
+    def scanner(sound: bool) -> List[Action]:
+        at_cursor_active = Predicate(
+            lambda s, n=size: s["idx"] < n and s[f"active{s['idx']}"],
+            name="active at cursor",
+        )
+        dirty = Predicate(lambda s: s["dirty"], name="dirty")
+        restart_trigger = (
+            (at_cursor_active | dirty) if sound else at_cursor_active
+        )
+        suffix = "" if sound else "_unsound"
+        actions = [
+            Action(
+                f"scan_advance{suffix}",
+                Predicate(
+                    lambda s, n=size, sound=sound: (
+                        s["idx"] < n
+                        and not s[f"active{s['idx']}"]
+                        and not (sound and s["dirty"])
+                    ),
+                    name="idle at cursor",
+                ),
+                assign(idx=lambda s: s["idx"] + 1),
+            ),
+            Action(
+                f"scan_restart{suffix}",
+                restart_trigger
+                & Predicate(
+                    lambda s: s["idx"] > 0 or s["dirty"], name="progress to undo"
+                ),
+                assign(idx=0, dirty=False),
+            ),
+            Action(
+                f"scan_report{suffix}",
+                Predicate(
+                    lambda s, n=size, sound=sound: (
+                        s["idx"] == n
+                        and not s["done"]
+                        and not (sound and s["dirty"])
+                    ),
+                    name="clean sweep complete",
+                ),
+                assign(done=True),
+            ),
+        ]
+        return actions
+
+    detector = Program(
+        variables, computation + scanner(sound=True),
+        name=f"termination_detector(n={size})",
+    )
+    unsound = Program(
+        variables, computation + scanner(sound=False),
+        name=f"termination_detector_unsound(n={size})",
+    )
+
+    terminated = Predicate(
+        lambda s, n=size: not any(s[f"active{i}"] for i in range(n)),
+        name="terminated",
+    )
+    done = Predicate(lambda s: s["done"], name="done")
+
+    def consistent(state) -> bool:
+        # everything the cursor has passed was idle, unless an
+        # activation has been flagged since the sweep began
+        if state["dirty"]:
+            prefix_clean = True
+        else:
+            prefix_clean = all(
+                not state[f"active{i}"] for i in range(state["idx"])
+            )
+        claim_ok = (not state["done"]) or terminated(state)
+        return prefix_clean and claim_ok
+
+    from_ = Predicate(consistent, name="U_td")
+
+    return TerminationModel(
+        size=size,
+        detector=detector,
+        unsound=unsound,
+        terminated=terminated,
+        done=done,
+        from_=from_,
+        spec=detects_spec(done, terminated),
+        faults=FaultClass(
+            [
+                Action(
+                    f"spurious{i}",
+                    Predicate(
+                        lambda s, i=i: not s[f"active{i}"], name=f"¬active{i}"
+                    ),
+                    assign(**{f"active{i}": True}),
+                )
+                for i in range(size)
+            ],
+            name="spurious activation",
+        ),
+    )

@@ -1,0 +1,186 @@
+"""Section 6.1: triple modular redundancy by detector + corrector.
+
+The input-output problem: three inputs ``x, y, z`` and one output
+``out``.  In the absence of faults all inputs equal the uncorrupted
+value; a fault may corrupt *one* input.  ``SPEC_io`` requires the output
+to be assigned the value of an uncorrupted input (safety: ``out`` is
+never set to a corrupted value; liveness: ``out`` is eventually set).
+
+The paper derives the TMR system constructively:
+
+- **IR** (fault-intolerant): ``out = ⊥ --> out := x``.
+- **DR** (detector): detection predicate ``x = uncor``, witness
+  predicate ``x = y ∨ x = z``.  The fail-safe program is the sequential
+  composition ``DR ; IR`` — ``IR`` restricted to run only under the
+  witness.
+- **CR** (corrector): correction/witness predicate ``out = uncor``; two
+  actions copy ``y`` (resp. ``z``) into the output when they are
+  majority-confirmed.
+- **TMR = DR;IR ‖ CR** is masking tolerant — and is exactly the
+  classical triple-modular-redundancy voter, obtained by composition.
+
+Modelling choices: the uncorrupted value is the ``build`` parameter
+``uncor`` (the paper's ghost constant); the fault may corrupt any one
+input, and "at most one corruption" is enforced by guarding each fault
+action on all inputs being currently uncorrupted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from ..core import (
+    BOTTOM,
+    Action,
+    FaultClass,
+    LeadsTo,
+    Predicate,
+    Program,
+    Spec,
+    TRUE,
+    TransitionInvariant,
+    Variable,
+    assign,
+)
+
+__all__ = ["TmrModel", "build"]
+
+
+@dataclass(frozen=True)
+class TmrModel:
+    """All artifacts of the Section 6.1 construction."""
+
+    uncor: Hashable
+    ir: Program                #: fault-intolerant IR
+    dr_ir: Program             #: fail-safe DR ; IR
+    tmr: Program               #: masking DR ; IR ‖ CR
+    cr: Program                #: the corrector component alone
+    detector_eval: Program     #: the action-free program that evaluates DR's witness
+    spec: Spec                 #: SPEC_io
+    witness_dr: Predicate      #: x = y ∨ x = z
+    detection_dr: Predicate    #: x = uncor
+    witness_cr: Predicate      #: out = uncor
+    invariant: Predicate       #: S — no input corrupted
+    span: Predicate            #: T — at most one input corrupted
+    span_inputs: Predicate     #: T over the inputs only (for the stateless detector)
+    faults: FaultClass         #: corrupt one input
+
+
+def build(uncor: Hashable = 1, corrupted: Hashable = 0) -> TmrModel:
+    """Construct the TMR family with ``uncor`` as the good input value
+    and ``corrupted`` as the value a fault writes."""
+    if uncor == corrupted:
+        raise ValueError("corrupted value must differ from the uncorrupted one")
+    domain = [uncor, corrupted]
+    x = Variable("x", domain)
+    y = Variable("y", domain)
+    z = Variable("z", domain)
+    out = Variable("out", [BOTTOM, *domain])
+
+    unset = Predicate(lambda s: s["out"] is BOTTOM, name="out=⊥")
+    witness_dr = Predicate(
+        lambda s: s["x"] == s["y"] or s["x"] == s["z"], name="x=y ∨ x=z"
+    )
+    detection_dr = Predicate(lambda s, u=uncor: s["x"] == u, name="x=uncor")
+    witness_cr = Predicate(lambda s, u=uncor: s["out"] == u, name="out=uncor")
+
+    ir = Program(
+        variables=[x, y, z, out],
+        actions=[Action("IR1", unset, assign(out=lambda s: s["x"]))],
+        name="IR",
+    )
+
+    # DR ; IR — the detector restricts IR to its witness predicate.
+    dr_ir = ir.restrict(witness_dr, name="DR;IR")
+
+    cr = Program(
+        variables=[x, y, z, out],
+        actions=[
+            Action(
+                "CR1",
+                unset & Predicate(
+                    lambda s: s["y"] == s["z"] or s["y"] == s["x"],
+                    name="y=z ∨ y=x",
+                ),
+                assign(out=lambda s: s["y"]),
+            ),
+            Action(
+                "CR2",
+                unset & Predicate(
+                    lambda s: s["z"] == s["x"] or s["z"] == s["y"],
+                    name="z=x ∨ z=y",
+                ),
+                assign(out=lambda s: s["z"]),
+            ),
+        ],
+        name="CR",
+    )
+
+    tmr = dr_ir.parallel(cr, name="DR;IR ‖ CR")
+
+    # the paper's "program that merely evaluates the state predicate":
+    # an action-free program over the inputs, whose every computation is
+    # the single-state one — a stateless detector.
+    detector_eval = Program(variables=[x, y, z], actions=[], name="DR")
+
+    never_wrong = TransitionInvariant(
+        lambda s, t, u=uncor: s["out"] == t["out"] or t["out"] == u,
+        name="out never set to a corrupted value",
+    )
+    eventually_set = LeadsTo(
+        TRUE,
+        Predicate(lambda s, u=uncor: s["out"] == u, name="out=uncor"),
+        name="out eventually assigned an uncorrupted input",
+    )
+    spec = Spec([never_wrong, eventually_set], name="SPEC_io")
+
+    all_good = Predicate(
+        lambda s, u=uncor: s["x"] == u and s["y"] == u and s["z"] == u,
+        name="no input corrupted",
+    )
+    invariant = (
+        all_good
+        & Predicate(
+            lambda s, u=uncor: s["out"] in (BOTTOM, u), name="out∈{⊥,uncor}"
+        )
+    ).rename("S_io")
+    span_inputs = Predicate(
+        lambda s, u=uncor: sum(1 for name in ("x", "y", "z") if s[name] != u) <= 1,
+        name="≤1 input corrupted",
+    )
+    span = (
+        span_inputs
+        & Predicate(
+            lambda s, u=uncor: s["out"] in (BOTTOM, u), name="out∈{⊥,uncor}"
+        )
+    ).rename("T_io (≤1 corrupted)")
+
+    faults = FaultClass(
+        [
+            Action(
+                f"corrupt_{name}",
+                all_good,
+                assign(**{name: corrupted}),
+            )
+            for name in ("x", "y", "z")
+        ],
+        name="one-input-corruption",
+    )
+
+    return TmrModel(
+        uncor=uncor,
+        ir=ir,
+        dr_ir=dr_ir,
+        tmr=tmr,
+        cr=cr,
+        detector_eval=detector_eval,
+        spec=spec,
+        witness_dr=witness_dr,
+        detection_dr=detection_dr,
+        witness_cr=witness_cr,
+        invariant=invariant,
+        span=span,
+        span_inputs=span_inputs,
+        faults=faults,
+    )

@@ -1,0 +1,63 @@
+"""A SIEFAST-style simulation environment (paper Section 7).
+
+The paper's concluding section describes SIEFAST, "an environment that
+enables stepwise design, implementation and validation of
+component-based fault-tolerant distributed programs", supporting
+distributed and *hybrid* simulation plus fault (and intruder)
+modelling.  This package reproduces those capabilities at laptop scale:
+
+- :mod:`repro.sim.kernel` — a deterministic discrete-event simulator;
+- :mod:`repro.sim.process` / :mod:`repro.sim.network` — message-passing
+  processes wired through configurable channels;
+- :mod:`repro.sim.channel` — delay, loss, duplication and reordering
+  models;
+- :mod:`repro.sim.faults` — fault injectors: crash, restart, transient
+  state corruption, message-loss bursts;
+- :mod:`repro.sim.monitors` — online global-predicate monitors for
+  convergence/latency measurement (the runtime analogue of detectors);
+- :mod:`repro.sim.guarded` — run any :class:`repro.core.Program` under
+  random / round-robin / adversarial schedulers with fault injection,
+  measuring stabilization times.  This is the "hybrid" bridge: the same
+  guarded-command component can be model-checked by
+  :mod:`repro.core` and executed here.
+"""
+
+from .kernel import Simulator
+from .process import SimProcess
+from .channel import ChannelConfig
+from .network import Network
+from .faults import (
+    CrashInjector,
+    MessageLossBurst,
+    RestartInjector,
+    StateCorruptionInjector,
+    TamperingIntruder,
+)
+from .monitors import PredicateMonitor
+from .guarded import (
+    AdversarialScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    simulate,
+    convergence_steps,
+    worst_case_convergence_steps,
+)
+
+__all__ = [
+    "Simulator",
+    "SimProcess",
+    "ChannelConfig",
+    "Network",
+    "CrashInjector",
+    "RestartInjector",
+    "StateCorruptionInjector",
+    "MessageLossBurst",
+    "TamperingIntruder",
+    "PredicateMonitor",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "AdversarialScheduler",
+    "simulate",
+    "convergence_steps",
+    "worst_case_convergence_steps",
+]

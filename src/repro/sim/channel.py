@@ -1,0 +1,61 @@
+"""Channel models: delay, loss, duplication, reordering.
+
+A :class:`ChannelConfig` turns each send into zero or more deliveries
+with computed delays.  All randomness flows through the caller's
+``random.Random`` instance, keeping runs reproducible.
+
+Reordering falls out of jittered delays (two messages sent in order may
+be delivered out of order when ``jitter > 0``), matching how real
+networks reorder.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["ChannelConfig"]
+
+
+@dataclass(frozen=True)
+class ChannelConfig:
+    """Delivery behaviour of a directed channel.
+
+    Attributes
+    ----------
+    delay:
+        Base propagation delay.
+    jitter:
+        Uniform extra delay in ``[0, jitter]``; nonzero jitter permits
+        reordering.
+    loss_probability:
+        Each message is independently dropped with this probability.
+    duplication_probability:
+        Each delivered message is delivered a second time with this
+        probability.
+    """
+
+    delay: float = 1.0
+    jitter: float = 0.0
+    loss_probability: float = 0.0
+    duplication_probability: float = 0.0
+
+    def __post_init__(self):
+        if self.delay < 0 or self.jitter < 0:
+            raise ValueError("delay and jitter must be nonnegative")
+        for p in (self.loss_probability, self.duplication_probability):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"probability {p} outside [0, 1]")
+
+    def delivery_delays(self, rng: random.Random) -> List[float]:
+        """The delays at which copies of one message arrive (empty if
+        the message is lost)."""
+        if rng.random() < self.loss_probability:
+            return []
+        delays = [self.delay + (rng.random() * self.jitter if self.jitter else 0.0)]
+        if rng.random() < self.duplication_probability:
+            delays.append(
+                self.delay + (rng.random() * self.jitter if self.jitter else 0.0)
+            )
+        return delays

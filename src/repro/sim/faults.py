@@ -1,0 +1,135 @@
+"""Fault injectors for simulation runs.
+
+Each injector arms itself on a :class:`~repro.sim.network.Network` and
+perturbs it at scheduled instants — the runtime counterpart of the
+fault-class actions of :mod:`repro.core.faults`:
+
+- :class:`CrashInjector` / :class:`RestartInjector` — crash faults
+  (processes stop sending/receiving) and recovery;
+- :class:`StateCorruptionInjector` — transient state corruption, the
+  fault-class of the self-stabilization examples;
+- :class:`MessageLossBurst` — temporarily raises a channel's loss rate
+  to 100% (omission faults), restoring it afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Tuple
+
+from .channel import ChannelConfig
+from .network import Network
+
+__all__ = [
+    "CrashInjector",
+    "RestartInjector",
+    "StateCorruptionInjector",
+    "MessageLossBurst",
+    "TamperingIntruder",
+]
+
+
+@dataclass(frozen=True)
+class CrashInjector:
+    """Crash ``pid`` at ``time``."""
+
+    time: float
+    pid: Hashable
+
+    def arm(self, network: Network) -> None:
+        network.simulator.schedule(
+            self.time - network.simulator.now,
+            lambda: network.crash(self.pid),
+        )
+
+
+@dataclass(frozen=True)
+class RestartInjector:
+    """Restart ``pid`` at ``time`` (no-op if it is not crashed)."""
+
+    time: float
+    pid: Hashable
+
+    def arm(self, network: Network) -> None:
+        network.simulator.schedule(
+            self.time - network.simulator.now,
+            lambda: network.restart(self.pid),
+        )
+
+
+@dataclass(frozen=True)
+class StateCorruptionInjector:
+    """Overwrite state variables of ``pid`` at ``time``."""
+
+    time: float
+    pid: Hashable
+    updates: Tuple[Tuple[str, Any], ...]
+
+    @staticmethod
+    def of(time: float, pid: Hashable, **updates: Any) -> "StateCorruptionInjector":
+        return StateCorruptionInjector(
+            time=time, pid=pid, updates=tuple(sorted(updates.items()))
+        )
+
+    def arm(self, network: Network) -> None:
+        network.simulator.schedule(
+            self.time - network.simulator.now,
+            lambda: network.corrupt(self.pid, dict(self.updates)),
+        )
+
+
+@dataclass(frozen=True)
+class TamperingIntruder:
+    """An intruder on the ``source -> destination`` channel during
+    ``[start, start + duration)``: every message in transit is rewritten
+    by ``transform`` (SIEFAST's intruder modelling, Section 7).
+
+    A detector against this intruder is an authentication check; see
+    ``tests/test_sim_intruder.py`` for a worked scenario.
+    """
+
+    start: float
+    duration: float
+    source: Hashable
+    destination: Hashable
+    transform: Any  # Callable[[message], message]
+
+    def arm(self, network: Network) -> None:
+        network.simulator.schedule(
+            self.start - network.simulator.now,
+            lambda: network.set_tamperer(
+                self.source, self.destination, self.transform
+            ),
+        )
+        network.simulator.schedule(
+            self.start + self.duration - network.simulator.now,
+            lambda: network.set_tamperer(self.source, self.destination, None),
+        )
+
+
+@dataclass(frozen=True)
+class MessageLossBurst:
+    """Drop everything on the ``source -> destination`` channel during
+    ``[start, start + duration)``."""
+
+    start: float
+    duration: float
+    source: Hashable
+    destination: Hashable
+
+    def arm(self, network: Network) -> None:
+        original = network.channel(self.source, self.destination)
+        lossy = ChannelConfig(
+            delay=original.delay,
+            jitter=original.jitter,
+            loss_probability=1.0,
+            duplication_probability=original.duplication_probability,
+        )
+        network.simulator.schedule(
+            self.start - network.simulator.now,
+            lambda: network.set_channel(self.source, self.destination, lossy),
+        )
+        network.simulator.schedule(
+            self.start + self.duration - network.simulator.now,
+            lambda: network.set_channel(self.source, self.destination, original),
+        )

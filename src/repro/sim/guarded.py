@@ -1,0 +1,236 @@
+"""Executing guarded-command programs under schedulers.
+
+This is the "hybrid" bridge the paper's SIEFAST sketch calls for: the
+same :class:`repro.core.Program` that the model checker certifies can
+be *run* here, step by step, under a pluggable scheduler with fault
+injection — producing the quantitative measurements (stabilization
+times, recovery latencies) that complement the qualitative tolerance
+certificates.
+
+Schedulers:
+
+- :class:`RandomScheduler` — uniform choice among enabled transitions
+  (weakly fair with probability 1);
+- :class:`RoundRobinScheduler` — cycles through actions, executing each
+  enabled one in turn (deterministically fair);
+- :class:`AdversarialScheduler` — picks the transition that maximizes
+  the shortest-path distance to a target predicate (a demonic scheduler
+  for worst-case-leaning convergence measurements).
+
+Measurements:
+
+- :func:`convergence_steps` — steps until a target predicate holds,
+  under a given scheduler;
+- :func:`worst_case_convergence_steps` — the *exact* demonic bound, by
+  value iteration over the transition graph (raises if a demonic
+  schedule can avoid the target forever — i.e. if convergence is not
+  scheduler-independent).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.exploration import TransitionSystem
+from ..core.faults import FaultClass
+from ..core.predicate import Predicate
+from ..core.program import Program
+from ..core.state import State
+
+__all__ = [
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "AdversarialScheduler",
+    "simulate",
+    "convergence_steps",
+    "worst_case_convergence_steps",
+]
+
+Transition = Tuple[str, State]
+
+
+class RandomScheduler:
+    """Uniformly random choice among enabled transitions."""
+
+    def __init__(self, seed: int = 0):
+        self.rng = random.Random(seed)
+
+    def choose(self, state: State, options: List[Transition]) -> Transition:
+        return self.rng.choice(options)
+
+
+class RoundRobinScheduler:
+    """Cycle through action names; execute the next enabled one.
+
+    Deterministic and fair: every continuously enabled action is
+    executed within one full cycle.
+    """
+
+    def __init__(self):
+        self._cursor = 0
+
+    def choose(self, state: State, options: List[Transition]) -> Transition:
+        names = sorted({name for name, _ in options})
+        chosen_name = names[self._cursor % len(names)]
+        self._cursor += 1
+        for option in options:
+            if option[0] == chosen_name:
+                return option
+        return options[0]  # pragma: no cover — chosen_name comes from options
+
+
+class AdversarialScheduler:
+    """Choose the transition maximizing distance-to-target.
+
+    Distances are shortest-path steps to the target predicate in the
+    reachable graph (precomputed on first use); unreachable-from states
+    count as infinitely far.  This demonic scheduler drives worst-case-
+    leaning convergence measurements.
+    """
+
+    def __init__(self, program: Program, target: Predicate, start: State):
+        ts = TransitionSystem(program, [start])
+        self._distance = _distances_to(ts, target)
+
+    def choose(self, state: State, options: List[Transition]) -> Transition:
+        return max(
+            options,
+            key=lambda option: self._distance.get(option[1], float("inf")),
+        )
+
+
+def _distances_to(ts: TransitionSystem, target: Predicate) -> Dict[State, float]:
+    """Backward BFS: steps from each state to the nearest target state."""
+    from collections import deque
+
+    predecessors: Dict[State, List[State]] = {s: [] for s in ts.states}
+    for state in ts.states:
+        for _, nxt in ts.program_edges_from(state):
+            if nxt in predecessors:
+                predecessors[nxt].append(state)
+    distance: Dict[State, float] = {}
+    frontier = deque()
+    for state in ts.states:
+        if target(state):
+            distance[state] = 0.0
+            frontier.append(state)
+    while frontier:
+        state = frontier.popleft()
+        for previous in predecessors[state]:
+            if previous not in distance:
+                distance[previous] = distance[state] + 1.0
+                frontier.append(previous)
+    return distance
+
+
+def simulate(
+    program: Program,
+    start: State,
+    scheduler,
+    steps: int = 1000,
+    faults: Optional[FaultClass] = None,
+    fault_times: Iterable[int] = (),
+    fault_rng: Optional[random.Random] = None,
+) -> List[State]:
+    """Run ``program`` from ``start`` for up to ``steps`` steps.
+
+    ``fault_times`` lists the step indices at which a random enabled
+    fault action fires instead of a program action (fault injection in
+    the trace-driven SIEFAST style).  Returns the visited states; stops
+    early at deadlock.
+    """
+    fault_rng = fault_rng or random.Random(0)
+    fault_schedule = set(fault_times)
+    trace = [start]
+    state = start
+    for step in range(steps):
+        if step in fault_schedule and faults is not None:
+            fault_options: List[Transition] = []
+            for action in faults.actions:
+                for nxt in action.successors(state):
+                    fault_options.append((action.name, nxt))
+            if fault_options:
+                _, state = fault_rng.choice(fault_options)
+                trace.append(state)
+                continue
+        options: List[Transition] = []
+        for action in program.actions:
+            for nxt in action.successors(state):
+                options.append((action.name, nxt))
+        if not options:
+            break
+        _, state = scheduler.choose(state, options)
+        trace.append(state)
+    return trace
+
+
+def convergence_steps(
+    program: Program,
+    start: State,
+    target: Predicate,
+    scheduler,
+    max_steps: int = 10_000,
+) -> Optional[int]:
+    """Steps until ``target`` first holds under ``scheduler`` (None if
+    it does not within ``max_steps``)."""
+    state = start
+    if target(state):
+        return 0
+    for step in range(1, max_steps + 1):
+        options: List[Transition] = []
+        for action in program.actions:
+            for nxt in action.successors(state):
+                options.append((action.name, nxt))
+        if not options:
+            return None
+        _, state = scheduler.choose(state, options)
+        if target(state):
+            return step
+    return None
+
+
+def worst_case_convergence_steps(
+    program: Program,
+    starts: Iterable[State],
+    target: Predicate,
+) -> int:
+    """The exact demonic convergence bound from the given start states.
+
+    ``steps(s) = 0`` if the target holds at ``s``, else ``1 + max`` over
+    all outgoing transitions.  Well-defined iff no demonic schedule can
+    avoid the target forever; a cycle in the non-target region raises
+    ``ValueError`` (convergence is then fairness-dependent, and only
+    scheduler-specific measurements are meaningful).
+    """
+    memo: Dict[State, int] = {}
+    on_path: set = set()
+
+    def steps(state: State) -> int:
+        if state in memo:
+            return memo[state]
+        if target(state):
+            memo[state] = 0
+            return 0
+        if state in on_path:
+            raise ValueError(
+                "a demonic schedule can avoid the target forever "
+                f"(cycle through {state!r})"
+            )
+        on_path.add(state)
+        worst = 0
+        for action in program.actions:
+            for nxt in action.successors(state):
+                worst = max(worst, 1 + steps(nxt))
+        on_path.discard(state)
+        memo[state] = worst
+        return worst
+
+    import sys
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 100_000))
+    try:
+        return max((steps(s) for s in starts), default=0)
+    finally:
+        sys.setrecursionlimit(old_limit)

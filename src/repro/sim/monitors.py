@@ -1,0 +1,83 @@
+"""Online global-predicate monitors.
+
+A :class:`PredicateMonitor` samples the network's global snapshot
+periodically and records when a predicate holds — the runtime analogue
+of a detector (its detection predicate is the monitored predicate, its
+witness is the recorded observation).  Helpers extract the measurements
+the benchmarks report: detection latency (first time the predicate is
+observed true) and convergence time (start of the final interval during
+which it was continuously observed true).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+
+from .network import Network
+
+__all__ = ["PredicateMonitor"]
+
+GlobalPredicate = Callable[[Dict[Hashable, Dict[str, Any]]], bool]
+
+
+class PredicateMonitor:
+    """Sample a global predicate every ``period`` time units.
+
+    The monitor must be armed *before* the network runs; it reschedules
+    itself until ``horizon`` (if given) or indefinitely while the run
+    lasts.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        predicate: GlobalPredicate,
+        period: float = 1.0,
+        horizon: Optional[float] = None,
+        name: str = "monitor",
+    ):
+        self.network = network
+        self.predicate = predicate
+        self.period = period
+        self.horizon = horizon
+        self.name = name
+        self.samples: List[Tuple[float, bool]] = []
+        self._arm()
+
+    def _arm(self) -> None:
+        self.network.simulator.schedule(0.0, self._sample)
+
+    def _sample(self) -> None:
+        now = self.network.simulator.now
+        if self.horizon is not None and now > self.horizon:
+            return
+        self.samples.append((now, bool(self.predicate(self.network.global_snapshot()))))
+        self.network.simulator.schedule(self.period, self._sample)
+
+    # -- measurements -----------------------------------------------------------
+    def first_true(self) -> Optional[float]:
+        """Detection latency: the first sampling instant at which the
+        predicate held, or None."""
+        for time, value in self.samples:
+            if value:
+                return time
+        return None
+
+    def convergence_time(self) -> Optional[float]:
+        """Start of the final continuously-true interval — the observed
+        convergence instant — or None if the run did not end true."""
+        if not self.samples or not self.samples[-1][1]:
+            return None
+        start = self.samples[-1][0]
+        for time, value in reversed(self.samples):
+            if not value:
+                break
+            start = time
+        return start
+
+    def fraction_true(self) -> float:
+        """Fraction of samples at which the predicate held (availability
+        of the monitored property)."""
+        if not self.samples:
+            return 0.0
+        return sum(1 for _, v in self.samples if v) / len(self.samples)

@@ -1,0 +1,173 @@
+"""The network: wiring, delivery, timers, and the event trace.
+
+The :class:`Network` owns the simulator, the processes, and the channel
+configurations.  Every observable event — send, deliver, drop, timer,
+crash, restart, corruption — is appended to ``trace`` as a
+:class:`TraceEvent`, giving benchmarks and tests a single queryable
+record of a run (SIEFAST's "validation" role).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from .channel import ChannelConfig
+from .kernel import Simulator
+from .process import SimProcess
+
+__all__ = ["TraceEvent", "Network"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One observable event in a simulation run."""
+
+    time: float
+    kind: str           #: send | deliver | drop | timer | crash | restart | corrupt
+    process: Hashable   #: the process concerned (receiver for deliveries)
+    detail: Any = None
+
+    def __repr__(self) -> str:
+        return f"[{self.time:8.3f}] {self.kind:8s} @{self.process}: {self.detail!r}"
+
+
+class Network:
+    """Processes + channels + fault injectors, over one simulator."""
+
+    def __init__(self, seed: int = 0,
+                 default_channel: Optional[ChannelConfig] = None):
+        self.simulator = Simulator()
+        self.rng = random.Random(seed)
+        self.processes: Dict[Hashable, SimProcess] = {}
+        self.default_channel = default_channel or ChannelConfig()
+        self._channels: Dict[Tuple[Hashable, Hashable], ChannelConfig] = {}
+        #: in-transit message transformers (intruders); applied at send
+        self._tamperers: Dict[Tuple[Hashable, Hashable], Any] = {}
+        self.trace: List[TraceEvent] = []
+        self._started = False
+
+    # -- construction ---------------------------------------------------------
+    def add_process(self, process: SimProcess) -> SimProcess:
+        if process.pid in self.processes:
+            raise ValueError(f"duplicate pid {process.pid!r}")
+        process.network = self
+        self.processes[process.pid] = process
+        if self._started:
+            process.on_start()
+        return process
+
+    def set_channel(
+        self, source: Hashable, destination: Hashable, config: ChannelConfig
+    ) -> None:
+        """Override the channel configuration for one directed pair."""
+        self._channels[(source, destination)] = config
+
+    def channel(self, source: Hashable, destination: Hashable) -> ChannelConfig:
+        return self._channels.get((source, destination), self.default_channel)
+
+    def set_tamperer(self, source: Hashable, destination: Hashable,
+                     transform) -> None:
+        """Install (or with ``transform=None`` remove) an in-transit
+        message transformer on one directed channel — SIEFAST's intruder
+        modelling.  The transform receives the message and returns the
+        (possibly altered) message."""
+        if transform is None:
+            self._tamperers.pop((source, destination), None)
+        else:
+            self._tamperers[(source, destination)] = transform
+
+    # -- process services -----------------------------------------------------
+    def transmit(self, source: Hashable, destination: Hashable, message: Any) -> None:
+        if destination not in self.processes:
+            raise KeyError(f"unknown destination {destination!r}")
+        self._record("send", source, (destination, message))
+        tamperer = self._tamperers.get((source, destination))
+        if tamperer is not None:
+            tampered = tamperer(message)
+            if tampered != message:
+                self._record("tamper", source, (destination, message, tampered))
+            message = tampered
+        delays = self.channel(source, destination).delivery_delays(self.rng)
+        if not delays:
+            self._record("drop", source, (destination, message))
+            return
+        for delay in delays:
+            self.simulator.schedule(
+                delay, lambda s=source, d=destination, m=message: self._deliver(s, d, m)
+            )
+
+    def set_timer(self, pid: Hashable, name: str, delay: float) -> None:
+        self.simulator.schedule(delay, lambda p=pid, n=name: self._fire_timer(p, n))
+
+    # -- running ---------------------------------------------------------------
+    def start(self) -> None:
+        """Invoke every process's ``on_start`` hook (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for process in list(self.processes.values()):
+            process.on_start()
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        """Start (if needed) and drive the simulation."""
+        self.start()
+        return self.simulator.run(until=until, max_events=max_events)
+
+    # -- fault operations (used by the injectors) -------------------------------
+    def crash(self, pid: Hashable) -> None:
+        process = self.processes[pid]
+        if not process.crashed:
+            process.crashed = True
+            self._record("crash", pid)
+
+    def restart(self, pid: Hashable) -> None:
+        process = self.processes[pid]
+        if process.crashed:
+            process.crashed = False
+            self._record("restart", pid)
+            process.on_restart()
+
+    def corrupt(self, pid: Hashable, updates: Dict[str, Any]) -> None:
+        process = self.processes[pid]
+        for key, value in updates.items():
+            if not hasattr(process, key):
+                raise AttributeError(
+                    f"process {pid!r} has no state variable {key!r}"
+                )
+            setattr(process, key, value)
+        self._record("corrupt", pid, updates)
+
+    # -- observation -------------------------------------------------------------
+    def global_snapshot(self) -> Dict[Hashable, Dict[str, Any]]:
+        """Per-process state snapshots (for global-predicate monitors)."""
+        return {pid: p.snapshot() for pid, p in self.processes.items()}
+
+    def events(self, kind: Optional[str] = None) -> List[TraceEvent]:
+        if kind is None:
+            return list(self.trace)
+        return [e for e in self.trace if e.kind == kind]
+
+    # -- internals -------------------------------------------------------------
+    def _deliver(self, source: Hashable, destination: Hashable, message: Any) -> None:
+        process = self.processes[destination]
+        if process.crashed:
+            self._record("drop", destination, (source, message))
+            return
+        self._record("deliver", destination, (source, message))
+        process.on_message(source, message)
+
+    def _fire_timer(self, pid: Hashable, name: str) -> None:
+        process = self.processes[pid]
+        if process.crashed:
+            return
+        self._record("timer", pid, name)
+        process.on_timer(name)
+
+    def _record(self, kind: str, process: Hashable, detail: Any = None) -> None:
+        self.trace.append(
+            TraceEvent(time=self.simulator.now, kind=kind, process=process,
+                       detail=detail)
+        )

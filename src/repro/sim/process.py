@@ -1,0 +1,77 @@
+"""Simulated processes.
+
+A :class:`SimProcess` is a reactive object driven entirely by the
+network: it receives messages and timer expirations, and may send
+messages and set timers in response.  Processes never touch the kernel
+directly — the :class:`~repro.sim.network.Network` mediates everything,
+which is what lets fault injectors crash, restart, and corrupt
+processes uniformly.
+
+Subclasses override the ``on_*`` hooks.  Process-local state lives in
+ordinary attributes; :meth:`snapshot` exposes it to global-predicate
+monitors (and to state-corruption injectors) as a dictionary.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Optional
+
+__all__ = ["SimProcess"]
+
+
+class SimProcess:
+    """Base class for simulated processes."""
+
+    def __init__(self, pid: Hashable):
+        self.pid = pid
+        self.network = None          # set by Network.add_process
+        self.crashed = False
+
+    # -- hooks for subclasses ------------------------------------------------
+    def on_start(self) -> None:
+        """Called once when the simulation starts."""
+
+    def on_message(self, sender: Hashable, message: Any) -> None:
+        """Called on each delivered message."""
+
+    def on_timer(self, name: str) -> None:
+        """Called when a timer set via :meth:`set_timer` expires."""
+
+    def on_restart(self) -> None:
+        """Called when a restart injector revives a crashed process.
+        Default: nothing — state is retained (warm restart).  Override
+        to re-initialize (cold restart)."""
+
+    # -- services -----------------------------------------------------------
+    def send(self, destination: Hashable, message: Any) -> None:
+        """Send a message through the network (no-op while crashed)."""
+        if self.crashed:
+            return
+        self.network.transmit(self.pid, destination, message)
+
+    def set_timer(self, name: str, delay: float) -> None:
+        """Arrange an :meth:`on_timer` callback after ``delay`` (no-op
+        while crashed)."""
+        if self.crashed:
+            return
+        self.network.set_timer(self.pid, name, delay)
+
+    @property
+    def now(self) -> float:
+        return self.network.simulator.now
+
+    # -- introspection -------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """The process's observable state (for monitors and injectors):
+        all public, non-callable attributes except wiring."""
+        return {
+            key: value
+            for key, value in vars(self).items()
+            if not key.startswith("_")
+            and key not in ("network",)
+            and not callable(value)
+        }
+
+    def __repr__(self) -> str:
+        status = "crashed" if self.crashed else "up"
+        return f"{type(self).__name__}(pid={self.pid!r}, {status})"

@@ -1,0 +1,158 @@
+"""A message-passing token ring — the *distributed simulation* of the
+verified protocol.
+
+SIEFAST's pitch (paper Section 7) is running the processes of a
+distributed program in parallel, with some components implemented and
+others simulated.  This module is that story for the token ring /
+mutual-exclusion application whose guarded-command model is verified in
+:mod:`repro.programs.mutual_exclusion`:
+
+- :class:`RingProcess` — holds the token, performs one critical-section
+  visit (modelled as a timed work period), then sends ``"token"`` to
+  its successor over a (possibly lossy) channel;
+- process 0 additionally runs the **regeneration corrector** as a
+  *watchdog detector*: if no token has passed through it for
+  ``regeneration_timeout`` time units, it declares the token lost and
+  regenerates it.  This is the timeout implementation of the model's
+  atomic "no token anywhere" guard — the classical refinement of a
+  global detector into a local timer, with the classical hazard: an
+  aggressive timeout can regenerate while the token still exists,
+  transiently breaking the one-token invariant (measured, not hidden —
+  see :func:`run_ring_experiment` and the benchmark sweep).
+
+The experiment crashes nothing; the fault is channel loss, exactly the
+"token lost in transit" fault-class of the verified model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, List, Optional
+
+from .channel import ChannelConfig
+from .network import Network
+from .process import SimProcess
+
+__all__ = ["RingProcess", "RingExperimentResult", "run_ring_experiment"]
+
+
+class RingProcess(SimProcess):
+    """One member of the message-passing token ring."""
+
+    def __init__(
+        self,
+        pid: int,
+        size: int,
+        hold_time: float = 1.0,
+        regeneration_timeout: Optional[float] = None,
+    ):
+        super().__init__(pid)
+        self.size = size
+        self.hold_time = hold_time
+        self.regeneration_timeout = regeneration_timeout
+        self.has_token = False
+        self.visits = 0                 #: completed critical-section visits
+        self.regenerations = 0          #: corrector activations (pid 0 only)
+        self.last_seen = 0.0            #: watchdog bookkeeping (pid 0 only)
+
+    # -- protocol ---------------------------------------------------------
+    def on_start(self) -> None:
+        if self.pid == 0:
+            self.acquire()
+            if self.regeneration_timeout is not None:
+                self.set_timer("watchdog", self.regeneration_timeout)
+
+    def on_message(self, sender: Hashable, message) -> None:
+        if message == "token":
+            self.acquire()
+
+    def acquire(self) -> None:
+        self.has_token = True
+        if self.pid == 0:
+            self.last_seen = self.now
+        self.set_timer("leave_cs", self.hold_time)
+
+    def on_timer(self, name: str) -> None:
+        if name == "leave_cs" and self.has_token:
+            self.visits += 1
+            self.has_token = False
+            self.send((self.pid + 1) % self.size, "token")
+        elif name == "watchdog":
+            silence = self.now - self.last_seen
+            if not self.has_token and silence >= self.regeneration_timeout:
+                self.regenerations += 1
+                self.acquire()
+            self.set_timer("watchdog", self.regeneration_timeout)
+
+
+@dataclass(frozen=True)
+class RingExperimentResult:
+    """Measurements from one :func:`run_ring_experiment` run."""
+
+    size: int
+    timeout: Optional[float]
+    horizon: float
+    total_visits: int
+    regenerations: int
+    max_tokens_observed: int   #: >1 means the corrector transiently duplicated
+    starved: bool              #: some process never entered its CS
+
+    def as_row(self) -> str:
+        timeout = f"{self.timeout:5.1f}" if self.timeout is not None else " none"
+        return (
+            f"timeout={timeout}  visits={self.total_visits:4d}  "
+            f"regenerations={self.regenerations:2d}  "
+            f"max_tokens={self.max_tokens_observed}  "
+            f"starved={'yes' if self.starved else 'no'}"
+        )
+
+
+def run_ring_experiment(
+    size: int = 4,
+    timeout: Optional[float] = 12.0,
+    loss_probability: float = 0.05,
+    horizon: float = 400.0,
+    seed: int = 0,
+) -> RingExperimentResult:
+    """Run the message-passing ring under channel loss.
+
+    ``timeout=None`` disables the corrector (the intolerant ring: one
+    lost token starves everyone forever).  Token multiplicity is sampled
+    through a global-predicate monitor; note in-flight tokens are
+    invisible to it, so ``max_tokens_observed`` undercounts only
+    transient duplication, never inflates it.
+    """
+    network = Network(
+        seed=seed,
+        default_channel=ChannelConfig(delay=0.3, jitter=0.1,
+                                      loss_probability=loss_probability),
+    )
+    processes: List[RingProcess] = [
+        network.add_process(
+            RingProcess(pid, size, regeneration_timeout=timeout)
+        )
+        for pid in range(size)
+    ]
+
+    from .monitors import PredicateMonitor
+
+    token_counts: List[int] = []
+
+    def count_tokens(snapshot) -> bool:
+        holders = sum(1 for s in snapshot.values() if s["has_token"])
+        token_counts.append(holders)
+        return holders <= 1
+
+    monitor = PredicateMonitor(network, count_tokens, period=0.5,
+                               name="≤1 token")
+    network.run(until=horizon)
+
+    return RingExperimentResult(
+        size=size,
+        timeout=timeout,
+        horizon=horizon,
+        total_visits=sum(p.visits for p in processes),
+        regenerations=processes[0].regenerations,
+        max_tokens_observed=max(token_counts) if token_counts else 0,
+        starved=any(p.visits == 0 for p in processes),
+    )

@@ -1,0 +1,38 @@
+"""Synthesis of fault-tolerance by adding detectors and correctors.
+
+This package answers the paper's Question 2 constructively, following
+the companion design method (Arora & Kulkarni, "Component based design
+of multitolerance", IEEE TSE 1998): given a fault-intolerant program, a
+specification, and a fault-class, *calculate* the components required
+for each tolerance class and compose them in:
+
+- :func:`add_failsafe` restricts every action to a detection predicate
+  strong enough that no (program or fault) continuation can violate the
+  safety specification — adding detectors;
+- :func:`add_nonmasking` adds corrector actions that converge the
+  program from its fault-span back to its invariant — adding correctors;
+- :func:`add_masking` composes the two: detectors keep the perturbed
+  program safe while correctors restore the invariant (the masking =
+  fail-safe + nonmasking decomposition of Theorem 5.2).
+
+Each function returns a result object carrying the synthesized program
+*and* the predicates that certify it, so the caller can re-verify every
+claim with :mod:`repro.core.tolerance`.
+"""
+
+from .weakest import fault_unsafe_region, safe_action_predicate
+from .failsafe import FailsafeSynthesis, add_failsafe
+from .nonmasking import NonmaskingSynthesis, add_nonmasking, reset_corrector
+from .masking import MaskingSynthesis, add_masking
+
+__all__ = [
+    "fault_unsafe_region",
+    "safe_action_predicate",
+    "FailsafeSynthesis",
+    "add_failsafe",
+    "NonmaskingSynthesis",
+    "add_nonmasking",
+    "reset_corrector",
+    "MaskingSynthesis",
+    "add_masking",
+]

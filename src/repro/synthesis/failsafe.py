@@ -1,0 +1,141 @@
+"""Fail-safe synthesis: add detectors to a fault-intolerant program.
+
+Given a program ``p``, a specification, and a fault-class ``F``,
+:func:`add_failsafe` produces a program ``p'`` in which every action of
+``p`` is restricted (``sf ∧ ac``, the paper's ∧-composition) to a
+detection predicate ``sf`` computed so that
+
+- executing the action never violates the safety specification, and
+- execution never enters the region from which faults alone can violate
+  it (:func:`~repro.synthesis.weakest.fault_unsafe_region`).
+
+The result is fail-safe F-tolerant by construction: from any state the
+restricted program can reach, no program or fault step violates safety.
+The certifying invariant is the largest predicate closed in ``p'`` from
+which safety holds outside the fault-unsafe region, and the certifying
+fault-span is the reachable set of ``p' [] F`` from it.
+
+The detectors added here are exactly the ones Theorem 3.4 says must
+exist in any fail-safe tolerant refinement: each restricted action
+``sf ∧ g --> st`` *is* a detector with witness ``sf ∧ g`` and detection
+predicate ``sf``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.exploration import TransitionSystem
+from ..core.faults import FaultClass
+from ..core.invariants import largest_invariant_for_safety
+from ..core.predicate import Predicate
+from ..core.program import Program
+from ..core.results import CheckResult
+from ..core.specification import Spec
+from ..core.tolerance import is_failsafe_tolerant
+from .weakest import fault_unsafe_region, safe_action_predicate
+
+__all__ = ["FailsafeSynthesis", "add_failsafe"]
+
+
+@dataclass(frozen=True)
+class FailsafeSynthesis:
+    """Output of :func:`add_failsafe`."""
+
+    program: Program                       #: the synthesized p'
+    detection_predicates: Dict[str, Predicate]  #: per original action
+    unsafe: Predicate                      #: ms — fault-unsafe region
+    invariant: Predicate                   #: certifying invariant S'
+    span: Predicate                        #: certifying fault-span T'
+
+    def verify(self, faults: FaultClass, spec: Spec) -> CheckResult:
+        """Re-check the synthesized program's fail-safe tolerance."""
+        return is_failsafe_tolerant(
+            self.program, faults, spec, self.invariant, self.span
+        )
+
+
+def add_failsafe(
+    program: Program,
+    faults: FaultClass,
+    spec: Spec,
+    name: Optional[str] = None,
+) -> FailsafeSynthesis:
+    """Synthesize a fail-safe F-tolerant version of ``program``.
+
+    Raises ``ValueError`` if the synthesized invariant is empty (no
+    state from which the program both is safe and stays safe — the
+    specification is unimplementable for this program and fault-class).
+    """
+    states = list(program.states())
+    unsafe_states = fault_unsafe_region(faults, spec, states)
+    unsafe = Predicate.from_states(unsafe_states, name="ms")
+
+    detection: Dict[str, Predicate] = {}
+    restricted = []
+    for action in program.actions:
+        predicate = safe_action_predicate(
+            action, spec, unsafe_states, states, name=f"sf({action.name})"
+        )
+        detection[action.name] = predicate
+        restricted.append(action.restrict(predicate))
+
+    synthesized = program.with_actions(
+        restricted, name=name or f"failsafe({program.name})"
+    )
+
+    invariant = _failsafe_invariant(synthesized, spec, unsafe_states, states)
+    invariant_states = [s for s in states if invariant(s)]
+    if not invariant_states:
+        raise ValueError(
+            f"fail-safe synthesis for {program.name!r} yields an empty "
+            f"invariant: the specification cannot be maintained under "
+            f"{faults.name}"
+        )
+    span_ts = TransitionSystem(
+        synthesized, invariant_states, fault_actions=list(faults.actions)
+    )
+    span = Predicate.from_states(span_ts.states, name="T'")
+    return FailsafeSynthesis(
+        program=synthesized,
+        detection_predicates=detection,
+        unsafe=unsafe,
+        invariant=invariant,
+        span=span,
+    )
+
+
+def _failsafe_invariant(
+    synthesized: Program, spec: Spec, unsafe_states, states
+) -> Predicate:
+    """The largest invariant certifying the synthesis: safe states
+    outside the fault-unsafe region, closed under the restricted
+    program, from which the liveness part of the specification also
+    holds (tolerance still requires full SPEC in the absence of
+    faults)."""
+    base = largest_invariant_for_safety(synthesized, spec)
+    good_set = {s for s in states if base(s) and s not in unsafe_states}
+    changed = True
+    while changed:
+        changed = False
+        for state in list(good_set):
+            for action in synthesized.actions:
+                if any(
+                    nxt not in good_set for nxt in action.successors(state)
+                ):
+                    good_set.discard(state)
+                    changed = True
+                    break
+
+    if good_set:
+        from ..core.fairness import liveness_violating_states
+        from ..core.specification import LeadsTo
+
+        ts = TransitionSystem(synthesized, good_set)
+        for component in spec.liveness_part().components:
+            if isinstance(component, LeadsTo):
+                good_set -= liveness_violating_states(
+                    ts, component.source, component.target
+                )
+    return Predicate.from_states(good_set, name="S'")

@@ -1,0 +1,140 @@
+"""Nonmasking synthesis: add correctors to a fault-intolerant program.
+
+Given a program whose fault-span ``T`` strictly contains its invariant
+``S``, :func:`add_nonmasking` adds corrector actions that make every
+computation from ``T`` converge to ``S`` (the paper's reset-procedure /
+constraint-resatisfaction correctors).
+
+Two corrector shapes are supported:
+
+- **user-supplied** corrector actions (e.g. the token-regeneration or
+  re-election actions of the application programs), which the function
+  composes in and then *verifies*: the correctors must not execute
+  inside the invariant (interference freedom) and the composition must
+  converge;
+- the generic :func:`reset_corrector`, a single atomic action that maps
+  each span state outside the invariant to a nearest invariant state
+  (minimum Hamming distance over the variables, deterministic
+  tie-break).  It models a centralized reset procedure — one of the
+  paper's canonical corrector examples.
+
+The result certifies nonmasking tolerance with the supplied invariant
+and span.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..core.action import Action
+from ..core.faults import FaultClass
+from ..core.predicate import Predicate
+from ..core.program import Program
+from ..core.results import CheckResult
+from ..core.specification import Spec
+from ..core.state import State
+from ..core.tolerance import is_nonmasking_tolerant
+
+__all__ = ["NonmaskingSynthesis", "add_nonmasking", "reset_corrector"]
+
+
+@dataclass(frozen=True)
+class NonmaskingSynthesis:
+    """Output of :func:`add_nonmasking`."""
+
+    program: Program            #: the composed p' = p ‖ correctors
+    correctors: Sequence[Action]
+    invariant: Predicate
+    span: Predicate
+
+    def verify(self, faults: FaultClass, spec: Spec) -> CheckResult:
+        """Re-check the synthesized program's nonmasking tolerance."""
+        return is_nonmasking_tolerant(
+            self.program, faults, spec, self.invariant, self.span
+        )
+
+
+def reset_corrector(
+    program: Program,
+    invariant: Predicate,
+    span: Predicate,
+    name: str = "reset",
+) -> Action:
+    """A centralized reset corrector: from any span state outside the
+    invariant, atomically move to the nearest invariant state.
+
+    "Nearest" minimizes the number of changed variables; ties break by
+    the deterministic enumeration order of the state space, so the
+    corrector is a function, not a relation.
+    """
+    states = list(program.states())
+    targets = [s for s in states if invariant(s)]
+    if not targets:
+        raise ValueError(f"invariant {invariant.name} is empty; cannot reset into it")
+
+    variable_names = list(program.variable_names)
+
+    def distance(a: State, b: State) -> int:
+        return sum(1 for n in variable_names if a[n] != b[n])
+
+    repair = {}
+    for state in states:
+        if invariant(state) or not span(state):
+            continue
+        repair[state] = min(targets, key=lambda t, s=state: (distance(s, t),
+                                                             repr(t)))
+
+    guard = (span & ~invariant).rename(f"{span.name} ∧ ¬{invariant.name}")
+    return Action(
+        name,
+        guard,
+        lambda s, table=repair: table.get(s, s),
+    )
+
+
+def add_nonmasking(
+    program: Program,
+    faults: FaultClass,
+    invariant: Predicate,
+    span: Predicate,
+    correctors: Optional[Sequence[Action]] = None,
+    name: Optional[str] = None,
+) -> NonmaskingSynthesis:
+    """Compose corrector actions into ``program``.
+
+    With ``correctors=None`` a generic :func:`reset_corrector` is
+    synthesized.  Supplied correctors are used as-is; either way the
+    composed program and certifying predicates are returned (call
+    :meth:`NonmaskingSynthesis.verify` to model-check the claim).
+
+    Raises ``ValueError`` if a corrector can execute inside the
+    invariant and change the state (interference with the fault-free
+    behaviour)."""
+    if correctors is None:
+        correctors = [reset_corrector(program, invariant, span)]
+    correctors = list(correctors)
+
+    states = list(program.states())
+    for corrector in correctors:
+        for state in states:
+            if not invariant(state):
+                continue
+            for successor in corrector.successors(state):
+                if successor != state:
+                    raise ValueError(
+                        f"corrector {corrector.name!r} interferes: it moves "
+                        f"invariant state {state!r} to {successor!r}"
+                    )
+
+    composed = Program(
+        variables=program.variables,
+        actions=list(program.actions) + correctors,
+        name=name or f"nonmasking({program.name})",
+    )
+    return NonmaskingSynthesis(
+        program=composed,
+        correctors=tuple(correctors),
+        invariant=invariant,
+        span=span,
+    )

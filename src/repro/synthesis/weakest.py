@@ -1,0 +1,109 @@
+"""Weakest-precondition machinery for synthesis.
+
+Two region computations drive the synthesis algorithms:
+
+- :func:`fault_unsafe_region` — the set ``ms`` of states from which the
+  *fault actions alone* can violate the safety specification.  No
+  program restriction can help once the state is in ``ms`` (the program
+  cannot prevent fault steps), so a fail-safe program must never enter
+  it.  Computed as a backward fixpoint over fault edges.
+- :func:`safe_action_predicate` — the weakest predicate under which
+  executing a given action neither violates safety directly nor enters
+  ``ms``.  This is the *detection predicate* the synthesized detector
+  checks before permitting the action (Theorem 3.3 guarantees its
+  existence; here we additionally close it under fault reachability).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Sequence, Set, Tuple
+
+from ..core.action import Action
+from ..core.faults import FaultClass
+from ..core.invariants import _safety_checks
+from ..core.predicate import Predicate
+from ..core.specification import Spec
+from ..core.state import State
+
+__all__ = ["fault_unsafe_region", "safe_action_predicate"]
+
+
+def fault_unsafe_region(
+    faults: FaultClass,
+    spec: Spec,
+    states: Iterable[State],
+) -> Set[State]:
+    """The states from which fault actions alone can violate safety.
+
+    Seed: states that are themselves bad, plus sources of bad fault
+    transitions.  Fixpoint: any state with a fault edge into the region
+    joins it.
+    """
+    state_checks, transition_checks = _safety_checks(spec.safety_part())
+    universe: List[State] = list(states)
+
+    region: Set[State] = {
+        s for s in universe if not all(check(s) for check in state_checks)
+    }
+    changed = True
+    while changed:
+        changed = False
+        for state in universe:
+            if state in region:
+                continue
+            for fault_action in faults.actions:
+                doomed = False
+                for successor in fault_action.successors(state):
+                    if successor in region:
+                        doomed = True
+                        break
+                    if not all(check(successor) for check in state_checks):
+                        doomed = True
+                        break
+                    if not all(
+                        check(state, successor) for check in transition_checks
+                    ):
+                        doomed = True
+                        break
+                if doomed:
+                    region.add(state)
+                    changed = True
+                    break
+    return region
+
+
+def safe_action_predicate(
+    action: Action,
+    spec: Spec,
+    unsafe: Set[State],
+    states: Iterable[State],
+    name: str = "",
+) -> Predicate:
+    """The weakest detection predicate for ``action`` that also avoids
+    the fault-unsafe region.
+
+    A state qualifies iff it is outside ``unsafe`` and every successor
+    the action can produce is an allowed state, reached by an allowed
+    transition, outside ``unsafe``.
+    """
+    state_checks, transition_checks = _safety_checks(spec.safety_part())
+    good: List[State] = []
+    for state in states:
+        if state in unsafe:
+            continue
+        safe = True
+        for successor in action.successors(state):
+            if successor in unsafe:
+                safe = False
+                break
+            if not all(check(successor) for check in state_checks):
+                safe = False
+                break
+            if not all(check(state, successor) for check in transition_checks):
+                safe = False
+                break
+        if safe:
+            good.append(state)
+    return Predicate.from_states(
+        good, name=name or f"safe({action.name})"
+    )

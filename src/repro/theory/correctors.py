@@ -1,0 +1,235 @@
+"""Theorem 4.1, Lemma 4.2 and Theorem 4.3: programs that eventually
+refine a specification contain correctors.
+
+Theorem 4.1's proof constructs the corrector witness
+
+- ``X = S`` (the invariant predicate of the base program), and
+- ``Z = S ∧ {states reached in some computation of p' starting from T}``
+
+and shows ``p'`` refines ``Z corrects X`` from ``T``.
+:func:`corrector_witness` builds exactly these predicates (the
+reachability conjunct extensionally, over the explored transition
+system).
+
+Lemma 4.2 generalizes to ``p'`` behaving like ``p`` only from ``R ⊆ S``
+(e.g. after auxiliary variables are restored): then ``p'`` is a
+*nonmasking* corrector with ``X = S`` and ``Z = R``.  Theorem 4.3 adds a
+fault-class: a nonmasking F-tolerant program is a nonmasking F-tolerant
+corrector of an invariant predicate of the base program.
+
+The premise ``p' [] F refines (true)*(p' | R) from T`` — every
+computation from the fault-span eventually *is* a computation of ``p'``
+from ``R`` — is decided as: ``T`` closed in ``p' [] F`` and
+``true leads-to R`` on the fault-aware graph (suffix closure makes any
+suffix of a ``p'``-computation a ``p'``-computation, so reaching ``R``
+suffices).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core import (
+    CheckResult,
+    FaultClass,
+    Predicate,
+    Program,
+    Spec,
+    TRUE,
+    all_of,
+    check_leads_to,
+    is_corrector,
+    is_nonmasking_tolerant,
+    is_nonmasking_tolerant_corrector,
+    refines_program,
+    refines_spec,
+)
+from ..core.refinement import system_from
+from ..core.tolerance import check_implication
+
+__all__ = [
+    "CorrectorWitness",
+    "corrector_witness",
+    "theorem_4_1",
+    "lemma_4_2",
+    "theorem_4_3",
+]
+
+
+@dataclass(frozen=True)
+class CorrectorWitness:
+    """The Theorem 4.1 witness: correction predicate ``X`` and witness
+    predicate ``Z``."""
+
+    witness: Predicate
+    correction: Predicate
+
+
+def corrector_witness(
+    refined: Program,
+    invariant: Predicate,
+    span: Predicate,
+) -> CorrectorWitness:
+    """Build Theorem 4.1's ``X = S`` and ``Z = S ∧ reach(T)``."""
+    ts = system_from(refined, span)
+    reachable = Predicate.from_states(ts.states, name=f"reach({span.name})")
+    return CorrectorWitness(
+        witness=(invariant & reachable).rename(
+            f"Z({invariant.name}∧reach)"
+        ),
+        correction=invariant.rename(f"X({invariant.name})"),
+    )
+
+
+def _eventually_behaves_from(
+    refined: Program,
+    region: Predicate,
+    span: Predicate,
+    faults: Optional[FaultClass] = None,
+) -> CheckResult:
+    """The premise ``p' [] F refines (true)*(p' | region) from span``."""
+    fault_actions = list(faults.actions) if faults is not None else []
+    ts = system_from(refined, span, fault_actions=fault_actions)
+    label = refined.name + (f" [] {faults.name}" if faults else "")
+    closed = ts.is_closed(
+        span, include_faults=bool(fault_actions),
+        description=f"{span.name} closed in {label}",
+    )
+    reaches = check_leads_to(
+        ts, TRUE, region,
+        description=(
+            f"{label} refines (true)*({refined.name} | {region.name}) "
+            f"from {span.name}"
+        ),
+    )
+    return all_of([closed, reaches], description=reaches.description)
+
+
+def theorem_4_1(
+    refined: Program,
+    base: Program,
+    spec: Spec,
+    invariant: Predicate,
+    span: Predicate,
+) -> CheckResult:
+    """Mechanically validate Theorem 4.1 on a concrete instance.
+
+    Premises: ``p refines SPEC from S``; ``p' refines p from S``; ``p'
+    refines (true)*(p' | S) from T``.  Conclusion: ``p'`` is a corrector
+    of an invariant predicate of ``p`` (witness constructed as in the
+    proof).
+    """
+    what = (
+        f"Theorem 4.1 on ({refined.name}, {base.name}): programs that "
+        f"eventually refine a specification contain correctors"
+    )
+    premises = all_of(
+        [
+            refines_spec(base, spec, invariant),
+            refines_program(refined, base, invariant),
+            _eventually_behaves_from(refined, invariant, span),
+        ],
+        description=f"{what}: premises",
+    )
+    if not premises:
+        return premises
+    built = corrector_witness(refined, invariant, span)
+    conclusion = is_corrector(
+        refined, built.witness, built.correction, span
+    )
+    return all_of([premises, conclusion], description=what)
+
+
+def lemma_4_2(
+    refined: Program,
+    base: Program,
+    spec: Spec,
+    invariant: Predicate,
+    restored: Predicate,
+    span: Predicate,
+) -> CheckResult:
+    """Mechanically validate Lemma 4.2 on a concrete instance.
+
+    Premises: ``p refines SPEC from S``; ``p' refines p from R`` with
+    ``R ⇒ S``; ``p' refines (true)*(p' | R) from T``.  Conclusion:
+    ``p'`` is a *nonmasking* corrector of an invariant predicate of
+    ``p`` — with ``X = S`` and ``Z = R``, every computation of ``p'``
+    from ``T`` has a suffix refining ``Z corrects X``.
+    """
+    what = (
+        f"Lemma 4.2 on ({refined.name}, {base.name}): nonmasking corrector "
+        f"with witness {restored.name} for correction {invariant.name}"
+    )
+    premises = all_of(
+        [
+            refines_spec(base, spec, invariant),
+            refines_program(refined, base, restored),
+            check_implication(refined, restored, invariant),
+            _eventually_behaves_from(refined, restored, span),
+        ],
+        description=f"{what}: premises",
+    )
+    if not premises:
+        return premises
+    ts = system_from(refined, span)
+    converges = check_leads_to(
+        ts, TRUE, restored,
+        description=f"{refined.name} converges to {restored.name} from {span.name}",
+    )
+    restored_closed = ts.is_closed(
+        restored, include_faults=False,
+        description=f"{restored.name} closed in {refined.name}",
+    )
+    from ..core.corrector import corrects_spec
+
+    suffix = refines_spec(
+        refined, corrects_spec(restored, invariant), restored
+    )
+    return all_of(
+        [premises, converges, restored_closed, suffix], description=what
+    )
+
+
+def theorem_4_3(
+    refined: Program,
+    base: Program,
+    spec: Spec,
+    invariant: Predicate,
+    restored: Predicate,
+    span: Predicate,
+    faults: FaultClass,
+) -> CheckResult:
+    """Mechanically validate Theorem 4.3 on a concrete instance.
+
+    Premises: ``p refines SPEC from S``; ``p' refines p from R`` with
+    ``R ⇒ S``; ``p' [] F refines (true)*(p' | R) from T`` with
+    ``T ⇐ R``.  Conclusions: ``p'`` is nonmasking F-tolerant for SPEC
+    from R, and ``p'`` is a nonmasking F-tolerant corrector of an
+    invariant predicate of ``p``.
+    """
+    what = (
+        f"Theorem 4.3 on ({refined.name}, {base.name}): nonmasking "
+        f"F-tolerant programs contain nonmasking tolerant correctors"
+    )
+    premises = all_of(
+        [
+            refines_spec(base, spec, invariant),
+            refines_program(refined, base, restored),
+            check_implication(refined, restored, invariant),
+            check_implication(refined, restored, span),
+            _eventually_behaves_from(refined, restored, span, faults=faults),
+        ],
+        description=f"{what}: premises",
+    )
+    if not premises:
+        return premises
+    conclusions = [
+        is_nonmasking_tolerant(refined, faults, spec, restored, span),
+        is_nonmasking_tolerant_corrector(
+            refined, faults,
+            witness=restored, correction=invariant,
+            from_=restored, span=span, recovered=restored,
+        ),
+    ]
+    return all_of([premises] + conclusions, description=what)

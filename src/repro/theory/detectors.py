@@ -1,0 +1,308 @@
+"""Theorems 3.4 and 3.6: fault-tolerant programs contain detectors.
+
+Theorem 3.4 states: if ``p'`` refines ``p`` from ``S``, ``p'``
+encapsulates ``p``, and ``p'`` refines ``SSPEC`` from ``S``, then for
+every action ``ac`` of ``p``, ``p'`` is a detector of a detection
+predicate of ``ac``.
+
+The proof is constructive, and :func:`detector_witness` follows it:
+
+- the witness predicate is ``Z = g ∧ g'``, the guard of the ``p'``-action
+  ``ac'`` that encapsulation guarantees embeds ``ac``
+  (:func:`embedding_action` finds it);
+- the detection predicate starts from ``g ∧ sf`` where ``sf`` is the
+  weakest detection predicate of ``ac`` for ``SSPEC`` (Theorem 3.3), and
+  is then *shrunk* exactly as the proof's third and fourth conjuncts
+  prescribe:
+
+  - the third conjunct removes states that would break **Stability**
+    (states where ``Z`` has just been falsified while ``g ∧ sf``
+    remained true);
+  - the fourth conjunct removes states that would break **Progress**
+    (states where ``p'`` may forever take *other* actions with the same
+    effect on ``p``, so ``Z`` need never be witnessed).
+
+  We implement both conjuncts as an iterated fixpoint repair on the
+  reachable state set: remove Stability offenders (successors of
+  ``Z``-states that lose ``Z`` but kept candidate membership), and
+  remove Progress offenders (states inside fair-recurrent SCCs — or at
+  deadlocks — of the ``X ∧ ¬Z`` region).  Each round strictly shrinks a
+  finite set, so the repair terminates; Safeness (``Z ⇒ X`` on reachable
+  states) is re-verified at the end, which the theorem's premises
+  guarantee.
+
+Theorem 3.6 extends this to fail-safe F-tolerance: under the premises
+``p refines SPEC from S``, ``p' refines p from R`` (``R ⇒ S``), ``p'``
+encapsulates ``p``, and ``p' [] F refines SSPEC from T`` (``T ⇐ R``),
+the program ``p'`` is fail-safe F-tolerant for SPEC from R **and** is a
+fail-safe F-tolerant detector of a detection predicate of every action
+of ``p``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from ..core import (
+    Action,
+    CheckResult,
+    FaultClass,
+    Predicate,
+    Program,
+    Spec,
+    all_of,
+    is_detector,
+    is_failsafe_tolerant,
+    is_failsafe_tolerant_detector,
+    refines_program,
+    refines_spec,
+    weakest_detection_predicate,
+)
+from ..core.exploration import TransitionSystem
+from ..core.fairness import fair_recurrent_sccs
+from ..core.refinement import system_from
+from ..core.state import State
+
+__all__ = [
+    "DetectorWitness",
+    "embedding_action",
+    "detector_witness",
+    "theorem_3_4",
+    "theorem_3_6",
+]
+
+
+@dataclass(frozen=True)
+class DetectorWitness:
+    """The constructed witness for one base action: the embedded action
+    ``ac'``, the witness predicate ``Z``, and the detection predicate
+    ``X`` (extensional over the explored states)."""
+
+    base_action: str
+    embedded_action: str
+    witness: Predicate
+    detection: Predicate
+
+
+def embedding_action(
+    refined: Program, base: Program, action: Action,
+    states: Optional[List[State]] = None,
+) -> Action:
+    """The ``p'``-action ``g ∧ g' --> st || st'`` that embeds ``action``
+    of ``p`` (exists whenever ``refined`` encapsulates ``base``).
+
+    An action ``ac'`` embeds ``ac`` iff wherever ``ac'`` is enabled,
+    ``ac`` is enabled and their effects on the base variables coincide,
+    and ``ac'`` actually updates base variables somewhere.
+    """
+    if states is None:
+        states = list(refined.states())
+    base_vars = set(base.variable_names)
+    matching: List[Tuple[bool, Action]] = []
+    for refined_action in refined.actions:
+        touches = False
+        matches = True
+        for state in states:
+            successors = refined_action.successors(state)
+            if not successors:
+                continue
+            projected = state.project(base_vars)
+            if not action.enabled(projected):
+                matches = False  # guard g ∧ g' would not strengthen g
+                break
+            base_successors = {
+                t.project(base_vars) for t in action.successors(projected)
+            }
+            for successor in successors:
+                base_next = successor.project(base_vars)
+                if base_next != projected:
+                    touches = True
+                if base_next not in base_successors:
+                    matches = False
+                    break
+            if not matches:
+                break
+        if matches:
+            matching.append((touches, refined_action))
+    # prefer an embedding that actually exercises the base statement
+    for touches, refined_action in matching:
+        if touches:
+            return refined_action
+    if matching:
+        return matching[0][1]
+    raise LookupError(
+        f"no action of {refined.name} embeds {action.name} "
+        f"(is the encapsulation premise satisfied?)"
+    )
+
+
+def detector_witness(
+    refined: Program,
+    base: Program,
+    action: Action,
+    from_: Predicate,
+    safety_spec: Spec,
+    ts: Optional[TransitionSystem] = None,
+) -> DetectorWitness:
+    """Construct the Theorem 3.4 witness ``(Z, X)`` for ``action``.
+
+    ``safety_spec`` is SSPEC (only its safety part is used).  The
+    returned detection predicate is extensional over the states reachable
+    from ``from_`` in ``refined``.
+    """
+    if ts is None:
+        ts = system_from(refined, from_)
+    states = list(ts.states)
+    base_vars = set(base.variable_names)
+
+    embedded = embedding_action(refined, base, action, states=states)
+    witness = Predicate(
+        lambda s, a=embedded: a.enabled(s), name=f"Z({embedded.name})"
+    )
+
+    weakest = weakest_detection_predicate(
+        action,
+        safety_spec,
+        (s.project(base_vars) for s in states),
+        name=f"sf({action.name})",
+    )
+
+    candidate: Set[State] = {
+        s
+        for s in states
+        if action.enabled(s.project(base_vars)) and weakest(s.project(base_vars))
+    }
+
+    changed = True
+    while changed:
+        changed = False
+        # third conjunct: Stability repair — drop states that can be
+        # entered from a Z-state while losing Z.
+        stability_offenders: Set[State] = set()
+        for source in states:
+            if not witness(source):
+                continue
+            for _, target in ts.edges_from(source, include_faults=False):
+                if target in candidate and not witness(target):
+                    stability_offenders.add(target)
+        if stability_offenders & candidate:
+            candidate -= stability_offenders
+            changed = True
+
+        # fourth conjunct: Progress repair — drop states where a fair
+        # computation can stay in X ∧ ¬Z forever (or deadlock there).
+        region = {s for s in candidate if not witness(s)}
+        progress_offenders: Set[State] = set()
+        for component in fair_recurrent_sccs(ts, region):
+            progress_offenders |= component
+        for state in region:
+            if ts.program.is_deadlocked(state):
+                progress_offenders.add(state)
+        if progress_offenders & candidate:
+            candidate -= progress_offenders
+            changed = True
+
+    detection = Predicate.from_states(candidate, name=f"X({action.name})")
+    return DetectorWitness(
+        base_action=action.name,
+        embedded_action=embedded.name,
+        witness=witness,
+        detection=detection,
+    )
+
+
+def theorem_3_4(
+    refined: Program,
+    base: Program,
+    from_: Predicate,
+    safety_spec: Spec,
+) -> CheckResult:
+    """Mechanically validate Theorem 3.4 on a concrete instance.
+
+    Verifies the premises (``p'`` refines ``p`` from S, ``p'``
+    encapsulates ``p``, ``p'`` refines SSPEC from S), constructs the
+    witness for **every** action of the base program, and model-checks
+    that the refined program is a detector for each.
+    """
+    what = (
+        f"Theorem 3.4 on ({refined.name}, {base.name}): programs refining "
+        f"a safety specification contain detectors"
+    )
+    results = [
+        refines_program(refined, base, from_),
+        CheckResult.passed(f"{refined.name} encapsulates {base.name}")
+        if refined.encapsulates(base)
+        else CheckResult.failed(f"{refined.name} encapsulates {base.name}"),
+        refines_spec(refined, safety_spec.safety_part(), from_),
+    ]
+    premises = all_of(results, description=f"{what}: premises")
+    if not premises:
+        return premises
+
+    ts = system_from(refined, from_)
+    conclusions = []
+    for action in base.actions:
+        built = detector_witness(
+            refined, base, action, from_, safety_spec, ts=ts
+        )
+        conclusions.append(
+            is_detector(refined, built.witness, built.detection, from_)
+        )
+    return all_of([premises] + conclusions, description=what)
+
+
+def theorem_3_6(
+    refined: Program,
+    base: Program,
+    spec: Spec,
+    invariant_base: Predicate,
+    invariant_refined: Predicate,
+    span: Predicate,
+    faults: FaultClass,
+) -> CheckResult:
+    """Mechanically validate Theorem 3.6 on a concrete instance.
+
+    Premises: ``p refines SPEC from S``; ``p' refines p from R`` with
+    ``R ⇒ S``; ``p'`` encapsulates ``p``; ``p' [] F refines SSPEC from
+    T`` with ``T ⇐ R``.  Conclusions: ``p'`` is fail-safe F-tolerant for
+    SPEC from R, and for every action of ``p``, ``p'`` is a fail-safe
+    F-tolerant detector of one of its detection predicates.
+    """
+    what = (
+        f"Theorem 3.6 on ({refined.name}, {base.name}): fail-safe "
+        f"F-tolerant programs contain fail-safe tolerant detectors"
+    )
+    from ..core.tolerance import check_implication
+
+    premise_results = [
+        refines_spec(base, spec, invariant_base),
+        refines_program(refined, base, invariant_refined),
+        check_implication(refined, invariant_refined, invariant_base),
+        CheckResult.passed(f"{refined.name} encapsulates {base.name}")
+        if refined.encapsulates(base)
+        else CheckResult.failed(f"{refined.name} encapsulates {base.name}"),
+        check_implication(refined, invariant_refined, span),
+        refines_spec(refined, spec.safety_part(), span,
+                     fault_actions=list(faults.actions)),
+    ]
+    premises = all_of(premise_results, description=f"{what}: premises")
+    if not premises:
+        return premises
+
+    conclusions = [
+        is_failsafe_tolerant(refined, faults, spec, invariant_refined, span)
+    ]
+    fault_ts = faults.system(refined, span)
+    for action in base.actions:
+        built = detector_witness(
+            refined, base, action, invariant_refined, spec.safety_part(),
+            ts=fault_ts,
+        )
+        conclusions.append(
+            is_failsafe_tolerant_detector(
+                refined, faults, built.witness, built.detection,
+                invariant_refined, span,
+            )
+        )
+    return all_of([premises] + conclusions, description=what)

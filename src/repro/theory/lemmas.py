@@ -1,0 +1,75 @@
+"""Lemmas 3.1, 3.2 and 5.1 as executable facts about sequences.
+
+The three fusion-closure lemmas underpin the detector/corrector
+extraction proofs.  For specifications in component form (the
+fusion+suffix-closed class, per Lemma 3.2 itself) they are *theorems
+about our representation*, and these functions check each instance:
+given concrete sequences, verify that the lemma's implication holds.
+
+Each function returns ``True`` when the implication is respected (either
+because a premise fails or because the conclusion holds), making them
+direct targets for property-based testing with random programs,
+specifications, and sequences.
+
+A note on Assumption 1 (fusion closure).  Lemmas 3.1 and 3.2 concern
+*maintains*, which only involves the safety part — always fusion-closed
+in our (bad-state, bad-transition) representation.  Lemma 5.1 involves
+full membership and therefore requires the specification itself to be
+fusion closed.  A general ``LeadsTo(a, b)`` component with ``a ≠ true``
+is **not** fusion closed (an obligation raised before the fusion state is
+invisible at it); the paper's Assumption 1 prescribes history variables
+in that case.  ``LeadsTo(true, b)`` — the shape used by Convergence and
+by every specification in this library's program catalogue — *is*
+compatible: a complete sequence satisfies it iff its final state
+discharges the standing obligation, which is determined by the tail
+alone.  :func:`lemma_5_1` therefore documents (and the property tests
+exercise) validity for safety components plus ``LeadsTo(true, ·)``
+liveness.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.specification import Spec
+from ..core.state import State
+
+__all__ = ["lemma_3_1", "lemma_3_2", "lemma_5_1"]
+
+
+def _fused(prefix: Sequence[State], suffix: Sequence[State]) -> Sequence[State]:
+    """Concatenate ``σs`` and ``sβ`` through their shared state ``s``."""
+    if not prefix or not suffix or prefix[-1] != suffix[0]:
+        raise ValueError("sequences must share the fusion state")
+    return list(prefix) + list(suffix[1:])
+
+
+def lemma_3_1(spec: Spec, prefix: Sequence[State], suffix: Sequence[State]) -> bool:
+    """Lemma 3.1: if ``σs`` maintains SPEC and ``sβ`` maintains SPEC then
+    ``σsβ`` maintains SPEC (both end/start at the shared state ``s``)."""
+    if not (spec.maintains_prefix(prefix) and spec.maintains_prefix(suffix)):
+        return True  # premises fail; implication holds vacuously
+    return spec.maintains_prefix(_fused(prefix, suffix))
+
+
+def lemma_3_2(spec: Spec, prefix: Sequence[State], successor: State) -> bool:
+    """Lemma 3.2: if ``σs`` maintains SPEC then ``σss'`` maintains SPEC
+    iff ``ss'`` maintains SPEC — violation of safety is detectable from
+    the final transition alone."""
+    if not spec.maintains_prefix(prefix):
+        return True
+    extended = list(prefix) + [successor]
+    pair = [prefix[-1], successor]
+    return spec.maintains_prefix(extended) == spec.maintains_prefix(pair)
+
+
+def lemma_5_1(
+    spec: Spec, prefix: Sequence[State], suffix: Sequence[State]
+) -> bool:
+    """Lemma 5.1: if ``αs`` maintains SPEC and ``sβ ∈ SPEC`` then
+    ``αsβ ∈ SPEC`` (``sβ`` evaluated as a complete computation)."""
+    if not spec.maintains_prefix(prefix):
+        return True
+    if not spec.holds_on(suffix, complete=True):
+        return True
+    return spec.holds_on(_fused(prefix, suffix), complete=True)

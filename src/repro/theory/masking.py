@@ -1,0 +1,278 @@
+"""Section 5: detectors *and* correctors in masking tolerance.
+
+- :func:`theorem_5_2` — masking tolerance decomposes: if ``p`` refines
+  SPEC from ``S``, refines SSPEC from ``T ⊇ S``, and refines
+  ``(true)*(p | S)`` from ``T``, then ``p`` refines the masking
+  tolerance specification of SPEC (i.e. SPEC itself) from ``T``.  The
+  proof fuses a safe prefix with a correct suffix via Lemma 5.1.
+- :func:`theorem_5_3` — programs transformed to satisfy a specification
+  contain both detectors (one per base action, Theorem 3.4's witness)
+  and a corrector (Theorem 4.1's witness).
+- :func:`lemma_5_4` / :func:`theorem_5_5` — the masking F-tolerant case.
+  The corrector's correction predicate is the *projection closure*
+  ``S_p`` of the invariant onto the base program's variables
+  (:func:`projection_closure`): the proof strengthens ``p refines SPEC
+  from S`` to ``from S_p`` so that the correction predicate depends only
+  on base variables and is therefore closed under encapsulation.
+
+Theorem 5.5's caveat is honoured: the extracted correctors are masking
+*tolerant* (program actions never violate Stability/Convergence) but
+only nonmasking *F-tolerant* (fault actions may perturb them) — so the
+corrector conclusions are checked as ``is_corrector`` in the absence of
+faults plus ``is_nonmasking_tolerant_corrector`` under faults.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from ..core import (
+    CheckResult,
+    FaultClass,
+    Predicate,
+    Program,
+    Spec,
+    TRUE,
+    all_of,
+    check_leads_to,
+    is_corrector,
+    is_masking_tolerant,
+    is_masking_tolerant_detector,
+    is_nonmasking_tolerant_corrector,
+    refines_program,
+    refines_spec,
+)
+from ..core.refinement import system_from
+from ..core.state import State
+from ..core.tolerance import check_implication
+from .correctors import _eventually_behaves_from, corrector_witness
+from .detectors import detector_witness
+
+__all__ = [
+    "projection_closure",
+    "theorem_5_2",
+    "theorem_5_3",
+    "lemma_5_4",
+    "theorem_5_5",
+]
+
+
+def projection_closure(
+    invariant: Predicate,
+    refined: Program,
+    base: Program,
+    states: Optional[Iterable[State]] = None,
+) -> Predicate:
+    """Lemma 5.4's ``S_p``: the weakest predicate over the *base*
+    variables implied by the invariant.
+
+    A state belongs iff some state with the same projection on the base
+    variables satisfies the invariant.  Computed extensionally over
+    ``states`` (default: the full state space of the refined program).
+    """
+    if states is None:
+        states = list(refined.states())
+    else:
+        states = list(states)
+    base_vars = set(base.variable_names)
+    satisfying_projections = {
+        s.project(base_vars) for s in states if invariant(s)
+    }
+    return Predicate(
+        lambda s, proj=satisfying_projections, names=base_vars: (
+            s.project(names) in proj
+        ),
+        name=f"S_p({invariant.name})",
+    )
+
+
+def theorem_5_2(
+    program: Program,
+    spec: Spec,
+    invariant: Predicate,
+    span: Predicate,
+) -> CheckResult:
+    """Mechanically validate Theorem 5.2 on a concrete instance.
+
+    Premises: ``p refines SPEC from S``; ``p refines SSPEC from T``
+    (``T ⇐ S``); ``p refines (true)*(p | S) from T``.  Conclusion:
+    ``p`` refines the masking tolerance specification of SPEC (= SPEC)
+    from ``T``.
+    """
+    what = (
+        f"Theorem 5.2 on {program.name}: fail-safe + nonmasking from the "
+        f"span implies masking from the span"
+    )
+    premises = all_of(
+        [
+            refines_spec(program, spec, invariant),
+            check_implication(program, invariant, span),
+            refines_spec(program, spec.safety_part(), span),
+            _eventually_behaves_from(program, invariant, span),
+        ],
+        description=f"{what}: premises",
+    )
+    if not premises:
+        return premises
+    conclusion = refines_spec(program, spec.masking(), span)
+    return all_of([premises, conclusion], description=what)
+
+
+def theorem_5_3(
+    refined: Program,
+    base: Program,
+    spec: Spec,
+    invariant: Predicate,
+    span: Predicate,
+) -> CheckResult:
+    """Mechanically validate Theorem 5.3 on a concrete instance:
+    programs transformed to satisfy a specification contain detectors
+    for every base action and a corrector for an invariant predicate."""
+    what = (
+        f"Theorem 5.3 on ({refined.name}, {base.name}): transformed "
+        f"programs contain detectors and correctors"
+    )
+    encapsulated = (
+        CheckResult.passed(f"{refined.name} encapsulates {base.name}")
+        if refined.encapsulates(base)
+        else CheckResult.failed(f"{refined.name} encapsulates {base.name}")
+    )
+    premises = all_of(
+        [
+            refines_spec(base, spec, invariant),
+            refines_program(refined, base, invariant),
+            encapsulated,
+            _eventually_behaves_from(refined, invariant, span),
+            refines_spec(refined, spec.safety_part(), span),
+        ],
+        description=f"{what}: premises",
+    )
+    if not premises:
+        return premises
+
+    ts = system_from(refined, span)
+    conclusions: List[CheckResult] = []
+    for action in base.actions:
+        built = detector_witness(
+            refined, base, action, invariant, spec.safety_part(), ts=ts
+        )
+        from ..core import is_detector
+
+        conclusions.append(
+            is_detector(refined, built.witness, built.detection, invariant)
+        )
+    corrector = corrector_witness(refined, invariant, span)
+    conclusions.append(
+        is_corrector(refined, corrector.witness, corrector.correction, span)
+    )
+    return all_of([premises] + conclusions, description=what)
+
+
+def lemma_5_4(
+    refined: Program,
+    base: Program,
+    spec: Spec,
+    invariant: Predicate,
+    restored: Predicate,
+    span: Predicate,
+) -> CheckResult:
+    """Mechanically validate Lemma 5.4 on a concrete instance: with
+    ``p' refines p from R ⊆ S`` the extracted corrector uses the
+    projection closure ``S_p`` as its correction predicate and ``R`` as
+    its witness."""
+    what = (
+        f"Lemma 5.4 on ({refined.name}, {base.name}): masking tolerant "
+        f"detector and corrector with projected invariant"
+    )
+    encapsulated = (
+        CheckResult.passed(f"{refined.name} encapsulates {base.name}")
+        if refined.encapsulates(base)
+        else CheckResult.failed(f"{refined.name} encapsulates {base.name}")
+    )
+    premises = all_of(
+        [
+            refines_spec(base, spec, invariant),
+            refines_program(refined, base, restored),
+            check_implication(refined, restored, invariant),
+            encapsulated,
+            _eventually_behaves_from(refined, restored, span),
+            refines_spec(refined, spec.safety_part(), span),
+        ],
+        description=f"{what}: premises",
+    )
+    if not premises:
+        return premises
+    projected = projection_closure(invariant, refined, base)
+    conclusion = is_corrector(refined, restored, projected, span)
+    return all_of([premises, conclusion], description=what)
+
+
+def theorem_5_5(
+    refined: Program,
+    base: Program,
+    spec: Spec,
+    invariant: Predicate,
+    restored: Predicate,
+    span: Predicate,
+    faults: FaultClass,
+) -> CheckResult:
+    """Mechanically validate Theorem 5.5 on a concrete instance.
+
+    Premises: ``p refines SPEC from S``; ``p' refines p from R``
+    (``R ⇒ S``); ``p' [] F refines (true)*(p' | R) from T``
+    (``T ⇐ R``); ``p'`` encapsulates ``p``; ``p' [] F refines SSPEC
+    from T``.  Conclusions: ``p'`` is masking F-tolerant for SPEC; for
+    every base action, ``p'`` is a masking F-tolerant detector of one
+    of its detection predicates; ``p'`` is a masking tolerant corrector
+    (checked without faults) and a nonmasking F-tolerant corrector of an
+    invariant predicate of ``p``.
+    """
+    what = (
+        f"Theorem 5.5 on ({refined.name}, {base.name}): masking F-tolerant "
+        f"programs contain masking tolerant detectors and correctors"
+    )
+    encapsulated = (
+        CheckResult.passed(f"{refined.name} encapsulates {base.name}")
+        if refined.encapsulates(base)
+        else CheckResult.failed(f"{refined.name} encapsulates {base.name}")
+    )
+    premises = all_of(
+        [
+            refines_spec(base, spec, invariant),
+            refines_program(refined, base, restored),
+            check_implication(refined, restored, invariant),
+            check_implication(refined, restored, span),
+            encapsulated,
+            _eventually_behaves_from(refined, restored, span, faults=faults),
+            refines_spec(refined, spec.safety_part(), span,
+                         fault_actions=list(faults.actions)),
+        ],
+        description=f"{what}: premises",
+    )
+    if not premises:
+        return premises
+
+    conclusions: List[CheckResult] = [
+        is_masking_tolerant(refined, faults, spec, restored, span)
+    ]
+    fault_ts = faults.system(refined, span)
+    for action in base.actions:
+        built = detector_witness(
+            refined, base, action, restored, spec.safety_part(), ts=fault_ts
+        )
+        conclusions.append(
+            is_masking_tolerant_detector(
+                refined, faults, built.witness, built.detection,
+                restored, span,
+            )
+        )
+    projected = projection_closure(invariant, refined, base)
+    conclusions.append(is_corrector(refined, restored, projected, span))
+    conclusions.append(
+        is_nonmasking_tolerant_corrector(
+            refined, faults,
+            witness=restored, correction=projected,
+            from_=span, span=span, recovered=restored,
+        )
+    )
+    return all_of([premises] + conclusions, description=what)

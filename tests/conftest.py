@@ -1,0 +1,61 @@
+"""Shared fixtures: the paper's program families, built once per session.
+
+Model construction is cheap but model *checking* is not; the fixtures
+cache the built models so every test file exercises the same artifacts
+the benchmarks and examples use.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.programs import (
+    byzantine,
+    distributed_reset,
+    leader_election,
+    memory_access,
+    mutual_exclusion,
+    termination_detection,
+    token_ring,
+    tmr,
+)
+
+
+@pytest.fixture(scope="session")
+def memory():
+    return memory_access.build()
+
+
+@pytest.fixture(scope="session")
+def tmr_model():
+    return tmr.build()
+
+
+@pytest.fixture(scope="session")
+def byz():
+    return byzantine.build()
+
+
+@pytest.fixture(scope="session")
+def ring():
+    return token_ring.build(4)
+
+
+@pytest.fixture(scope="session")
+def mutex():
+    return mutual_exclusion.build(3)
+
+
+@pytest.fixture(scope="session")
+def election():
+    return leader_election.build((3, 1, 2))
+
+
+@pytest.fixture(scope="session")
+def termination():
+    return termination_detection.build(3)
+
+
+@pytest.fixture(scope="session")
+def reset():
+    return distributed_reset.build(3, 2)

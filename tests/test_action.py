@@ -1,0 +1,94 @@
+"""Unit tests for guarded-command actions and statements."""
+
+import pytest
+
+from repro.core.action import Action, assign, choose, skip
+from repro.core.predicate import Predicate, TRUE
+from repro.core.state import State
+
+INC = Action("inc", Predicate(lambda s: s["x"] < 2, "x<2"),
+             assign(x=lambda s: s["x"] + 1))
+
+
+class TestAssign:
+    def test_constant(self):
+        s = assign(x=5)(State(x=0))
+        assert s["x"] == 5
+
+    def test_callable_reads_pre_state(self):
+        statement = assign(x=lambda s: s["y"], y=lambda s: s["x"])
+        s = statement(State(x=1, y=2))
+        assert s["x"] == 2 and s["y"] == 1, "swap must use initial values"
+
+    def test_multiple_updates_atomic(self):
+        s = assign(x=1, y=2)(State(x=0, y=0))
+        assert (s["x"], s["y"]) == (1, 2)
+
+
+class TestChoose:
+    def test_alternatives_collected(self):
+        statement = choose(assign(x=1), assign(x=2))
+        successors = statement(State(x=0))
+        assert {t["x"] for t in successors} == {1, 2}
+
+    def test_nested_nondeterminism(self):
+        inner = lambda s: (s.assign(x=1), s.assign(x=2))  # noqa: E731
+        statement = choose(inner, assign(x=3))
+        assert {t["x"] for t in statement(State(x=0))} == {1, 2, 3}
+
+
+class TestSkip:
+    def test_identity(self):
+        s = State(x=1)
+        assert skip()(s) == s
+
+
+class TestAction:
+    def test_enabled(self):
+        assert INC.enabled(State(x=0))
+        assert not INC.enabled(State(x=2))
+
+    def test_successors_deterministic(self):
+        assert INC.successors(State(x=0)) == (State(x=1),)
+
+    def test_successors_disabled_is_empty(self):
+        assert INC.successors(State(x=2)) == ()
+
+    def test_successors_nondeterministic(self):
+        flip = Action("flip", TRUE, choose(assign(x=0), assign(x=1)))
+        assert set(flip.successors(State(x=7))) == {State(x=0), State(x=1)}
+
+    def test_restrict_strengthens_guard(self):
+        even = Predicate(lambda s: s["x"] % 2 == 0, "even")
+        restricted = INC.restrict(even)
+        assert restricted.enabled(State(x=0))
+        assert not restricted.enabled(State(x=1)), "guard must include Z"
+        assert restricted.name == INC.name, "∧-composition keeps the name"
+
+    def test_renamed(self):
+        assert INC.renamed("bump").name == "bump"
+
+    def test_preserves_positive(self):
+        low = Predicate(lambda s: s["x"] <= 2, "x≤2")
+        states = [State(x=i) for i in range(4)]
+        assert INC.preserves(low, states)
+
+    def test_preserves_negative(self):
+        low = Predicate(lambda s: s["x"] <= 1, "x≤1")
+        states = [State(x=i) for i in range(3)]
+        assert not INC.preserves(low, states)
+
+    def test_repr_contains_guard(self):
+        assert "x<2" in repr(INC)
+
+
+class TestUniqueNames:
+    def test_duplicate_action_names_rejected(self):
+        from repro.core.program import Program
+        from repro.core.state import Variable
+
+        with pytest.raises(ValueError, match="duplicate action names"):
+            Program(
+                [Variable("x", [0])],
+                [Action("a", TRUE, skip()), Action("a", TRUE, skip())],
+            )

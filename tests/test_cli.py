@@ -1,0 +1,46 @@
+"""Tests for the command-line verifier."""
+
+import io
+
+import pytest
+
+from repro.cli import CATALOGUE, main
+
+
+class TestList:
+    def test_lists_all_entries(self):
+        out = io.StringIO()
+        assert main(["list"], out=out) == 0
+        text = out.getvalue()
+        for name in CATALOGUE:
+            assert name in text
+
+
+class TestVerify:
+    def test_single_entry_passes(self):
+        out = io.StringIO()
+        assert main(["verify", "leader_election"], out=out) == 0
+        text = out.getvalue()
+        assert "[PASS]" in text
+        assert "all checks passed" in text
+
+    def test_multiple_entries(self):
+        out = io.StringIO()
+        assert main(
+            ["verify", "termination_detection", "distributed_reset"], out=out
+        ) == 0
+
+    def test_unknown_entry(self):
+        out = io.StringIO()
+        assert main(["verify", "nonsense"], out=out) == 2
+        assert "unknown catalogue entry" in out.getvalue()
+
+    def test_no_entries(self):
+        out = io.StringIO()
+        assert main(["verify"], out=out) == 2
+
+    def test_catalogue_entries_build(self):
+        """Every catalogue entry constructs and exposes checks."""
+        for name, entry in CATALOGUE.items():
+            description, checks = entry()
+            assert description and checks, name

@@ -1,0 +1,174 @@
+"""Tests for the reusable component framework."""
+
+import pytest
+
+from repro.components import (
+    acceptance_test,
+    checkpoint_rollback,
+    comparator,
+    majority_voter,
+    recovery_block,
+    watchdog,
+)
+from repro.core import BOTTOM, Variable
+from repro.core.state import State
+
+
+class TestComparator:
+    def test_verifies(self):
+        instance = comparator(Variable("a", [0, 1]), Variable("b", [0, 1]))
+        assert instance.kind == "detector"
+        assert instance.verify()
+
+    def test_flag_tracks_agreement(self):
+        instance = comparator(Variable("a", [0, 1]), Variable("b", [0, 1]))
+        raise_action = instance.program.action("eq_raise")
+        assert raise_action.enabled(State(a=1, b=1, eq=False))
+        assert not raise_action.enabled(State(a=1, b=0, eq=False))
+
+    def test_custom_flag_name(self):
+        instance = comparator(
+            Variable("a", [0, 1]), Variable("b", [0, 1]), flag_name="match"
+        )
+        assert "match" in [v.name for v in instance.program.variables]
+
+
+class TestAcceptanceTest:
+    def test_verifies(self):
+        instance = acceptance_test(
+            [Variable("x", [0, 1, 2])], lambda x: x < 2, test_name="x<2"
+        )
+        assert instance.verify()
+
+    def test_multi_variable_test(self):
+        instance = acceptance_test(
+            [Variable("x", [0, 1]), Variable("y", [0, 1])],
+            lambda x, y: x == y,
+            test_name="x=y",
+        )
+        assert instance.verify()
+
+
+class TestWatchdog:
+    def test_verifies(self):
+        assert watchdog(limit=2).verify()
+
+    def test_suspects_only_at_limit(self):
+        instance = watchdog(limit=2)
+        suspect = instance.program.action("wd_suspect")
+        assert not suspect.enabled(
+            State(alive=False, missed=1, suspect=False)
+        )
+        assert suspect.enabled(State(alive=False, missed=2, suspect=False))
+
+    def test_heartbeat_resets(self):
+        instance = watchdog(limit=2)
+        consume = instance.program.action("wd_consume")
+        (after,) = consume.successors(State(alive=True, missed=2, suspect=True))
+        assert after["missed"] == 0 and not after["suspect"]
+
+    def test_invalid_limit(self):
+        with pytest.raises(Exception):
+            watchdog(limit=0).verify().expect()
+
+
+class TestMajorityVoter:
+    def inputs(self):
+        return [Variable(f"i{k}", [0, 1]) for k in range(3)]
+
+    def test_verifies(self):
+        instance = majority_voter(
+            self.inputs(), Variable("o", [BOTTOM, 0, 1]), good_value=1
+        )
+        assert instance.kind == "corrector"
+        assert instance.verify()
+
+    def test_even_inputs_rejected(self):
+        with pytest.raises(ValueError, match="odd"):
+            majority_voter(
+                [Variable("a", [0, 1]), Variable("b", [0, 1])],
+                Variable("o", [BOTTOM, 0, 1]),
+                good_value=1,
+            )
+
+    def test_votes_majority_value(self):
+        instance = majority_voter(
+            self.inputs(), Variable("o", [BOTTOM, 0, 1]), good_value=1
+        )
+        state = State(i0=1, i1=1, i2=0, o=BOTTOM)
+        outcomes = {
+            t["o"]
+            for action in instance.program.actions
+            for t in action.successors(state)
+        }
+        assert outcomes == {1}, "only the confirmed value can be voted"
+
+
+class TestCheckpointRollback:
+    def test_verifies(self):
+        instance = checkpoint_rollback(Variable("x", [0, 1, 2]), lambda v: v != 2)
+        assert instance.verify()
+
+    def test_rollback_restores_checkpoint(self):
+        instance = checkpoint_rollback(Variable("x", [0, 1, 2]), lambda v: v != 2)
+        rollback = instance.program.action("rollback")
+        (after,) = rollback.successors(State(x=2, chk=1))
+        assert after["x"] == 1
+
+    def test_no_good_value_rejected(self):
+        with pytest.raises(ValueError):
+            checkpoint_rollback(Variable("x", [2]), lambda v: v != 2)
+
+
+class TestRecoveryBlock:
+    def test_verifies_when_alternate_is_acceptable(self):
+        instance = recovery_block(
+            Variable("res", [BOTTOM, 0, 1]),
+            primary_value=0, alternate_value=1,
+            acceptable=lambda v: v == 1,
+        )
+        assert instance.verify()
+
+    def test_broken_alternate_fails_verification(self):
+        instance = recovery_block(
+            Variable("res", [BOTTOM, 0, 1]),
+            primary_value=0, alternate_value=0,
+            acceptable=lambda v: v == 1,
+        )
+        assert not instance.verify(), (
+            "an alternate that fails its own acceptance test cannot correct"
+        )
+
+    def test_primary_path_short_circuits(self):
+        """With an acceptable primary and a broken alternate, the block
+        corrects only along the primary path: verification from TRUE
+        fails (the alternate can loop on its bad value forever), but it
+        is a corrector from the states the alternate never reaches."""
+        from repro.core import Predicate, is_corrector
+
+        instance = recovery_block(
+            Variable("res", [BOTTOM, 0, 1]),
+            primary_value=1, alternate_value=0,
+            acceptable=lambda v: v == 1,
+        )
+        assert not instance.verify()
+        alternate = instance.program.action("alternate")
+        assert not alternate.enabled(State(res=1))
+        primary_only = Predicate(lambda s: s["res"] != 0, "res≠0")
+        assert is_corrector(
+            instance.program, instance.witness, instance.claim, primary_only
+        )
+
+
+class TestComponentInstance:
+    def test_unknown_kind_rejected(self):
+        instance = comparator(Variable("a", [0, 1]), Variable("b", [0, 1]))
+        broken = type(instance)(
+            kind="mystery",
+            program=instance.program,
+            witness=instance.witness,
+            claim=instance.claim,
+            from_=instance.from_,
+        )
+        with pytest.raises(ValueError, match="unknown component kind"):
+            broken.verify()

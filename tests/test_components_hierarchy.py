@@ -1,0 +1,130 @@
+"""Tests for hierarchical and distributed component construction."""
+
+import pytest
+
+from repro.components.hierarchy import (
+    parallel_detector,
+    sequential_detector,
+    wave_corrector,
+)
+from repro.core import Action, Predicate, TRUE, Variable, assign
+from repro.core.state import State
+
+
+def observed_bits(count=3):
+    return [Variable(f"b{i}", [False, True]) for i in range(count)]
+
+
+def bit_conjuncts(count=3):
+    return [
+        Predicate(lambda s, i=i: s[f"b{i}"], name=f"b{i}") for i in range(count)
+    ]
+
+
+class TestSequentialDetector:
+    def test_verifies(self):
+        instance = sequential_detector(observed_bits(), bit_conjuncts())
+        assert instance.verify()
+
+    def test_single_conjunct(self):
+        instance = sequential_detector(observed_bits(1), bit_conjuncts(1))
+        assert instance.verify()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sequential_detector([], [])
+
+    def test_witness_requires_full_sweep(self):
+        instance = sequential_detector(observed_bits(2), bit_conjuncts(2))
+        raise_action = instance.program.action("zall_raise")
+        midway = State(b0=True, b1=True, idx=1, zall=False)
+        assert not raise_action.enabled(midway)
+        done = State(b0=True, b1=True, idx=2, zall=False)
+        assert raise_action.enabled(done)
+
+    def test_restart_on_failing_conjunct(self):
+        instance = sequential_detector(observed_bits(2), bit_conjuncts(2))
+        restart = instance.program.action("idx_restart")
+        stuck = State(b0=True, b1=False, idx=1, zall=False)
+        (after,) = restart.successors(stuck)
+        assert after["idx"] == 0
+
+
+class TestParallelDetector:
+    def test_verifies(self):
+        instance = parallel_detector(observed_bits(), bit_conjuncts())
+        assert instance.verify()
+
+    def test_root_needs_all_locals(self):
+        instance = parallel_detector(observed_bits(2), bit_conjuncts(2))
+        root_raise = instance.program.action("zroot_raise")
+        partial = State(b0=True, b1=True, z0=True, z1=False, zroot=False)
+        assert not root_raise.enabled(partial)
+        full = State(b0=True, b1=True, z0=True, z1=True, zroot=False)
+        assert root_raise.enabled(full)
+
+    def test_local_witnesses_are_truthful(self):
+        """Within the verification start predicate, a raised local flag
+        implies its conjunct."""
+        instance = parallel_detector(observed_bits(2), bit_conjuncts(2))
+        lying = State(b0=False, b1=True, z0=True, z1=False, zroot=False)
+        assert not instance.from_(lying)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_detector([], [])
+
+
+class TestWaveCorrector:
+    def repairs(self, count=3, break_earlier=False):
+        actions = []
+        for i in range(count):
+            updates = {f"b{i}": True}
+            if break_earlier and i == 1:
+                updates["b0"] = False  # sabotage: stage 1 undoes stage 0
+            actions.append(Action(f"repair{i}", TRUE, assign(**updates)))
+        return actions
+
+    def test_verifies(self):
+        instance = wave_corrector(
+            observed_bits(), bit_conjuncts(), self.repairs()
+        )
+        assert instance.verify()
+
+    def test_stage_order_enforced(self):
+        instance = wave_corrector(
+            observed_bits(2), bit_conjuncts(2), self.repairs(2)
+        )
+        stage1 = instance.program.action("repair1")
+        premature = State(b0=False, b1=False, zfix=False)
+        assert not stage1.enabled(premature), "stage 1 waits for stage 0"
+
+    def test_self_healing_despite_one_bad_repair(self):
+        """A single stage that breaks an earlier conjunct is *healed*
+        by re-running the earlier stage (the wave restarts), so the
+        composition still verifies — interference must be mutual to be
+        fatal."""
+        instance = wave_corrector(
+            observed_bits(), bit_conjuncts(),
+            self.repairs(break_earlier=True),
+        )
+        assert instance.verify()
+
+    def test_mutually_destructive_repairs_fail_verification(self):
+        """Two stages that undo each other oscillate forever: the model
+        checker exhibits the fair cycle and Convergence fails."""
+        repairs = [
+            Action("repair0", TRUE, assign(b0=True, b1=False)),
+            Action("repair1", TRUE, assign(b1=True, b0=False)),
+        ]
+        instance = wave_corrector(
+            observed_bits(2), bit_conjuncts(2), repairs
+        )
+        result = instance.verify()
+        assert not result
+        assert result.counterexample is not None
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            wave_corrector(observed_bits(2), bit_conjuncts(2),
+                           self.repairs(1))

@@ -1,0 +1,134 @@
+"""Unit tests for explicit computation enumeration and random walks."""
+
+import random
+
+from repro.core.action import Action, assign, choose
+from repro.core.computation import (
+    Computation,
+    enumerate_computations,
+    random_computation,
+)
+from repro.core.faults import set_variable
+from repro.core.predicate import Predicate, TRUE
+from repro.core.program import Program
+from repro.core.state import State, Variable
+
+
+def chain(limit=2):
+    return Program(
+        [Variable("x", list(range(limit + 1)))],
+        [
+            Action(
+                "inc",
+                Predicate(lambda s, lim=limit: s["x"] < lim, f"x<{limit}"),
+                assign(x=lambda s: s["x"] + 1),
+            )
+        ],
+        name="chain",
+    )
+
+
+class TestEnumerate:
+    def test_single_maximal_computation(self):
+        computations = list(enumerate_computations(chain(2), State(x=0)))
+        assert len(computations) == 1
+        (c,) = computations
+        assert c.complete
+        assert [s["x"] for s in c.states] == [0, 1, 2]
+        assert c.actions == ("inc", "inc")
+
+    def test_branching_enumerated(self):
+        split = Program(
+            [Variable("x", [0, 1, 2])],
+            [Action("split", Predicate(lambda s: s["x"] == 0),
+                    choose(assign(x=1), assign(x=2)))],
+            name="split",
+        )
+        computations = list(enumerate_computations(split, State(x=0)))
+        finals = sorted(c.states[-1]["x"] for c in computations)
+        assert finals == [1, 2]
+        assert all(c.complete for c in computations)
+
+    def test_truncation_flagged(self):
+        computations = list(
+            enumerate_computations(chain(10), State(x=0), max_length=3)
+        )
+        assert len(computations) == 1
+        assert not computations[0].complete
+        assert len(computations[0]) == 3
+
+    def test_deadlocked_start_is_complete_singleton(self):
+        computations = list(enumerate_computations(chain(2), State(x=2)))
+        assert computations == [
+            Computation((State(x=2),), (), True, 0)
+        ]
+
+    def test_fault_budget_respected(self):
+        fault = set_variable("x", 0)
+        computations = list(
+            enumerate_computations(
+                chain(1), State(x=0), max_length=6,
+                fault_actions=list(fault.actions), max_faults=1,
+            )
+        )
+        assert all(c.fault_steps <= 1 for c in computations)
+        # fault labels carry the "!" marker
+        fault_labelled = [
+            c for c in computations if any(a.endswith("!") for a in c.actions)
+        ]
+        assert fault_labelled
+
+    def test_fault_is_optional_at_deadlock(self):
+        """A p-maximal computation may end even when a fault could fire."""
+        fault = set_variable("x", 0)
+        computations = list(
+            enumerate_computations(
+                chain(1), State(x=1), max_length=4,
+                fault_actions=list(fault.actions), max_faults=1,
+            )
+        )
+        assert any(len(c) == 1 and c.complete for c in computations)
+
+
+class TestComputationObject:
+    def test_projection(self):
+        c = Computation(
+            (State(x=0, y=9), State(x=1, y=9)), ("inc",), True, 0
+        )
+        projected = c.project(["x"])
+        assert projected.states == (State(x=0), State(x=1))
+
+    def test_suffix(self):
+        c = Computation(
+            (State(x=0), State(x=1), State(x=2)), ("a", "b"), True, 0
+        )
+        suffix = c.suffix(1)
+        assert suffix.states == (State(x=1), State(x=2))
+        assert suffix.actions == ("b",)
+
+    def test_repr(self):
+        c = Computation((State(x=0),), (), True, 0)
+        assert "maximal" in repr(c)
+
+
+class TestRandomComputation:
+    def test_reaches_deadlock(self):
+        c = random_computation(chain(3), State(x=0), steps=50)
+        assert c.complete
+        assert c.states[-1] == State(x=3)
+
+    def test_reproducible_with_seed(self):
+        rng1, rng2 = random.Random(7), random.Random(7)
+        c1 = random_computation(chain(3), State(x=0), steps=10, rng=rng1)
+        c2 = random_computation(chain(3), State(x=0), steps=10, rng=rng2)
+        assert c1 == c2
+
+    def test_fault_injection(self):
+        fault = set_variable("x", 0)
+        c = random_computation(
+            chain(1), State(x=0), steps=30,
+            fault_actions=list(fault.actions),
+            fault_probability=1.0, max_faults=3,
+            rng=random.Random(0),
+        )
+        assert c.fault_steps == 3

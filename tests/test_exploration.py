@@ -1,0 +1,140 @@
+"""Unit tests for transition-system exploration."""
+
+import pytest
+
+from repro.core.action import Action, assign
+from repro.core.exploration import TransitionSystem
+from repro.core.faults import set_variable
+from repro.core.predicate import Predicate, TRUE
+from repro.core.program import Program
+from repro.core.state import State, Variable
+
+
+def chain(limit: int = 3) -> Program:
+    return Program(
+        [Variable("x", list(range(limit + 1)))],
+        [
+            Action(
+                "inc",
+                Predicate(lambda s, lim=limit: s["x"] < lim, f"x<{limit}"),
+                assign(x=lambda s: s["x"] + 1),
+            )
+        ],
+        name="chain",
+    )
+
+
+class TestExploration:
+    def test_reachable_states(self):
+        ts = TransitionSystem(chain(3), [State(x=1)])
+        assert {s["x"] for s in ts.states} == {1, 2, 3}
+
+    def test_edges(self):
+        ts = TransitionSystem(chain(2), [State(x=0)])
+        edges = list(ts.all_edges())
+        assert (State(x=0), "inc", State(x=1)) in edges
+        assert len(edges) == 2
+
+    def test_start_states_deduplicated(self):
+        ts = TransitionSystem(chain(1), [State(x=0), State(x=0)])
+        assert ts.start_states == (State(x=0),)
+
+    def test_max_states_guard(self):
+        with pytest.raises(RuntimeError, match="max_states"):
+            TransitionSystem(chain(50), [State(x=0)], max_states=5)
+
+    def test_deadlock_states(self):
+        ts = TransitionSystem(chain(2), [State(x=0)])
+        assert ts.deadlock_states() == [State(x=2)]
+
+    def test_fault_edges_tracked_separately(self):
+        fault = set_variable("x", 0)
+        ts = TransitionSystem(
+            chain(2), [State(x=0)], fault_actions=list(fault.actions)
+        )
+        assert ts.fault_edges_from(State(x=2))
+        assert not any(
+            name.startswith("fault") for name, _ in ts.program_edges_from(State(x=2))
+        )
+
+    def test_fault_name_collision_rejected(self):
+        rogue = Action("inc", TRUE, assign(x=0))
+        with pytest.raises(ValueError, match="share names"):
+            TransitionSystem(chain(1), [State(x=0)], fault_actions=[rogue])
+
+    def test_states_satisfying(self):
+        ts = TransitionSystem(chain(3), [State(x=0)])
+        assert len(ts.states_satisfying(Predicate(lambda s: s["x"] > 1))) == 2
+
+
+class TestClosure:
+    def test_closed_predicate(self):
+        ts = TransitionSystem(chain(3), [State(x=0)])
+        assert ts.is_closed(Predicate(lambda s: s["x"] >= 0, "x≥0"))
+
+    def test_open_predicate_gives_transition_counterexample(self):
+        ts = TransitionSystem(chain(3), [State(x=0)])
+        result = ts.is_closed(Predicate(lambda s: s["x"] <= 1, "x≤1"))
+        assert not result
+        assert result.counterexample.kind == "transition"
+        assert result.counterexample.states[0] == State(x=1)
+
+    def test_closure_with_faults(self):
+        fault = set_variable("x", 0)
+        ts = TransitionSystem(
+            chain(2), [State(x=1)], fault_actions=list(fault.actions)
+        )
+        nonzero = Predicate(lambda s: s["x"] >= 1, "x≥1")
+        assert ts.is_closed(nonzero, include_faults=False)
+        assert not ts.is_closed(nonzero, include_faults=True)
+
+    def test_fault_span(self):
+        fault = set_variable("x", 0)
+        ts = TransitionSystem(
+            chain(2), [State(x=0)], fault_actions=list(fault.actions)
+        )
+        assert ts.is_fault_span(TRUE, Predicate(lambda s: s["x"] == 0, "x=0"))
+        # invariant not inside the span -> state counterexample
+        result = ts.is_fault_span(
+            Predicate(lambda s: s["x"] == 2, "x=2"),
+            Predicate(lambda s: s["x"] == 0, "x=0"),
+        )
+        assert not result
+        assert result.counterexample.kind == "state"
+
+
+class TestFindPath:
+    def test_simple_path(self):
+        ts = TransitionSystem(chain(3), [State(x=0)])
+        states, actions = ts.find_path(
+            [State(x=0)], Predicate(lambda s: s["x"] == 2)
+        )
+        assert [s["x"] for s in states] == [0, 1, 2]
+        assert actions == ["inc", "inc"]
+
+    def test_within_restriction_blocks(self):
+        ts = TransitionSystem(chain(3), [State(x=0)])
+        path = ts.find_path(
+            [State(x=0)],
+            Predicate(lambda s: s["x"] == 3),
+            within=Predicate(lambda s: s["x"] != 2, "x≠2"),
+        )
+        assert path is None
+
+    def test_goal_at_source(self):
+        ts = TransitionSystem(chain(3), [State(x=0)])
+        states, actions = ts.find_path([State(x=0)], Predicate(lambda s: True))
+        assert states == [State(x=0)] and actions == []
+
+    def test_unreachable_goal(self):
+        ts = TransitionSystem(chain(3), [State(x=2)])
+        assert ts.find_path([State(x=2)], Predicate(lambda s: s["x"] == 0)) is None
+
+    def test_path_through_fault_edges_optional(self):
+        fault = set_variable("x", 0)
+        ts = TransitionSystem(
+            chain(2), [State(x=1)], fault_actions=list(fault.actions)
+        )
+        goal = Predicate(lambda s: s["x"] == 0)
+        assert ts.find_path([State(x=1)], goal, include_faults=True) is not None
+        assert ts.find_path([State(x=1)], goal, include_faults=False) is None

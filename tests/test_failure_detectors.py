@@ -1,0 +1,67 @@
+"""The Chandra–Toueg comparison (Section 7), mechanically."""
+
+import pytest
+
+from repro.core import is_detector
+from repro.core.fairness import check_leads_to
+from repro.failure_detectors import build, run_crash_experiment
+
+
+@pytest.fixture(scope="module")
+def fd():
+    return build(limit=2)
+
+
+class TestModelClaims:
+    def test_is_a_detector_of_the_timeout_predicate(self, fd):
+        """The failure detector is literally an instantiation of the
+        paper's detector component."""
+        assert is_detector(fd.program, fd.suspected, fd.timed_out, fd.from_)
+
+    def test_completeness(self, fd):
+        """crashed leads-to suspected, under the crash fault."""
+        ts = fd.faults.system(fd.program, fd.from_)
+        assert check_leads_to(ts, fd.crashed, fd.suspected)
+
+    def test_strong_accuracy_refuted(self, fd):
+        """'suspect detects crashed' fails Safeness: the model checker
+        exhibits the asynchrony counterexample (slow ≠ dead)."""
+        result = is_detector(fd.program, fd.suspected, fd.crashed, fd.from_)
+        assert not result
+        assert result.counterexample is not None
+
+    def test_eventual_accuracy(self, fd):
+        """A false suspicion is eventually retracted."""
+        ts = fd.faults.system(fd.program, fd.from_)
+        assert check_leads_to(
+            ts, fd.suspected & ~fd.crashed, ~fd.suspected | fd.crashed
+        )
+
+    def test_limit_validation(self):
+        with pytest.raises(ValueError):
+            build(limit=0)
+
+
+class TestSimulatedExperiment:
+    def test_detection_after_crash(self):
+        result = run_crash_experiment(timeout=3.0)
+        assert result.detection_latency is not None
+        assert result.detection_latency >= 0
+
+    def test_timeout_tradeoff_shape(self):
+        """The classic curve: longer timeouts mean higher detection
+        latency but no more false suspicions than shorter ones."""
+        noisy = dict(jitter=0.5, loss_probability=0.1, seed=3)
+        short = run_crash_experiment(timeout=1.2, **noisy)
+        long_ = run_crash_experiment(timeout=8.0, **noisy)
+        assert long_.detection_latency >= short.detection_latency
+        assert long_.false_suspicions <= short.false_suspicions
+
+    def test_no_false_suspicions_on_clean_network(self):
+        result = run_crash_experiment(timeout=3.0, jitter=0.0,
+                                      loss_probability=0.0)
+        assert result.false_suspicions == 0
+
+    def test_row_rendering(self):
+        row = run_crash_experiment(timeout=3.0).as_row()
+        assert "timeout" in row and "latency" in row

@@ -1,0 +1,130 @@
+"""Unit tests for invariant computation and detection predicates."""
+
+from repro.core.action import Action, assign
+from repro.core.invariants import (
+    is_detection_predicate,
+    largest_invariant_for_safety,
+    reachable_invariant,
+    weakest_detection_predicate,
+)
+from repro.core.predicate import FALSE, Predicate, TRUE
+from repro.core.program import Program
+from repro.core.specification import Spec, StateInvariant, TransitionInvariant
+from repro.core.state import State, Variable
+
+
+def counter(limit=3):
+    return Program(
+        [Variable("x", list(range(limit + 1)))],
+        [
+            Action(
+                "inc",
+                Predicate(lambda s, lim=limit: s["x"] < lim, f"x<{limit}"),
+                assign(x=lambda s: s["x"] + 1),
+            )
+        ],
+        name="counter",
+    )
+
+
+SAFE_BELOW_3 = Spec(
+    [StateInvariant(Predicate(lambda s: s["x"] < 3, "x<3"))], name="x<3"
+)
+MONOTONE = Spec(
+    [TransitionInvariant(lambda s, t: t["x"] >= s["x"], "monotone")],
+    name="monotone",
+)
+
+
+class TestReachableInvariant:
+    def test_contains_reachable_only(self):
+        inv = reachable_invariant(counter(3), [State(x=1)])
+        assert inv(State(x=2)) and not inv(State(x=0))
+
+    def test_closed_in_program(self):
+        p = counter(3)
+        inv = reachable_invariant(p, [State(x=0)])
+        for state in p.states():
+            if not inv(state):
+                continue
+            for _, nxt in p.successors(state):
+                assert inv(nxt)
+
+
+class TestLargestInvariant:
+    def test_removes_states_leading_to_violation(self):
+        inv = largest_invariant_for_safety(counter(3), SAFE_BELOW_3)
+        # x=2 steps to x=3 which is bad; x=3 is bad itself
+        assert not inv(State(x=2)) and not inv(State(x=3))
+        # x=0, x=1 — wait: x=1 -> 2 -> out; closure removes them too
+        assert not inv(State(x=1)) and not inv(State(x=0))
+
+    def test_deadlockable_safe_region_kept(self):
+        p = counter(2)  # never reaches 3
+        inv = largest_invariant_for_safety(p, SAFE_BELOW_3)
+        assert all(inv(State(x=v)) for v in (0, 1, 2))
+
+    def test_transition_safety(self):
+        p = Program(
+            [Variable("x", [0, 1])],
+            [Action("dec", Predicate(lambda s: s["x"] == 1), assign(x=0))],
+            name="dec",
+        )
+        inv = largest_invariant_for_safety(p, MONOTONE)
+        assert inv(State(x=0)) and not inv(State(x=1))
+
+
+class TestWeakestDetectionPredicate:
+    def test_basic(self):
+        p = counter(3)
+        states = list(p.states())
+        wdp = weakest_detection_predicate(p.action("inc"), SAFE_BELOW_3, states)
+        # executing inc at x=2 yields 3 (bad); at bad state x=3 it is
+        # disabled but the state itself is bad
+        assert wdp(State(x=0)) and wdp(State(x=1))
+        assert not wdp(State(x=2)) and not wdp(State(x=3))
+
+    def test_is_detection_predicate_confirms(self):
+        p = counter(3)
+        states = list(p.states())
+        wdp = weakest_detection_predicate(p.action("inc"), SAFE_BELOW_3, states)
+        assert is_detection_predicate(wdp, p.action("inc"), SAFE_BELOW_3, states)
+
+    def test_weakestness(self):
+        """Every detection predicate implies the weakest one (Theorem
+        3.3 discussion)."""
+        p = counter(3)
+        states = list(p.states())
+        action = p.action("inc")
+        wdp = weakest_detection_predicate(action, SAFE_BELOW_3, states)
+        stronger = Predicate(lambda s: s["x"] == 0, "x=0")
+        assert is_detection_predicate(stronger, action, SAFE_BELOW_3, states)
+        assert wdp.implied_everywhere_by(stronger, states)
+
+    def test_strengthening_stays_detection_predicate(self):
+        """If sf is a detection predicate and X ⇒ sf then X is one."""
+        p = counter(3)
+        states = list(p.states())
+        action = p.action("inc")
+        wdp = weakest_detection_predicate(action, SAFE_BELOW_3, states)
+        strengthened = wdp & Predicate(lambda s: s["x"] != 1, "x≠1")
+        assert is_detection_predicate(strengthened, action, SAFE_BELOW_3, states)
+
+    def test_disjunction_closure(self):
+        """sf1 ∨ sf2 is a detection predicate when both are."""
+        p = counter(3)
+        states = list(p.states())
+        action = p.action("inc")
+        sf1 = Predicate(lambda s: s["x"] == 0, "x=0")
+        sf2 = Predicate(lambda s: s["x"] == 1, "x=1")
+        assert is_detection_predicate(sf1 | sf2, action, SAFE_BELOW_3, states)
+
+    def test_false_always_qualifies(self):
+        p = counter(3)
+        states = list(p.states())
+        assert is_detection_predicate(FALSE, p.action("inc"), SAFE_BELOW_3, states)
+
+    def test_true_fails_for_unsafe_action(self):
+        p = counter(3)
+        states = list(p.states())
+        assert not is_detection_predicate(TRUE, p.action("inc"), SAFE_BELOW_3, states)

@@ -1,0 +1,133 @@
+"""Tests for multitolerance (the paper's concluding programme, [4])."""
+
+import pytest
+
+from repro.core import (
+    ToleranceRequirement,
+    is_masking_tolerant,
+    is_multitolerant,
+    is_nonmasking_tolerant,
+)
+
+
+@pytest.fixture(scope="module")
+def requirements(mutex):
+    return (
+        ToleranceRequirement(mutex.faults, "masking", mutex.span),
+        ToleranceRequirement(mutex.duplication, "masking",
+                             mutex.span_duplication),
+    )
+
+
+class TestMutexMultitolerance:
+    def test_masking_to_loss(self, mutex):
+        assert is_masking_tolerant(
+            mutex.multitolerant, mutex.faults, mutex.spec_strong,
+            mutex.invariant, mutex.span,
+        )
+
+    def test_masking_to_duplication(self, mutex):
+        assert is_masking_tolerant(
+            mutex.multitolerant, mutex.duplication, mutex.spec_strong,
+            mutex.invariant, mutex.span_duplication,
+        )
+
+    def test_combined_requirement(self, mutex, requirements):
+        assert is_multitolerant(
+            mutex.multitolerant, mutex.spec_strong, mutex.invariant,
+            requirements,
+        )
+
+    def test_plain_tolerant_fails_duplication(self, mutex):
+        """Without the entry detector and dedup corrector, duplication
+        defeats the CS-liveness spec (and exclusion transiently)."""
+        assert not is_masking_tolerant(
+            mutex.tolerant, mutex.duplication, mutex.spec_strong,
+            mutex.invariant, mutex.span_duplication,
+        )
+
+    def test_plain_tolerant_fails_the_multirequirement(self, mutex, requirements):
+        result = is_multitolerant(
+            mutex.tolerant, mutex.spec_strong, mutex.invariant, requirements
+        )
+        assert not result
+
+    def test_interaction_check_runs_union_faults(self, mutex, requirements):
+        """The combined check must survive loss and duplication striking
+        in the same run."""
+        result = is_multitolerant(
+            mutex.multitolerant, mutex.spec_strong, mutex.invariant,
+            requirements, check_interaction=True,
+        )
+        assert result
+        assert "combined" in result.details or result.ok
+
+    def test_interaction_check_optional(self, mutex, requirements):
+        assert is_multitolerant(
+            mutex.multitolerant, mutex.spec_strong, mutex.invariant,
+            requirements, check_interaction=False,
+        )
+
+
+class TestDedupCorrector:
+    def test_spares_cs_holder(self, mutex):
+        from repro.core import State
+
+        state = State(
+            tok0=True, cs0=True, done0=False,
+            tok1=True, cs1=False, done1=False,
+            tok2=False, cs2=False, done2=False,
+        )
+        dedup = mutex.multitolerant.action("dedup")
+        (after,) = dedup.successors(state)
+        assert after["tok0"] and not after["tok1"]
+
+    def test_keeps_lowest_index_when_nobody_in_cs(self, mutex):
+        from repro.core import State
+
+        state = State(
+            tok0=False, cs0=False, done0=False,
+            tok1=True, cs1=False, done1=True,
+            tok2=True, cs2=False, done2=False,
+        )
+        dedup = mutex.multitolerant.action("dedup")
+        (after,) = dedup.successors(state)
+        assert after["tok1"] and not after["tok2"]
+
+    def test_disabled_with_one_token(self, mutex):
+        from repro.core import State
+
+        state = State(
+            tok0=True, cs0=False, done0=False,
+            tok1=False, cs1=False, done1=False,
+            tok2=False, cs2=False, done2=False,
+        )
+        assert not mutex.multitolerant.action("dedup").enabled(state)
+
+    def test_entry_detector_blocks_under_duplication(self, mutex):
+        from repro.core import State
+
+        state = State(
+            tok0=True, cs0=False, done0=False,
+            tok1=True, cs1=False, done1=False,
+            tok2=False, cs2=False, done2=False,
+        )
+        assert not mutex.multitolerant.action("enter0").enabled(state)
+        assert mutex.tolerant.action("enter0").enabled(state), (
+            "the plain variant happily enters — the exclusion hazard"
+        )
+
+
+class TestRequirementValidation:
+    def test_unknown_kind_propagates(self, mutex):
+        bad = (ToleranceRequirement(mutex.faults, "perfect", mutex.span),)
+        with pytest.raises(ValueError):
+            is_multitolerant(
+                mutex.multitolerant, mutex.spec_strong, mutex.invariant, bad
+            )
+
+    def test_single_requirement_equals_plain_check(self, mutex):
+        single = (ToleranceRequirement(mutex.faults, "masking", mutex.span),)
+        assert is_multitolerant(
+            mutex.multitolerant, mutex.spec_strong, mutex.invariant, single
+        )

@@ -1,0 +1,127 @@
+"""Tests for the OM(m) substrate (general Byzantine agreement)."""
+
+import itertools
+
+import pytest
+
+from repro.programs.oral_messages import (
+    check_agreement,
+    check_validity,
+    constant_lie_strategy,
+    honest_strategy,
+    random_strategy,
+    run_oral_messages,
+    split_strategy,
+)
+
+
+class TestValidation:
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            run_oral_messages(1, 0)
+
+    def test_negative_rounds(self):
+        with pytest.raises(ValueError):
+            run_oral_messages(4, -1)
+
+    def test_byzantine_ids_validated(self):
+        with pytest.raises(ValueError):
+            run_oral_messages(4, 1, byzantine=(9,))
+
+
+class TestFaultFree:
+    @pytest.mark.parametrize("n,m", [(2, 0), (4, 1), (7, 2)])
+    def test_everyone_decides_the_generals_value(self, n, m):
+        run = run_oral_messages(n, m, general_value=1)
+        assert check_agreement(run) and check_validity(run)
+        assert all(v == 1 for v in run.decisions.values())
+
+    def test_om0_is_plain_broadcast(self):
+        run = run_oral_messages(5, 0, general_value=0)
+        assert run.rounds == 1
+        assert run.messages_sent == 4
+
+
+class TestSingleByzantine:
+    """n = 4, f = 1 — the paper's configuration, exhaustively over the
+    Byzantine process and a strategy battery."""
+
+    strategies = [
+        constant_lie_strategy(0),
+        constant_lie_strategy(1),
+        split_strategy(),
+        split_strategy((1, 0)),
+        random_strategy(3),
+    ]
+
+    @pytest.mark.parametrize("byzantine", [0, 1, 2, 3])
+    @pytest.mark.parametrize("value", [0, 1])
+    def test_ic1_ic2(self, byzantine, value):
+        for strategy in self.strategies:
+            run = run_oral_messages(
+                4, 1, general_value=value,
+                byzantine=(byzantine,), strategy=strategy,
+            )
+            assert check_agreement(run)
+            assert check_validity(run)
+
+    def test_byzantine_general_forces_common_default_or_value(self):
+        run = run_oral_messages(
+            4, 1, byzantine=(0,), strategy=split_strategy()
+        )
+        assert check_agreement(run)
+
+
+class TestTwoByzantine:
+    @pytest.mark.parametrize(
+        "byzantine", list(itertools.combinations(range(7), 2))[:10]
+    )
+    def test_n7_f2(self, byzantine):
+        for seed in range(3):
+            run = run_oral_messages(
+                7, 2, general_value=1,
+                byzantine=byzantine, strategy=random_strategy(seed),
+            )
+            assert check_agreement(run)
+            assert check_validity(run)
+
+    def test_insufficient_rounds_fail(self):
+        """OM(1) with two Byzantine processes can be defeated."""
+        violated = False
+        for byzantine in itertools.combinations(range(7), 2):
+            for strategy in (split_strategy(), constant_lie_strategy(0)):
+                run = run_oral_messages(
+                    7, 1, general_value=1,
+                    byzantine=byzantine, strategy=strategy,
+                )
+                if not (check_agreement(run) and check_validity(run)):
+                    violated = True
+        assert violated
+
+
+class TestThreshold:
+    def test_n3_f1_fails_validity(self):
+        """The classical impossibility: with n = 3 a lying lieutenant
+        forces the honest one into a tie, breaking validity."""
+        run = run_oral_messages(
+            3, 1, general_value=1, byzantine=(2,),
+            strategy=constant_lie_strategy(0),
+        )
+        assert not check_validity(run)
+
+    def test_n4_f1_succeeds_where_n3_fails(self):
+        run = run_oral_messages(
+            4, 1, general_value=1, byzantine=(3,),
+            strategy=constant_lie_strategy(0),
+        )
+        assert check_validity(run) and check_agreement(run)
+
+
+class TestComplexityShape:
+    def test_messages_grow_exponentially_in_rounds(self):
+        m1 = run_oral_messages(7, 1).messages_sent
+        m2 = run_oral_messages(7, 2).messages_sent
+        assert m2 > 3 * m1
+
+    def test_honest_strategy_is_identity(self):
+        assert honest_strategy(1, 2, (0, 1), 7) == 7

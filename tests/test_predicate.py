@@ -1,0 +1,99 @@
+"""Unit tests for the predicate algebra."""
+
+from repro.core.predicate import FALSE, TRUE, Predicate, var_eq, var_in, var_ne
+from repro.core.state import State, Variable, state_space
+
+S00 = State(x=0, y=0)
+S01 = State(x=0, y=1)
+S10 = State(x=1, y=0)
+S11 = State(x=1, y=1)
+ALL = [S00, S01, S10, S11]
+
+X1 = Predicate(lambda s: s["x"] == 1, name="x=1")
+Y1 = Predicate(lambda s: s["y"] == 1, name="y=1")
+
+
+class TestEvaluation:
+    def test_call(self):
+        assert X1(S10) and not X1(S01)
+
+    def test_constants(self):
+        assert TRUE(S00) and not FALSE(S00)
+
+    def test_holds_everywhere(self):
+        assert TRUE.holds_everywhere(ALL)
+        assert not X1.holds_everywhere(ALL)
+
+    def test_holds_somewhere(self):
+        assert X1.holds_somewhere(ALL)
+        assert not FALSE.holds_somewhere(ALL)
+
+    def test_states_in(self):
+        assert set(X1.states_in(ALL)) == {S10, S11}
+
+
+class TestAlgebra:
+    def test_conjunction(self):
+        both = X1 & Y1
+        assert both(S11) and not both(S10) and not both(S01)
+
+    def test_disjunction(self):
+        either = X1 | Y1
+        assert either(S10) and either(S01) and not either(S00)
+
+    def test_negation(self):
+        assert (~X1)(S00) and not (~X1)(S10)
+
+    def test_implication(self):
+        imp = X1.implies(Y1)
+        assert imp(S00) and imp(S01) and imp(S11) and not imp(S10)
+
+    def test_de_morgan(self):
+        lhs = ~(X1 & Y1)
+        rhs = ~X1 | ~Y1
+        assert lhs.equivalent_on(rhs, ALL)
+
+    def test_names_compose(self):
+        assert (X1 & Y1).name == "(x=1 ∧ y=1)"
+        assert (~X1).name == "¬x=1"
+
+    def test_rename(self):
+        renamed = X1.rename("S")
+        assert renamed.name == "S"
+        assert renamed(S10)
+
+
+class TestExtensional:
+    def test_from_states(self):
+        p = Predicate.from_states([S00, S11], name="diag")
+        assert p(S00) and p(S11) and not p(S10)
+
+    def test_from_states_empty_is_false(self):
+        p = Predicate.from_states([])
+        assert not any(p(s) for s in ALL)
+
+    def test_implied_everywhere_by(self):
+        assert Y1.implied_everywhere_by(X1 & Y1, ALL)
+        assert not Y1.implied_everywhere_by(X1, ALL)
+
+    def test_equivalent_on(self):
+        assert X1.equivalent_on(Predicate(lambda s: s["x"] > 0), ALL)
+
+
+class TestVarHelpers:
+    def test_var_eq(self):
+        assert var_eq("x", 1)(S10)
+        assert not var_eq("x", 1)(S00)
+
+    def test_var_ne(self):
+        assert var_ne("x", 1)(S00)
+        assert not var_ne("x", 1)(S10)
+
+    def test_var_in(self):
+        p = var_in("x", [1, 2])
+        assert p(S10) and not p(S00)
+
+    def test_over_state_space(self):
+        variables = [Variable("x", [0, 1]), Variable("y", [0, 1])]
+        count = sum(1 for s in state_space(variables) if var_eq("x", 1)(s))
+        assert count == 2

@@ -1,0 +1,209 @@
+"""Unit tests for programs and the paper's composition operators."""
+
+import pytest
+
+from repro.core.action import Action, assign, skip
+from repro.core.predicate import Predicate, TRUE
+from repro.core.program import Program
+from repro.core.state import State, Variable
+
+
+def counter(limit: int = 2, name: str = "counter") -> Program:
+    return Program(
+        [Variable("x", list(range(limit + 1)))],
+        [
+            Action(
+                "inc",
+                Predicate(lambda s, lim=limit: s["x"] < lim, f"x<{limit}"),
+                assign(x=lambda s: s["x"] + 1),
+            )
+        ],
+        name=name,
+    )
+
+
+class TestConstruction:
+    def test_duplicate_variables_rejected(self):
+        with pytest.raises(ValueError):
+            Program([Variable("x", [0]), Variable("x", [1])], [])
+
+    def test_lookup(self):
+        p = counter()
+        assert p.variable("x").name == "x"
+        assert p.action("inc").name == "inc"
+        with pytest.raises(KeyError):
+            p.variable("y")
+        with pytest.raises(KeyError):
+            p.action("dec")
+
+    def test_state_count(self):
+        assert counter(2).state_count() == 3
+
+    def test_states_enumeration(self):
+        assert len(list(counter(2).states())) == 3
+
+    def test_validate_state(self):
+        p = counter(2)
+        p.validate_state(State(x=0))
+        with pytest.raises(ValueError):
+            p.validate_state(State(x=9))
+        with pytest.raises(ValueError):
+            p.validate_state(State(y=0))
+
+
+class TestSemantics:
+    def test_enabled_actions(self):
+        p = counter(1)
+        assert [a.name for a in p.enabled_actions(State(x=0))] == ["inc"]
+        assert p.enabled_actions(State(x=1)) == []
+
+    def test_successors(self):
+        assert counter().successors(State(x=0)) == [("inc", State(x=1))]
+
+    def test_deadlock(self):
+        p = counter(1)
+        assert p.is_deadlocked(State(x=1))
+        assert not p.is_deadlocked(State(x=0))
+
+
+class TestParallelComposition:
+    def test_union_of_actions(self):
+        p = counter(name="p")
+        q = Program(
+            [Variable("y", [0, 1])],
+            [Action("set_y", TRUE, assign(y=1))],
+            name="q",
+        )
+        composed = p | q
+        assert {a.name for a in composed.actions} == {"inc", "set_y"}
+        assert set(composed.variable_names) == {"x", "y"}
+
+    def test_shared_variable_domains_must_agree(self):
+        p = counter(2)
+        q = Program([Variable("x", [0, 1])], [], name="q")
+        with pytest.raises(ValueError, match="conflicting domains"):
+            p.parallel(q)
+
+    def test_shared_variable_same_domain_ok(self):
+        p = counter(2)
+        q = Program(
+            [Variable("x", [0, 1, 2])],
+            [Action("reset", TRUE, assign(x=0))],
+            name="q",
+        )
+        composed = p.parallel(q)
+        assert len(composed.variables) == 1
+
+    def test_duplicate_action_names_rejected(self):
+        p = counter()
+        with pytest.raises(ValueError):
+            p.parallel(counter(name="other"))
+
+    def test_name_default(self):
+        p = counter(name="p")
+        q = Program([Variable("y", [0])], [], name="q")
+        assert p.parallel(q).name == "(p || q)"
+
+
+class TestRestriction:
+    def test_every_guard_strengthened(self):
+        p = counter(2)
+        even = Predicate(lambda s: s["x"] % 2 == 0, "even")
+        restricted = p.restrict(even)
+        assert restricted.action("inc").enabled(State(x=0))
+        assert not restricted.action("inc").enabled(State(x=1))
+
+    def test_restriction_preserves_statements(self):
+        p = counter(2).restrict(TRUE)
+        assert p.successors(State(x=0)) == [("inc", State(x=1))]
+
+
+class TestSequentialComposition:
+    def test_definition_matches_paper(self):
+        """p ;_Z q  must equal  p || (Z ∧ q)."""
+        p = counter(2, name="p")
+        q = Program(
+            [Variable("x", [0, 1, 2])],
+            [Action("reset", TRUE, assign(x=0))],
+            name="q",
+        )
+        z = Predicate(lambda s: s["x"] == 2, "x=2")
+        seq = p.sequential(q, z)
+        assert {a.name for a in seq.actions} == {"inc", "reset"}
+        # reset only enabled under Z
+        assert not seq.action("reset").enabled(State(x=1))
+        assert seq.action("reset").enabled(State(x=2))
+
+
+class TestHelpers:
+    def test_with_actions(self):
+        p = counter()
+        q = p.with_actions([Action("noop", TRUE, skip())])
+        assert [a.name for a in q.actions] == ["noop"]
+        assert q.variable_names == p.variable_names
+
+    def test_with_variables(self):
+        p = counter()
+        q = p.with_variables([Variable("y", [0, 1])])
+        assert set(q.variable_names) == {"x", "y"}
+
+    def test_renamed(self):
+        assert counter().renamed("zz").name == "zz"
+
+
+class TestEncapsulation:
+    def test_memory_family_encapsulates(self, memory):
+        assert memory.pf.encapsulates(memory.p)
+        assert memory.pm.encapsulates(memory.pn)
+
+    def test_guard_strengthening_is_encapsulation(self):
+        base = counter(2, name="base")
+        refined = Program(
+            [Variable("x", [0, 1, 2]), Variable("z", [False, True])],
+            [
+                Action(
+                    "inc_guarded",
+                    Predicate(lambda s: s["x"] < 2 and s["z"], "x<2 ∧ z"),
+                    assign(x=lambda s: s["x"] + 1),
+                ),
+                Action("arm", Predicate(lambda s: not s["z"], "¬z"),
+                       assign(z=True)),
+            ],
+            name="refined",
+        )
+        assert refined.encapsulates(base)
+
+    def test_new_base_effect_is_not_encapsulation(self):
+        base = counter(2, name="base")
+        rogue = Program(
+            [Variable("x", [0, 1, 2])],
+            [Action("dec", Predicate(lambda s: s["x"] > 0, "x>0"),
+                    assign(x=lambda s: s["x"] - 1))],
+            name="rogue",
+        )
+        assert not rogue.encapsulates(base)
+
+    def test_guard_weakening_is_not_encapsulation(self):
+        base = counter(1, name="base")
+        weakened = Program(
+            [Variable("x", [0, 1, 2])],
+            [Action("inc_any", Predicate(lambda s: s["x"] < 2, "x<2"),
+                    assign(x=lambda s: s["x"] + 1))],
+            name="weakened",
+        )
+        # enabled at x=1 where the base action is not
+        assert not weakened.encapsulates(base)
+
+    def test_component_only_actions_are_fine(self):
+        base = counter(2, name="base")
+        observer = Program(
+            [Variable("x", [0, 1, 2]), Variable("seen", [False, True])],
+            [
+                Action("inc", Predicate(lambda s: s["x"] < 2, "x<2"),
+                       assign(x=lambda s: s["x"] + 1)),
+                Action("observe", Predicate(lambda s: not s["seen"], "¬seen"),
+                       assign(seen=True)),
+            ],
+            name="observer",
+        )
+        assert observer.encapsulates(base)

@@ -1,0 +1,174 @@
+"""The remaining application catalogue: mutual exclusion, leader
+election, termination detection, distributed reset."""
+
+import pytest
+
+from repro.core import (
+    Predicate,
+    State,
+    TRUE,
+    is_detector,
+    is_failsafe_tolerant,
+    is_masking_tolerant,
+    is_nonmasking_tolerant,
+    refines_spec,
+    violates_spec,
+)
+from repro.programs import (
+    distributed_reset,
+    leader_election,
+    mutual_exclusion,
+    termination_detection,
+)
+
+
+class TestMutualExclusion:
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            mutual_exclusion.build(1)
+
+    def test_tolerant_is_masking(self, mutex):
+        assert is_masking_tolerant(
+            mutex.tolerant, mutex.faults, mutex.spec,
+            mutex.invariant, mutex.span,
+        )
+
+    def test_intolerant_is_failsafe_only(self, mutex):
+        assert is_failsafe_tolerant(
+            mutex.intolerant, mutex.faults, mutex.spec,
+            mutex.invariant, mutex.span,
+        )
+        assert not is_masking_tolerant(
+            mutex.intolerant, mutex.faults, mutex.spec,
+            mutex.invariant, mutex.span,
+        )
+
+    def test_regeneration_never_duplicates(self, mutex):
+        for state in mutex.tolerant.states():
+            if mutex.corrector.enabled(state):
+                assert mutex.no_token(state)
+
+    def test_exclusion_invariant_over_span(self, mutex):
+        ts = mutex.faults.system(mutex.tolerant, mutex.span)
+        for state in ts.states:
+            assert sum(
+                1 for i in range(mutex.size) if state[f"cs{i}"]
+            ) <= 1
+
+    def test_loss_only_in_transit(self, mutex):
+        """The fault cannot steal a token being used in the critical
+        section (cf. the module docstring's modelling note)."""
+        in_cs = State(
+            tok0=True, cs0=True, done0=False,
+            tok1=False, cs1=False, done1=False,
+            tok2=False, cs2=False, done2=False,
+        )
+        for action in mutex.faults.actions:
+            assert not action.successors(in_cs)
+
+
+class TestLeaderElection:
+    def test_distinct_ids_required(self):
+        with pytest.raises(ValueError):
+            leader_election.build((1, 1, 2))
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            leader_election.build((1,))
+
+    def test_nonmasking(self, election):
+        assert is_nonmasking_tolerant(
+            election.program, election.faults, election.spec,
+            election.invariant, TRUE,
+        )
+
+    def test_converges_to_the_maximum(self, election):
+        from repro.sim import RoundRobinScheduler, convergence_steps
+
+        start = State(ldr0=1, ldr1=1, ldr2=1)
+        steps = convergence_steps(
+            election.program, start, election.invariant, RoundRobinScheduler()
+        )
+        assert steps is not None
+
+    def test_monotone_actions(self, election):
+        """Candidates never decrease — max-propagation is monotone."""
+        for state in election.program.states():
+            for _, nxt in election.program.successors(state):
+                for i in range(len(election.ids)):
+                    assert nxt[f"ldr{i}"] >= state[f"ldr{i}"]
+
+
+class TestTerminationDetection:
+    def test_sound_scanner_is_detector(self, termination):
+        assert is_detector(
+            termination.detector, termination.done,
+            termination.terminated, termination.from_,
+        )
+
+    def test_unsound_scanner_refuted_with_counterexample(self, termination):
+        result = is_detector(
+            termination.unsound, termination.done,
+            termination.terminated, termination.from_,
+        )
+        assert not result
+        assert result.counterexample is not None, (
+            "the classic scan-behind-reactivation bug must be exhibited"
+        )
+
+    def test_not_tolerant_to_spurious_activation(self, termination):
+        assert not is_failsafe_tolerant(
+            termination.detector, termination.faults, termination.spec,
+            termination.from_, TRUE,
+        )
+
+    def test_termination_is_stable(self, termination):
+        """Only active processes activate others, so 'all idle' is
+        closed — the Chandy–Misra special case of the detects relation."""
+        from repro.core.refinement import system_from
+
+        ts = system_from(termination.detector, TRUE)
+        closed = ts.is_closed(termination.terminated)
+        assert closed
+
+    def test_done_latches(self, termination):
+        for state in termination.detector.states():
+            if not state["done"]:
+                continue
+            for _, nxt in termination.detector.successors(state):
+                assert nxt["done"]
+
+
+class TestDistributedReset:
+    def test_parameters_validated(self):
+        with pytest.raises(ValueError):
+            distributed_reset.build(1)
+        with pytest.raises(ValueError):
+            distributed_reset.build(3, sessions=1)
+
+    def test_nonmasking(self, reset):
+        assert is_nonmasking_tolerant(
+            reset.program, reset.faults, reset.spec,
+            reset.invariant, reset.span,
+        )
+
+    def test_refines_spec_from_invariant(self, reset):
+        assert refines_spec(reset.program, reset.spec, reset.invariant)
+
+    def test_corruption_triggers_wave(self, reset):
+        """From a corrupt state inside the span, the program reaches
+        the clean invariant."""
+        from repro.core.refinement import system_from
+        from repro.core.fairness import check_leads_to
+
+        ts = reset.faults.system(reset.program, reset.span)
+        assert check_leads_to(ts, TRUE, reset.invariant)
+
+    def test_wave_waits_for_completion(self, reset):
+        """reset_root is disabled while a wave is still propagating."""
+        mid_wave = State(
+            x0=0, req0=True, sn0=1,
+            x1=1, req1=True, sn1=0,
+            x2=0, req2=False, sn2=0,
+        )
+        assert not reset.program.action("reset_root").enabled(mid_wave)

@@ -1,0 +1,95 @@
+"""Barrier computation — the first application in the paper's list."""
+
+import pytest
+
+from repro.core import (
+    State,
+    is_failsafe_tolerant,
+    is_masking_tolerant,
+    refines_spec,
+)
+from repro.programs import barrier
+from repro.programs.barrier import ARRIVED, WORKING
+
+
+@pytest.fixture(scope="module")
+def model():
+    return barrier.build(3)
+
+
+class TestModel:
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            barrier.build(1)
+
+    def test_release_needs_all_flags(self, model):
+        release = model.tolerant.action("release")
+        partial = State(
+            round=0,
+            pc0=ARRIVED, a0=True,
+            pc1=ARRIVED, a1=True,
+            pc2=WORKING, a2=False,
+        )
+        assert not release.enabled(partial)
+
+    def test_release_resets_everyone(self, model):
+        release = model.tolerant.action("release")
+        ready = State(
+            round=0,
+            pc0=ARRIVED, a0=True,
+            pc1=ARRIVED, a1=True,
+            pc2=ARRIVED, a2=True,
+        )
+        (after,) = release.successors(ready)
+        assert after["round"] == 1
+        assert all(after[f"pc{i}"] == WORKING for i in range(3))
+        assert not any(after[f"a{i}"] for i in range(3))
+
+
+class TestPaperClaims:
+    def test_refines_spec_without_faults(self, model):
+        assert refines_spec(model.intolerant, model.spec, model.invariant)
+
+    def test_tolerant_is_masking(self, model):
+        assert is_masking_tolerant(
+            model.tolerant, model.faults, model.spec,
+            model.invariant, model.span,
+        )
+
+    def test_intolerant_is_failsafe_only(self, model):
+        assert is_failsafe_tolerant(
+            model.intolerant, model.faults, model.spec,
+            model.invariant, model.span,
+        )
+        assert not is_masking_tolerant(
+            model.intolerant, model.faults, model.spec,
+            model.invariant, model.span,
+        ), "a lost flag blocks the intolerant barrier forever"
+
+    def test_flags_never_overclaim(self, model):
+        """The span (flags truthful) is closed under program and fault —
+        the safety witness."""
+        ts = model.faults.system(model.tolerant, model.span)
+        assert ts.is_closed(model.span, include_faults=True)
+
+    def test_corrector_is_locally_guarded(self, model):
+        """The re-announce corrector fires exactly on the detection
+        predicate 'arrived but flag lost'."""
+        corrector = model.tolerant.action("re_announce0")
+        inconsistent = State(
+            round=0,
+            pc0=ARRIVED, a0=False,
+            pc1=WORKING, a1=False,
+            pc2=WORKING, a2=False,
+        )
+        assert corrector.enabled(inconsistent)
+        consistent = inconsistent.assign(a0=True)
+        assert not corrector.enabled(consistent)
+
+    @pytest.mark.parametrize("size", [2, 4])
+    def test_scales(self, size):
+        model = barrier.build(size)
+        assert is_masking_tolerant(
+            model.tolerant, model.faults, model.spec,
+            model.invariant, model.span,
+        )

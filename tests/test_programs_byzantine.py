@@ -1,0 +1,146 @@
+"""Section 6.2 — Byzantine agreement by composition (n = 4, f = 1)."""
+
+import pytest
+
+from repro.core import (
+    BOTTOM,
+    State,
+    is_failsafe_tolerant,
+    is_masking_tolerant,
+    refines_spec,
+    violates_spec,
+)
+from repro.programs.byzantine import build, corrdecn, majority
+
+
+class TestMajority:
+    def test_simple(self):
+        assert majority([0, 0, 1]) == 0
+        assert majority([1, 1, 1]) == 1
+
+    def test_no_strict_majority_rejected(self):
+        with pytest.raises(ValueError):
+            majority([0, 1])
+
+
+class TestCorrdecn:
+    def test_honest_general(self, byz):
+        state = next(iter(byz.ib.states()))
+        state = state.assign(bg=False, dg=1)
+        assert corrdecn(state) == 1
+
+    def test_byzantine_general_uses_majority(self, byz):
+        state = next(iter(byz.ib.states()))
+        state = state.assign(bg=True, d1=0, d2=0, d3=1)
+        assert corrdecn(state) == 0
+
+
+class TestPaperClaims:
+    def test_ib_refines_spec_without_faults(self, byz):
+        assert refines_spec(byz.ib, byz.spec, byz.invariant_ib)
+
+    def test_ib_violates_agreement_under_faults(self, byz):
+        """A Byzantine general sends different values to different
+        processes; naked IB (composed with the Byzantine behaviour)
+        outputs them — agreement dies."""
+        assert violates_spec(
+            byz.ib_with_byz, byz.spec.safety_part(), byz.invariant_ib,
+            fault_actions=list(byz.faults.actions),
+        )
+
+    def test_failsafe_composition(self, byz):
+        assert is_failsafe_tolerant(
+            byz.failsafe, byz.faults, byz.spec, byz.invariant, byz.span
+        )
+
+    def test_failsafe_is_not_masking(self, byz):
+        """Without CB, a process whose copy is the minority blocks
+        forever (the paper: 'one non-general process will be blocked')."""
+        assert not is_masking_tolerant(
+            byz.failsafe, byz.faults, byz.spec, byz.invariant, byz.span
+        )
+
+    def test_masking_composition(self, byz):
+        assert is_masking_tolerant(
+            byz.masking, byz.faults, byz.spec, byz.invariant, byz.span
+        )
+
+
+class TestWitnessStructure:
+    def test_witness_requires_all_copies(self, byz):
+        state = State(
+            dg=1, bg=False,
+            d1=1, out1=BOTTOM, b1=False,
+            d2=BOTTOM, out2=BOTTOM, b2=False,
+            d3=1, out3=BOTTOM, b3=False,
+        )
+        assert not byz.witnesses[1](state)
+
+    def test_witness_requires_majority_match(self, byz):
+        state = State(
+            dg=1, bg=True,
+            d1=0, out1=BOTTOM, b1=False,
+            d2=1, out2=BOTTOM, b2=False,
+            d3=1, out3=BOTTOM, b3=False,
+        )
+        assert not byz.witnesses[1](state), "d1 is the minority"
+        assert byz.witnesses[2](state)
+
+    def test_witness_implies_detection_within_span(self, byz):
+        """Safeness of DB.j: within T, the witness implies
+        d.j = corrdecn."""
+        from repro.core.refinement import start_states_of
+
+        for state in start_states_of(byz.masking, byz.span):
+            for j, witness in byz.witnesses.items():
+                if witness(state) and not state[f"b{j}"]:
+                    assert byz.detections[j](state)
+
+    def test_corrector_fixes_minority(self, byz):
+        state = State(
+            dg=1, bg=True,
+            d1=0, out1=BOTTOM, b1=False,
+            d2=1, out2=BOTTOM, b2=False,
+            d3=1, out3=BOTTOM, b3=False,
+        )
+        (fixed,) = byz.masking.action("CB1.1").successors(state)
+        assert fixed["d1"] == 1
+
+    def test_corrector_idle_on_majority_holders(self, byz):
+        state = State(
+            dg=1, bg=True,
+            d1=0, out1=BOTTOM, b1=False,
+            d2=1, out2=BOTTOM, b2=False,
+            d3=1, out3=BOTTOM, b3=False,
+        )
+        assert not byz.masking.action("CB1.2").enabled(state)
+
+
+class TestByzantineBehaviour:
+    def test_lies_never_unsend(self, byz):
+        """Byzantine writes range over real values only — ⊥ cannot be
+        restored."""
+        for action in byz.masking.actions:
+            if not action.name.startswith("BYZ"):
+                continue
+            for state in [
+                State(
+                    dg=1, bg=True,
+                    d1=1, out1=1, b1=False,
+                    d2=1, out2=BOTTOM, b2=False,
+                    d3=BOTTOM, out3=BOTTOM, b3=False,
+                )
+            ]:
+                for nxt in action.successors(state):
+                    assert nxt["dg"] is not BOTTOM
+
+    def test_at_most_one_byzantine(self, byz):
+        """Every fault latch is guarded on nobody being Byzantine."""
+        one_byz = State(
+            dg=1, bg=True,
+            d1=1, out1=BOTTOM, b1=False,
+            d2=1, out2=BOTTOM, b2=False,
+            d3=1, out3=BOTTOM, b3=False,
+        )
+        for action in byz.faults.actions:
+            assert not action.successors(one_byz)

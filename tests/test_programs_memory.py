@@ -1,0 +1,129 @@
+"""Sections 3.3, 4.3, 5.1 — the memory-access ladder (Figures 1-3)."""
+
+import pytest
+
+from repro.core import (
+    BOTTOM,
+    State,
+    TRUE,
+    is_failsafe_tolerant,
+    is_masking_tolerant,
+    is_nonmasking_tolerant,
+    refines_program,
+    refines_spec,
+    violates_spec,
+)
+from repro.programs import memory_access
+
+
+class TestModel:
+    def test_variable_domains(self, memory):
+        assert memory.p.variable("mem").domain == (BOTTOM, 1)
+        assert set(memory.pf.variable_names) == {"mem", "data", "Z1"}
+
+    def test_value_must_be_in_domain(self):
+        with pytest.raises(ValueError):
+            memory_access.build(value=7, data_domain=(0, 1))
+
+    def test_parameterizable(self):
+        model = memory_access.build(value=2, data_domain=(0, 1, 2))
+        assert model.value == 2
+        assert refines_spec(model.p, model.spec, model.S_p)
+
+    def test_absent_read_is_arbitrary(self, memory):
+        state = State(mem=BOTTOM, data=BOTTOM)
+        successors = memory.p.action("p1").successors(state)
+        assert {t["data"] for t in successors} == {0, 1}
+
+
+class TestIntolerantP:
+    def test_refines_spec_without_faults(self, memory):
+        assert refines_spec(memory.p, memory.spec, memory.S_p)
+
+    def test_violates_safety_under_faults(self, memory):
+        violation = violates_spec(
+            memory.p, memory.spec.safety_part(), memory.S_p,
+            fault_actions=list(memory.fault_anytime.actions),
+        )
+        assert violation
+        assert violation.counterexample is not None
+
+
+class TestFigure1FailSafe(object):
+    def test_pf_failsafe_tolerant(self, memory):
+        assert is_failsafe_tolerant(
+            memory.pf, memory.fault_before_witness, memory.spec,
+            memory.S_pf, memory.T_pf,
+        )
+
+    def test_pf_blocks_after_fault(self, memory):
+        """After a page fault, pf deadlocks (never assigns data) —
+        the fail-safe behaviour the paper describes."""
+        state = State(mem=BOTTOM, data=BOTTOM, Z1=False)
+        assert memory.pf.is_deadlocked(state)
+
+    def test_detector_structure(self, memory):
+        """pf1 is the detector action: it truthifies Z1 only under X1."""
+        for state in memory.pf.states():
+            for _, nxt in [("pf1", t) for t in
+                           memory.pf.action("pf1").successors(state)]:
+                assert memory.X1(state), "pf1 fires only when X1 holds"
+                assert nxt["Z1"]
+
+
+class TestFigure2Nonmasking:
+    def test_pn_nonmasking_tolerant(self, memory):
+        assert is_nonmasking_tolerant(
+            memory.pn, memory.fault_anytime, memory.spec,
+            memory.S_pn, memory.T_pn,
+        )
+
+    def test_pn_can_transiently_err(self, memory):
+        """The paper: 'it may set data to an incorrect value'."""
+        state = State(mem=BOTTOM, data=BOTTOM)
+        successors = memory.pn.action("pn2").successors(state)
+        assert any(t["data"] == 0 for t in successors)
+
+    def test_corrector_structure(self, memory):
+        """pn1 re-adds the missing entry with the correct value."""
+        state = State(mem=BOTTOM, data=0)
+        (fixed,) = memory.pn.action("pn1").successors(state)
+        assert fixed["mem"] == memory.value
+
+
+class TestFigure3Masking:
+    def test_pm_masking_tolerant(self, memory):
+        assert is_masking_tolerant(
+            memory.pm, memory.fault_before_witness, memory.spec,
+            memory.S_pm, memory.T_pm,
+        )
+
+    def test_pm_never_reads_absent_memory(self, memory):
+        """pm3 is guarded by Z1 and U1 keeps Z1 ⇒ X1, so within the
+        span a read always sees the entry."""
+        from repro.core.refinement import system_from
+
+        ts = memory.fault_before_witness.system(memory.pm, memory.T_pm)
+        for state in ts.states:
+            if memory.pm.action("pm3").enabled(state):
+                assert state["mem"] is not BOTTOM
+
+    def test_pm_refines_both_ancestors(self, memory):
+        assert refines_program(memory.pm, memory.pn, memory.S_pm)
+        assert refines_program(memory.pm, memory.p, memory.S_pm)
+
+
+class TestFaultModel:
+    def test_fault_before_witness_preserves_u1(self, memory):
+        for state in memory.pf.states():
+            if not memory.U1(state):
+                continue
+            for action in memory.fault_before_witness.actions:
+                for nxt in action.successors(state):
+                    assert memory.U1(nxt)
+
+    def test_anytime_fault_only_removes(self, memory):
+        for state in memory.p.states():
+            for action in memory.fault_anytime.actions:
+                for nxt in action.successors(state):
+                    assert nxt["mem"] is BOTTOM

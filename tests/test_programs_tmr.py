@@ -1,0 +1,142 @@
+"""Section 6.1 — triple modular redundancy by composition."""
+
+import pytest
+
+from repro import theory
+from repro.core import (
+    BOTTOM,
+    State,
+    is_detector,
+    is_failsafe_tolerant,
+    is_masking_tolerant,
+    refines_program,
+    refines_spec,
+    violates_spec,
+)
+from repro.programs import tmr
+
+
+class TestModel:
+    def test_distinct_values_required(self):
+        with pytest.raises(ValueError):
+            tmr.build(uncor=1, corrupted=1)
+
+    def test_composition_structure(self, tmr_model):
+        """TMR = DR;IR ‖ CR — the composed program has IR's restricted
+        action plus CR's two voter actions."""
+        assert {a.name for a in tmr_model.tmr.actions} == {"IR1", "CR1", "CR2"}
+
+    def test_dr_ir_is_restriction(self, tmr_model):
+        """DR;IR's action is IR1 with the witness conjoined."""
+        for state in tmr_model.ir.states():
+            if tmr_model.dr_ir.action("IR1").enabled(state):
+                assert tmr_model.ir.action("IR1").enabled(state)
+                assert tmr_model.witness_dr(state)
+
+
+class TestPaperClaims:
+    def test_ir_refines_spec_without_faults(self, tmr_model):
+        assert refines_spec(tmr_model.ir, tmr_model.spec, tmr_model.invariant)
+
+    def test_ir_violates_safety_under_faults(self, tmr_model):
+        assert violates_spec(
+            tmr_model.ir, tmr_model.spec.safety_part(), tmr_model.invariant,
+            fault_actions=list(tmr_model.faults.actions),
+        )
+
+    def test_stateless_detector(self, tmr_model):
+        """(x=y ∨ x=z) detects (x=uncor) in the program that merely
+        evaluates the predicate, from states with ≤1 corruption."""
+        assert is_detector(
+            tmr_model.detector_eval,
+            tmr_model.witness_dr, tmr_model.detection_dr,
+            tmr_model.span_inputs,
+        )
+
+    def test_dr_ir_failsafe(self, tmr_model):
+        assert is_failsafe_tolerant(
+            tmr_model.dr_ir, tmr_model.faults, tmr_model.spec,
+            tmr_model.invariant, tmr_model.span,
+        )
+
+    def test_dr_ir_deadlocks_when_x_corrupted(self, tmr_model):
+        state = State(x=0, y=1, z=1, out=BOTTOM)
+        assert tmr_model.dr_ir.is_deadlocked(state)
+
+    def test_tmr_masking(self, tmr_model):
+        assert is_masking_tolerant(
+            tmr_model.tmr, tmr_model.faults, tmr_model.spec,
+            tmr_model.invariant, tmr_model.span,
+        )
+
+    def test_dr_ir_is_not_masking(self, tmr_model):
+        assert not is_masking_tolerant(
+            tmr_model.dr_ir, tmr_model.faults, tmr_model.spec,
+            tmr_model.invariant, tmr_model.span,
+        ), "without CR the system deadlocks when x is corrupted"
+
+    def test_corrector_unblocks(self, tmr_model):
+        state = State(x=0, y=1, z=1, out=BOTTOM)
+        successors = {
+            t["out"]
+            for action in tmr_model.cr.actions
+            for t in action.successors(state)
+        }
+        assert successors == {1}, "CR votes the uncorrupted value"
+
+
+class TestTheoremApplications:
+    def test_theorem_3_6_on_dr_ir(self, tmr_model):
+        assert theory.theorem_3_6(
+            tmr_model.dr_ir, tmr_model.ir, tmr_model.spec,
+            invariant_base=tmr_model.invariant,
+            invariant_refined=tmr_model.invariant,
+            span=tmr_model.span, faults=tmr_model.faults,
+        )
+
+    def test_dr_ir_refines_ir(self, tmr_model):
+        assert refines_program(tmr_model.dr_ir, tmr_model.ir, tmr_model.invariant)
+        assert tmr_model.dr_ir.encapsulates(tmr_model.ir)
+
+
+class TestExtantEquivalence:
+    """Section 6's claim that the composed system IS the classical TMR:
+    the composition and a monolithic hand-written voter are mutually
+    refining from the invariant."""
+
+    def monolithic(self, tmr_model):
+        from repro.core import Action, Predicate, Program, assign
+
+        unset = Predicate(lambda s: s["out"] is BOTTOM, "out=⊥")
+        return Program(
+            tmr_model.tmr.variables,
+            [
+                Action(
+                    "vote_x",
+                    unset & Predicate(lambda s: s["x"] == s["y"] or s["x"] == s["z"]),
+                    assign(out=lambda s: s["x"]),
+                ),
+                Action(
+                    "vote_y",
+                    unset & Predicate(lambda s: s["y"] == s["z"] or s["y"] == s["x"]),
+                    assign(out=lambda s: s["y"]),
+                ),
+                Action(
+                    "vote_z",
+                    unset & Predicate(lambda s: s["z"] == s["x"] or s["z"] == s["y"]),
+                    assign(out=lambda s: s["z"]),
+                ),
+            ],
+            name="monolithic_tmr",
+        )
+
+    def test_mutual_refinement(self, tmr_model):
+        monolithic = self.monolithic(tmr_model)
+        assert refines_program(tmr_model.tmr, monolithic, tmr_model.span)
+        assert refines_program(monolithic, tmr_model.tmr, tmr_model.span)
+
+    def test_same_tolerance(self, tmr_model):
+        assert is_masking_tolerant(
+            self.monolithic(tmr_model), tmr_model.faults, tmr_model.spec,
+            tmr_model.invariant, tmr_model.span,
+        )

@@ -1,0 +1,91 @@
+"""Dijkstra's token ring — self-stabilization as nonmasking tolerance."""
+
+import pytest
+
+from repro.core import TRUE, is_corrector, is_nonmasking_tolerant, refines_spec
+from repro.programs import token_ring
+from repro.sim import RoundRobinScheduler, convergence_steps, \
+    worst_case_convergence_steps
+
+
+class TestModel:
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            token_ring.build(1)
+
+    def test_k_must_cover_ring(self):
+        with pytest.raises(ValueError):
+            token_ring.build(4, k=2)
+
+    def test_k_one_below_n_is_allowed(self):
+        """The refined bound: K = n - 1 stabilizes (verified in the
+        ablation tests)."""
+        model = token_ring.build(4, k=3)
+        assert model.k == 3
+
+    def test_token_predicates(self, ring):
+        from repro.core import State
+
+        uniform = State(x0=0, x1=0, x2=0, x3=0)
+        holders = [i for i, t in ring.tokens.items() if t(uniform)]
+        assert holders == [0], "uniform configuration: only P0 has the token"
+
+    def test_legitimate_states_count(self, ring):
+        """Exactly-one-token states: all-equal configurations (token at
+        P0) plus single-boundary configurations (token at some i > 0) —
+        K + (n-1)·K·(K-1) in total."""
+        count = sum(1 for s in ring.ring.states() if ring.invariant(s))
+        n, k = ring.size, ring.k
+        assert count == k + (n - 1) * k * (k - 1)
+
+
+class TestPaperClaims:
+    def test_refines_spec_from_invariant(self, ring):
+        assert refines_spec(ring.ring, ring.spec, ring.invariant)
+
+    def test_nonmasking_from_anywhere(self, ring):
+        assert is_nonmasking_tolerant(
+            ring.ring, ring.faults, ring.spec, ring.invariant, TRUE
+        )
+
+    def test_is_corrector_of_own_invariant(self, ring):
+        """The Arora–Gouda special case: witness = correction
+        predicate = the invariant."""
+        assert is_corrector(ring.ring, ring.invariant, ring.invariant, TRUE)
+
+    @pytest.mark.parametrize("size", [3, 5])
+    def test_scales(self, size):
+        model = token_ring.build(size)
+        assert is_nonmasking_tolerant(
+            model.ring, model.faults, model.spec, model.invariant, TRUE
+        )
+
+
+class TestConvergenceMeasurement:
+    def test_round_robin_converges(self, ring):
+        start = next(
+            s for s in ring.ring.states() if not ring.invariant(s)
+        )
+        steps = convergence_steps(
+            ring.ring, start, ring.invariant, RoundRobinScheduler()
+        )
+        assert steps is not None and steps >= 1
+
+    def test_worst_case_bound_is_quadratic_ish(self, ring):
+        bound = worst_case_convergence_steps(
+            ring.ring, ring.ring.states(), ring.invariant
+        )
+        assert 0 < bound <= 3 * ring.size * ring.size, (
+            "Dijkstra's ring stabilizes within O(n²) moves"
+        )
+
+    def test_worst_case_grows_with_ring(self):
+        small = token_ring.build(3)
+        large = token_ring.build(5)
+        b_small = worst_case_convergence_steps(
+            small.ring, small.ring.states(), small.invariant
+        )
+        b_large = worst_case_convergence_steps(
+            large.ring, large.ring.states(), large.invariant
+        )
+        assert b_large > b_small

@@ -1,0 +1,80 @@
+"""Tree maintenance — self-stabilizing BFS spanning tree."""
+
+import pytest
+
+from repro.core import TRUE, is_corrector, is_nonmasking_tolerant
+from repro.programs import tree_maintenance
+from repro.programs.tree_maintenance import DEFAULT_EDGES, build
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return build()
+
+
+class TestTopologyValidation:
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            build(1, edges=())
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            build(3, edges=((0, 0), (0, 1), (1, 2)))
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(ValueError):
+            build(4, edges=((0, 1), (2, 3)))
+
+    def test_isolated_node_rejected(self):
+        with pytest.raises(ValueError):
+            build(3, edges=((0, 1),))
+
+    def test_true_distances(self, tree):
+        assert tree.true_distances == {0: 0, 1: 1, 2: 1, 3: 2}
+
+
+class TestStabilization:
+    def test_nonmasking_from_anywhere(self, tree):
+        assert is_nonmasking_tolerant(
+            tree.program, tree.faults, tree.spec, tree.invariant, TRUE
+        )
+
+    def test_corrector_of_own_invariant(self, tree):
+        assert is_corrector(tree.program, tree.invariant, tree.invariant, TRUE)
+
+    def test_legitimate_states_are_quiescent(self, tree):
+        """In the exact BFS tree with canonical parents, every guard is
+        false — tree maintenance is demand-driven."""
+        fixpoints = [
+            s for s in tree.program.states()
+            if tree.program.is_deadlocked(s)
+        ]
+        assert fixpoints
+        assert all(tree.invariant(s) for s in fixpoints)
+
+    def test_fake_short_distance_is_repaired(self, tree):
+        """The classic hazard: a corrupted dist=0 deep in the graph
+        attracts parents; the cap + recomputation still converge."""
+        from repro.core import State
+        from repro.sim import RoundRobinScheduler, convergence_steps
+
+        corrupted = State(dist1=1, parent1=0, dist2=1, parent2=0,
+                          dist3=0, parent3=2)
+        steps = convergence_steps(
+            tree.program, corrupted, tree.invariant, RoundRobinScheduler()
+        )
+        assert steps is not None
+
+    def test_line_topology(self):
+        line = build(4, edges=((0, 1), (1, 2), (2, 3)))
+        assert is_nonmasking_tolerant(
+            line.program, line.faults, line.spec, line.invariant, TRUE
+        )
+
+    def test_worst_case_convergence_bounded(self, tree):
+        from repro.sim import worst_case_convergence_steps
+
+        bound = worst_case_convergence_steps(
+            tree.program, tree.program.states(), tree.invariant
+        )
+        assert 0 < bound <= 4 * tree.size * tree.size

@@ -1,0 +1,207 @@
+"""Property-based cross-validation of the two semantics.
+
+The library deliberately has two independent implementations of the
+paper's definitions: the graph-based model checker
+(:mod:`repro.core.fairness`, :mod:`repro.core.refinement`) and the
+explicit sequence semantics (:mod:`repro.core.computation`,
+:meth:`Spec.holds_on`).  These tests generate random small programs and
+check the engines against each other and against the definitions'
+algebraic consequences.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Action,
+    Predicate,
+    Program,
+    State,
+    TRUE,
+    Variable,
+    assign,
+    enumerate_computations,
+)
+from repro.core.exploration import TransitionSystem
+from repro.core.fairness import check_leads_to
+from repro.core.invariants import (
+    is_detection_predicate,
+    reachable_invariant,
+    weakest_detection_predicate,
+)
+from repro.core.specification import Spec, StateInvariant, TransitionInvariant
+
+DOMAIN = [0, 1, 2]
+
+
+@st.composite
+def small_programs(draw):
+    """A random program over one variable x ∈ {0,1,2}: up to three
+    deterministic actions of the form 'x=a --> x:=b'."""
+    action_count = draw(st.integers(min_value=1, max_value=3))
+    actions = []
+    for index in range(action_count):
+        source = draw(st.sampled_from(DOMAIN))
+        target = draw(st.sampled_from(DOMAIN))
+        actions.append(
+            Action(
+                f"a{index}",
+                Predicate(lambda s, a=source: s["x"] == a, f"x={source}"),
+                assign(x=target),
+            )
+        )
+    return Program([Variable("x", DOMAIN)], actions, name="random")
+
+
+values = st.sampled_from(DOMAIN)
+
+
+@settings(max_examples=200, deadline=None)
+@given(program=small_programs(), start=values, goal=values)
+def test_leads_to_agrees_with_exhaustive_enumeration(program, start, goal):
+    """check_leads_to == 'every complete enumerated computation
+    discharges the obligation', on programs small enough to enumerate.
+
+    With single-source deterministic-per-action programs over 3 states,
+    every computation either deadlocks within 4 steps or enters a cycle;
+    enumeration to length 8 with cycle awareness decides the property:
+    a truncated computation revisiting a state pattern corresponds to a
+    potential fair cycle, which the graph engine judges — so we compare
+    only on complete computations plus graph-confirmed cycles.
+    """
+    start_state = State(x=start)
+    target = Predicate(lambda s, g=goal: s["x"] == g, f"x={goal}")
+    ts = TransitionSystem(program, [start_state])
+    verdict = bool(check_leads_to(ts, TRUE, target))
+
+    # Ground truth, mode 1: a complete computation that never reaches
+    # the goal refutes leads-to.
+    for computation in enumerate_computations(program, start_state, max_length=10):
+        if computation.complete and not any(
+            target(s) for s in computation.states
+        ):
+            assert not verdict
+            return
+
+    # Ground truth, mode 2: if every reachable state can fairly reach
+    # the goal... defer to a simple structural check: if verdict is
+    # False there must exist either a deadlock avoiding the goal
+    # (covered above for reachable-from-start deadlocks) or a cycle
+    # avoiding the goal.
+    if not verdict:
+        region = {s for s in ts.states if not target(s)}
+        has_deadlock = any(program.is_deadlocked(s) for s in region)
+        has_cycle = _has_cycle(ts, region)
+        assert has_deadlock or has_cycle
+    else:
+        # verdict True: no complete computation above avoided the goal;
+        # additionally no goal-free cycle may be fairly recurrent.
+        from repro.core.fairness import fair_recurrent_sccs
+
+        region = {s for s in ts.states if not target(s)}
+        assert fair_recurrent_sccs(ts, region) == []
+
+
+def _has_cycle(ts, region):
+    from repro.core.fairness import strongly_connected_components
+
+    def successors(state):
+        return [t for _, t in ts.program_edges_from(state) if t in region]
+
+    for component in strongly_connected_components(region, successors):
+        internal = [
+            t for s in component for _, t in ts.program_edges_from(s)
+            if t in component
+        ]
+        if len(component) > 1 or any(t in component for t in internal):
+            return True
+    return False
+
+
+@settings(max_examples=200, deadline=None)
+@given(program=small_programs(), start=values)
+def test_reachable_invariant_is_closed(program, start):
+    invariant = reachable_invariant(program, [State(x=start)])
+    for state in program.states():
+        if not invariant(state):
+            continue
+        for _, nxt in program.successors(state):
+            assert invariant(nxt)
+
+
+@settings(max_examples=200, deadline=None)
+@given(program=small_programs(), forbidden=values)
+def test_weakest_detection_predicate_is_weakest(program, forbidden):
+    """(a) the computed predicate IS a detection predicate; (b) no
+    strictly weaker extensional predicate is."""
+    spec = Spec(
+        [StateInvariant(
+            Predicate(lambda s, f=forbidden: s["x"] != f, f"x≠{forbidden}")
+        )],
+        name="avoid",
+    )
+    states = list(program.states())
+    for action in program.actions:
+        weakest = weakest_detection_predicate(action, spec, states)
+        assert is_detection_predicate(weakest, action, spec, states)
+        for state in states:
+            if weakest(state):
+                continue
+            widened = Predicate(
+                lambda s, w=weakest, extra=state: w(s) or s == extra,
+                "widened",
+            )
+            assert not is_detection_predicate(widened, action, spec, states)
+
+
+@settings(max_examples=150, deadline=None)
+@given(program=small_programs(), start=values)
+def test_enumerated_computations_are_valid_paths(program, start):
+    """Every enumerated step is a genuine transition; maximal
+    computations end deadlocked."""
+    for computation in enumerate_computations(
+        program, State(x=start), max_length=6
+    ):
+        for i, label in enumerate(computation.actions):
+            source = computation.states[i]
+            target_state = computation.states[i + 1]
+            action = program.action(label.rstrip("!"))
+            assert target_state in action.successors(source)
+        if computation.complete:
+            assert program.is_deadlocked(computation.states[-1])
+
+
+@settings(max_examples=150, deadline=None)
+@given(program=small_programs(), start=values, forbidden=values)
+def test_safety_graph_check_agrees_with_sequences(program, start, forbidden):
+    """A state-invariant spec holds on the transition system iff it
+    holds on every enumerated computation prefix."""
+    spec = Spec(
+        [StateInvariant(
+            Predicate(lambda s, f=forbidden: s["x"] != f, f"x≠{forbidden}")
+        )],
+        name="avoid",
+    )
+    ts = TransitionSystem(program, [State(x=start)])
+    graph_verdict = bool(spec.check(ts))
+    sequence_verdict = all(
+        spec.holds_on(c.states, complete=c.complete)
+        for c in enumerate_computations(program, State(x=start), max_length=8)
+    )
+    assert graph_verdict == sequence_verdict
+
+
+@settings(max_examples=150, deadline=None)
+@given(program=small_programs(), start=values)
+def test_transition_invariant_cross_semantics(program, start):
+    monotone = Spec(
+        [TransitionInvariant(lambda s, t: t["x"] >= s["x"], "monotone")],
+        name="monotone",
+    )
+    ts = TransitionSystem(program, [State(x=start)])
+    graph_verdict = bool(monotone.check(ts))
+    sequence_verdict = all(
+        monotone.holds_on(c.states, complete=c.complete)
+        for c in enumerate_computations(program, State(x=start), max_length=8)
+    )
+    assert graph_verdict == sequence_verdict

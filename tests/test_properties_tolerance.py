@@ -1,0 +1,145 @@
+"""Property-based cross-validation of the tolerance checkers.
+
+Random small programs, random faults, random specs: the certificate-
+based tolerance checkers must never contradict the bounded semantic
+ground truth.
+
+Because the certificate checkers are *certificate*-based (they certify
+nonmasking via convergence to the supplied invariant), the agreement is
+one-directional where the paper's definitions are: a passing
+certificate implies semantic tolerance; a semantic pass does not force
+the certificate (the invariant may simply be the wrong witness).  The
+properties below encode exactly that.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Action,
+    FaultClass,
+    Predicate,
+    Program,
+    State,
+    TRUE,
+    Variable,
+    assign,
+    is_failsafe_tolerant,
+    is_masking_tolerant,
+    is_nonmasking_tolerant,
+    semantic_tolerance_check,
+)
+from repro.core.invariants import reachable_invariant
+from repro.core.specification import LeadsTo, Spec, StateInvariant
+
+DOMAIN = [0, 1, 2]
+
+
+@st.composite
+def programs_and_faults(draw):
+    actions = []
+    for index in range(draw(st.integers(min_value=1, max_value=3))):
+        source = draw(st.sampled_from(DOMAIN))
+        target = draw(st.sampled_from(DOMAIN))
+        actions.append(
+            Action(
+                f"a{index}",
+                Predicate(lambda s, a=source: s["x"] == a, f"x={source}"),
+                assign(x=target),
+            )
+        )
+    program = Program([Variable("x", DOMAIN)], actions, name="rand")
+
+    fault_source = draw(st.sampled_from(DOMAIN))
+    fault_target = draw(st.sampled_from(DOMAIN))
+    faults = FaultClass(
+        [
+            Action(
+                "f0",
+                Predicate(lambda s, a=fault_source: s["x"] == a,
+                          f"x={fault_source}"),
+                assign(x=fault_target),
+            )
+        ],
+        name="rand_fault",
+    )
+    return program, faults
+
+
+@st.composite
+def safety_specs(draw):
+    forbidden = draw(st.sampled_from(DOMAIN))
+    return Spec(
+        [StateInvariant(
+            Predicate(lambda s, f=forbidden: s["x"] != f, f"x≠{forbidden}")
+        )],
+        name=f"avoid{forbidden}",
+    )
+
+
+@settings(max_examples=150, deadline=None)
+@given(pf=programs_and_faults(), spec=safety_specs(),
+       start=st.sampled_from(DOMAIN))
+def test_failsafe_certificate_implies_semantic(pf, spec, start):
+    program, faults = pf
+    invariant = reachable_invariant(program, [State(x=start)])
+    # span: everything reachable including fault edges
+    from repro.core.exploration import TransitionSystem
+
+    ts = TransitionSystem(program, [State(x=start)],
+                          fault_actions=list(faults.actions))
+    span = Predicate.from_states(ts.states, name="span")
+
+    certificate = is_failsafe_tolerant(program, faults, spec, invariant, span)
+    if certificate:
+        assert semantic_tolerance_check(
+            "failsafe", program, faults, spec, span,
+            max_length=8, max_faults=2,
+        )
+
+
+@settings(max_examples=100, deadline=None)
+@given(pf=programs_and_faults(), start=st.sampled_from(DOMAIN),
+       goal=st.sampled_from(DOMAIN))
+def test_nonmasking_certificate_implies_semantic(pf, start, goal):
+    program, faults = pf
+    spec = Spec(
+        [LeadsTo(TRUE, Predicate(lambda s, g=goal: s["x"] == g, f"x={goal}"))],
+        name=f"reach{goal}",
+    )
+    invariant = reachable_invariant(program, [State(x=start)])
+    from repro.core.exploration import TransitionSystem
+
+    ts = TransitionSystem(program, [State(x=start)],
+                          fault_actions=list(faults.actions))
+    span = Predicate.from_states(ts.states, name="span")
+
+    certificate = is_nonmasking_tolerant(
+        program, faults, spec, invariant, span
+    )
+    if certificate:
+        assert semantic_tolerance_check(
+            "nonmasking", program, faults, spec, span,
+            max_length=8, max_faults=1,
+        )
+
+
+@settings(max_examples=100, deadline=None)
+@given(pf=programs_and_faults(), spec=safety_specs(),
+       start=st.sampled_from(DOMAIN))
+def test_masking_certificate_implies_both_weaker_semantics(pf, spec, start):
+    program, faults = pf
+    invariant = reachable_invariant(program, [State(x=start)])
+    from repro.core.exploration import TransitionSystem
+
+    ts = TransitionSystem(program, [State(x=start)],
+                          fault_actions=list(faults.actions))
+    span = Predicate.from_states(ts.states, name="span")
+
+    certificate = is_masking_tolerant(program, faults, spec, invariant, span)
+    if certificate:
+        assert semantic_tolerance_check(
+            "masking", program, faults, spec, span,
+            max_length=8, max_faults=1,
+        )
+        assert is_failsafe_tolerant(program, faults, spec, invariant, span)

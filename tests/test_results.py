@@ -1,0 +1,79 @@
+"""Unit tests for check results and counterexamples."""
+
+import pytest
+
+from repro.core.results import CheckResult, Counterexample, all_of
+from repro.core.state import State
+
+
+class TestCheckResult:
+    def test_truthiness(self):
+        assert CheckResult.passed("ok")
+        assert not CheckResult.failed("bad")
+
+    def test_expect_passes_through(self):
+        result = CheckResult.passed("ok")
+        assert result.expect() is result
+
+    def test_expect_raises_with_evidence(self):
+        failing = CheckResult.failed(
+            "claim",
+            counterexample=Counterexample(
+                kind="state", states=(State(x=1),), note="bad state"
+            ),
+        )
+        with pytest.raises(AssertionError, match="bad state"):
+            failing.expect()
+
+    def test_str_includes_status(self):
+        assert "[PASS]" in str(CheckResult.passed("hello"))
+        assert "[FAIL]" in str(CheckResult.failed("hello"))
+
+
+class TestCounterexample:
+    def test_trace_rendering(self):
+        ce = Counterexample(
+            kind="trace",
+            states=(State(x=0), State(x=1)),
+            actions=("step",),
+            note="boom",
+        )
+        text = str(ce)
+        assert "boom" in text
+        assert "--step-->" in text
+        assert "[0]" in text and "[1]" in text
+
+    def test_lasso_marks_loop_start(self):
+        ce = Counterexample(
+            kind="lasso",
+            states=(State(x=0), State(x=1), State(x=0)),
+            actions=("a", "b"),
+            loop_index=1,
+        )
+        assert "↻" in str(ce)
+
+
+class TestAllOf:
+    def test_empty_passes(self):
+        assert all_of([], description="nothing")
+
+    def test_all_pass(self):
+        combined = all_of(
+            [CheckResult.passed("a"), CheckResult.passed("b")], description="both"
+        )
+        assert combined
+        assert "a" in combined.details and "b" in combined.details
+
+    def test_first_failure_reported(self):
+        ce = Counterexample(kind="state", states=(State(x=0),))
+        combined = all_of(
+            [
+                CheckResult.passed("a"),
+                CheckResult.failed("b", counterexample=ce),
+                CheckResult.failed("c"),
+            ],
+            description="combo",
+        )
+        assert not combined
+        assert "b" in combined.description
+        assert combined.counterexample is ce

@@ -1,0 +1,131 @@
+"""Tests for running guarded-command programs under schedulers."""
+
+import random
+
+import pytest
+
+from repro.core import Action, Predicate, Program, State, TRUE, Variable, assign
+from repro.sim import (
+    AdversarialScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    convergence_steps,
+    simulate,
+    worst_case_convergence_steps,
+)
+
+
+def two_phase():
+    """x counts to 2 via two actions, one per phase."""
+    return Program(
+        [Variable("x", [0, 1, 2])],
+        [
+            Action("a", Predicate(lambda s: s["x"] == 0), assign(x=1)),
+            Action("b", Predicate(lambda s: s["x"] == 1), assign(x=2)),
+        ],
+        name="two_phase",
+    )
+
+
+DONE = Predicate(lambda s: s["x"] == 2, "x=2")
+
+
+class TestSimulate:
+    def test_runs_to_deadlock(self):
+        trace = simulate(two_phase(), State(x=0), RandomScheduler(0), steps=10)
+        assert trace[-1] == State(x=2)
+        assert len(trace) == 3
+
+    def test_step_budget(self):
+        spin = Program(
+            [Variable("x", [0, 1])],
+            [Action("flip", TRUE, assign(x=lambda s: 1 - s["x"]))],
+            name="spin",
+        )
+        trace = simulate(spin, State(x=0), RandomScheduler(0), steps=7)
+        assert len(trace) == 8
+
+    def test_fault_injection_at_steps(self, ring):
+        start = next(s for s in ring.ring.states() if ring.invariant(s))
+        trace = simulate(
+            ring.ring, start, RandomScheduler(1), steps=20,
+            faults=ring.faults, fault_times=[0],
+        )
+        assert len(trace) > 1
+
+
+class TestSchedulers:
+    def test_round_robin_is_fair(self):
+        """Round-robin drives the two-phase chain in bounded steps."""
+        steps = convergence_steps(
+            two_phase(), State(x=0), DONE, RoundRobinScheduler()
+        )
+        assert steps == 2
+
+    def test_random_converges(self):
+        steps = convergence_steps(
+            two_phase(), State(x=0), DONE, RandomScheduler(3)
+        )
+        assert steps == 2
+
+    def test_adversarial_maximizes_distance(self, ring):
+        start = next(s for s in ring.ring.states() if not ring.invariant(s))
+        adversary = AdversarialScheduler(ring.ring, ring.invariant, start)
+        random_steps = convergence_steps(
+            ring.ring, start, ring.invariant, RandomScheduler(0)
+        )
+        adversarial_steps = convergence_steps(
+            ring.ring, start, ring.invariant, adversary
+        )
+        assert adversarial_steps is not None
+        assert adversarial_steps >= random_steps
+
+    def test_convergence_zero_if_already_there(self):
+        assert convergence_steps(
+            two_phase(), State(x=2), DONE, RandomScheduler(0)
+        ) == 0
+
+    def test_deadlock_without_target_is_none(self):
+        bad = Predicate(lambda s: False, "never")
+        assert convergence_steps(
+            two_phase(), State(x=0), bad, RandomScheduler(0)
+        ) is None
+
+
+class TestWorstCase:
+    def test_exact_on_chain(self):
+        assert worst_case_convergence_steps(
+            two_phase(), [State(x=0)], DONE
+        ) == 2
+
+    def test_maximizes_over_starts(self):
+        assert worst_case_convergence_steps(
+            two_phase(), [State(x=0), State(x=1), State(x=2)], DONE
+        ) == 2
+
+    def test_cycle_raises(self):
+        spin = Program(
+            [Variable("x", [0, 1])],
+            [Action("flip", TRUE, assign(x=lambda s: 1 - s["x"]))],
+            name="spin",
+        )
+        with pytest.raises(ValueError, match="forever"):
+            worst_case_convergence_steps(
+                spin, [State(x=0)], Predicate(lambda s: False, "never")
+            )
+
+    def test_ring_bound_dominates_samples(self, ring):
+        bound = worst_case_convergence_steps(
+            ring.ring, ring.ring.states(), ring.invariant
+        )
+        rng = random.Random(0)
+        states = list(ring.ring.states())
+        for _ in range(20):
+            start = rng.choice(states)
+            steps = convergence_steps(
+                ring.ring, start, ring.invariant, RandomScheduler(rng.random())
+            )
+            assert steps is not None and steps <= bound * 4, (
+                "random schedules may wander but the demonic bound is a "
+                "per-schedule maximum only for demonic play; sanity margin"
+            )

@@ -1,0 +1,109 @@
+"""Intruder modelling (SIEFAST, Section 7): message tampering and an
+authentication detector against it.
+
+The scenario: a sender transmits ``(value, checksum)`` pairs; an
+intruder rewrites values in transit.  The receiver's *acceptance test*
+(a detector from the component library's family) checks the checksum:
+with the detector, tampered messages are rejected and the application
+predicate "accepted values are authentic" is fail-safe against the
+intruder; without it, the predicate is violated.
+"""
+
+import pytest
+
+from repro.sim import ChannelConfig, Network, SimProcess
+from repro.sim.faults import TamperingIntruder
+
+
+def checksum(value: int) -> int:
+    return (value * 31 + 7) % 97
+
+
+class Sender(SimProcess):
+    def __init__(self, pid, receiver, count=10):
+        super().__init__(pid)
+        self.receiver = receiver
+        self.count = count
+        self.next_value = 0
+
+    def on_start(self):
+        self.set_timer("tick", 1.0)
+
+    def on_timer(self, name):
+        if self.next_value < self.count:
+            value = self.next_value
+            self.send(self.receiver, (value, checksum(value)))
+            self.next_value += 1
+            self.set_timer("tick", 1.0)
+
+
+class Receiver(SimProcess):
+    def __init__(self, pid, authenticate=True):
+        super().__init__(pid)
+        self.authenticate = authenticate
+        self.accepted = []
+        self.rejected = 0
+
+    def on_message(self, sender, message):
+        value, tag = message
+        if self.authenticate and tag != checksum(value):
+            self.rejected += 1
+            return
+        self.accepted.append(value)
+
+
+def run(authenticate: bool, tamper: bool, seed=0):
+    network = Network(seed=seed, default_channel=ChannelConfig(delay=0.1))
+    network.add_process(Sender("s", receiver="r"))
+    receiver = network.add_process(Receiver("r", authenticate=authenticate))
+    if tamper:
+        TamperingIntruder(
+            start=2.5, duration=4.0, source="s", destination="r",
+            transform=lambda message: (message[0] + 50, message[1]),
+        ).arm(network)
+    network.run(until=30)
+    return network, receiver
+
+
+class TestTampering:
+    def test_no_intruder_all_accepted(self):
+        _, receiver = run(authenticate=True, tamper=False)
+        assert receiver.accepted == list(range(10))
+        assert receiver.rejected == 0
+
+    def test_intruder_without_detector_pollutes(self):
+        _, receiver = run(authenticate=False, tamper=True)
+        assert any(v >= 50 for v in receiver.accepted), (
+            "tampered values reach the application"
+        )
+
+    def test_detector_rejects_tampered_messages(self):
+        _, receiver = run(authenticate=True, tamper=True)
+        assert all(v < 50 for v in receiver.accepted)
+        assert receiver.rejected > 0
+
+    def test_tamper_events_traced(self):
+        network, _ = run(authenticate=True, tamper=True)
+        assert network.events("tamper"), "tampering must appear in the trace"
+
+    def test_intruder_window_bounded(self):
+        network, receiver = run(authenticate=True, tamper=True)
+        tampered_times = [e.time for e in network.events("tamper")]
+        assert all(2.5 <= t < 6.5 for t in tampered_times)
+
+    def test_tamperer_removal(self):
+        network = Network(seed=0)
+        network.add_process(Sender("s", receiver="r"))
+        network.add_process(Receiver("r"))
+        network.set_tamperer("s", "r", lambda m: m)
+        network.set_tamperer("s", "r", None)
+        network.run(until=5)
+        assert not network.events("tamper")
+
+    def test_identity_transform_not_traced(self):
+        network = Network(seed=0)
+        network.add_process(Sender("s", receiver="r"))
+        network.add_process(Receiver("r"))
+        network.set_tamperer("s", "r", lambda m: m)
+        network.run(until=5)
+        assert not network.events("tamper")

@@ -1,0 +1,105 @@
+"""Tests for the discrete-event kernel and channels."""
+
+import random
+
+import pytest
+
+from repro.sim.channel import ChannelConfig
+from repro.sim.kernel import Simulator
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: order.append("first"))
+        sim.schedule(1.0, lambda: order.append("second"))
+        sim.run()
+        assert order == ["first", "second"]
+
+    def test_now_advances(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(2.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [2.5]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_until_bound(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append(True))
+        assert sim.run(until=3.0) == 3.0
+        assert not fired
+        sim.run()
+        assert fired
+
+    def test_max_events(self):
+        sim = Simulator()
+        count = []
+
+        def tick():
+            count.append(1)
+            sim.schedule(1.0, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run(max_events=5)
+        assert len(count) == 5
+
+    def test_cascading_schedules(self):
+        sim = Simulator()
+        results = []
+
+        def outer():
+            sim.schedule(1.0, lambda: results.append(sim.now))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert results == [2.0]
+
+    def test_pending_and_counters(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        assert sim.pending() == 1
+        sim.run()
+        assert sim.pending() == 0
+        assert sim.events_processed == 1
+
+
+class TestChannelConfig:
+    def test_defaults_deliver_once(self):
+        cfg = ChannelConfig()
+        assert cfg.delivery_delays(random.Random(0)) == [1.0]
+
+    def test_loss(self):
+        cfg = ChannelConfig(loss_probability=1.0)
+        assert cfg.delivery_delays(random.Random(0)) == []
+
+    def test_duplication(self):
+        cfg = ChannelConfig(duplication_probability=1.0)
+        assert len(cfg.delivery_delays(random.Random(0))) == 2
+
+    def test_jitter_bounds(self):
+        cfg = ChannelConfig(delay=1.0, jitter=0.5)
+        rng = random.Random(0)
+        for _ in range(100):
+            (d,) = cfg.delivery_delays(rng)
+            assert 1.0 <= d <= 1.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChannelConfig(delay=-1)
+        with pytest.raises(ValueError):
+            ChannelConfig(loss_probability=2.0)

@@ -1,0 +1,190 @@
+"""Tests for the network, processes, fault injectors and monitors."""
+
+import pytest
+
+from repro.sim import (
+    ChannelConfig,
+    CrashInjector,
+    Network,
+    PredicateMonitor,
+    RestartInjector,
+    SimProcess,
+    StateCorruptionInjector,
+)
+from repro.sim.faults import MessageLossBurst
+
+
+class Echo(SimProcess):
+    """Replies 'pong' to every 'ping'."""
+
+    def __init__(self, pid):
+        super().__init__(pid)
+        self.received = []
+
+    def on_message(self, sender, message):
+        self.received.append((sender, message))
+        if message == "ping":
+            self.send(sender, "pong")
+
+
+class Pinger(SimProcess):
+    def __init__(self, pid, target, count=3, period=1.0):
+        super().__init__(pid)
+        self.target = target
+        self.remaining = count
+        self.period = period
+        self.pongs = 0
+
+    def on_start(self):
+        self.set_timer("tick", self.period)
+
+    def on_timer(self, name):
+        if self.remaining > 0:
+            self.send(self.target, "ping")
+            self.remaining -= 1
+            self.set_timer("tick", self.period)
+
+    def on_message(self, sender, message):
+        if message == "pong":
+            self.pongs += 1
+
+
+def build(seed=0, channel=None):
+    network = Network(seed=seed, default_channel=channel or ChannelConfig(delay=0.1))
+    pinger = network.add_process(Pinger("ping", target="echo"))
+    echo = network.add_process(Echo("echo"))
+    return network, pinger, echo
+
+
+class TestMessaging:
+    def test_request_reply(self):
+        network, pinger, echo = build()
+        network.run(until=20)
+        assert pinger.pongs == 3
+        assert len(echo.received) == 3
+
+    def test_duplicate_pid_rejected(self):
+        network, _, _ = build()
+        with pytest.raises(ValueError):
+            network.add_process(Echo("echo"))
+
+    def test_unknown_destination_rejected(self):
+        network, _, _ = build()
+        network.start()
+        with pytest.raises(KeyError):
+            network.transmit("echo", "ghost", "hello")
+
+    def test_trace_records_events(self):
+        network, _, _ = build()
+        network.run(until=20)
+        kinds = {e.kind for e in network.trace}
+        assert {"send", "deliver", "timer"} <= kinds
+
+    def test_deterministic_given_seed(self):
+        n1, p1, _ = build(seed=42)
+        n2, p2, _ = build(seed=42)
+        n1.run(until=20)
+        n2.run(until=20)
+        assert [(e.time, e.kind) for e in n1.trace] == [
+            (e.time, e.kind) for e in n2.trace
+        ]
+
+    def test_lossy_channel_drops(self):
+        network, pinger, _ = build(
+            channel=ChannelConfig(delay=0.1, loss_probability=1.0)
+        )
+        network.run(until=20)
+        assert pinger.pongs == 0
+        assert network.events("drop")
+
+    def test_per_pair_channel_override(self):
+        network, pinger, _ = build()
+        network.set_channel("ping", "echo",
+                            ChannelConfig(delay=0.1, loss_probability=1.0))
+        network.run(until=20)
+        assert pinger.pongs == 0, "pings dropped, pongs never provoked"
+
+
+class TestFaultInjectors:
+    def test_crash_stops_delivery(self):
+        network, pinger, echo = build()
+        CrashInjector(time=0.5, pid="echo").arm(network)
+        network.run(until=20)
+        assert pinger.pongs == 0
+        assert echo.crashed
+
+    def test_restart_resumes(self):
+        network, pinger, echo = build()
+        CrashInjector(time=0.5, pid="echo").arm(network)
+        RestartInjector(time=1.5, pid="echo").arm(network)
+        network.run(until=20)
+        assert not echo.crashed
+        assert pinger.pongs >= 1, "pings after the restart get answered"
+
+    def test_corruption(self):
+        network, pinger, _ = build()
+        StateCorruptionInjector.of(0.5, "ping", pongs=99).arm(network)
+        network.run(until=20)
+        assert pinger.pongs >= 99
+
+    def test_corruption_of_unknown_attribute_rejected(self):
+        network, _, _ = build()
+        injector = StateCorruptionInjector.of(0.5, "ping", ghost=1)
+        injector.arm(network)
+        with pytest.raises(AttributeError):
+            network.run(until=20)
+
+    def test_message_loss_burst(self):
+        network, pinger, _ = build()
+        MessageLossBurst(start=0.0, duration=100.0,
+                         source="ping", destination="echo").arm(network)
+        network.run(until=20)
+        assert pinger.pongs == 0
+
+    def test_crashed_process_sends_nothing(self):
+        network, pinger, echo = build()
+        CrashInjector(time=0.0, pid="ping").arm(network)
+        network.run(until=20)
+        assert not echo.received
+
+
+class TestMonitor:
+    def test_detection_latency(self):
+        network, pinger, _ = build()
+        monitor = PredicateMonitor(
+            network,
+            predicate=lambda snap: snap["ping"]["pongs"] >= 1,
+            period=0.5,
+        )
+        network.run(until=20)
+        assert monitor.first_true() is not None
+        assert monitor.convergence_time() is not None
+        assert 0 < monitor.fraction_true() <= 1
+
+    def test_never_true(self):
+        network, _, _ = build(
+            channel=ChannelConfig(delay=0.1, loss_probability=1.0)
+        )
+        monitor = PredicateMonitor(
+            network,
+            predicate=lambda snap: snap["ping"]["pongs"] >= 1,
+            period=0.5,
+        )
+        network.run(until=10)
+        assert monitor.first_true() is None
+        assert monitor.convergence_time() is None
+        assert monitor.fraction_true() == 0.0
+
+
+class TestSnapshot:
+    def test_snapshot_excludes_wiring(self):
+        network, pinger, _ = build()
+        snap = pinger.snapshot()
+        assert "network" not in snap
+        assert snap["pongs"] == 0
+        assert snap["pid"] == "ping"
+
+    def test_global_snapshot(self):
+        network, _, _ = build()
+        snap = network.global_snapshot()
+        assert set(snap) == {"ping", "echo"}

@@ -1,0 +1,72 @@
+"""The message-passing token ring: distributed simulation of the
+verified mutual-exclusion protocol."""
+
+import pytest
+
+from repro.sim.token_ring import RingProcess, run_ring_experiment
+
+
+class TestProtocol:
+    def test_lossless_circulation(self):
+        result = run_ring_experiment(timeout=None, loss_probability=0.0,
+                                     horizon=100, seed=0)
+        assert result.total_visits > 50
+        assert result.regenerations == 0
+        assert result.max_tokens_observed == 1
+
+    def test_fair_share_without_loss(self):
+        from repro.sim import ChannelConfig, Network
+
+        network = Network(seed=0, default_channel=ChannelConfig(delay=0.2))
+        processes = [
+            network.add_process(RingProcess(pid, 4, regeneration_timeout=None))
+            for pid in range(4)
+        ]
+        network.run(until=200)
+        visits = [p.visits for p in processes]
+        assert max(visits) - min(visits) <= 1, "round-robin fairness"
+
+
+class TestTokenLoss:
+    def test_intolerant_ring_collapses(self):
+        result = run_ring_experiment(timeout=None, loss_probability=0.05,
+                                     horizon=400, seed=1)
+        tolerant = run_ring_experiment(timeout=12.0, loss_probability=0.05,
+                                       horizon=400, seed=1)
+        assert result.total_visits < tolerant.total_visits / 5, (
+            "one lost token freezes the intolerant ring"
+        )
+        assert result.regenerations == 0
+
+    def test_corrector_restores_throughput(self):
+        result = run_ring_experiment(timeout=12.0, loss_probability=0.05,
+                                     horizon=400, seed=1)
+        assert result.regenerations > 0
+        assert result.total_visits > 100
+
+
+class TestTimeoutTradeoff:
+    def test_conservative_timeout_never_duplicates(self):
+        result = run_ring_experiment(timeout=30.0, loss_probability=0.05,
+                                     horizon=400, seed=1)
+        assert result.max_tokens_observed <= 1
+
+    def test_aggressive_timeout_duplicates_transiently(self):
+        """The refinement hazard: implementing the global 'no token'
+        detector as a local timeout loses Safeness when the timeout
+        undercuts a slow round trip — the simulation exhibits the
+        duplication the atomic model excludes."""
+        result = run_ring_experiment(timeout=2.0, loss_probability=0.05,
+                                     horizon=400, seed=1)
+        assert result.max_tokens_observed > 1
+
+    def test_latency_throughput_monotonicity(self):
+        fast = run_ring_experiment(timeout=6.0, loss_probability=0.05,
+                                   horizon=400, seed=1)
+        slow = run_ring_experiment(timeout=30.0, loss_probability=0.05,
+                                   horizon=400, seed=1)
+        assert fast.total_visits > slow.total_visits
+
+    def test_row_rendering(self):
+        row = run_ring_experiment(timeout=6.0, horizon=50).as_row()
+        assert "visits=" in row and "regenerations=" in row

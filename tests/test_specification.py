@@ -1,0 +1,157 @@
+"""Unit tests for specifications: graph and sequence semantics."""
+
+from repro.core.action import Action, assign
+from repro.core.exploration import TransitionSystem
+from repro.core.predicate import Predicate, TRUE
+from repro.core.program import Program
+from repro.core.specification import (
+    LeadsTo,
+    Spec,
+    StateInvariant,
+    TransitionInvariant,
+    closure_spec,
+    converges_spec,
+    generalized_pair,
+    invariant_spec,
+    maintains,
+)
+from repro.core.state import State, Variable
+
+X = lambda v: Predicate(lambda s, v=v: s["x"] == v, name=f"x={v}")  # noqa: E731
+
+
+def seq(*values):
+    return [State(x=v) for v in values]
+
+
+class TestStateInvariant:
+    def test_sequence_semantics(self):
+        component = StateInvariant(Predicate(lambda s: s["x"] < 3, "x<3"))
+        assert component.holds_on(seq(0, 1, 2))
+        assert not component.holds_on(seq(0, 3))
+
+    def test_graph_semantics(self):
+        inc = Action("inc", Predicate(lambda s: s["x"] < 2),
+                     assign(x=lambda s: s["x"] + 1))
+        p = Program([Variable("x", [0, 1, 2])], [inc])
+        ts = TransitionSystem(p, [State(x=0)])
+        assert StateInvariant(Predicate(lambda s: s["x"] <= 2)).check(ts)
+        result = StateInvariant(Predicate(lambda s: s["x"] <= 1, "x≤1")).check(ts)
+        assert not result and result.counterexample.kind == "state"
+
+
+class TestTransitionInvariant:
+    def test_sequence_semantics(self):
+        monotone = TransitionInvariant(
+            lambda s, t: t["x"] >= s["x"], name="monotone"
+        )
+        assert monotone.holds_on(seq(0, 1, 1, 2))
+        assert not monotone.holds_on(seq(1, 0))
+
+    def test_single_state_sequence_trivially_holds(self):
+        monotone = TransitionInvariant(lambda s, t: False, name="never")
+        assert monotone.holds_on(seq(5))
+
+    def test_graph_checks_fault_edges(self):
+        from repro.core.faults import set_variable
+
+        inc = Action("inc", Predicate(lambda s: s["x"] < 2),
+                     assign(x=lambda s: s["x"] + 1))
+        p = Program([Variable("x", [0, 1, 2])], [inc])
+        fault = set_variable("x", 0)
+        ts = TransitionSystem(p, [State(x=0)], fault_actions=list(fault.actions))
+        monotone = TransitionInvariant(lambda s, t: t["x"] >= s["x"], "monotone")
+        result = monotone.check(ts)
+        assert not result, "the fault edge decreases x"
+
+
+class TestLeadsTo:
+    def test_sequence_obligation_discharged(self):
+        component = LeadsTo(X(0), X(2))
+        assert component.holds_on(seq(0, 1, 2), complete=True)
+
+    def test_sequence_obligation_pending_complete_fails(self):
+        component = LeadsTo(X(0), X(2))
+        assert not component.holds_on(seq(0, 1), complete=True)
+
+    def test_sequence_obligation_pending_prefix_optimistic(self):
+        component = LeadsTo(X(0), X(2))
+        assert component.holds_on(seq(0, 1), complete=False)
+
+    def test_immediate_target_counts(self):
+        component = LeadsTo(X(0), X(0))
+        assert component.holds_on(seq(0, 1), complete=True)
+
+    def test_reraised_obligation(self):
+        component = LeadsTo(X(0), X(2))
+        assert not component.holds_on(seq(0, 2, 0), complete=True)
+
+
+class TestSpec:
+    def make(self):
+        return Spec(
+            [
+                StateInvariant(Predicate(lambda s: s["x"] <= 3, "x≤3")),
+                TransitionInvariant(lambda s, t: t["x"] >= s["x"], "monotone"),
+                LeadsTo(TRUE, X(2)),
+            ],
+            name="toy_spec",
+        )
+
+    def test_parts(self):
+        spec = self.make()
+        assert len(spec.safety_part().components) == 2
+        assert len(spec.liveness_part().components) == 1
+        assert spec.masking() is spec
+
+    def test_conjoin(self):
+        spec = self.make().conjoin(invariant_spec(TRUE))
+        assert len(spec.components) == 4
+
+    def test_holds_on(self):
+        spec = self.make()
+        assert spec.holds_on(seq(0, 1, 2), complete=True)
+        assert not spec.holds_on(seq(0, 1), complete=True)
+
+    def test_holds_on_some_suffix(self):
+        spec = Spec([StateInvariant(X(2))], name="always2")
+        assert spec.holds_on_some_suffix(seq(0, 1, 2, 2))
+        assert not spec.holds_on_some_suffix(seq(0, 1, 2, 1))
+
+    def test_maintains_prefix_ignores_liveness(self):
+        spec = self.make()
+        assert spec.maintains_prefix(seq(0, 1)), "pending leads-to is fine"
+        assert not spec.maintains_prefix(seq(1, 0)), "monotone already broken"
+        assert maintains(seq(0, 1), spec)
+
+
+class TestFactories:
+    def test_closure_spec(self):
+        spec = closure_spec(X(1))
+        assert spec.holds_on(seq(0, 1, 1), complete=True)
+        assert not spec.holds_on(seq(1, 0), complete=True)
+
+    def test_generalized_pair(self):
+        spec = generalized_pair(X(0), X(1))
+        assert spec.holds_on(seq(0, 1, 2), complete=True)
+        assert not spec.holds_on(seq(0, 2), complete=True)
+
+    def test_converges_spec(self):
+        spec = converges_spec(Predicate(lambda s: s["x"] >= 1, "x≥1"), X(2))
+        assert spec.holds_on(seq(1, 2, 2), complete=True)
+        # leaves cl(origin)
+        assert not spec.holds_on(seq(1, 0), complete=True)
+        # never reaches the goal
+        assert not spec.holds_on(seq(1, 1), complete=True)
+
+    def test_paper_identity_pair_equals_closure(self):
+        """({S},{S}) = cl(S) (noted in Section 2.2)."""
+        pair = generalized_pair(X(1), X(1))
+        closure = closure_spec(X(1))
+        for trial in [seq(0, 1, 1), seq(1, 0), seq(1, 1, 0), seq(0, 0)]:
+            assert pair.holds_on(trial) == closure.holds_on(trial)
+
+    def test_invariant_spec(self):
+        spec = invariant_spec(X(1))
+        assert spec.holds_on(seq(1, 1))
+        assert not spec.holds_on(seq(1, 2))

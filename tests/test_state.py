@@ -1,0 +1,129 @@
+"""Unit tests for states, variables, and state spaces."""
+
+import pickle
+
+import pytest
+
+from repro.core.state import BOTTOM, Bottom, State, Variable, state_space
+
+
+class TestBottom:
+    def test_singleton(self):
+        assert Bottom() is BOTTOM
+
+    def test_repr(self):
+        assert repr(BOTTOM) == "⊥"
+
+    def test_distinct_from_none_and_zero(self):
+        assert BOTTOM is not None
+        assert BOTTOM != 0
+        assert BOTTOM != False  # noqa: E712 — identity with falsy values matters
+
+    def test_pickle_roundtrip_preserves_identity(self):
+        assert pickle.loads(pickle.dumps(BOTTOM)) is BOTTOM
+
+
+class TestVariable:
+    def test_domain_preserved_in_order(self):
+        v = Variable("x", [2, 0, 1])
+        assert v.domain == (2, 0, 1)
+
+    def test_duplicates_removed(self):
+        v = Variable("x", [1, 1, 2, 2])
+        assert v.domain == (1, 2)
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("x", [])
+
+    def test_contains(self):
+        v = Variable("x", [0, 1])
+        assert 0 in v
+        assert 7 not in v
+
+    def test_equality_and_hash(self):
+        assert Variable("x", [0, 1]) == Variable("x", [0, 1])
+        assert Variable("x", [0, 1]) != Variable("x", [0, 2])
+        assert hash(Variable("x", [0, 1])) == hash(Variable("x", [0, 1]))
+
+
+class TestState:
+    def test_mapping_access(self):
+        s = State(x=1, y=2)
+        assert s["x"] == 1
+        assert len(s) == 2
+        assert set(s) == {"x", "y"}
+        assert "x" in s and "z" not in s
+
+    def test_missing_variable_raises(self):
+        with pytest.raises(KeyError):
+            State(x=1)["y"]
+
+    def test_assign_returns_new_state(self):
+        s = State(x=1, y=2)
+        t = s.assign(x=5)
+        assert t["x"] == 5 and t["y"] == 2
+        assert s["x"] == 1, "original must be unchanged"
+
+    def test_assign_unknown_variable_raises(self):
+        with pytest.raises(KeyError):
+            State(x=1).assign(z=0)
+
+    def test_extend_adds_variables(self):
+        s = State(x=1).extend(y=2)
+        assert s["y"] == 2
+
+    def test_extend_existing_variable_raises(self):
+        with pytest.raises(KeyError):
+            State(x=1).extend(x=2)
+
+    def test_equality_order_independent(self):
+        assert State(x=1, y=2) == State(y=2, x=1)
+
+    def test_hash_consistent(self):
+        assert hash(State(x=1, y=2)) == hash(State(y=2, x=1))
+        assert len({State(x=1), State(x=1), State(x=2)}) == 2
+
+    def test_equality_with_plain_mapping(self):
+        assert State(x=1) == {"x": 1}
+
+    def test_projection(self):
+        s = State(x=1, y=2, z=3)
+        assert s.project(["x", "z"]) == State(x=1, z=3)
+
+    def test_projection_on_missing_names_is_partial(self):
+        assert State(x=1).project(["x", "ghost"]) == State(x=1)
+
+    def test_constructor_from_mapping_and_kwargs(self):
+        s = State({"x": 1}, y=2)
+        assert s == State(x=1, y=2)
+
+    def test_kwargs_override_mapping(self):
+        assert State({"x": 1}, x=9)["x"] == 9
+
+    def test_repr_is_sorted(self):
+        assert repr(State(b=1, a=0)) == "State(a=0, b=1)"
+
+    def test_bottom_values(self):
+        s = State(x=BOTTOM)
+        assert s["x"] is BOTTOM
+
+
+class TestStateSpace:
+    def test_full_product(self):
+        variables = [Variable("x", [0, 1]), Variable("y", "ab")]
+        states = list(state_space(variables))
+        assert len(states) == 4
+        assert State(x=0, y="a") in states
+
+    def test_deterministic_order(self):
+        variables = [Variable("x", [0, 1])]
+        assert list(state_space(variables)) == list(state_space(variables))
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            list(state_space([Variable("x", [0]), Variable("x", [1])]))
+
+    def test_single_variable(self):
+        states = list(state_space([Variable("x", [0, 1, 2])]))
+        assert [s["x"] for s in states] == [0, 1, 2]

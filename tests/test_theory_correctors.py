@@ -1,0 +1,75 @@
+"""Theorem 4.1, Lemma 4.2 and Theorem 4.3, validated mechanically."""
+
+from repro import theory
+from repro.core import TRUE, is_corrector
+
+
+class TestCorrectorWitness:
+    def test_witness_verifies_on_pn(self, memory):
+        built = theory.corrector_witness(memory.pn, memory.S_pn, memory.T_pn)
+        assert is_corrector(
+            memory.pn, built.witness, built.correction, memory.T_pn
+        )
+
+    def test_witness_verifies_on_token_ring(self, ring):
+        built = theory.corrector_witness(ring.ring, ring.invariant, TRUE)
+        assert is_corrector(ring.ring, built.witness, built.correction, TRUE)
+
+
+class TestTheorem41:
+    def test_on_memory_nonmasking(self, memory):
+        assert theory.theorem_4_1(
+            memory.pn, memory.p, memory.spec, memory.S_pn, memory.T_pn
+        )
+
+    def test_premise_failure_reported(self, memory):
+        """pf does not converge to X1 from TRUE (it deadlocks at
+        memory-absent states), so the eventually-behaves premise of
+        Theorem 4.1 must fail."""
+        result = theory.theorem_4_1(
+            memory.pf, memory.p, memory.spec, memory.S_pn, TRUE
+        )
+        assert not result
+
+
+class TestLemma42:
+    def test_on_memory(self, memory):
+        assert theory.lemma_4_2(
+            memory.pn, memory.p, memory.spec,
+            invariant=memory.S_pn, restored=memory.S_pn, span=memory.T_pn,
+        )
+
+    def test_on_masking_memory(self, memory):
+        assert theory.lemma_4_2(
+            memory.pm, memory.pn, memory.spec,
+            invariant=memory.S_pn, restored=memory.S_pm, span=memory.T_pm,
+        )
+
+
+class TestTheorem43:
+    def test_on_memory(self, memory):
+        assert theory.theorem_4_3(
+            memory.pn, memory.p, memory.spec,
+            invariant=memory.S_p, restored=memory.S_pn,
+            span=memory.T_pn, faults=memory.fault_anytime,
+        )
+
+    def test_on_token_ring(self, ring):
+        """Self-stabilization as Theorem 4.3: the ring refines its own
+        spec, behaves as itself from the invariant, and converges from
+        true — hence is a nonmasking tolerant corrector."""
+        assert theory.theorem_4_3(
+            ring.ring, ring.ring, ring.spec,
+            invariant=ring.invariant, restored=ring.invariant,
+            span=TRUE, faults=ring.faults,
+        )
+
+    def test_premise_failure_on_failsafe_program(self, memory):
+        """pf never converges back after a fault — Theorem 4.3's
+        premises must fail for it."""
+        result = theory.theorem_4_3(
+            memory.pf, memory.p, memory.spec,
+            invariant=memory.S_p, restored=memory.S_pf,
+            span=memory.T_pf, faults=memory.fault_before_witness,
+        )
+        assert not result

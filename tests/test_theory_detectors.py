@@ -1,0 +1,113 @@
+"""Theorems 3.4 and 3.6, validated mechanically (Section 3.2)."""
+
+import pytest
+
+from repro import theory
+from repro.core import is_detector
+from repro.core.refinement import system_from
+
+
+class TestEmbeddingAction:
+    def test_finds_guard_strengthened_embedding(self, memory):
+        embedded = theory.embedding_action(
+            memory.pf, memory.p, memory.p.action("p1")
+        )
+        assert embedded.name == "pf2"
+
+    def test_no_embedding_raises(self, memory, tmr_model):
+        with pytest.raises(LookupError, match="embeds"):
+            theory.embedding_action(
+                tmr_model.cr, tmr_model.ir, tmr_model.ir.action("IR1")
+            )
+
+
+class TestDetectorWitness:
+    def test_witness_predicates_verify(self, memory):
+        built = theory.detector_witness(
+            memory.pf, memory.p, memory.p.action("p1"),
+            memory.S_pf, memory.spec.safety_part(),
+        )
+        assert built.base_action == "p1"
+        assert built.embedded_action == "pf2"
+        assert is_detector(
+            memory.pf, built.witness, built.detection, memory.S_pf
+        )
+
+    def test_constructed_x_is_a_detection_predicate(self, memory):
+        """Executing the base action from any state satisfying the
+        constructed X maintains the safety specification."""
+        from repro.core.invariants import is_detection_predicate
+        from repro.core.predicate import Predicate
+
+        built = theory.detector_witness(
+            memory.pf, memory.p, memory.p.action("p1"),
+            memory.S_pf, memory.spec.safety_part(),
+        )
+        ts = system_from(memory.pf, memory.S_pf)
+        base_vars = set(memory.p.variable_names)
+        projected = {
+            s.project(base_vars) for s in ts.states if built.detection(s)
+        }
+        assert projected, "the witness construction must be non-vacuous"
+        assert is_detection_predicate(
+            Predicate.from_states(projected, name="X|p"),
+            memory.p.action("p1"),
+            memory.spec.safety_part(),
+            projected,
+        )
+
+
+class TestTheorem34:
+    def test_on_memory_failsafe(self, memory):
+        assert theory.theorem_3_4(
+            memory.pf, memory.p, memory.S_pf, memory.spec.safety_part()
+        )
+
+    def test_on_memory_masking(self, memory):
+        assert theory.theorem_3_4(
+            memory.pm, memory.pn, memory.S_pm, memory.spec.safety_part()
+        )
+
+    def test_on_tmr(self, tmr_model):
+        assert theory.theorem_3_4(
+            tmr_model.dr_ir, tmr_model.ir, tmr_model.invariant,
+            tmr_model.spec.safety_part(),
+        )
+
+    def test_premise_failure_reported(self, memory):
+        """pn does not encapsulate pf (different variables) — the
+        theorem function must fail on its premises, not crash."""
+        result = theory.theorem_3_4(
+            memory.pn, memory.pf, memory.S_pn, memory.spec.safety_part()
+        )
+        assert not result
+        assert "premises" in result.description
+
+
+class TestTheorem36:
+    def test_on_memory(self, memory):
+        assert theory.theorem_3_6(
+            memory.pf, memory.p, memory.spec,
+            invariant_base=memory.S_p, invariant_refined=memory.S_pf,
+            span=memory.T_pf, faults=memory.fault_before_witness,
+        )
+
+    def test_on_tmr(self, tmr_model):
+        assert theory.theorem_3_6(
+            tmr_model.dr_ir, tmr_model.ir, tmr_model.spec,
+            invariant_base=tmr_model.invariant,
+            invariant_refined=tmr_model.invariant,
+            span=tmr_model.span, faults=tmr_model.faults,
+        )
+
+    def test_premise_failure_on_unsafe_program(self, memory):
+        """The intolerant p under anytime faults does not refine the
+        safety spec from TRUE — premises must fail."""
+        from repro.core.predicate import TRUE
+
+        result = theory.theorem_3_6(
+            memory.pn, memory.p, memory.spec,
+            invariant_base=memory.S_p, invariant_refined=memory.S_pn,
+            span=TRUE, faults=memory.fault_anytime,
+        )
+        assert not result

@@ -1,0 +1,117 @@
+"""Property-based validation of Lemmas 3.1, 3.2 and 5.1.
+
+The lemmas quantify over all prefixes/suffixes and all fusion-closed
+specifications; hypothesis generates random sequences over a small state
+universe and random specifications from the representable class, and
+each instance of the lemma's implication is checked.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.predicate import Predicate, TRUE
+from repro.core.specification import (
+    LeadsTo,
+    Spec,
+    StateInvariant,
+    TransitionInvariant,
+)
+from repro.core.state import State
+from repro.theory.lemmas import lemma_3_1, lemma_3_2, lemma_5_1
+
+VALUES = [0, 1, 2]
+states = st.integers(min_value=0, max_value=2).map(lambda v: State(x=v))
+sequences = st.lists(states, min_size=1, max_size=6)
+
+
+def eq(v):
+    return Predicate(lambda s, v=v: s["x"] == v, name=f"x={v}")
+
+
+@st.composite
+def safety_specs(draw):
+    """A random conjunction of state and transition invariants."""
+    components = []
+    if draw(st.booleans()):
+        forbidden = draw(st.sampled_from(VALUES))
+        components.append(
+            StateInvariant(~eq(forbidden), name=f"never x={forbidden}")
+        )
+    if draw(st.booleans()):
+        src = draw(st.sampled_from(VALUES))
+        dst = draw(st.sampled_from(VALUES))
+        components.append(
+            TransitionInvariant(
+                lambda s, t, a=src, b=dst: not (s["x"] == a and t["x"] == b),
+                name=f"no {src}->{dst} step",
+            )
+        )
+    if not components:
+        components.append(StateInvariant(TRUE))
+    return Spec(components, name="random_safety")
+
+
+@st.composite
+def fusion_closed_specs(draw):
+    """Safety plus at most one LeadsTo(true, ·) liveness component —
+    the fusion-closed subclass (see repro.theory.lemmas docstring)."""
+    spec = draw(safety_specs())
+    if draw(st.booleans()):
+        goal = draw(st.sampled_from(VALUES))
+        spec = spec.conjoin(
+            Spec([LeadsTo(TRUE, eq(goal))], name=f"eventually x={goal}")
+        )
+    return spec
+
+
+@st.composite
+def fused_pair(draw):
+    """Two sequences sharing a fusion state."""
+    prefix = draw(sequences)
+    suffix_rest = draw(st.lists(states, min_size=0, max_size=5))
+    suffix = [prefix[-1]] + suffix_rest
+    return prefix, suffix
+
+
+@settings(max_examples=300, deadline=None)
+@given(spec=safety_specs(), pair=fused_pair())
+def test_lemma_3_1(spec, pair):
+    prefix, suffix = pair
+    assert lemma_3_1(spec, prefix, suffix)
+
+
+@settings(max_examples=300, deadline=None)
+@given(spec=safety_specs(), prefix=sequences, successor=states)
+def test_lemma_3_2(spec, prefix, successor):
+    assert lemma_3_2(spec, prefix, successor)
+
+
+@settings(max_examples=300, deadline=None)
+@given(spec=fusion_closed_specs(), pair=fused_pair())
+def test_lemma_5_1(spec, pair):
+    prefix, suffix = pair
+    assert lemma_5_1(spec, prefix, suffix)
+
+
+class TestLemmaEdgeCases:
+    def test_fusion_state_mismatch_rejected(self):
+        spec = Spec([StateInvariant(TRUE)], name="t")
+        import pytest
+
+        with pytest.raises(ValueError, match="fusion state"):
+            lemma_3_1(spec, [State(x=0)], [State(x=1)])
+
+    def test_lemma_3_2_detects_transition_violation(self):
+        """The 'iff' direction: a bad final transition is detected from
+        the last two states alone, whatever the history."""
+        spec = Spec(
+            [TransitionInvariant(
+                lambda s, t: not (s["x"] == 0 and t["x"] == 1), "no 0->1"
+            )],
+            name="no01",
+        )
+        long_prefix = [State(x=2), State(x=2), State(x=0)]
+        assert spec.maintains_prefix(long_prefix)
+        assert not spec.maintains_prefix(long_prefix + [State(x=1)])
+        assert not spec.maintains_prefix([State(x=0), State(x=1)])
+        assert lemma_3_2(spec, long_prefix, State(x=1))

@@ -1,0 +1,86 @@
+"""Section 5 theorems, validated mechanically."""
+
+from repro import theory
+from repro.core import Predicate
+
+
+class TestProjectionClosure:
+    def test_weakens_to_base_variables(self, memory):
+        projected = theory.projection_closure(memory.S_pm, memory.pm, memory.pn)
+        # S_pm constrains Z1; S_p(S_pm) must not (it ranges over pn's vars)
+        for state in memory.pm.states():
+            if memory.S_pm(state):
+                assert projected(state), "S ⇒ S_p"
+        # a state differing from an S-state only in Z1 satisfies S_p
+        witness = next(s for s in memory.pm.states() if memory.S_pm(s) and s["Z1"])
+        flipped = witness.assign(Z1=False)
+        assert projected(flipped)
+
+    def test_depends_only_on_base_projection(self, memory):
+        projected = theory.projection_closure(memory.S_pm, memory.pm, memory.pn)
+        base_vars = set(memory.pn.variable_names)
+        by_projection = {}
+        for state in memory.pm.states():
+            key = state.project(base_vars)
+            value = projected(state)
+            assert by_projection.setdefault(key, value) == value
+
+
+class TestTheorem52:
+    def test_on_pm(self, memory):
+        assert theory.theorem_5_2(memory.pm, memory.spec, memory.S_pm, memory.T_pm)
+
+    def test_pn_fails_the_safety_premise(self, memory):
+        """pn from TRUE can write wrong data while recovering, so the
+        fail-safe premise of Theorem 5.2 fails — pn is nonmasking, not
+        masking, exactly the paper's classification."""
+        from repro.core.predicate import TRUE
+
+        result = theory.theorem_5_2(memory.pn, memory.spec, memory.S_pn, TRUE)
+        assert not result
+        assert "premises" in result.description
+
+    def test_pf_fails_the_convergence_premise(self, memory):
+        """pf deadlocks outside its invariant, so the nonmasking
+        premise of Theorem 5.2 fails."""
+        result = theory.theorem_5_2(
+            memory.pf, memory.spec, memory.S_pf, memory.T_pf
+        )
+        assert not result
+
+
+class TestTheorem53:
+    def test_on_masking_memory(self, memory):
+        """Theorem 5.3 uses a single invariant for base and refined
+        program, so it must be a predicate over the base's variables:
+        S_pn (= X1) works for the (pm, pn) pair."""
+        assert theory.theorem_5_3(
+            memory.pm, memory.pn, memory.spec, memory.S_pn, memory.T_pm
+        )
+
+
+class TestLemma54:
+    def test_on_masking_memory(self, memory):
+        assert theory.lemma_5_4(
+            memory.pm, memory.pn, memory.spec,
+            invariant=memory.S_pn, restored=memory.S_pm, span=memory.T_pm,
+        )
+
+
+class TestTheorem55:
+    def test_on_masking_memory(self, memory):
+        assert theory.theorem_5_5(
+            memory.pm, memory.pn, memory.spec,
+            invariant=memory.S_pn, restored=memory.S_pm,
+            span=memory.T_pm, faults=memory.fault_before_witness,
+        )
+
+    def test_premise_failure_on_nonmasking_program(self, memory):
+        """pn is not masking tolerant (safety dies transiently): the
+        Theorem 5.5 premises must fail for it."""
+        result = theory.theorem_5_5(
+            memory.pn, memory.p, memory.spec,
+            invariant=memory.S_p, restored=memory.S_pn,
+            span=memory.T_pn, faults=memory.fault_anytime,
+        )
+        assert not result

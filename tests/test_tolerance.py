@@ -1,0 +1,152 @@
+"""Unit tests for the three tolerance checkers (Section 2.4)."""
+
+import pytest
+
+from repro.core.predicate import TRUE
+from repro.core.tolerance import (
+    check_implication,
+    is_failsafe_tolerant,
+    is_masking_tolerant,
+    is_nonmasking_tolerant,
+    is_tolerant,
+    semantic_tolerance_check,
+)
+
+
+class TestImplication:
+    def test_holds(self, memory):
+        assert check_implication(memory.pf, memory.S_pf, memory.T_pf)
+
+    def test_fails_with_state_witness(self, memory):
+        result = check_implication(memory.pf, memory.T_pf, memory.S_pf)
+        assert not result
+        assert result.counterexample.kind == "state"
+
+
+class TestFigureLadder:
+    """The paper's Figures 1-3, as tolerance certificates."""
+
+    def test_fig1_pf_failsafe(self, memory):
+        assert is_failsafe_tolerant(
+            memory.pf, memory.fault_before_witness, memory.spec,
+            memory.S_pf, memory.T_pf,
+        )
+
+    def test_fig2_pn_nonmasking(self, memory):
+        assert is_nonmasking_tolerant(
+            memory.pn, memory.fault_anytime, memory.spec,
+            memory.S_pn, memory.T_pn,
+        )
+
+    def test_fig3_pm_masking(self, memory):
+        assert is_masking_tolerant(
+            memory.pm, memory.fault_before_witness, memory.spec,
+            memory.S_pm, memory.T_pm,
+        )
+
+    def test_masking_implies_the_weaker_classes(self, memory):
+        """pm is also fail-safe and nonmasking tolerant (masking is the
+        strictest class)."""
+        assert is_failsafe_tolerant(
+            memory.pm, memory.fault_before_witness, memory.spec,
+            memory.S_pm, memory.T_pm,
+        )
+        assert is_nonmasking_tolerant(
+            memory.pm, memory.fault_before_witness, memory.spec,
+            memory.S_pm, memory.T_pm,
+        )
+
+
+class TestStrictSeparation:
+    """Each program achieves its class and not the stronger ones."""
+
+    def test_p_is_not_even_failsafe(self, memory):
+        assert not is_failsafe_tolerant(
+            memory.p, memory.fault_anytime, memory.spec,
+            memory.S_p, TRUE,
+        )
+
+    def test_pf_is_not_nonmasking(self, memory):
+        assert not is_nonmasking_tolerant(
+            memory.pf, memory.fault_before_witness, memory.spec,
+            memory.S_pf, memory.T_pf,
+        ), "pf deadlocks after a page fault and never recovers"
+
+    def test_pf_is_not_masking(self, memory):
+        assert not is_masking_tolerant(
+            memory.pf, memory.fault_before_witness, memory.spec,
+            memory.S_pf, memory.T_pf,
+        )
+
+    def test_pn_is_not_failsafe(self, memory):
+        assert not is_failsafe_tolerant(
+            memory.pn, memory.fault_anytime, memory.spec,
+            memory.S_pn, memory.T_pn,
+        ), "pn transiently writes wrong data"
+
+    def test_pn_is_not_masking(self, memory):
+        assert not is_masking_tolerant(
+            memory.pn, memory.fault_anytime, memory.spec,
+            memory.S_pn, memory.T_pn,
+        )
+
+
+class TestDispatch:
+    def test_is_tolerant_dispatch(self, memory):
+        assert is_tolerant(
+            "failsafe", memory.pf, memory.fault_before_witness, memory.spec,
+            memory.S_pf, memory.T_pf,
+        )
+        assert is_tolerant(
+            "nonmasking", memory.pn, memory.fault_anytime, memory.spec,
+            memory.S_pn, memory.T_pn,
+        )
+        assert is_tolerant(
+            "masking", memory.pm, memory.fault_before_witness, memory.spec,
+            memory.S_pm, memory.T_pm,
+        )
+
+    def test_unknown_kind_rejected(self, memory):
+        with pytest.raises(ValueError, match="unknown tolerance kind"):
+            is_tolerant(
+                "bulletproof", memory.pf, memory.fault_before_witness,
+                memory.spec, memory.S_pf, memory.T_pf,
+            )
+
+
+class TestSemanticCrossValidation:
+    """The certificate-based verdicts agree with brute-force
+    enumeration of bounded computations."""
+
+    def test_pf_failsafe_semantically(self, memory):
+        assert semantic_tolerance_check(
+            "failsafe", memory.pf, memory.fault_before_witness, memory.spec,
+            memory.T_pf, max_length=7, max_faults=1,
+        )
+
+    def test_pm_masking_semantically(self, memory):
+        assert semantic_tolerance_check(
+            "masking", memory.pm, memory.fault_before_witness, memory.spec,
+            memory.T_pm, max_length=8, max_faults=1,
+        )
+
+    def test_pn_nonmasking_semantically(self, memory):
+        assert semantic_tolerance_check(
+            "nonmasking", memory.pn, memory.fault_anytime, memory.spec,
+            memory.T_pn, max_length=8, max_faults=1,
+        )
+
+    def test_pn_fails_failsafe_semantically(self, memory):
+        result = semantic_tolerance_check(
+            "failsafe", memory.pn, memory.fault_anytime, memory.spec,
+            memory.T_pn, max_length=8, max_faults=1,
+        )
+        assert not result
+        assert result.counterexample.kind == "trace"
+
+    def test_unknown_kind_rejected(self, memory):
+        with pytest.raises(ValueError):
+            semantic_tolerance_check(
+                "perfect", memory.pf, memory.fault_before_witness,
+                memory.spec, memory.T_pf,
+            )
