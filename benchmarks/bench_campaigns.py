@@ -1,0 +1,70 @@
+"""CAMPAIGN — randomized fault-injection campaigns (repro.campaigns).
+
+Times the campaign engine end-to-end on the token ring and TMR
+scenarios and asserts the qualitative claims the subsystem exists to
+measure: the ring's regeneration corrector keeps the ring at least
+fail-safe-or-better across every seeded trial, and TMR's repairing
+voter masks single-fault schedules.  Also times raw schedule
+generation, which must be cheap enough to never dominate a trial.
+"""
+
+import random
+
+from repro.campaigns import (
+    Campaign,
+    get_scenario,
+    random_schedule,
+)
+
+
+def bench_campaign_token_ring(benchmark, report):
+    scenario = get_scenario("token_ring")
+
+    def run():
+        return Campaign(scenario, trials=10, seed=0).run()
+
+    result = benchmark(run)
+    assert result.summary["completed"] == 10
+    assert result.verdict in ("masking", "failsafe", "nonmasking"), (
+        "the regeneration corrector should never leave the ring intolerant"
+    )
+    counts = result.summary["counts"]
+    report(
+        "CAMPAIGN",
+        f"token_ring 10 trials: verdict={result.verdict} "
+        f"masking={counts['masking']} failsafe={counts['failsafe']} "
+        f"nonmasking={counts['nonmasking']} "
+        f"faults={result.summary['faults_injected']}",
+    )
+
+
+def bench_campaign_tmr_masks_single_faults(benchmark, report):
+    scenario = get_scenario("tmr")
+
+    def run():
+        # budget 1: at most one fault per trial — inside TMR's design point
+        return Campaign(scenario, trials=10, seed=7, budget=1).run()
+
+    result = benchmark(run)
+    assert result.verdict == "masking", (
+        "TMR with a repairing voter must mask every single-fault schedule"
+    )
+    latency = result.summary["convergence_time"]
+    report(
+        "CAMPAIGN",
+        f"tmr single-fault 10 trials: verdict={result.verdict} "
+        f"repair p90={latency['p90']}",
+    )
+
+
+def bench_schedule_generation(benchmark, report):
+    spec = get_scenario("token_ring").spec.with_budget(50)
+
+    def run():
+        rng = random.Random(3)
+        return [random_schedule(spec, rng) for _ in range(100)]
+
+    schedules = benchmark(run)
+    drawn = sum(len(s) for s in schedules)
+    assert drawn >= 100 * 50  # crash/restart pairs make it exceed the budget
+    report("CAMPAIGN", f"schedule generation: {drawn} injectors per batch")

@@ -1,0 +1,84 @@
+"""A fault-injection campaign walkthrough (repro.campaigns).
+
+Run:  python examples/fault_campaign.py
+
+The paper's tolerance classes — fail-safe, nonmasking, masking — are
+defined over *all* computations of a program under a fault-class; the
+model checker in repro.core certifies them exhaustively on small state
+spaces.  A campaign attacks the same question statistically at the
+message-passing level: sweep seeded random fault schedules over a
+simulated scenario, classify every trial, and report the observed mix.
+
+Three acts:
+
+1. a single trial, unpacked — the schedule that was drawn, the
+   predicate transitions it caused, and the resulting classification;
+2. a real campaign over the token ring, with the verdict line;
+3. the fault-budget sweep: pushing TMR from its masking design point
+   (one fault per trial) into the regime where majorities break.
+"""
+
+import io
+
+from repro.campaigns import Campaign, get_scenario, random_schedule
+
+
+def act_one_single_trial() -> None:
+    print("— act 1: one trial, unpacked —")
+    scenario = get_scenario("token_ring")
+    schedule = random_schedule(scenario.spec, 42)
+    print(f"  drew {len(schedule)} injectors from seed 42:")
+    for fault in schedule.describe():
+        description = {k: v for k, v in fault.items() if k != "kind"}
+        print(f"    t={fault['time']:6.2f}  {fault['kind']:10s} {description}")
+
+    campaign = Campaign(scenario, trials=1, seed=42, stream=io.StringIO())
+    result = campaign.run()
+    transitions = [
+        e for e in campaign.log.events if e["event"] == "transition"
+    ]
+    print(f"  the trial produced {len(transitions)} predicate transitions:")
+    for t in transitions[:8]:
+        print(f"    t={t['time']:6.2f}  {t['monitor']:10s} -> {t['value']}")
+    record = result.trials[0]
+    print(f"  classification: outcome={record.outcome} "
+          f"safety_ok={record.metrics.safety_ok} "
+          f"converged={record.metrics.converged}")
+    print()
+
+
+def act_two_token_ring_campaign() -> None:
+    print("— act 2: a 50-trial campaign against the token ring —")
+    result = Campaign(
+        get_scenario("token_ring"), trials=50, seed=0
+    ).run()
+    print(result.format())
+    print("  no trial ever broke mutual exclusion; the rare 'failsafe'")
+    print("  trials are runs the horizon cut off mid-recovery. The")
+    print("  regeneration corrector earns the ring its tolerance claim.")
+    print()
+
+
+def act_three_budget_sweep() -> None:
+    print("— act 3: sweeping TMR's fault budget past its design point —")
+    scenario = get_scenario("tmr")
+    print("  budget  verdict     masking  failsafe  nonmasking  intolerant")
+    for budget in (1, 2, 4, 8):
+        result = Campaign(
+            scenario, trials=30, seed=1, budget=budget
+        ).run()
+        counts = result.summary["counts"]
+        print(
+            f"  {budget:6d}  {result.verdict:10s} "
+            f"{counts['masking']:7d} {counts['failsafe']:9d} "
+            f"{counts['nonmasking']:11d} {counts['intolerant']:11d}"
+        )
+    print("  one fault per trial is always masked (the §6.1 guarantee);")
+    print("  pile on concurrent faults and the majority argument erodes —")
+    print("  measured, not asserted.")
+
+
+if __name__ == "__main__":
+    act_one_single_trial()
+    act_two_token_ring_campaign()
+    act_three_budget_sweep()

@@ -1,0 +1,73 @@
+"""Randomized fault-injection campaigns with structured telemetry.
+
+Where :mod:`repro.core` *certifies* tolerance over all computations and
+:mod:`repro.sim` *executes* one hand-written fault scenario, a campaign
+sweeps hundreds of seeded random fault schedules over a scenario and
+classifies every trial against the paper's Section-2 tolerance classes
+(fail-safe / nonmasking / masking) — chaos testing as a statistical
+complement to the model checker, in the spirit of model checking's own
+role of exploring executions the designer did not anticipate.
+
+- :mod:`repro.campaigns.schedules` — seeded random fault-schedule
+  generators over the :mod:`repro.sim.faults` injectors;
+- :mod:`repro.campaigns.runner` — the :class:`Campaign` engine
+  (independent seeded trials, per-trial timeouts, crash containment);
+- :mod:`repro.campaigns.classify` — per-trial outcome classification
+  and the campaign-level verdict roll-up;
+- :mod:`repro.campaigns.report` — JSONL event log and the aggregate
+  summary (percentile detection/convergence latencies, availability);
+- :mod:`repro.campaigns.scenarios` — ready-made scenarios for the
+  program zoo (token ring, TMR, Byzantine agreement, memory access).
+
+CLI: ``repro campaign <scenario> --trials N --seed S --jsonl PATH``.
+"""
+
+from .classify import (
+    OUTCOMES,
+    TrialMetrics,
+    campaign_verdict,
+    classify_outcome,
+    classify_trial,
+)
+from .report import CampaignLog, format_verdict, percentile, summarize
+from .runner import (
+    Campaign,
+    CampaignResult,
+    Scenario,
+    ScenarioInstance,
+    TrialRecord,
+    TrialTimeout,
+    derive_seed,
+)
+from .schedules import (
+    FaultSchedule,
+    ScheduleSpec,
+    describe_injector,
+    random_schedule,
+)
+from .scenarios import SCENARIOS, get_scenario
+
+__all__ = [
+    "OUTCOMES",
+    "TrialMetrics",
+    "classify_outcome",
+    "classify_trial",
+    "campaign_verdict",
+    "CampaignLog",
+    "percentile",
+    "summarize",
+    "format_verdict",
+    "Campaign",
+    "CampaignResult",
+    "Scenario",
+    "ScenarioInstance",
+    "TrialRecord",
+    "TrialTimeout",
+    "derive_seed",
+    "ScheduleSpec",
+    "FaultSchedule",
+    "random_schedule",
+    "describe_injector",
+    "SCENARIOS",
+    "get_scenario",
+]

@@ -1,0 +1,185 @@
+"""Per-trial outcome classification in the paper's vocabulary.
+
+Section 2 of the paper defines three tolerance classes by which part of
+the problem specification survives the fault-class:
+
+- **masking** — both safety and liveness are preserved: every fault is
+  masked from the specification's point of view;
+- **fail-safe** — safety is preserved but liveness may be lost: the
+  program may stop making progress, yet never does the wrong thing;
+- **nonmasking** — liveness is preserved (the program converges back to
+  its invariant) but safety may be violated meanwhile.
+
+A campaign trial observes two predicates through
+:class:`~repro.sim.monitors.PredicateMonitor`:
+
+- the **safety** predicate (e.g. "at most one token", "voter output is
+  correct") — its violation marks the trial non-fail-safe;
+- the **legitimacy** predicate (the invariant / "everything is well"
+  states) — whether the run *ends* inside it marks convergence.
+
+:func:`classify_trial` maps the two booleans onto the four outcomes
+(``masking`` / ``failsafe`` / ``nonmasking`` / ``intolerant``) and
+computes the quantitative measurements the benchmarks report: detection
+latency (fault to first observed perturbation), convergence time (last
+fault to the start of the final legitimate interval) and availability
+(fraction of samples spent legitimate).  :func:`campaign_verdict` rolls
+per-trial outcomes up to a campaign-level tolerance claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Sequence
+
+from ..sim.monitors import PredicateMonitor
+
+__all__ = [
+    "OUTCOMES",
+    "TrialMetrics",
+    "classify_outcome",
+    "classify_trial",
+    "campaign_verdict",
+]
+
+#: trial outcomes, strongest tolerance first (error/timeout are
+#: bookkeeping outcomes, not tolerance classes)
+OUTCOMES = ("masking", "failsafe", "nonmasking", "intolerant", "error", "timeout")
+
+
+@dataclass(frozen=True)
+class TrialMetrics:
+    """Everything one trial contributes to the campaign roll-up."""
+
+    outcome: str                          #: one of :data:`OUTCOMES`
+    safety_ok: Optional[bool] = None      #: safety never observed violated
+    converged: Optional[bool] = None      #: run ended legitimate
+    detection_latency: Optional[float] = None
+    convergence_time: Optional[float] = None
+    availability: float = 0.0
+    faults_injected: int = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "outcome": self.outcome,
+            "safety_ok": self.safety_ok,
+            "converged": self.converged,
+            "detection_latency": self.detection_latency,
+            "convergence_time": self.convergence_time,
+            "availability": self.availability,
+            "faults_injected": self.faults_injected,
+        }
+
+
+def classify_outcome(safety_ok: bool, converged: bool) -> str:
+    """The Section-2 lattice: which part of the specification survived."""
+    if safety_ok and converged:
+        return "masking"
+    if safety_ok:
+        return "failsafe"
+    if converged:
+        return "nonmasking"
+    return "intolerant"
+
+
+def classify_trial(
+    safety: PredicateMonitor,
+    legitimacy: PredicateMonitor,
+    fault_times: Sequence[float],
+) -> TrialMetrics:
+    """Classify one completed trial from its two monitors.
+
+    ``fault_times`` are the injector onset instants (possibly empty for
+    a fault-free control trial).
+    """
+    safety_ok = all(value for _, value in safety.samples)
+    convergence_at = legitimacy.convergence_time()
+    converged = convergence_at is not None
+
+    last_fault = max(fault_times) if fault_times else None
+
+    detection_latency = _detection_latency(legitimacy, safety, fault_times)
+
+    convergence: Optional[float] = None
+    if converged:
+        if last_fault is None:
+            convergence = 0.0
+        else:
+            # recovery time: from the last fault to the start of the
+            # final continuously-legitimate interval (0 if legitimacy
+            # was never perturbed after the last fault).
+            convergence = max(0.0, convergence_at - last_fault)
+
+    return TrialMetrics(
+        outcome=classify_outcome(safety_ok, converged),
+        safety_ok=safety_ok,
+        converged=converged,
+        detection_latency=detection_latency,
+        convergence_time=convergence,
+        availability=legitimacy.fraction_true(),
+        faults_injected=len(fault_times),
+    )
+
+
+def _detection_latency(
+    legitimacy: PredicateMonitor,
+    safety: PredicateMonitor,
+    fault_times: Sequence[float],
+) -> Optional[float]:
+    """Time from a fault to the first observed perturbation it caused.
+
+    The monitored predicates play the role of the paper's detectors: a
+    perturbation is "detected" at the first sample, at or after some
+    fault's onset, where legitimacy (or safety) is observed false.  The
+    latency is measured from the latest fault onset not after that
+    sample — the fault the observation witnesses.  ``None`` when no
+    fault was injected or no perturbation was ever observed.
+    """
+    if not fault_times:
+        return None
+    first_fault = min(fault_times)
+    observed: Optional[float] = None
+    for time, value in sorted(safety.samples + legitimacy.samples):
+        if time >= first_fault and not value:
+            observed = time
+            break
+    if observed is None:
+        return None
+    culprit = max(t for t in fault_times if t <= observed)
+    return observed - culprit
+
+
+def campaign_verdict(outcomes: Sequence[str]) -> Dict[str, Any]:
+    """Roll per-trial outcomes up to a campaign-level claim.
+
+    The verdict is the strongest tolerance class consistent with every
+    *completed* trial (errors and timeouts are excluded from the
+    tolerance claim but reported alongside it):
+
+    - every trial masking → ``masking``;
+    - safety held in every trial → ``failsafe``;
+    - every trial converged → ``nonmasking``;
+    - otherwise → ``none``.
+    """
+    counts = {outcome: 0 for outcome in OUTCOMES}
+    for outcome in outcomes:
+        counts[outcome] = counts.get(outcome, 0) + 1
+    completed = [o for o in outcomes if o not in ("error", "timeout")]
+
+    if not completed:
+        verdict = "none"
+    elif all(o == "masking" for o in completed):
+        verdict = "masking"
+    elif all(o in ("masking", "failsafe") for o in completed):
+        verdict = "failsafe"
+    elif all(o in ("masking", "nonmasking") for o in completed):
+        verdict = "nonmasking"
+    else:
+        verdict = "none"
+
+    return {
+        "verdict": verdict,
+        "counts": counts,
+        "trials": len(outcomes),
+        "completed": len(completed),
+    }

@@ -1,0 +1,286 @@
+"""The campaign engine: N seeded trials of one scenario.
+
+A :class:`Scenario` packages a network factory with the two global
+predicates that define the paper's tolerance classes for it (safety and
+legitimacy) and a :class:`~repro.campaigns.schedules.ScheduleSpec`
+bounding what faults a trial may suffer.  A :class:`Campaign` runs
+``trials`` independent trials, each with:
+
+- its own derived RNG seeds (one for the network, one for the fault
+  schedule) — the whole campaign is a pure function of the master seed;
+- two :class:`~repro.sim.monitors.PredicateMonitor` observers whose
+  transitions stream into the JSONL log;
+- a per-trial wall-clock timeout, enforced between event batches;
+- crash containment: a trial that raises is recorded with
+  ``outcome="error"`` and the campaign continues — a failing trial is
+  data, not a crash.
+
+This is chaos testing in the detectors/correctors vocabulary: rather
+than certifying tolerance over *all* computations (the model checker's
+job, :mod:`repro.core`), a campaign samples the fault-schedule space
+and reports how often each tolerance class was actually observed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, IO, List, Optional
+
+from ..sim.monitors import GlobalPredicate, PredicateMonitor
+from ..sim.network import Network
+from .classify import TrialMetrics, campaign_verdict, classify_trial
+from .report import CampaignLog, format_verdict, summarize
+from .schedules import ScheduleSpec, random_schedule
+
+__all__ = [
+    "ScenarioInstance",
+    "Scenario",
+    "TrialRecord",
+    "CampaignResult",
+    "Campaign",
+    "TrialTimeout",
+]
+
+#: trace-event kinds that are fault occurrences (channel reconfigurations
+#: — loss bursts starting/ending — leave no trace event; their planned
+#: windows are logged with the schedule at trial start)
+FAULT_EVENT_KINDS = ("crash", "restart", "corrupt", "tamper")
+
+
+class TrialTimeout(Exception):
+    """A trial exceeded its wall-clock budget."""
+
+
+@dataclass
+class ScenarioInstance:
+    """One trial's freshly-built world: the network plus the two
+    predicates classified against.  Predicates may be stateful closures
+    (e.g. progress detectors comparing successive samples), which is
+    why instances are rebuilt per trial."""
+
+    network: Network
+    safety: GlobalPredicate
+    legitimacy: GlobalPredicate
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A campaign-able workload: factory + predicates + fault envelope."""
+
+    name: str
+    description: str
+    build: Callable[[int], ScenarioInstance]   #: seed -> fresh instance
+    spec: ScheduleSpec
+    horizon: float
+    sample_period: float = 0.5
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """One trial's outcome, as retained in the campaign result."""
+
+    trial: int
+    network_seed: int
+    schedule_seed: int
+    metrics: TrialMetrics
+    sim_time: float = 0.0
+    error: Optional[str] = None
+
+    @property
+    def outcome(self) -> str:
+        return self.metrics.outcome
+
+
+@dataclass
+class CampaignResult:
+    """All trials plus the aggregate summary."""
+
+    scenario: str
+    trials: List[TrialRecord]
+    summary: Dict[str, Any]
+
+    @property
+    def verdict(self) -> str:
+        return self.summary["verdict"]
+
+    def outcomes(self) -> List[str]:
+        return [record.outcome for record in self.trials]
+
+    def format(self) -> str:
+        return format_verdict(self.summary)
+
+
+def derive_seed(master: int, trial: int, role: int) -> int:
+    """Deterministic per-trial seed derivation (no global randomness):
+    distinct (trial, role) pairs get distinct streams for any master."""
+    return (master * 1_000_003 + trial * 2 + role) & 0x7FFFFFFF
+
+
+class Campaign:
+    """Run ``trials`` independent seeded trials of ``scenario``.
+
+    ``budget`` / ``horizon`` override the scenario's defaults;
+    ``trial_timeout`` is a per-trial wall-clock limit in seconds
+    (None = unlimited); ``stream`` receives the JSONL event log.
+    """
+
+    #: events simulated between wall-clock timeout checks
+    BATCH_EVENTS = 4096
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        trials: int = 20,
+        seed: int = 0,
+        budget: Optional[int] = None,
+        horizon: Optional[float] = None,
+        trial_timeout: Optional[float] = None,
+        stream: Optional[IO[str]] = None,
+    ):
+        self.scenario = scenario
+        self.trials = trials
+        self.seed = seed
+        self.horizon = horizon if horizon is not None else scenario.horizon
+        spec = scenario.spec.with_horizon(self.horizon)
+        if budget is not None:
+            spec = spec.with_budget(budget)
+        self.spec = spec
+        self.trial_timeout = trial_timeout
+        self.log = CampaignLog(stream)
+
+    # -- driving ---------------------------------------------------------------
+    def run(self) -> CampaignResult:
+        self.log.emit(
+            "campaign_start",
+            scenario=self.scenario.name,
+            description=self.scenario.description,
+            trials=self.trials,
+            seed=self.seed,
+            horizon=self.horizon,
+            budget=self.spec.budget,
+            fault_kinds=list(self.spec.kinds()),
+        )
+        records: List[TrialRecord] = []
+        for trial in range(self.trials):
+            records.append(self._run_one(trial))
+        verdict = campaign_verdict([r.outcome for r in records])
+        summary = summarize(
+            self.scenario.name, verdict, [r.metrics for r in records]
+        )
+        self.log.emit("campaign_end", summary=summary)
+        self.log.close()
+        return CampaignResult(
+            scenario=self.scenario.name, trials=records, summary=summary
+        )
+
+    def _run_one(self, trial: int) -> TrialRecord:
+        network_seed = derive_seed(self.seed, trial, 0)
+        schedule_seed = derive_seed(self.seed, trial, 1)
+        started = time.perf_counter()
+        try:
+            record = self._run_trial(trial, network_seed, schedule_seed)
+        except TrialTimeout:
+            record = TrialRecord(
+                trial=trial,
+                network_seed=network_seed,
+                schedule_seed=schedule_seed,
+                metrics=TrialMetrics(outcome="timeout"),
+                error=f"exceeded trial timeout of {self.trial_timeout}s",
+            )
+        except Exception as exc:  # crash containment: a failing trial is data
+            record = TrialRecord(
+                trial=trial,
+                network_seed=network_seed,
+                schedule_seed=schedule_seed,
+                metrics=TrialMetrics(outcome="error"),
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        wall_ms = (time.perf_counter() - started) * 1000.0
+        self.log.emit(
+            "trial_end",
+            trial=trial,
+            **record.metrics.as_dict(),
+            sim_time=record.sim_time,
+            error=record.error,
+            wall_ms=round(wall_ms, 3),
+        )
+        return record
+
+    def _run_trial(
+        self, trial: int, network_seed: int, schedule_seed: int
+    ) -> TrialRecord:
+        instance = self.scenario.build(network_seed)
+        network = instance.network
+        schedule = random_schedule(self.spec, schedule_seed)
+        self.log.emit(
+            "trial_start",
+            trial=trial,
+            network_seed=network_seed,
+            schedule_seed=schedule_seed,
+            faults=schedule.describe(),
+        )
+        schedule.arm(network)
+
+        def observer(monitor_name: str):
+            def on_transition(at: float, value: bool) -> None:
+                self.log.emit(
+                    "transition",
+                    trial=trial,
+                    monitor=monitor_name,
+                    time=at,
+                    value=value,
+                )
+
+            return on_transition
+
+        safety = PredicateMonitor(
+            network,
+            instance.safety,
+            period=self.scenario.sample_period,
+            horizon=self.horizon,
+            name="safety",
+            on_transition=observer("safety"),
+        )
+        legitimacy = PredicateMonitor(
+            network,
+            instance.legitimacy,
+            period=self.scenario.sample_period,
+            horizon=self.horizon,
+            name="legitimacy",
+            on_transition=observer("legitimacy"),
+        )
+
+        sim_time = self._drive(network)
+        for event in network.events():
+            if event.kind in FAULT_EVENT_KINDS:
+                self.log.emit(
+                    "fault",
+                    trial=trial,
+                    time=event.time,
+                    kind=event.kind,
+                    process=event.process,
+                )
+        metrics = classify_trial(safety, legitimacy, schedule.onset_times())
+        return TrialRecord(
+            trial=trial,
+            network_seed=network_seed,
+            schedule_seed=schedule_seed,
+            metrics=metrics,
+            sim_time=sim_time,
+        )
+
+    def _drive(self, network: Network) -> float:
+        """Run to the horizon in batches, enforcing the wall-clock
+        timeout between batches (the kernel itself is uninterruptible)."""
+        deadline = (
+            time.perf_counter() + self.trial_timeout
+            if self.trial_timeout is not None
+            else None
+        )
+        while True:
+            now = network.run(until=self.horizon, max_events=self.BATCH_EVENTS)
+            if now >= self.horizon or network.simulator.pending() == 0:
+                return now
+            if deadline is not None and time.perf_counter() > deadline:
+                raise TrialTimeout()

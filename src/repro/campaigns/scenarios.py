@@ -1,0 +1,514 @@
+"""Ready-made campaign scenarios over the program zoo.
+
+Each scenario pairs a message-passing realisation of one of the paper's
+example programs with the two predicates that define its tolerance
+classes, plus the fault envelope a campaign may draw schedules from:
+
+- ``token_ring`` — the mutual-exclusion ring with the regeneration
+  corrector (watchdog detector + token regeneration, §7 / the
+  self-stabilization examples).  Expected profile: *nonmasking* — the
+  one-token safety predicate can be transiently violated by an
+  aggressive regeneration, but circulation always resumes.
+- ``tmr`` — triple modular redundancy with a repairing voter (§6.1).
+  Expected profile: *masking* for single faults — the voter's majority
+  masks one corrupted replica and writes the correct value back.
+- ``byzantine`` — one-round Byzantine agreement, n = 4, f = 1 (§6.2),
+  attacked by tampering intruders on its channels.  Expected profile:
+  *masking* while at most one lieutenant's traffic is tampered.
+- ``memory_access`` — a client/server memory with timeout-and-retry
+  (the Figure 1-3 ladder's workload).  Expected profile: *masking*
+  when the server restarts in time, degrading to *fail-safe* (no wrong
+  read is ever accepted, but the run may not finish) when it does not.
+
+The expectations are *measured*, not asserted: a campaign reports the
+observed outcome mix, including the unlucky trials where a fault burst
+exceeds what the component was designed to tolerate.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Hashable, List, Tuple
+
+from ..sim.channel import ChannelConfig
+from ..sim.network import Network
+from ..sim.process import SimProcess
+from ..sim.token_ring import RingProcess
+from .runner import Scenario, ScenarioInstance
+from .schedules import ScheduleSpec
+
+__all__ = ["SCENARIOS", "get_scenario"]
+
+
+# ---------------------------------------------------------------------------
+# token ring
+# ---------------------------------------------------------------------------
+
+class ColdRestartRingProcess(RingProcess):
+    """A ring member whose token lives in volatile memory: a restart
+    loses it (cold restart), and process 0 re-arms its watchdog."""
+
+    def on_restart(self) -> None:
+        self.has_token = False
+        if self.pid == 0:
+            self.last_seen = self.now
+            if self.regeneration_timeout is not None:
+                self.set_timer("watchdog", self.regeneration_timeout)
+
+
+def _erase_token(rng: random.Random, pid: Hashable) -> Dict[str, Any]:
+    """Transient corruption: the token vanishes from ``pid``'s memory."""
+    return {"has_token": False}
+
+
+def _build_token_ring(seed: int, size: int = 4,
+                      timeout: float = 12.0) -> ScenarioInstance:
+    network = Network(
+        seed=seed,
+        default_channel=ChannelConfig(delay=0.3, jitter=0.1),
+    )
+    for pid in range(size):
+        network.add_process(
+            ColdRestartRingProcess(pid, size, regeneration_timeout=timeout)
+        )
+
+    def mutex(snapshot) -> bool:
+        holders = sum(
+            1 for s in snapshot.values()
+            if s["has_token"] and not s["crashed"]
+        )
+        return holders <= 1
+
+    last_total = {"visits": -1}
+
+    def circulating(snapshot) -> bool:
+        """Legitimate iff mutual exclusion holds *and* the ring made
+        progress since the previous sample (the token is alive)."""
+        total = sum(s["visits"] for s in snapshot.values())
+        progressed = total > last_total["visits"]
+        last_total["visits"] = total
+        return progressed and mutex(snapshot)
+
+    return ScenarioInstance(
+        network=network, safety=mutex, legitimacy=circulating
+    )
+
+
+def token_ring_scenario(size: int = 4) -> Scenario:
+    ring_edges = tuple((pid, (pid + 1) % size) for pid in range(size))
+    return Scenario(
+        name="token_ring",
+        description=(
+            "mutual-exclusion ring with the regeneration corrector "
+            "(watchdog detector + token regeneration)"
+        ),
+        build=_build_token_ring,
+        spec=ScheduleSpec(
+            horizon=120.0,
+            budget=5,
+            crash_targets=tuple(range(size)),
+            corruption_targets=tuple(range(size)),
+            loss_channels=ring_edges,
+            corruptor=_erase_token,
+            max_downtime=15.0,
+        ),
+        horizon=120.0,
+        sample_period=2.0,
+    )
+
+
+# ---------------------------------------------------------------------------
+# triple modular redundancy
+# ---------------------------------------------------------------------------
+
+TMR_REFERENCE = 1
+
+
+class Replica(SimProcess):
+    """One redundant copy of the computation's result."""
+
+    def __init__(self, pid: Hashable, value: int = TMR_REFERENCE):
+        super().__init__(pid)
+        self.value = value
+
+    def on_message(self, sender: Hashable, message: Any) -> None:
+        if message == "read":
+            self.send(sender, ("reading", self.pid, self.value))
+        elif isinstance(message, tuple) and message[0] == "repair":
+            self.value = message[1]
+
+
+class Voter(SimProcess):
+    """Polls the replicas, outputs the strict majority, and repairs
+    disagreeing replicas with it (the §6.1 corrector ``CR``)."""
+
+    def __init__(self, pid: Hashable, replicas: Tuple[Hashable, ...],
+                 period: float = 2.0):
+        super().__init__(pid)
+        self.replicas = tuple(replicas)
+        self.period = period
+        self.output = None
+        self._ballots: Dict[Hashable, int] = {}
+
+    def on_start(self) -> None:
+        self.set_timer("poll", self.period)
+
+    def on_restart(self) -> None:
+        self.set_timer("poll", self.period)
+
+    def on_timer(self, name: str) -> None:
+        if name == "poll":
+            self._ballots = {}
+            for replica in self.replicas:
+                self.send(replica, "read")
+            self.set_timer("tally", self.period / 2.0)
+            self.set_timer("poll", self.period)
+        elif name == "tally":
+            values = list(self._ballots.values())
+            majority = next(
+                (v for v in sorted(set(values))
+                 if values.count(v) * 2 > len(values)),
+                None,
+            )
+            if majority is None:
+                return
+            self.output = majority
+            for replica, value in sorted(self._ballots.items()):
+                if value != majority:
+                    self.send(replica, ("repair", majority))
+
+    def on_message(self, sender: Hashable, message: Any) -> None:
+        if isinstance(message, tuple) and message[0] == "reading":
+            self._ballots[message[1]] = message[2]
+
+
+def _corrupt_replica(rng: random.Random, pid: Hashable) -> Dict[str, Any]:
+    """Flip the replica's value — the §6.1 fault-class."""
+    return {"value": 1 - TMR_REFERENCE}
+
+
+def _build_tmr(seed: int) -> ScenarioInstance:
+    network = Network(
+        seed=seed,
+        default_channel=ChannelConfig(delay=0.2, jitter=0.05),
+    )
+    replicas = ("r0", "r1", "r2")
+    for pid in replicas:
+        network.add_process(Replica(pid))
+    network.add_process(Voter("v", replicas))
+
+    def output_correct(snapshot) -> bool:
+        return snapshot["v"]["output"] in (None, TMR_REFERENCE)
+
+    def all_correct(snapshot) -> bool:
+        if snapshot["v"]["output"] != TMR_REFERENCE:
+            return False
+        return all(
+            snapshot[pid]["value"] == TMR_REFERENCE
+            for pid in replicas
+            if not snapshot[pid]["crashed"]
+        )
+
+    return ScenarioInstance(
+        network=network, safety=output_correct, legitimacy=all_correct
+    )
+
+
+def tmr_scenario() -> Scenario:
+    replicas = ("r0", "r1", "r2")
+    channels = tuple((pid, "v") for pid in replicas) + tuple(
+        ("v", pid) for pid in replicas
+    )
+    return Scenario(
+        name="tmr",
+        description=(
+            "triple modular redundancy with a repairing majority voter "
+            "(paper §6.1)"
+        ),
+        build=_build_tmr,
+        spec=ScheduleSpec(
+            horizon=80.0,
+            budget=3,
+            crash_targets=replicas + ("v",),
+            corruption_targets=replicas,
+            loss_channels=channels,
+            corruptor=_corrupt_replica,
+            max_downtime=8.0,
+        ),
+        horizon=80.0,
+        sample_period=1.0,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Byzantine agreement (n = 4, f = 1, one round of OM(1))
+# ---------------------------------------------------------------------------
+
+BYZ_ORDER = 1
+
+
+class Commander(SimProcess):
+    def __init__(self, pid: Hashable, lieutenants: Tuple[Hashable, ...],
+                 value: int = BYZ_ORDER):
+        super().__init__(pid)
+        self.lieutenants = tuple(lieutenants)
+        self.value = value
+
+    def on_start(self) -> None:
+        self.set_timer("send", 1.0)
+
+    def on_timer(self, name: str) -> None:
+        if name == "send":
+            for lieutenant in self.lieutenants:
+                self.send(lieutenant, ("order", self.value))
+
+
+class Lieutenant(SimProcess):
+    """Relays the commander's order to its peers, then decides by
+    strict majority of everything heard (ties default to retreat = 0)."""
+
+    def __init__(self, pid: Hashable, peers: Tuple[Hashable, ...],
+                 decide_at: float = 8.0):
+        super().__init__(pid)
+        self.peers = tuple(peers)
+        self.decide_at = decide_at
+        self.order = None
+        self.decided = None
+        self._echoes: Dict[Hashable, int] = {}
+
+    def on_start(self) -> None:
+        self.set_timer("decide", self.decide_at)
+
+    def on_message(self, sender: Hashable, message: Any) -> None:
+        if not isinstance(message, tuple):
+            return
+        if message[0] == "order" and self.order is None:
+            self.order = message[1]
+            for peer in self.peers:
+                self.send(peer, ("echo", self.pid, message[1]))
+        elif message[0] == "echo":
+            self._echoes[message[1]] = message[2]
+
+    def on_timer(self, name: str) -> None:
+        if name == "decide" and self.decided is None:
+            votes: List[int] = list(self._echoes.values())
+            if self.order is not None:
+                votes.append(self.order)
+            self.decided = next(
+                (v for v in sorted(set(votes))
+                 if votes.count(v) * 2 > len(votes)),
+                0,
+            )
+
+
+def _flip_command(rng: random.Random):
+    """A tampering behaviour: invert orders and echoes in transit."""
+
+    def flip(message: Any) -> Any:
+        if isinstance(message, tuple) and message[0] == "order":
+            return ("order", 1 - message[1])
+        if isinstance(message, tuple) and message[0] == "echo":
+            return ("echo", message[1], 1 - message[2])
+        return message
+
+    return flip
+
+
+def _build_byzantine(seed: int) -> ScenarioInstance:
+    network = Network(
+        seed=seed,
+        default_channel=ChannelConfig(delay=0.2, jitter=0.05),
+    )
+    lieutenants = ("l1", "l2", "l3")
+    network.add_process(Commander("c", lieutenants))
+    for pid in lieutenants:
+        peers = tuple(p for p in lieutenants if p != pid)
+        network.add_process(Lieutenant(pid, peers))
+
+    def agreement(snapshot) -> bool:
+        decided = [
+            snapshot[pid]["decided"]
+            for pid in lieutenants
+            if not snapshot[pid]["crashed"]
+            and snapshot[pid]["decided"] is not None
+        ]
+        return len(set(decided)) <= 1
+
+    def validity(snapshot) -> bool:
+        return all(
+            snapshot[pid]["decided"] == BYZ_ORDER
+            for pid in lieutenants
+            if not snapshot[pid]["crashed"]
+        )
+
+    return ScenarioInstance(
+        network=network, safety=agreement, legitimacy=validity
+    )
+
+
+def byzantine_scenario() -> Scenario:
+    lieutenants = ("l1", "l2", "l3")
+    channels = tuple(("c", pid) for pid in lieutenants) + tuple(
+        (a, b) for a in lieutenants for b in lieutenants if a != b
+    )
+    return Scenario(
+        name="byzantine",
+        description=(
+            "one-round Byzantine agreement (n=4, f=1) under channel "
+            "tampering intruders (paper §6.2 / §7)"
+        ),
+        build=_build_byzantine,
+        spec=ScheduleSpec(
+            horizon=20.0,
+            budget=2,
+            tamper_channels=channels,
+            tamperer=_flip_command,
+            min_burst=1.0,
+            max_burst=6.0,
+        ),
+        horizon=20.0,
+        sample_period=0.5,
+    )
+
+
+# ---------------------------------------------------------------------------
+# memory access (client/server with timeout-and-retry)
+# ---------------------------------------------------------------------------
+
+class MemoryServer(SimProcess):
+    """Serves reads and writes from stable storage (state survives
+    crashes; availability does not)."""
+
+    def __init__(self, pid: Hashable):
+        super().__init__(pid)
+        self.store: Dict[str, int] = {}
+
+    def on_message(self, sender: Hashable, message: Any) -> None:
+        kind, rid = message[0], message[1]
+        if kind == "write":
+            self.store[message[2]] = message[3]
+            self.send(sender, ("ack", rid))
+        elif kind == "read":
+            self.send(sender, ("value", rid, self.store.get(message[2])))
+
+
+class MemoryClient(SimProcess):
+    """Issues a fixed script of writes and read-back checks; a timeout
+    detector retries unacknowledged requests (masking crashes that are
+    followed by a restart)."""
+
+    def __init__(self, pid: Hashable, server: Hashable,
+                 ops: List[Tuple], retry_after: float = 2.0):
+        super().__init__(pid)
+        self.server = server
+        self.retry_after = retry_after
+        self.cursor = 0
+        self.done = False
+        self.bad_reads = 0
+        self.retries = 0
+        self._ops = list(ops)
+
+    def on_start(self) -> None:
+        self._issue()
+
+    def _issue(self) -> None:
+        if self.cursor >= len(self._ops):
+            self.done = True
+            return
+        op = self._ops[self.cursor]
+        if op[0] == "write":
+            self.send(self.server, ("write", self.cursor, op[1], op[2]))
+        else:
+            self.send(self.server, ("read", self.cursor, op[1]))
+        self.set_timer(f"retry:{self.cursor}", self.retry_after)
+
+    def on_message(self, sender: Hashable, message: Any) -> None:
+        kind, rid = message[0], message[1]
+        if rid != self.cursor:
+            return  # stale reply (a retry's duplicate)
+        if kind == "value":
+            expected = self._ops[self.cursor][2]
+            if message[2] != expected:
+                self.bad_reads += 1
+        self.cursor += 1
+        self._issue()
+
+    def on_timer(self, name: str) -> None:
+        if self.done or not name.startswith("retry:"):
+            return
+        if int(name.split(":", 1)[1]) == self.cursor:
+            self.retries += 1
+            self._issue()
+
+
+def _memory_ops(pairs: int = 8) -> List[Tuple]:
+    ops: List[Tuple] = []
+    for index in range(pairs):
+        key = f"k{index % 3}"
+        ops.append(("write", key, index))
+        ops.append(("read", key, index))
+    return ops
+
+
+def _build_memory_access(seed: int) -> ScenarioInstance:
+    network = Network(
+        seed=seed,
+        default_channel=ChannelConfig(delay=0.2, jitter=0.05),
+    )
+    network.add_process(MemoryServer("s"))
+    network.add_process(MemoryClient("c", "s", _memory_ops()))
+
+    def no_wrong_read(snapshot) -> bool:
+        return snapshot["c"]["bad_reads"] == 0
+
+    def completed(snapshot) -> bool:
+        return bool(snapshot["c"]["done"]) and no_wrong_read(snapshot)
+
+    return ScenarioInstance(
+        network=network, safety=no_wrong_read, legitimacy=completed
+    )
+
+
+def memory_access_scenario() -> Scenario:
+    return Scenario(
+        name="memory_access",
+        description=(
+            "client/server memory with a timeout-and-retry detector "
+            "(the Figures 1-3 workload, run against crashes)"
+        ),
+        build=_build_memory_access,
+        spec=ScheduleSpec(
+            horizon=60.0,
+            budget=3,
+            crash_targets=("s",),
+            loss_channels=(("c", "s"), ("s", "c")),
+            max_downtime=10.0,
+        ),
+        horizon=60.0,
+        sample_period=1.0,
+    )
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+SCENARIOS: Dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        token_ring_scenario(),
+        tmr_scenario(),
+        byzantine_scenario(),
+        memory_access_scenario(),
+    )
+}
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise KeyError(
+            f"unknown campaign scenario {name!r}; known scenarios: {known}"
+        ) from None

@@ -1,0 +1,222 @@
+"""Seeded random fault-schedule generators.
+
+A hand-written fault schedule exercises one adversarial scenario; a
+*campaign* needs hundreds of distinct ones.  :func:`random_schedule`
+draws a :class:`FaultSchedule` — a sorted bundle of the existing
+:mod:`repro.sim.faults` injectors — from a seeded RNG, parameterised by
+a :class:`ScheduleSpec`: fault budget, time horizon, and the target
+sets (which processes may crash or be corrupted, which channels may
+lose or tamper with messages).
+
+Determinism contract: the same ``(spec, seed)`` pair always yields the
+same schedule, byte for byte — draws happen in a fixed order and no
+global randomness is consulted.  That is what makes campaign runs
+replayable from their JSONL logs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+
+from ..sim.faults import (
+    CrashInjector,
+    MessageLossBurst,
+    RestartInjector,
+    StateCorruptionInjector,
+    TamperingIntruder,
+)
+from ..sim.network import Network
+
+__all__ = [
+    "ScheduleSpec",
+    "FaultSchedule",
+    "random_schedule",
+    "describe_injector",
+]
+
+#: draws ``{variable: corrupted value}`` updates for one process
+Corruptor = Callable[[random.Random, Hashable], Dict[str, Any]]
+#: draws an in-transit message transform (an intruder behaviour)
+Tamperer = Callable[[random.Random], Callable[[Any], Any]]
+
+Channel = Tuple[Hashable, Hashable]
+
+
+@dataclass(frozen=True)
+class ScheduleSpec:
+    """What a random schedule may do, and to whom.
+
+    ``budget`` is the number of fault *events* drawn; a crash/restart
+    pair counts as one event (the restart is the fault's built-in end,
+    like a loss burst's).  Fault kinds whose target set (or generator)
+    is empty are never drawn, so a spec with only ``crash_targets``
+    produces pure crash/restart campaigns.
+
+    Fault instants are drawn uniformly in ``[0.05, 0.85] * horizon`` so
+    every trial retains a fault-free suffix in which convergence can be
+    observed — matching the paper's fault model, where fault actions
+    eventually stop.
+    """
+
+    horizon: float
+    budget: int = 4
+    crash_targets: Tuple[Hashable, ...] = ()
+    corruption_targets: Tuple[Hashable, ...] = ()
+    loss_channels: Tuple[Channel, ...] = ()
+    tamper_channels: Tuple[Channel, ...] = ()
+    corruptor: Optional[Corruptor] = None
+    tamperer: Optional[Tamperer] = None
+    min_downtime: float = 0.5       #: shortest crash outage
+    max_downtime: float = 10.0      #: longest crash outage
+    min_burst: float = 0.5          #: shortest loss/tamper window
+    max_burst: float = 5.0          #: longest loss/tamper window
+
+    def with_budget(self, budget: int) -> "ScheduleSpec":
+        from dataclasses import replace
+
+        return replace(self, budget=budget)
+
+    def with_horizon(self, horizon: float) -> "ScheduleSpec":
+        from dataclasses import replace
+
+        return replace(self, horizon=horizon)
+
+    def kinds(self) -> Tuple[str, ...]:
+        """The fault kinds this spec can actually draw."""
+        available: List[str] = []
+        if self.crash_targets:
+            available.append("crash_restart")
+        if self.corruption_targets and self.corruptor is not None:
+            available.append("corruption")
+        if self.loss_channels:
+            available.append("loss_burst")
+        if self.tamper_channels and self.tamperer is not None:
+            available.append("tamper")
+        return tuple(available)
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A concrete, armable bundle of injectors (sorted by onset)."""
+
+    injectors: Tuple[Any, ...]
+    seed: Optional[int] = None
+
+    def arm(self, network: Network) -> None:
+        for injector in self.injectors:
+            injector.arm(network)
+
+    def describe(self) -> List[Dict[str, Any]]:
+        """JSON-serialisable description of every injector, for the
+        campaign telemetry log."""
+        return [describe_injector(injector) for injector in self.injectors]
+
+    def __len__(self) -> int:
+        return len(self.injectors)
+
+    def onset_times(self) -> List[float]:
+        """The instant each injector begins acting (sorted)."""
+        return sorted(_onset_key(injector) for injector in self.injectors)
+
+
+def random_schedule(spec: ScheduleSpec, seed_or_rng) -> FaultSchedule:
+    """Draw one seeded random schedule satisfying ``spec``.
+
+    ``seed_or_rng`` is an int seed or a ``random.Random`` (the latter
+    lets a caller thread one RNG through several draws).
+    """
+    if isinstance(seed_or_rng, random.Random):
+        rng, seed = seed_or_rng, None
+    else:
+        seed = int(seed_or_rng)
+        rng = random.Random(seed)
+
+    kinds = spec.kinds()
+    injectors: List[Any] = []
+    if not kinds:
+        return FaultSchedule(injectors=(), seed=seed)
+
+    for _ in range(max(0, spec.budget)):
+        kind = rng.choice(kinds)
+        onset = rng.uniform(0.05 * spec.horizon, 0.85 * spec.horizon)
+        if kind == "crash_restart":
+            pid = rng.choice(spec.crash_targets)
+            downtime = rng.uniform(spec.min_downtime, spec.max_downtime)
+            injectors.append(CrashInjector(time=onset, pid=pid))
+            injectors.append(RestartInjector(time=onset + downtime, pid=pid))
+        elif kind == "corruption":
+            pid = rng.choice(spec.corruption_targets)
+            updates = spec.corruptor(rng, pid)
+            injectors.append(
+                StateCorruptionInjector(
+                    time=onset, pid=pid, updates=tuple(sorted(updates.items()))
+                )
+            )
+        elif kind == "loss_burst":
+            source, destination = rng.choice(spec.loss_channels)
+            duration = rng.uniform(spec.min_burst, spec.max_burst)
+            injectors.append(
+                MessageLossBurst(
+                    start=onset, duration=duration,
+                    source=source, destination=destination,
+                )
+            )
+        else:  # tamper
+            source, destination = rng.choice(spec.tamper_channels)
+            duration = rng.uniform(spec.min_burst, spec.max_burst)
+            injectors.append(
+                TamperingIntruder(
+                    start=onset, duration=duration,
+                    source=source, destination=destination,
+                    transform=spec.tamperer(rng),
+                )
+            )
+
+    injectors.sort(key=lambda injector: (_onset_key(injector), _kind_name(injector)))
+    return FaultSchedule(injectors=tuple(injectors), seed=seed)
+
+
+def _onset_key(injector: Any) -> float:
+    if hasattr(injector, "time"):
+        return injector.time
+    return injector.start
+
+
+def _kind_name(injector: Any) -> str:
+    return type(injector).__name__
+
+
+def describe_injector(injector: Any) -> Dict[str, Any]:
+    """A JSON-serialisable record of one injector (transforms are
+    summarised by name, they are not round-trippable)."""
+    if isinstance(injector, CrashInjector):
+        return {"kind": "crash", "time": injector.time, "pid": injector.pid}
+    if isinstance(injector, RestartInjector):
+        return {"kind": "restart", "time": injector.time, "pid": injector.pid}
+    if isinstance(injector, StateCorruptionInjector):
+        return {
+            "kind": "corrupt",
+            "time": injector.time,
+            "pid": injector.pid,
+            "updates": {key: value for key, value in injector.updates},
+        }
+    if isinstance(injector, MessageLossBurst):
+        return {
+            "kind": "loss_burst",
+            "time": injector.start,
+            "duration": injector.duration,
+            "channel": [injector.source, injector.destination],
+        }
+    if isinstance(injector, TamperingIntruder):
+        return {
+            "kind": "tamper",
+            "time": injector.start,
+            "duration": injector.duration,
+            "channel": [injector.source, injector.destination],
+            "transform": getattr(
+                injector.transform, "__name__", type(injector.transform).__name__
+            ),
+        }
+    return {"kind": _kind_name(injector), "repr": repr(injector)}

@@ -6,11 +6,17 @@ Usage::
     python -m repro verify memory_access
     python -m repro verify tmr byzantine
     python -m repro verify --all
+    python -m repro campaign token_ring --trials 20 --seed 0 --jsonl out.jsonl
+
+(``repro`` installed via ``pip install -e .`` works in place of
+``python -m repro``.)
 
 ``verify`` runs every tolerance/detector/corrector certificate a
 catalogue entry registers and prints the PASS/FAIL lines with
 counterexamples — a one-command reproduction of each construction in
-the paper.
+the paper.  ``campaign`` sweeps seeded random fault schedules over a
+simulated scenario and reports the observed tolerance-class mix (see
+:mod:`repro.campaigns`).
 """
 
 from __future__ import annotations
@@ -241,6 +247,48 @@ def _verify(names: Iterable[str], out=sys.stdout) -> int:
     return 0
 
 
+def _campaign(args, out=sys.stdout) -> int:
+    from .campaigns import Campaign, SCENARIOS
+
+    if args.list or not args.scenario:
+        for name, scenario in sorted(SCENARIOS.items()):
+            print(f"{name:16s} {scenario.description}", file=out)
+        return 0 if args.list else 2
+    if args.scenario not in SCENARIOS:
+        known = ", ".join(sorted(SCENARIOS))
+        print(
+            f"unknown campaign scenario {args.scenario!r}; "
+            f"known scenarios: {known}",
+            file=out,
+        )
+        return 2
+
+    try:
+        stream = open(args.jsonl, "w", encoding="utf-8") if args.jsonl else None
+    except OSError as exc:
+        print(f"cannot write JSONL log {args.jsonl!r}: {exc}", file=out)
+        return 2
+    try:
+        campaign = Campaign(
+            SCENARIOS[args.scenario],
+            trials=args.trials,
+            seed=args.seed,
+            budget=args.budget,
+            horizon=args.horizon,
+            trial_timeout=args.trial_timeout,
+            stream=stream,
+        )
+        result = campaign.run()
+    finally:
+        if stream is not None:
+            stream.close()
+    print(result.format(), file=out)
+    if args.jsonl:
+        print(f"   telemetry: {args.jsonl} "
+              f"({len(campaign.log.events)} events)", file=out)
+    return 0
+
+
 def main(argv: List[str] = None, out=sys.stdout) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -255,6 +303,37 @@ def main(argv: List[str] = None, out=sys.stdout) -> int:
     verify_parser.add_argument(
         "--all", action="store_true", help="verify the whole catalogue"
     )
+    campaign_parser = subparsers.add_parser(
+        "campaign",
+        help="sweep seeded random fault schedules over a simulated scenario",
+    )
+    campaign_parser.add_argument(
+        "scenario", nargs="?", help="scenario name (omit with --list)"
+    )
+    campaign_parser.add_argument(
+        "--trials", type=int, default=20, help="number of seeded trials"
+    )
+    campaign_parser.add_argument(
+        "--seed", type=int, default=0, help="master campaign seed"
+    )
+    campaign_parser.add_argument(
+        "--jsonl", metavar="PATH", help="write the JSONL event log here"
+    )
+    campaign_parser.add_argument(
+        "--budget", type=int, default=None,
+        help="fault events per trial (default: scenario's)",
+    )
+    campaign_parser.add_argument(
+        "--horizon", type=float, default=None,
+        help="simulated-time horizon per trial (default: scenario's)",
+    )
+    campaign_parser.add_argument(
+        "--trial-timeout", type=float, default=60.0,
+        help="wall-clock seconds per trial before outcome=timeout",
+    )
+    campaign_parser.add_argument(
+        "--list", action="store_true", help="list campaign scenarios"
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -262,6 +341,9 @@ def main(argv: List[str] = None, out=sys.stdout) -> int:
             description, checks = entry()
             print(f"{name:24s} {description} ({len(checks)} checks)", file=out)
         return 0
+
+    if args.command == "campaign":
+        return _campaign(args, out=out)
 
     names = list(CATALOGUE) if args.all else args.names
     if not names:

@@ -29,6 +29,13 @@ __all__ = [
 ]
 
 
+def _delay_until(network: Network, time: float) -> float:
+    """Delay from now to the absolute instant ``time``, clamped to zero:
+    an injector armed after its instant has passed fires immediately
+    instead of scheduling into the past."""
+    return max(0.0, time - network.simulator.now)
+
+
 @dataclass(frozen=True)
 class CrashInjector:
     """Crash ``pid`` at ``time``."""
@@ -38,7 +45,7 @@ class CrashInjector:
 
     def arm(self, network: Network) -> None:
         network.simulator.schedule(
-            self.time - network.simulator.now,
+            _delay_until(network, self.time),
             lambda: network.crash(self.pid),
         )
 
@@ -52,7 +59,7 @@ class RestartInjector:
 
     def arm(self, network: Network) -> None:
         network.simulator.schedule(
-            self.time - network.simulator.now,
+            _delay_until(network, self.time),
             lambda: network.restart(self.pid),
         )
 
@@ -73,7 +80,7 @@ class StateCorruptionInjector:
 
     def arm(self, network: Network) -> None:
         network.simulator.schedule(
-            self.time - network.simulator.now,
+            _delay_until(network, self.time),
             lambda: network.corrupt(self.pid, dict(self.updates)),
         )
 
@@ -96,13 +103,13 @@ class TamperingIntruder:
 
     def arm(self, network: Network) -> None:
         network.simulator.schedule(
-            self.start - network.simulator.now,
+            _delay_until(network, self.start),
             lambda: network.set_tamperer(
                 self.source, self.destination, self.transform
             ),
         )
         network.simulator.schedule(
-            self.start + self.duration - network.simulator.now,
+            _delay_until(network, self.start + self.duration),
             lambda: network.set_tamperer(self.source, self.destination, None),
         )
 
@@ -126,10 +133,10 @@ class MessageLossBurst:
             duplication_probability=original.duplication_probability,
         )
         network.simulator.schedule(
-            self.start - network.simulator.now,
+            _delay_until(network, self.start),
             lambda: network.set_channel(self.source, self.destination, lossy),
         )
         network.simulator.schedule(
-            self.start + self.duration - network.simulator.now,
+            _delay_until(network, self.start + self.duration),
             lambda: network.set_channel(self.source, self.destination, original),
         )

@@ -26,6 +26,11 @@ class PredicateMonitor:
     The monitor must be armed *before* the network runs; it reschedules
     itself until ``horizon`` (if given) or indefinitely while the run
     lasts.
+
+    ``on_transition`` (optional) is called with ``(time, value)`` at the
+    first sample and thereafter whenever the sampled value differs from
+    the previous sample — letting observers log predicate flips without
+    re-walking ``samples`` afterwards.
     """
 
     def __init__(
@@ -35,12 +40,14 @@ class PredicateMonitor:
         period: float = 1.0,
         horizon: Optional[float] = None,
         name: str = "monitor",
+        on_transition: Optional[Callable[[float, bool], None]] = None,
     ):
         self.network = network
         self.predicate = predicate
         self.period = period
         self.horizon = horizon
         self.name = name
+        self.on_transition = on_transition
         self.samples: List[Tuple[float, bool]] = []
         self._arm()
 
@@ -51,7 +58,11 @@ class PredicateMonitor:
         now = self.network.simulator.now
         if self.horizon is not None and now > self.horizon:
             return
-        self.samples.append((now, bool(self.predicate(self.network.global_snapshot()))))
+        value = bool(self.predicate(self.network.global_snapshot()))
+        flipped = not self.samples or self.samples[-1][1] != value
+        self.samples.append((now, value))
+        if flipped and self.on_transition is not None:
+            self.on_transition(now, value)
         self.network.simulator.schedule(self.period, self._sample)
 
     # -- measurements -----------------------------------------------------------

@@ -1,0 +1,151 @@
+"""The ready-made campaign scenarios: every one builds, runs, and
+produces classifiable trials; the flagship determinism claim holds for
+the CLI-visible token-ring campaign."""
+
+import io
+import json
+
+import pytest
+
+from repro.campaigns import SCENARIOS, Campaign, get_scenario
+from repro.campaigns.scenarios import (
+    ColdRestartRingProcess,
+    MemoryClient,
+    MemoryServer,
+)
+from repro.sim import Network
+
+TOLERANCE_OUTCOMES = ("masking", "failsafe", "nonmasking", "intolerant")
+
+
+class TestRegistry:
+    def test_expected_scenarios_present(self):
+        assert set(SCENARIOS) == {
+            "token_ring", "tmr", "byzantine", "memory_access"
+        }
+
+    def test_get_scenario_unknown(self):
+        with pytest.raises(KeyError, match="known scenarios"):
+            get_scenario("nonsense")
+
+    def test_every_scenario_builds_fresh_instances(self):
+        for scenario in SCENARIOS.values():
+            first = scenario.build(1)
+            second = scenario.build(1)
+            assert first.network is not second.network
+            assert first.network.processes.keys() == \
+                second.network.processes.keys()
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+class TestScenarioCampaigns:
+    def test_short_campaign_completes(self, name):
+        result = Campaign(get_scenario(name), trials=3, seed=0).run()
+        assert len(result.trials) == 3
+        for record in result.trials:
+            assert record.outcome in TOLERANCE_OUTCOMES, (
+                f"{name} trial {record.trial} "
+                f"failed internally: {record.error}"
+            )
+        assert result.summary["faults_injected"] > 0
+
+    def test_predicates_see_real_state(self, name):
+        instance = get_scenario(name).build(3)
+        snapshot = instance.network.global_snapshot()
+        # predicates evaluate on the initial snapshot without raising
+        assert instance.safety(snapshot) in (True, False)
+        assert instance.legitimacy(snapshot) in (True, False)
+
+
+class TestTokenRingScenario:
+    def test_cold_restart_loses_token(self):
+        network = Network(seed=0)
+        process = network.add_process(
+            ColdRestartRingProcess(1, 4, regeneration_timeout=None)
+        )
+        process.has_token = True
+        network.crash(1)
+        network.restart(1)
+        assert process.has_token is False
+
+    def test_regeneration_keeps_ring_at_least_failsafe(self):
+        result = Campaign(
+            get_scenario("token_ring"), trials=10, seed=0
+        ).run()
+        assert result.verdict in ("masking", "failsafe", "nonmasking")
+        assert result.summary["counts"]["intolerant"] == 0
+
+
+class TestTmrScenario:
+    def test_single_fault_budget_is_masked(self):
+        result = Campaign(
+            get_scenario("tmr"), trials=10, seed=3, budget=1
+        ).run()
+        assert result.verdict == "masking"
+
+    def test_voter_repairs_corrupted_replica(self):
+        scenario = get_scenario("tmr")
+        instance = scenario.build(0)
+        network = instance.network
+        network.run(until=5.0)
+        network.corrupt("r1", {"value": 0})
+        assert not instance.legitimacy(network.global_snapshot())
+        network.run(until=12.0)
+        snapshot = network.global_snapshot()
+        assert snapshot["r1"]["value"] == 1, "voter wrote the majority back"
+        assert instance.legitimacy(snapshot)
+
+
+class TestMemoryAccessScenario:
+    def test_fault_free_run_completes(self):
+        instance = get_scenario("memory_access").build(5)
+        instance.network.run(until=60.0)
+        snapshot = instance.network.global_snapshot()
+        assert snapshot["c"]["done"] is True
+        assert snapshot["c"]["bad_reads"] == 0
+
+    def test_client_retries_through_server_crash(self):
+        instance = get_scenario("memory_access").build(5)
+        network = instance.network
+        network.simulator.schedule(2.0, lambda: network.crash("s"))
+        network.simulator.schedule(8.0, lambda: network.restart("s"))
+        network.run(until=60.0)
+        snapshot = network.global_snapshot()
+        assert snapshot["c"]["done"] is True
+        assert snapshot["c"]["retries"] > 0
+        assert snapshot["c"]["bad_reads"] == 0
+
+    def test_safety_never_violated_by_crashes(self):
+        result = Campaign(
+            get_scenario("memory_access"), trials=8, seed=2
+        ).run()
+        for record in result.trials:
+            assert record.metrics.safety_ok is True
+        assert result.verdict in ("masking", "failsafe")
+
+
+class TestFlagshipDeterminism:
+    """The acceptance-criteria run: same seed, identical JSONL modulo
+    wall-clock fields."""
+
+    def run_once(self, trials=5):
+        buffer = io.StringIO()
+        Campaign(
+            get_scenario("token_ring"), trials=trials, seed=0,
+            stream=buffer,
+        ).run()
+        return [
+            {k: v for k, v in json.loads(line).items()
+             if not k.startswith("wall")}
+            for line in buffer.getvalue().strip().splitlines()
+        ]
+
+    def test_token_ring_campaign_is_deterministic(self):
+        assert self.run_once() == self.run_once()
+
+    def test_log_contains_all_event_kinds(self):
+        kinds = {event["event"] for event in self.run_once(trials=3)}
+        assert kinds == {
+            "campaign_start", "trial_start", "fault", "transition",
+            "trial_end", "campaign_end",
+        }

@@ -44,3 +44,50 @@ class TestVerify:
         for name, entry in CATALOGUE.items():
             description, checks = entry()
             assert description and checks, name
+
+
+class TestCampaign:
+    def test_list_scenarios(self):
+        out = io.StringIO()
+        assert main(["campaign", "--list"], out=out) == 0
+        text = out.getvalue()
+        for name in ("token_ring", "tmr", "byzantine", "memory_access"):
+            assert name in text
+
+    def test_no_scenario_lists_and_fails(self):
+        out = io.StringIO()
+        assert main(["campaign"], out=out) == 2
+        assert "token_ring" in out.getvalue()
+
+    def test_unknown_scenario(self):
+        out = io.StringIO()
+        assert main(["campaign", "nonsense"], out=out) == 2
+        assert "unknown campaign scenario" in out.getvalue()
+
+    def test_campaign_runs_and_reports(self, tmp_path):
+        out = io.StringIO()
+        jsonl = tmp_path / "out.jsonl"
+        code = main(
+            ["campaign", "token_ring", "--trials", "3", "--seed", "0",
+             "--jsonl", str(jsonl)],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "== campaign token_ring:" in text
+        assert "detection latency:" in text
+        assert "convergence time:" in text
+        lines = jsonl.read_text().strip().splitlines()
+        events = [__import__("json").loads(line) for line in lines]
+        assert events[0]["event"] == "campaign_start"
+        assert events[-1]["event"] == "campaign_end"
+        assert sum(1 for e in events if e["event"] == "trial_end") == 3
+
+    def test_budget_override(self):
+        out = io.StringIO()
+        assert main(
+            ["campaign", "tmr", "--trials", "2", "--seed", "1",
+             "--budget", "1"],
+            out=out,
+        ) == 0
+        assert "masking-tolerant in 2/2 trials" in out.getvalue()

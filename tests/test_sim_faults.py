@@ -1,0 +1,92 @@
+"""Regression tests for the simulation fault injectors.
+
+The injectors schedule at absolute instants; arming one after the
+simulator has advanced past its instant used to compute a negative
+delay and crash in ``Simulator.schedule``.  Now the delay clamps to
+zero: a late-armed injector fires immediately.
+"""
+
+import pytest
+
+from repro.sim import (
+    ChannelConfig,
+    CrashInjector,
+    MessageLossBurst,
+    Network,
+    RestartInjector,
+    SimProcess,
+    StateCorruptionInjector,
+    TamperingIntruder,
+)
+
+
+class Counter(SimProcess):
+    def __init__(self, pid):
+        super().__init__(pid)
+        self.count = 0
+
+    def on_start(self):
+        self.set_timer("tick", 1.0)
+
+    def on_timer(self, name):
+        self.count += 1
+        self.set_timer("tick", 1.0)
+
+
+def advanced_network(until=10.0):
+    network = Network(seed=0)
+    network.add_process(Counter("a"))
+    network.add_process(Counter("b"))
+    network.run(until=until)
+    return network
+
+
+class TestLateArming:
+    def test_crash_injector_in_the_past_fires_immediately(self):
+        network = advanced_network(until=10.0)
+        CrashInjector(time=3.0, pid="a").arm(network)  # 3.0 < now
+        network.run(until=11.0)
+        assert network.processes["a"].crashed
+        crash_times = [e.time for e in network.events("crash")]
+        assert crash_times == [10.0]
+
+    def test_restart_injector_in_the_past_fires_immediately(self):
+        network = advanced_network(until=10.0)
+        network.crash("a")
+        RestartInjector(time=2.0, pid="a").arm(network)
+        network.run(until=11.0)
+        assert not network.processes["a"].crashed
+
+    def test_corruption_injector_in_the_past_fires_immediately(self):
+        network = advanced_network(until=10.0)
+        StateCorruptionInjector.of(1.0, "a", count=99).arm(network)
+        network.run(until=11.0)
+        assert network.events("corrupt")
+
+    def test_loss_burst_straddling_now_is_partially_applied(self):
+        network = advanced_network(until=10.0)
+        # started in the past, ends in the future: lossy now, restored later
+        MessageLossBurst(start=8.0, duration=4.0, source="a",
+                         destination="b").arm(network)
+        network.run(until=10.5)
+        assert network.channel("a", "b").loss_probability == 1.0
+        network.run(until=13.0)
+        assert network.channel("a", "b").loss_probability == 0.0
+
+    def test_tampering_window_in_the_past_installs_and_removes(self):
+        network = advanced_network(until=10.0)
+        TamperingIntruder(
+            start=1.0, duration=2.0, source="a", destination="b",
+            transform=lambda m: m,
+        ).arm(network)
+        # both instants are in the past: install then remove, immediately
+        network.run(until=10.5)
+        assert not network._tamperers
+
+    def test_future_arming_still_waits(self):
+        network = advanced_network(until=10.0)
+        CrashInjector(time=15.0, pid="b").arm(network)
+        network.run(until=14.0)
+        assert not network.processes["b"].crashed
+        network.run(until=16.0)
+        assert network.processes["b"].crashed

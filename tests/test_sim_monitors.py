@@ -1,0 +1,101 @@
+"""Edge cases for PredicateMonitor's measurement helpers and the
+``on_transition`` callback."""
+
+import pytest
+
+from repro.sim import Network, PredicateMonitor, SimProcess
+
+
+class Stepper(SimProcess):
+    """Increments ``x`` once per time unit."""
+
+    def __init__(self, pid):
+        super().__init__(pid)
+        self.x = 0
+
+    def on_start(self):
+        self.set_timer("tick", 1.0)
+
+    def on_timer(self, name):
+        self.x += 1
+        self.set_timer("tick", 1.0)
+
+
+def monitor_for(predicate, horizon=10.0, period=1.0, **kwargs):
+    network = Network(seed=0)
+    network.add_process(Stepper("p"))
+    monitor = PredicateMonitor(
+        network, predicate, period=period, horizon=horizon, **kwargs
+    )
+    network.run(until=horizon)
+    return monitor
+
+
+class TestMeasurementEdgeCases:
+    def test_empty_samples(self):
+        network = Network(seed=0)  # nothing scheduled, never runs
+        monitor = PredicateMonitor(network, lambda s: True)
+        assert monitor.first_true() is None
+        assert monitor.convergence_time() is None
+        assert monitor.fraction_true() == 0.0
+
+    def test_never_true(self):
+        monitor = monitor_for(lambda s: False)
+        assert monitor.samples, "the monitor did sample"
+        assert monitor.first_true() is None
+        assert monitor.convergence_time() is None
+        assert monitor.fraction_true() == 0.0
+
+    def test_ends_false_has_no_convergence_time(self):
+        # true during [2, 5), false afterwards
+        monitor = monitor_for(lambda s: 2 <= s["p"]["x"] < 5)
+        assert monitor.first_true() is not None
+        assert monitor.convergence_time() is None
+        assert 0.0 < monitor.fraction_true() < 1.0
+
+    def test_always_true(self):
+        monitor = monitor_for(lambda s: True)
+        assert monitor.first_true() == 0.0
+        assert monitor.convergence_time() == 0.0
+        assert monitor.fraction_true() == 1.0
+
+    def test_converges_midway(self):
+        monitor = monitor_for(lambda s: s["p"]["x"] >= 4)
+        first = monitor.first_true()
+        assert first is not None and first > 0.0
+        assert monitor.convergence_time() == first  # never flips back
+        assert monitor.fraction_true() == pytest.approx(
+            sum(1 for _, v in monitor.samples if v) / len(monitor.samples)
+        )
+
+    def test_single_sample_true(self):
+        monitor = monitor_for(lambda s: True, horizon=0.5, period=1.0)
+        assert len(monitor.samples) == 1
+        assert monitor.first_true() == 0.0
+        assert monitor.convergence_time() == 0.0
+        assert monitor.fraction_true() == 1.0
+
+
+class TestOnTransition:
+    def test_fires_on_first_sample_and_flips_only(self):
+        seen = []
+        monitor = monitor_for(
+            lambda s: 2 <= s["p"]["x"] < 5,
+            on_transition=lambda t, v: seen.append((t, v)),
+        )
+        values = [v for _, v in seen]
+        assert values == [False, True, False]
+        # the callback times are sampling instants where the value changed
+        for time, value in seen:
+            assert (time, value) in monitor.samples
+
+    def test_constant_predicate_fires_once(self):
+        seen = []
+        monitor_for(lambda s: True,
+                    on_transition=lambda t, v: seen.append((t, v)))
+        assert seen == [(0.0, True)]
+
+    def test_default_behaviour_unchanged(self):
+        monitor = monitor_for(lambda s: True)
+        assert monitor.on_transition is None
+        assert monitor.fraction_true() == 1.0
