@@ -1,0 +1,133 @@
+"""PERF — micro-benchmarks for the fast state-space core.
+
+Times the primitives this PR's optimization layers target (schema-backed
+states, memoized successors, zero-copy edge views, the exploration LRU),
+so a regression in any one layer is visible in isolation rather than
+only in the end-to-end suites of ``record.py``.  Each bench asserts the
+correctness property the fast path must preserve.
+
+Run with ``pytest benchmarks/bench_perf_core.py``; the end-to-end
+speedup numbers live in ``BENCH_core.json`` (see ``record.py`` and
+``docs/performance.md``).
+"""
+
+from repro.core import is_masking_tolerant
+from repro.core.exploration import (
+    TransitionSystem,
+    clear_system_cache,
+    explored_system,
+)
+from repro.core.state import Schema, State, Variable, state_space
+from repro.programs import byzantine
+
+
+def bench_perf_state_construct_and_assign(benchmark, report):
+    """State construction + single-variable assign: the inner loop of
+    every action statement."""
+
+    def work():
+        state = State(x=0, y=0, z=0)
+        for _ in range(1000):
+            state = state.assign(x=(state["x"] + 1) % 7)
+        return state
+
+    state = benchmark(work)
+    assert state["x"] == 1000 % 7 and state["y"] == 0
+    report("PERF", "schema-backed assign/getitem round-trip correct")
+
+
+def bench_perf_state_space_enumeration(benchmark, report):
+    """Full-space enumeration through the schema fast path (no per-state
+    dict, no per-state sort, lazy hashes)."""
+    variables = [Variable(name, range(8)) for name in ("a", "b", "c", "d")]
+
+    states = benchmark(lambda: list(state_space(variables)))
+    assert len(states) == 8 ** 4
+    assert states[0].schema is states[-1].schema  # one interned schema
+    report("PERF", "state_space shares one schema across 4096 states")
+
+
+def bench_perf_exploration_cold(benchmark, report):
+    """Reachable exploration with interning and successor memoization,
+    caches dropped before every round (the cold path record.py times)."""
+    model = byzantine.build()
+    start = model.masking.states_satisfying(model.span)
+
+    def work():
+        clear_system_cache()
+        return TransitionSystem(
+            model.masking, start, fault_actions=list(model.faults.actions)
+        )
+
+    system = benchmark(work)
+    # the span is fault-closed: exploration confirms it adds no states
+    assert len(system.states) == len(start) > 0
+    report("PERF", "byzantine masking exploration from span (cold)")
+
+
+def bench_perf_explored_system_warm_hit(benchmark, report):
+    """A warm :func:`explored_system` call must be a cache probe, not an
+    exploration."""
+    model = byzantine.build()
+    start = tuple(model.masking.states_satisfying(model.span))
+    faults = tuple(model.faults.actions)
+    first = explored_system(model.masking, start, fault_actions=faults)
+
+    system = benchmark(
+        lambda: explored_system(model.masking, start, fault_actions=faults)
+    )
+    assert system is first
+    report("PERF", "explored_system warm hit returns the shared instance")
+
+
+def bench_perf_edges_sweep(benchmark, report):
+    """Closure-check shape: sweep every state's merged edge view.  The
+    no-fault-edge case must hand back the stored tuple without copying."""
+    model = byzantine.build()
+    start = model.masking.states_satisfying(model.span)
+    system = TransitionSystem(
+        model.masking, start, fault_actions=list(model.faults.actions)
+    )
+
+    def work():
+        edges = 0
+        edges_from = system.edges_from
+        for state in system.states:
+            edges += len(edges_from(state))
+        return edges
+
+    total = benchmark(work)
+    assert total > 0
+    some_state = next(iter(system.states))
+    if not system.fault_edges_from(some_state):
+        assert system.edges_from(some_state) is system.edges_from(some_state)
+    report("PERF", "edge sweep over explored byzantine system")
+
+
+def bench_perf_masking_certificate_warm(benchmark, report):
+    """End-to-end tolerance certificate with all caches warm: the shape
+    repeated verification (synthesis loops, test suites) actually runs."""
+    model = byzantine.build()
+    is_masking_tolerant(
+        model.masking, model.faults, model.spec, model.invariant, model.span
+    )  # warm the system cache and successor memos
+
+    result = benchmark(
+        lambda: is_masking_tolerant(
+            model.masking, model.faults, model.spec, model.invariant,
+            model.span,
+        )
+    )
+    assert result
+    report("PERF", "warm masking certificate (byzantine n=4 f=1)")
+
+
+def bench_perf_schema_interning(benchmark, report):
+    """Schema.of on a hot name set is one pooled dict probe."""
+    names = ("b.1", "b.2", "b.3", "d.1", "d.2", "d.3", "dg", "bg",
+             "out.1", "out.2", "out.3")
+    first = Schema.of(names)
+
+    schema = benchmark(lambda: Schema.of(names))
+    assert schema is first
+    report("PERF", "Schema.of warm probe is identity-stable")

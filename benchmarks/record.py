@@ -1,0 +1,234 @@
+#!/usr/bin/env python
+"""Record the perf-core benchmark numbers into ``BENCH_core.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/record.py           # full run
+    PYTHONPATH=src python benchmarks/record.py --quick   # CI smoke
+    PYTHONPATH=src python benchmarks/record.py --rebaseline
+
+Each *suite* is a named workload over the state-space core — cold
+reachable-state exploration, full tolerance-certificate checks, and the
+synthesis pipeline — timed end to end.  Models are rebuilt fresh for
+every repetition so cross-repetition memoization never flatters the
+numbers; memoization *within* one workload (e.g. the two explorations a
+tolerance check performs over the same ``p [] F`` system) is part of
+what is being measured.
+
+The emitted ``BENCH_core.json`` contains, per suite, the wall time,
+the number of reachable states the workload explores, the derived
+states/sec, and the speedup against the committed pre-optimization
+baseline (``benchmarks/baseline_core.json``, recorded at the seed
+commit before the fast state-space core landed).  ``--rebaseline``
+rewrites that baseline file from the current run instead.
+
+See ``docs/performance.md`` for how to read the output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Callable, Dict, List, Tuple
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+BASELINE_PATH = os.path.join(HERE, "baseline_core.json")
+OUTPUT_PATH = os.path.join(HERE, "..", "BENCH_core.json")
+
+
+def _clear_caches() -> None:
+    """Reset the exploration memo-caches so every repetition is cold."""
+    try:
+        from repro.core.exploration import clear_system_cache
+    except ImportError:  # pre-optimization tree: nothing to clear
+        return
+    clear_system_cache()
+
+
+# ---------------------------------------------------------------------------
+# suites: each returns (explored reachable states, opaque result)
+# ---------------------------------------------------------------------------
+
+def _suite_byzantine_explore() -> int:
+    """Cold reachable exploration of the masking Byzantine composition
+    under its fault class from the fault-span (the SEC62 workload)."""
+    from repro.programs import byzantine
+
+    model = byzantine.build()
+    ts = model.faults.system(model.masking, model.span)
+    return len(ts.states)
+
+
+def _suite_byzantine_tolerance() -> int:
+    """The two SEC62 tolerance certificates (fail-safe and masking),
+    exactly as ``repro verify byzantine`` runs them."""
+    from repro.core import is_failsafe_tolerant, is_masking_tolerant
+    from repro.programs import byzantine
+
+    model = byzantine.build()
+    failsafe = is_failsafe_tolerant(
+        model.failsafe, model.faults, model.spec, model.invariant, model.span
+    )
+    masking = is_masking_tolerant(
+        model.masking, model.faults, model.spec, model.invariant, model.span
+    )
+    assert failsafe and masking, "byzantine certificates must pass"
+    ts = model.faults.system(model.masking, model.span)
+    return len(ts.states)
+
+
+def _synthesis_domains(quick: bool) -> Tuple[int, ...]:
+    return (8, 16) if quick else (8, 64, 128)
+
+
+def _suite_synthesis(quick: bool = False) -> int:
+    """The SYNTH scaling workload: synthesize and re-verify fail-safe
+    and masking versions of the memory-access family as the data domain
+    grows (the `bench_synthesis_scaling.py` configurations, extended to
+    larger domains so the timing is meaningful)."""
+    from repro import synthesis
+    from repro.programs import memory_access
+
+    states = 0
+    for domain_size in _synthesis_domains(quick):
+        model = memory_access.build(
+            value=1, data_domain=tuple(range(domain_size))
+        )
+        failsafe = synthesis.add_failsafe(
+            model.p, model.fault_anytime, model.spec
+        )
+        assert failsafe.verify(model.fault_anytime, model.spec)
+        masking = synthesis.add_masking(
+            model.p, model.fault_anytime, model.spec
+        )
+        assert masking.verify(model.fault_anytime, model.spec)
+        states += model.p.state_count()
+    return states
+
+
+def _suite_tmr_tolerance() -> int:
+    """The SEC61 TMR masking certificate."""
+    from repro.core import is_masking_tolerant
+    from repro.programs import tmr
+
+    model = tmr.build()
+    assert is_masking_tolerant(
+        model.tmr, model.faults, model.spec, model.invariant, model.span
+    )
+    ts = model.faults.system(model.tmr, model.span)
+    return len(ts.states)
+
+
+SUITES: Dict[str, Callable[[bool], int]] = {
+    "byzantine_explore": lambda quick: _suite_byzantine_explore(),
+    "byzantine_tolerance": lambda quick: _suite_byzantine_tolerance(),
+    "synthesis": _suite_synthesis,
+    "tmr_tolerance": lambda quick: _suite_tmr_tolerance(),
+}
+
+
+def run_suite(
+    name: str, repeat: int, quick: bool
+) -> Dict[str, object]:
+    suite = SUITES[name]
+    walls: List[float] = []
+    states = 0
+    for _ in range(repeat):
+        _clear_caches()
+        started = time.perf_counter()
+        states = suite(quick)
+        walls.append(time.perf_counter() - started)
+    best = min(walls)
+    return {
+        "wall_s": round(best, 6),
+        "wall_all_s": [round(w, 6) for w in walls],
+        "states": states,
+        "states_per_sec": round(states / best, 1) if best > 0 else None,
+        "repeat": repeat,
+    }
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="single repetition, smaller synthesis domains (CI smoke)",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=None,
+        help="repetitions per suite (best-of; default 5, 1 with --quick)",
+    )
+    parser.add_argument(
+        "--output", default=OUTPUT_PATH, help="where to write BENCH_core.json"
+    )
+    parser.add_argument(
+        "--rebaseline", action="store_true",
+        help="rewrite benchmarks/baseline_core.json from this run",
+    )
+    args = parser.parse_args(argv)
+    repeat = args.repeat or (1 if args.quick else 5)
+
+    baseline: Dict[str, Dict[str, object]] = {}
+    if not args.rebaseline and os.path.exists(BASELINE_PATH):
+        with open(BASELINE_PATH, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+
+    suites: Dict[str, Dict[str, object]] = {}
+    speedups: Dict[str, float] = {}
+    for name in SUITES:
+        result = run_suite(name, repeat, args.quick)
+        suites[name] = result
+        base = baseline.get("suites", {}).get(name)
+        line = (
+            f"{name:24s} {result['wall_s']:9.4f}s  "
+            f"{result['states']:6d} states"
+        )
+        # --quick shrinks the synthesis workload, so its wall time is
+        # only comparable to a baseline recorded at the same scale
+        comparable = base is not None and base.get("states") == result["states"]
+        if comparable:
+            speedup = float(base["wall_s"]) / float(result["wall_s"])
+            speedups[name] = round(speedup, 2)
+            line += f"  {speedup:6.2f}x vs baseline ({base['wall_s']}s)"
+        print(line)
+
+    payload = {
+        "schema": 1,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "quick": args.quick,
+        "suites": suites,
+        "baseline": baseline or None,
+        "speedup_vs_baseline": speedups,
+    }
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {os.path.abspath(args.output)}")
+
+    if args.rebaseline:
+        snapshot = {
+            "recorded_at": payload["recorded_at"],
+            "python": payload["python"],
+            "platform": payload["platform"],
+            "note": "pre-optimization baseline for speedup_vs_baseline",
+            "suites": suites,
+        }
+        with open(BASELINE_PATH, "w", encoding="utf-8") as fh:
+            json.dump(snapshot, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {BASELINE_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,8 +24,9 @@ and reports how often each tolerance class was actually observed.
 from __future__ import annotations
 
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, IO, List, Optional
+from typing import Any, Callable, Dict, IO, List, Optional, Tuple
 
 from ..sim.monitors import GlobalPredicate, PredicateMonitor
 from ..sim.network import Network
@@ -122,7 +123,15 @@ class Campaign:
 
     ``budget`` / ``horizon`` override the scenario's defaults;
     ``trial_timeout`` is a per-trial wall-clock limit in seconds
-    (None = unlimited); ``stream`` receives the JSONL event log.
+    (None = unlimited); ``stream`` receives the JSONL event log;
+    ``workers > 1`` fans the trials out over a process pool.
+
+    **Parallel determinism.**  Each trial's seeds are a pure function of
+    ``(master seed, trial index)`` and each trial buffers its events
+    privately; buffers are replayed into the main log in trial order on
+    both the serial and parallel paths.  A campaign therefore produces
+    identical verdicts, counts, and event streams (modulo wall-clock
+    fields) for any worker count.
     """
 
     #: events simulated between wall-clock timeout checks
@@ -137,6 +146,7 @@ class Campaign:
         horizon: Optional[float] = None,
         trial_timeout: Optional[float] = None,
         stream: Optional[IO[str]] = None,
+        workers: int = 1,
     ):
         self.scenario = scenario
         self.trials = trials
@@ -148,6 +158,7 @@ class Campaign:
         self.spec = spec
         self.trial_timeout = trial_timeout
         self.log = CampaignLog(stream)
+        self.workers = max(1, int(workers))
 
     # -- driving ---------------------------------------------------------------
     def run(self) -> CampaignResult:
@@ -161,9 +172,10 @@ class Campaign:
             budget=self.spec.budget,
             fault_kinds=list(self.spec.kinds()),
         )
-        records: List[TrialRecord] = []
-        for trial in range(self.trials):
-            records.append(self._run_one(trial))
+        if self.workers > 1 and self.trials > 1:
+            records = self._run_trials_parallel()
+        else:
+            records = self._run_trials_serial()
         verdict = campaign_verdict([r.outcome for r in records])
         summary = summarize(
             self.scenario.name, verdict, [r.metrics for r in records]
@@ -174,12 +186,60 @@ class Campaign:
             scenario=self.scenario.name, trials=records, summary=summary
         )
 
-    def _run_one(self, trial: int) -> TrialRecord:
+    def _run_trials_serial(self) -> List[TrialRecord]:
+        records: List[TrialRecord] = []
+        for trial in range(self.trials):
+            record, events = self._buffered_trial(trial)
+            records.append(record)
+            self._replay(events)
+        return records
+
+    def _run_trials_parallel(self) -> List[TrialRecord]:
+        options = {
+            "trials": self.trials,
+            "seed": self.seed,
+            "budget": self.spec.budget,
+            "horizon": self.horizon,
+            "trial_timeout": self.trial_timeout,
+        }
+        records: List[TrialRecord] = []
+        with ProcessPoolExecutor(
+            max_workers=min(self.workers, self.trials),
+            initializer=_worker_init,
+            initargs=(_scenario_payload(self.scenario), options),
+        ) as pool:
+            futures = [
+                pool.submit(_worker_trial, trial)
+                for trial in range(self.trials)
+            ]
+            # collect in submission (= trial) order: the log replay and
+            # the record list are then independent of worker scheduling
+            for future in futures:
+                record, events = future.result()
+                records.append(record)
+                self._replay(events)
+        return records
+
+    def _buffered_trial(
+        self, trial: int
+    ) -> Tuple[TrialRecord, List[Dict[str, Any]]]:
+        """Run one trial with its events captured in a private buffer."""
+        buffer = CampaignLog(None)
+        record = self._run_one(trial, buffer)
+        return record, buffer.events
+
+    def _replay(self, events: List[Dict[str, Any]]) -> None:
+        for event in events:
+            payload = dict(event)
+            kind = payload.pop("event")
+            self.log.emit(kind, **payload)
+
+    def _run_one(self, trial: int, log: CampaignLog) -> TrialRecord:
         network_seed = derive_seed(self.seed, trial, 0)
         schedule_seed = derive_seed(self.seed, trial, 1)
         started = time.perf_counter()
         try:
-            record = self._run_trial(trial, network_seed, schedule_seed)
+            record = self._run_trial(trial, network_seed, schedule_seed, log)
         except TrialTimeout:
             record = TrialRecord(
                 trial=trial,
@@ -197,7 +257,7 @@ class Campaign:
                 error=f"{type(exc).__name__}: {exc}",
             )
         wall_ms = (time.perf_counter() - started) * 1000.0
-        self.log.emit(
+        log.emit(
             "trial_end",
             trial=trial,
             **record.metrics.as_dict(),
@@ -208,12 +268,13 @@ class Campaign:
         return record
 
     def _run_trial(
-        self, trial: int, network_seed: int, schedule_seed: int
+        self, trial: int, network_seed: int, schedule_seed: int,
+        log: CampaignLog,
     ) -> TrialRecord:
         instance = self.scenario.build(network_seed)
         network = instance.network
         schedule = random_schedule(self.spec, schedule_seed)
-        self.log.emit(
+        log.emit(
             "trial_start",
             trial=trial,
             network_seed=network_seed,
@@ -224,7 +285,7 @@ class Campaign:
 
         def observer(monitor_name: str):
             def on_transition(at: float, value: bool) -> None:
-                self.log.emit(
+                log.emit(
                     "transition",
                     trial=trial,
                     monitor=monitor_name,
@@ -254,7 +315,7 @@ class Campaign:
         sim_time = self._drive(network)
         for event in network.events():
             if event.kind in FAULT_EVENT_KINDS:
-                self.log.emit(
+                log.emit(
                     "fault",
                     trial=trial,
                     time=event.time,
@@ -284,3 +345,44 @@ class Campaign:
                 return now
             if deadline is not None and time.perf_counter() > deadline:
                 raise TrialTimeout()
+
+
+# -- process-pool workers ------------------------------------------------------
+#
+# Each worker process reconstructs the campaign once (pool initializer)
+# and then runs whole trials by index.  Because every per-trial seed is a
+# pure function of (master seed, trial index), a trial computes the same
+# verdict and event buffer in any process; the parent replays the
+# buffers in trial order, so the JSONL stream is independent of the
+# worker count and of OS scheduling.
+
+_WORKER_CAMPAIGN: Optional[Campaign] = None
+
+
+def _scenario_payload(scenario: Scenario):
+    """How to ship ``scenario`` to a worker: registered scenarios go by
+    name (robust even for scenarios holding non-picklable state), other
+    scenarios are pickled directly (their ``build`` must then be a
+    module-level callable)."""
+    from .scenarios import SCENARIOS
+
+    if SCENARIOS.get(scenario.name) is scenario:
+        return ("registry", scenario.name)
+    return ("object", scenario)
+
+
+def _worker_init(scenario_payload, options: Dict[str, Any]) -> None:
+    global _WORKER_CAMPAIGN
+    kind, value = scenario_payload
+    if kind == "registry":
+        from .scenarios import get_scenario
+
+        scenario = get_scenario(value)
+    else:
+        scenario = value
+    _WORKER_CAMPAIGN = Campaign(scenario, stream=None, workers=1, **options)
+
+
+def _worker_trial(trial: int):
+    assert _WORKER_CAMPAIGN is not None, "worker pool not initialized"
+    return _WORKER_CAMPAIGN._buffered_trial(trial)

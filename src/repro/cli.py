@@ -277,6 +277,7 @@ def _campaign(args, out=sys.stdout) -> int:
             horizon=args.horizon,
             trial_timeout=args.trial_timeout,
             stream=stream,
+            workers=args.workers,
         )
         result = campaign.run()
     finally:
@@ -330,6 +331,10 @@ def main(argv: List[str] = None, out=sys.stdout) -> int:
     campaign_parser.add_argument(
         "--trial-timeout", type=float, default=60.0,
         help="wall-clock seconds per trial before outcome=timeout",
+    )
+    campaign_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for trials (same verdicts for any count)",
     )
     campaign_parser.add_argument(
         "--list", action="store_true", help="list campaign scenarios"

@@ -26,7 +26,12 @@ from .detector import (
     is_masking_tolerant_detector,
     is_nonmasking_tolerant_detector,
 )
-from .exploration import Edge, TransitionSystem
+from .exploration import (
+    Edge,
+    TransitionSystem,
+    clear_system_cache,
+    explored_system,
+)
 from .fairness import (
     check_converges_to,
     check_leads_to,
@@ -62,7 +67,7 @@ from .specification import (
     invariant_spec,
     maintains,
 )
-from .state import BOTTOM, State, Variable, state_space
+from .state import BOTTOM, Schema, State, StateInterner, Variable, state_space
 from .multitolerance import ToleranceRequirement, is_multitolerant
 from .tolerance import (
     check_implication,
@@ -75,7 +80,7 @@ from .tolerance import (
 
 __all__ = [
     # state & predicates
-    "BOTTOM", "State", "Variable", "state_space",
+    "BOTTOM", "Schema", "State", "StateInterner", "Variable", "state_space",
     "Predicate", "TRUE", "FALSE", "var_eq", "var_ne", "var_in",
     # actions & programs
     "Action", "Statement", "assign", "choose", "skip", "Program",
@@ -92,6 +97,7 @@ __all__ = [
     # refinement
     "refines_spec", "refines_program", "violates_spec",
     "start_states_of", "system_from",
+    "explored_system", "clear_system_cache",
     # faults & tolerance
     "FaultClass", "perturb_variable", "set_variable", "crash_variable",
     "check_implication",

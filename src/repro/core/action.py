@@ -95,29 +95,47 @@ class Action:
         Deterministic or nondeterministic statement (see module docs).
     """
 
-    __slots__ = ("name", "guard", "statement")
+    __slots__ = ("name", "guard", "statement", "_successors")
+
+    #: per-action successor memo stops growing past this many states
+    SUCCESSOR_CACHE_LIMIT = 1 << 18
 
     def __init__(self, name: str, guard: Predicate, statement: Statement):
         self.name = name
         self.guard = guard
         self.statement = statement
+        #: state -> tuple of successors.  Guards and statements are pure
+        #: functions of the state (guarded-command semantics), so the
+        #: transition relation of an action never changes and the
+        #: synthesis/verification passes that sweep the same state space
+        #: several times can replay it.  The cache dies with the action.
+        self._successors: Dict[State, Tuple[State, ...]] = {}
 
     def enabled(self, state: State) -> bool:
         """True iff the guard holds at ``state``."""
-        return self.guard(state)
+        # calling the predicate's function directly skips one call frame;
+        # guards run once per (state, action) pair during exploration
+        return bool(self.guard.fn(state))
 
     def successors(self, state: State) -> Tuple[State, ...]:
         """All states reachable by executing this action at ``state``.
 
         Returns the empty tuple when the action is disabled.  A
-        deterministic statement yields a 1-tuple.
+        deterministic statement yields a 1-tuple.  Results are memoized
+        per state (actions are pure, see ``__init__``).
         """
-        if not self.guard(state):
-            return ()
-        result = self.statement(state)
-        if isinstance(result, State):
-            return (result,)
-        return tuple(result)
+        cache = self._successors
+        found = cache.get(state)
+        if found is not None:
+            return found
+        if not self.guard.fn(state):
+            result: Tuple[State, ...] = ()
+        else:
+            raw = self.statement(state)
+            result = (raw,) if isinstance(raw, State) else tuple(raw)
+        if len(cache) < self.SUCCESSOR_CACHE_LIMIT:
+            cache[state] = result
+        return result
 
     def restrict(self, predicate: Predicate) -> "Action":
         """The paper's ``Z ∧ ac``: the action ``Z ∧ g --> st``."""

@@ -16,12 +16,40 @@ which this module materializes:
 Fault edges are tracked separately because the paper's Assumption 2
 (finitely many fault occurrences) means safety is judged over *all* edges
 while liveness is judged over program edges only.
+
+Performance notes (see ``docs/performance.md``):
+
+- every explored state is canonicalized through a
+  :class:`~repro.core.state.StateInterner`, so the states held by a
+  system are pointer-equal iff value-equal and duplicate successors
+  collapse before touching the frontier;
+- per-state edge lists are stored as tuples and handed out *unsliced* —
+  :meth:`TransitionSystem.edges_from` only concatenates when a state
+  actually has fault edges to merge in;
+- :meth:`deadlock_states` reads the recorded program edges instead of
+  re-evaluating every guard;
+- :func:`explored_system` memoizes whole systems in a bounded LRU keyed
+  on (program, start states, fault actions, max_states), so tolerance
+  certificates and synthesis pipelines that interrogate the same
+  ``p [] F`` repeatedly explore it once.  ``clear_system_cache`` resets
+  the table (programs and actions are keyed by identity, so the cache
+  can only go stale if an Action object is mutated in place — which
+  nothing in the library does).
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from collections import OrderedDict, deque
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    KeysView,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from .action import Action
 from .predicate import Predicate
@@ -29,10 +57,20 @@ from .program import Program
 from .results import CheckResult, Counterexample
 from .state import State
 
-__all__ = ["Edge", "TransitionSystem"]
+__all__ = [
+    "Edge",
+    "TransitionSystem",
+    "explored_system",
+    "clear_system_cache",
+]
 
 #: A labelled edge: (source, action name, target).
 Edge = Tuple[State, str, State]
+
+#: Default cap on explored states (a safety valve, not a tuning knob).
+DEFAULT_MAX_STATES = 2_000_000
+
+_EMPTY_EDGES: Tuple[Tuple[str, State], ...] = ()
 
 
 class TransitionSystem:
@@ -52,6 +90,9 @@ class TransitionSystem:
     max_states:
         Safety valve against state-space explosion; exploration raises if
         exceeded.
+
+    A constructed system is immutable; consider :func:`explored_system`
+    to share one instance across repeated identical explorations.
     """
 
     def __init__(
@@ -59,7 +100,7 @@ class TransitionSystem:
         program: Program,
         start_states: Iterable[State],
         fault_actions: Sequence[Action] = (),
-        max_states: int = 2_000_000,
+        max_states: int = DEFAULT_MAX_STATES,
     ):
         self.program = program
         self.fault_actions: Tuple[Action, ...] = tuple(fault_actions)
@@ -71,59 +112,101 @@ class TransitionSystem:
             raise ValueError(f"fault actions share names with program: {overlap}")
 
         self.start_states: Tuple[State, ...] = tuple(dict.fromkeys(start_states))
-        self.states: Set[State] = set()
-        #: outgoing program edges per state: state -> [(action, next)]
-        self._program_edges: Dict[State, List[Tuple[str, State]]] = {}
-        #: outgoing fault edges per state
-        self._fault_edges: Dict[State, List[Tuple[str, State]]] = {}
+        #: outgoing program edges per state: state -> ((action, next), ...)
+        #: (insertion-ordered over *every* explored state, making it double
+        #: as the deterministic BFS-order state registry)
+        self._program_edges: Dict[State, Tuple[Tuple[str, State], ...]] = {}
+        #: outgoing fault edges per state (only states that have some)
+        self._fault_edges: Dict[State, Tuple[Tuple[str, State], ...]] = {}
+        #: per-predicate memo for states_satisfying (keyed by identity)
+        self._satisfying: Dict[Predicate, Tuple[State, ...]] = {}
         self._explore(max_states)
 
     # -- construction ------------------------------------------------------
+    @property
+    def states(self) -> KeysView[State]:
+        """All explored states, in deterministic BFS discovery order."""
+        return self._program_edges.keys()
+
     def _explore(self, max_states: int) -> None:
+        # canonicalization is one C-level dict op: setdefault(s, s)
+        # returns the pooled representative (inserting s if unseen),
+        # exactly StateInterner.canonical without the method frames
+        canonical = {}.setdefault
+        start_states = tuple(canonical(s, s) for s in self.start_states)
+        self.start_states = tuple(dict.fromkeys(start_states))
         frontier = deque(self.start_states)
-        self.states.update(self.start_states)
+        program_actions = self.program.actions
+        fault_actions = self.fault_actions
+        program_edges_of = self._program_edges
+        fault_edges_of = self._fault_edges
+        for state in self.start_states:
+            program_edges_of[state] = _EMPTY_EDGES
         while frontier:
             state = frontier.popleft()
             program_edges: List[Tuple[str, State]] = []
-            for action in self.program.actions:
+            for action in program_actions:
+                name = action.name
                 for nxt in action.successors(state):
-                    program_edges.append((action.name, nxt))
+                    program_edges.append((name, canonical(nxt, nxt)))
             fault_edges: List[Tuple[str, State]] = []
-            for action in self.fault_actions:
+            for action in fault_actions:
+                name = action.name
                 for nxt in action.successors(state):
-                    fault_edges.append((action.name, nxt))
-            self._program_edges[state] = program_edges
-            self._fault_edges[state] = fault_edges
-            for _, nxt in program_edges + fault_edges:
-                if nxt not in self.states:
-                    self.states.add(nxt)
-                    frontier.append(nxt)
-                    if len(self.states) > max_states:
-                        raise RuntimeError(
-                            f"state-space exceeds max_states={max_states} "
-                            f"for {self.program.name!r}"
-                        )
+                    fault_edges.append((name, canonical(nxt, nxt)))
+            # drop duplicate successor edges (nondeterministic statements
+            # may offer the same alternative more than once)
+            if len(program_edges) > 1:
+                program_edges = list(dict.fromkeys(program_edges))
+            if len(fault_edges) > 1:
+                fault_edges = list(dict.fromkeys(fault_edges))
+            program_edges_of[state] = tuple(program_edges)
+            if fault_edges:
+                fault_edges_of[state] = tuple(fault_edges)
+            for edges in (program_edges, fault_edges):
+                for _, nxt in edges:
+                    if nxt not in program_edges_of:
+                        # register before expansion so duplicates are
+                        # filtered; overwritten when nxt is expanded
+                        program_edges_of[nxt] = _EMPTY_EDGES
+                        frontier.append(nxt)
+                        if len(program_edges_of) > max_states:
+                            raise RuntimeError(
+                                f"state-space exceeds max_states={max_states} "
+                                f"for {self.program.name!r}"
+                            )
 
     # -- views ---------------------------------------------------------------
-    def program_edges_from(self, state: State) -> List[Tuple[str, State]]:
-        return self._program_edges.get(state, [])
+    def program_edges_from(self, state: State) -> Sequence[Tuple[str, State]]:
+        return self._program_edges.get(state, _EMPTY_EDGES)
 
-    def fault_edges_from(self, state: State) -> List[Tuple[str, State]]:
-        return self._fault_edges.get(state, [])
+    def fault_edges_from(self, state: State) -> Sequence[Tuple[str, State]]:
+        return self._fault_edges.get(state, _EMPTY_EDGES)
 
     def edges_from(self, state: State, include_faults: bool = True
-                   ) -> List[Tuple[str, State]]:
-        edges = list(self._program_edges.get(state, []))
-        if include_faults:
-            edges.extend(self._fault_edges.get(state, []))
-        return edges
+                   ) -> Sequence[Tuple[str, State]]:
+        """Outgoing edges of ``state``.
+
+        Returns the stored (immutable) edge tuple directly whenever
+        possible — a copy is only made when a state really has fault
+        edges to merge with its program edges, so the common case inside
+        closure checks' inner loops allocates nothing.
+        """
+        program_edges = self._program_edges.get(state, _EMPTY_EDGES)
+        if not include_faults:
+            return program_edges
+        fault_edges = self._fault_edges.get(state)
+        if not fault_edges:
+            return program_edges
+        return program_edges + fault_edges
 
     def all_edges(self, include_faults: bool = True) -> Iterable[Edge]:
-        for state in self.states:
-            for action_name, nxt in self._program_edges.get(state, []):
+        for state, edges in self._program_edges.items():
+            for action_name, nxt in edges:
                 yield (state, action_name, nxt)
-            if include_faults:
-                for action_name, nxt in self._fault_edges.get(state, []):
+        if include_faults:
+            for state, edges in self._fault_edges.items():
+                for action_name, nxt in edges:
                     yield (state, action_name, nxt)
 
     def deadlock_states(self) -> List[State]:
@@ -131,16 +214,28 @@ class TransitionSystem:
 
         These are the states where a maximal computation may legitimately
         end; fault actions never count toward enabledness (computations
-        are only required to be p-maximal, Section 2.3).
+        are only required to be p-maximal, Section 2.3).  Read off the
+        recorded program edges — every enabled action contributed an
+        edge during exploration, so no guard is re-evaluated here.
         """
         return [
-            s
-            for s in self.states
-            if not any(a.enabled(s) for a in self.program.actions)
+            state
+            for state, edges in self._program_edges.items()
+            if not edges
         ]
 
     def states_satisfying(self, predicate: Predicate) -> List[State]:
-        return [s for s in self.states if predicate(s)]
+        """The explored states at which ``predicate`` holds.
+
+        Memoized per predicate *object* (identity, not formula), since
+        theory checks repeatedly interrogate a system with the same
+        invariant/span predicates.
+        """
+        cached = self._satisfying.get(predicate)
+        if cached is None:
+            cached = tuple(filter(predicate.fn, self._program_edges))
+            self._satisfying[predicate] = cached
+        return list(cached)
 
     # -- closure checks ------------------------------------------------------
     def is_closed(
@@ -160,7 +255,7 @@ class TransitionSystem:
             f"{predicate.name} closed in {self.program.name}"
             + (" [] F" if include_faults else "")
         )
-        for state in self.states:
+        for state in self._program_edges:
             if not predicate(state):
                 continue
             for action_name, nxt in self.edges_from(state, include_faults):
@@ -178,7 +273,7 @@ class TransitionSystem:
 
     def is_fault_span(self, span: Predicate, invariant: Predicate) -> CheckResult:
         """Section 2.3 *Fault-span*: ``S ⇒ T``, T closed in p, T closed in F."""
-        for state in self.states:
+        for state in self._program_edges:
             if invariant(state) and not span(state):
                 return CheckResult.failed(
                     f"{span.name} is an F-span from {invariant.name}",
@@ -250,3 +345,54 @@ def _reconstruct(
     states.reverse()
     actions.reverse()
     return states, actions
+
+
+# -- memoized exploration -----------------------------------------------------
+
+#: (program, start states, fault actions, max_states) -> TransitionSystem.
+#: Programs and actions are keyed by identity (they are never mutated);
+#: start states by value.  Entries hold strong references, so a cached
+#: program cannot be garbage-collected out from under its key.
+_SYSTEM_CACHE: "OrderedDict[Tuple, TransitionSystem]" = OrderedDict()
+_SYSTEM_CACHE_MAXSIZE = 128
+
+
+def explored_system(
+    program: Program,
+    start_states: Iterable[State],
+    fault_actions: Sequence[Action] = (),
+    max_states: int = DEFAULT_MAX_STATES,
+) -> TransitionSystem:
+    """A memoized :class:`TransitionSystem`.
+
+    Repeated calls with the same program, start states, and fault
+    actions return the *same* (immutable) system object — tolerance
+    certificates, theory lemmas, and synthesis re-verification all
+    interrogate ``p [] F`` from the same span several times, and only
+    the first call pays for exploration.  The cache is a bounded LRU of
+    :data:`_SYSTEM_CACHE_MAXSIZE` systems; evict explicitly with
+    :func:`clear_system_cache`.
+    """
+    starts = tuple(dict.fromkeys(start_states))
+    faults = tuple(fault_actions)
+    # Program and Action objects hash/compare by identity (they are never
+    # mutated after construction); start states compare by value.
+    key = (program, starts, faults, max_states)
+    system = _SYSTEM_CACHE.get(key)
+    if system is not None:
+        _SYSTEM_CACHE.move_to_end(key)
+        return system
+    system = TransitionSystem(
+        program, starts, fault_actions=faults, max_states=max_states
+    )
+    _SYSTEM_CACHE[key] = system
+    if len(_SYSTEM_CACHE) > _SYSTEM_CACHE_MAXSIZE:
+        _SYSTEM_CACHE.popitem(last=False)
+    return system
+
+
+def clear_system_cache() -> None:
+    """Drop every memoized transition system (and the per-program start
+    state caches kept by :class:`~repro.core.program.Program`)."""
+    _SYSTEM_CACHE.clear()
+    Program.clear_state_caches()

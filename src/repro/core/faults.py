@@ -25,7 +25,7 @@ from __future__ import annotations
 from typing import Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from .action import Action, assign
-from .exploration import TransitionSystem
+from .exploration import TransitionSystem, explored_system
 from .predicate import Predicate, TRUE
 from .program import Program
 from .results import CheckResult
@@ -65,9 +65,15 @@ class FaultClass:
         max_states: int = 2_000_000,
     ) -> TransitionSystem:
         """The reachable transition system of ``program [] F`` from the
-        states of ``program`` satisfying ``from_``."""
-        starts = [s for s in program.states() if from_(s)]
-        return TransitionSystem(
+        states of ``program`` satisfying ``from_``.
+
+        Memoized end to end: the start set comes from the program's
+        per-predicate cache and the exploration from the shared system
+        LRU, so the repeated ``faults.system(p, span)`` calls inside a
+        tolerance certificate all resolve to one explored graph.
+        """
+        starts = program.states_satisfying(from_)
+        return explored_system(
             program, starts, fault_actions=self.actions, max_states=max_states
         )
 

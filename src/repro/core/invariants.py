@@ -29,7 +29,7 @@ from __future__ import annotations
 from typing import Callable, Iterable, List, Optional, Sequence, Set
 
 from .action import Action
-from .exploration import TransitionSystem
+from .exploration import TransitionSystem, explored_system
 from .predicate import Predicate
 from .program import Program
 from .specification import Spec, StateInvariant, TransitionInvariant
@@ -52,7 +52,7 @@ def reachable_invariant(
 
     Always closed in the program, hence an invariant candidate.
     """
-    ts = TransitionSystem(program, start_states)
+    ts = explored_system(program, tuple(start_states))
     return Predicate.from_states(ts.states, name=name)
 
 
@@ -63,7 +63,9 @@ def _safety_checks(spec: Spec):
     transition_checks: List[Callable[[State, State], bool]] = []
     for component in spec.components:
         if isinstance(component, StateInvariant):
-            state_checks.append(component.predicate)
+            # raw predicate function: these checks run per state per
+            # sweep in every synthesis pass, so skip the __call__ frame
+            state_checks.append(component.predicate.fn)
         elif isinstance(component, TransitionInvariant):
             transition_checks.append(component.relation)
         elif component.kind == "safety":  # pragma: no cover - future kinds

@@ -60,25 +60,29 @@ class Predicate:
         return (s for s in states if self(s))
 
     # -- algebra -------------------------------------------------------------
+    # combinators close over the operand *functions*, not the Predicate
+    # objects: composed guards are evaluated once per (state, action)
+    # pair during exploration, and the extra __call__ frame per operand
+    # was measurable there.
     def __and__(self, other: "Predicate") -> "Predicate":
         return Predicate(
-            lambda s, a=self, b=other: a(s) and b(s),
+            lambda s, a=self.fn, b=other.fn: a(s) and b(s),
             name=f"({self.name} ∧ {other.name})",
         )
 
     def __or__(self, other: "Predicate") -> "Predicate":
         return Predicate(
-            lambda s, a=self, b=other: a(s) or b(s),
+            lambda s, a=self.fn, b=other.fn: a(s) or b(s),
             name=f"({self.name} ∨ {other.name})",
         )
 
     def __invert__(self) -> "Predicate":
-        return Predicate(lambda s, a=self: not a(s), name=f"¬{self.name}")
+        return Predicate(lambda s, a=self.fn: not a(s), name=f"¬{self.name}")
 
     def implies(self, other: "Predicate") -> "Predicate":
         """The predicate ``self ⇒ other`` (pointwise implication)."""
         return Predicate(
-            lambda s, a=self, b=other: (not a(s)) or b(s),
+            lambda s, a=self.fn, b=other.fn: (not a(s)) or b(s),
             name=f"({self.name} ⇒ {other.name})",
         )
 

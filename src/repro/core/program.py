@@ -24,6 +24,7 @@ predicate argument to the analysis functions.
 from __future__ import annotations
 
 import itertools
+import weakref
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from .action import Action, _unique_names
@@ -34,7 +35,21 @@ __all__ = ["Program"]
 
 
 class Program:
-    """A guarded-command program: finite variables + named actions."""
+    """A guarded-command program: finite variables + named actions.
+
+    Programs are immutable after construction (compositions build new
+    ``Program`` objects), which licenses two per-instance memo caches on
+    the model-checking hot path: the materialized full state space
+    (:meth:`states`) and the predicate-filtered start sets
+    (:meth:`states_satisfying`).  Both are registered process-wide so
+    :func:`repro.core.exploration.clear_system_cache` can drop them.
+    """
+
+    #: full state spaces above this size are never materialized/cached
+    STATE_CACHE_LIMIT = 1 << 20
+
+    #: every Program that is currently holding a state cache
+    _cache_holders: "weakref.WeakSet[Program]" = None  # set below
 
     def __init__(self, variables: Sequence[Variable], actions: Sequence[Action],
                  name: str = "program"):
@@ -46,6 +61,9 @@ class Program:
         self.actions: Tuple[Action, ...] = tuple(actions)
         self.name = name
         self._domains: Dict[str, Tuple] = {v.name: v.domain for v in variables}
+        self._state_cache: Optional[Tuple[State, ...]] = None
+        #: predicate (by identity) -> tuple of full-space states satisfying it
+        self._satisfying_cache: Dict[Predicate, Tuple[State, ...]] = {}
 
     # -- introspection -----------------------------------------------------
     @property
@@ -71,8 +89,41 @@ class Program:
         return count
 
     def states(self) -> Iterator[State]:
-        """Enumerate the full state space (Cartesian product of domains)."""
+        """Enumerate the full state space (Cartesian product of domains).
+
+        For spaces up to :data:`STATE_CACHE_LIMIT` states the enumeration
+        is materialized once per program and replayed from the cache —
+        tolerance checks sweep the full space several times (start-state
+        selection, implication checks), and the product enumeration was
+        a measurable share of their cost.  Larger spaces stay lazy.
+        """
+        if self._state_cache is not None:
+            return iter(self._state_cache)
+        if self.state_count() <= self.STATE_CACHE_LIMIT:
+            self._state_cache = tuple(state_space(self.variables))
+            Program._cache_holders.add(self)
+            return iter(self._state_cache)
         return state_space(self.variables)
+
+    def states_satisfying(self, predicate: Predicate) -> List[State]:
+        """The full-space states at which ``predicate`` holds (the
+        paper's ``p | S`` start set), memoized per predicate object."""
+        cached = self._satisfying_cache.get(predicate)
+        if cached is None:
+            # filter() drives the scan at C speed; only the predicate
+            # function itself runs per state
+            cached = tuple(filter(predicate.fn, self.states()))
+            self._satisfying_cache[predicate] = cached
+            Program._cache_holders.add(self)
+        return list(cached)
+
+    @classmethod
+    def clear_state_caches(cls) -> None:
+        """Drop every program's memoized state space and start sets."""
+        for program in list(cls._cache_holders):
+            program._state_cache = None
+            program._satisfying_cache.clear()
+        cls._cache_holders = weakref.WeakSet()
 
     def validate_state(self, state: State) -> None:
         """Raise if ``state`` is not a state of this program."""
@@ -199,6 +250,9 @@ class Program:
             f"Program({self.name!r}, {len(self.variables)} vars, "
             f"{len(self.actions)} actions)"
         )
+
+
+Program._cache_holders = weakref.WeakSet()
 
 
 def _updates_variables(action: Action, names: set, states: Iterable[State]) -> bool:

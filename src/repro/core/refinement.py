@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
-from .exploration import TransitionSystem
+from .exploration import TransitionSystem, explored_system
 from .fairness import fair_recurrent_sccs
 from .predicate import Predicate
 from .program import Program
@@ -46,8 +46,9 @@ __all__ = ["start_states_of", "system_from", "refines_spec", "refines_program",
 
 def start_states_of(program: Program, predicate: Predicate) -> List[State]:
     """All states of ``program`` satisfying ``predicate`` (the paper's
-    ``p | S`` start set), enumerated over the full state space."""
-    return [s for s in program.states() if predicate(s)]
+    ``p | S`` start set), enumerated over the full state space (and
+    memoized per (program, predicate) — see ``Program.states_satisfying``)."""
+    return program.states_satisfying(predicate)
 
 
 def system_from(
@@ -57,8 +58,8 @@ def system_from(
     max_states: int = 2_000_000,
 ) -> TransitionSystem:
     """Build the reachable transition system of ``program [] faults`` from
-    the states satisfying ``from_``."""
-    return TransitionSystem(
+    the states satisfying ``from_`` (memoized; see :func:`explored_system`)."""
+    return explored_system(
         program,
         start_states_of(program, from_),
         fault_actions=fault_actions,

@@ -104,8 +104,9 @@ class StateInvariant(SpecComponent):
         self.predicate = predicate
 
     def check(self, ts: TransitionSystem) -> CheckResult:
+        predicate = self.predicate.fn
         for state in ts.states:
-            if not self.predicate(state):
+            if not predicate(state):
                 return CheckResult.failed(
                     self.name,
                     counterexample=Counterexample(

@@ -76,12 +76,26 @@ def majority(values: Sequence[Hashable]) -> Hashable:
     return best
 
 
+# per-process names, computed once: the tolerance predicates below run on
+# every state of the full product space, where rebuilding f"d{j}"-style
+# keys per call dominated their cost
+_B_NAMES: Tuple[str, ...] = tuple(f"b{j}" for j in NON_GENERALS)
+_D_NAMES: Tuple[str, ...] = tuple(f"d{j}" for j in NON_GENERALS)
+_OUT_NAMES: Tuple[str, ...] = tuple(f"out{j}" for j in NON_GENERALS)
+
+
 def _majority_of_state(state) -> Hashable:
-    return majority([state[f"d{j}"] for j in NON_GENERALS])
+    # specialization of majority() for the three non-general copies
+    a, b, c = state["d1"], state["d2"], state["d3"]
+    if a == b or a == c:
+        return a
+    if b == c:
+        return b
+    raise ValueError(f"no strict majority in {[a, b, c]!r}")
 
 
 def _all_copied(state) -> bool:
-    return all(state[f"d{j}"] is not BOTTOM for j in NON_GENERALS)
+    return all(state[n] is not BOTTOM for n in _D_NAMES)
 
 
 def corrdecn(state) -> Hashable:
@@ -273,12 +287,13 @@ def _spec() -> Spec:
 
 def _invariant_ib() -> Predicate:
     def holds(state) -> bool:
-        if state["bg"] or any(state[f"b{j}"] for j in NON_GENERALS):
+        if state["bg"] or any(state[n] for n in _B_NAMES):
             return False
-        for j in NON_GENERALS:
-            if state[f"d{j}"] not in (BOTTOM, state["dg"]):
+        honest = (BOTTOM, state["dg"])
+        for d_name, out_name in zip(_D_NAMES, _OUT_NAMES):
+            if state[d_name] not in honest:
                 return False
-            if state[f"out{j}"] not in (BOTTOM, state["dg"]):
+            if state[out_name] not in honest:
                 return False
         return True
 
@@ -288,13 +303,14 @@ def _invariant_ib() -> Predicate:
 def _invariant() -> Predicate:
     base = _invariant_ib()
 
+    base_fn = base.fn
+
     def holds(state) -> bool:
-        if not base(state):
+        if not base_fn(state):
             return False
-        return all(
-            state[f"out{j}"] is BOTTOM or _all_copied(state)
-            for j in NON_GENERALS
-        )
+        if all(state[n] is BOTTOM for n in _OUT_NAMES):
+            return True
+        return _all_copied(state)
 
     return Predicate(holds, name="S_byz")
 
@@ -305,26 +321,67 @@ def _span() -> Predicate:
     their (thereafter stable) majority; under an honest general, honest
     copies and outputs carry only ``d.g``."""
 
+    # The span is evaluated on every state of the full product space to
+    # seed each exploration, so it is compiled against the state schema:
+    # variable positions are resolved once per schema and each evaluation
+    # reads the values-tuple directly instead of going through
+    # ``state[name]`` a dozen times.
+    plans: Dict[object, Tuple] = {}
+
+    def _plan(schema) -> Tuple:
+        index = schema.index
+        plan = (
+            index["bg"],
+            index["dg"],
+            tuple(index[n] for n in _B_NAMES),
+            tuple(index[n] for n in _D_NAMES),
+            tuple(index[n] for n in _OUT_NAMES),
+        )
+        plans[schema] = plan
+        return plan
+
     def holds(state) -> bool:
-        byzantine = [state["bg"]] + [state[f"b{j}"] for j in NON_GENERALS]
-        if sum(byzantine) > 1:
+        schema = state.schema
+        plan = plans.get(schema)
+        if plan is None:
+            plan = _plan(schema)
+        bg_at, dg_at, b_at, d_at, out_at = plan
+        values = state.values_tuple
+
+        count = 1 if values[bg_at] else 0
+        for i in b_at:
+            if values[i]:
+                count += 1
+        if count > 1:
             return False
-        for j in NON_GENERALS:
-            if state[f"b{j}"]:
+        witness = None  # (all copied?, their majority), computed at most once
+        for bi, oi in zip(b_at, out_at):
+            if values[bi]:
                 continue
-            if state[f"out{j}"] is BOTTOM:
+            out = values[oi]
+            if out is BOTTOM:
                 continue
-            if not _all_copied(state):
-                return False
-            if state[f"out{j}"] != _majority_of_state(state):
-                return False
-        if not state["bg"]:
-            for j in NON_GENERALS:
-                if state[f"b{j}"]:
-                    continue
-                if state[f"d{j}"] not in (BOTTOM, state["dg"]):
+            if witness is None:
+                copies = [values[i] for i in d_at]
+                if any(c is BOTTOM for c in copies):
                     return False
-                if state[f"out{j}"] not in (BOTTOM, state["dg"]):
+                a, b, c = copies
+                if a == b or a == c:
+                    witness = a
+                elif b == c:
+                    witness = b
+                else:
+                    raise ValueError(f"no strict majority in {copies!r}")
+            if out != witness:
+                return False
+        if not values[bg_at]:
+            honest = (BOTTOM, values[dg_at])
+            for bi, di, oi in zip(b_at, d_at, out_at):
+                if values[bi]:
+                    continue
+                if values[di] not in honest:
+                    return False
+                if values[oi] not in honest:
                     return False
         return True
 

@@ -69,21 +69,40 @@ def reset_corrector(
     corrector is a function, not a relation.
     """
     states = list(program.states())
-    targets = [s for s in states if invariant(s)]
+    invariant_fn, span_fn = invariant.fn, span.fn
+    targets = [s for s in states if invariant_fn(s)]
     if not targets:
         raise ValueError(f"invariant {invariant.name} is empty; cannot reset into it")
 
-    variable_names = list(program.variable_names)
-
-    def distance(a: State, b: State) -> int:
-        return sum(1 for n in variable_names if a[n] != b[n])
+    # All states of one program share a schema, so Hamming distance is a
+    # positional comparison of values-tuples.  Scanning targets in
+    # enumeration order with a strict improvement test realizes the
+    # documented tie-break (first enumerated nearest state wins), and two
+    # prunes keep the scan short: a candidate is abandoned as soon as it
+    # matches the current best, and distance 1 is optimal outright
+    # (a state outside the invariant is never at distance 0).
+    target_values = [t.values_tuple for t in targets]
 
     repair = {}
     for state in states:
-        if invariant(state) or not span(state):
+        if invariant_fn(state) or not span_fn(state):
             continue
-        repair[state] = min(targets, key=lambda t, s=state: (distance(s, t),
-                                                             repr(t)))
+        source = state.values_tuple
+        best = 0
+        best_distance = len(source) + 1
+        for position, candidate in enumerate(target_values):
+            d = 0
+            for x, y in zip(source, candidate):
+                if x != y:
+                    d += 1
+                    if d >= best_distance:
+                        break
+            else:
+                best_distance = d
+                best = position
+                if d == 1:
+                    break
+        repair[state] = targets[best]
 
     guard = (span & ~invariant).rename(f"{span.name} ∧ ¬{invariant.name}")
     return Action(

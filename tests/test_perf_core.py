@@ -1,0 +1,316 @@
+"""Tests for the fast state-space core.
+
+Three groups, mirroring the optimization layers:
+
+1. the schema-backed :class:`State` fast path must be observationally
+   identical to the original mapping representation (equality, hashing,
+   pickling, assign/extend/project, membership);
+2. the exploration-layer caches (``edges_from`` zero-copy,
+   ``states_satisfying`` memoization, the ``explored_system`` LRU) must
+   return correct — and where promised, pointer-identical — results;
+3. parallel campaign execution must be byte-identical to serial
+   execution modulo wall-clock fields, for every bundled scenario.
+"""
+
+import io
+import json
+import pickle
+
+import pytest
+
+from repro.core.action import Action, assign
+from repro.core.exploration import (
+    TransitionSystem,
+    clear_system_cache,
+    explored_system,
+)
+from repro.core.predicate import Predicate, var_eq
+from repro.core.program import Program
+from repro.core.state import Schema, State, StateInterner, Variable, state_space
+
+
+# ---------------------------------------------------------------------------
+# 1. State fast path
+# ---------------------------------------------------------------------------
+
+class TestSchema:
+    def test_interned_per_name_set(self):
+        assert Schema.of(("x", "y")) is Schema.of(("y", "x"))
+        assert Schema.of(("x", "y")) is not Schema.of(("x", "z"))
+
+    def test_names_sorted(self):
+        assert Schema.of(("b", "a", "c")).names == ("a", "b", "c")
+
+    def test_index_matches_names(self):
+        schema = Schema.of(("b", "a"))
+        assert [schema.names[i] for i in (schema.index["a"], schema.index["b"])] \
+            == ["a", "b"]
+
+    def test_pickle_reinterns(self):
+        schema = Schema.of(("x", "y"))
+        assert pickle.loads(pickle.dumps(schema)) is schema
+
+
+class TestStateParity:
+    """Schema-backed states vs. states built from plain mappings."""
+
+    def test_kwargs_and_mapping_constructors_agree(self):
+        assert State(x=1, y=2) == State({"y": 2, "x": 1})
+        assert hash(State(x=1, y=2)) == hash(State({"y": 2, "x": 1}))
+
+    def test_schema_shared_between_constructions(self):
+        assert State(x=1, y=2).schema is State({"y": 2, "x": 1}).schema
+
+    def test_equality_with_plain_mapping(self):
+        assert State(x=1, y=2) == {"x": 1, "y": 2}
+        assert State(x=1, y=2) != {"x": 1, "y": 3}
+        assert State(x=1, y=2) != {"x": 1}
+
+    def test_state_space_states_equal_mapping_states(self):
+        states = list(state_space([Variable("y", [0, 1]), Variable("x", [5])]))
+        assert State(x=5, y=0) in states
+        built = next(s for s in states if s == State(x=5, y=1))
+        assert hash(built) == hash(State(x=5, y=1))
+        assert built.schema is State(x=5, y=1).schema
+
+    def test_pickle_roundtrip(self):
+        original = State(x=1, y="v")
+        clone = pickle.loads(pickle.dumps(original))
+        assert clone == original
+        assert hash(clone) == hash(original)
+        assert clone.schema is original.schema
+
+    def test_values_tuple_in_schema_order(self):
+        state = State(b=2, a=1)
+        assert state.values_tuple == (1, 2)
+        assert state.schema.names == ("a", "b")
+
+    def test_getitem_and_contains(self):
+        state = State(x=1, y=2)
+        assert state["x"] == 1 and state["y"] == 2
+        assert "x" in state and "z" not in state
+        with pytest.raises(KeyError):
+            state["z"]
+
+    def test_items_and_iteration(self):
+        state = State(b=2, a=1)
+        assert dict(state) == {"a": 1, "b": 2}
+        assert state.items() == (("a", 1), ("b", 2))
+
+
+class TestStateUpdates:
+    def test_assign_single(self):
+        state = State(x=1, y=2)
+        updated = state.assign(y=9)
+        assert updated == State(x=1, y=9)
+        assert state == State(x=1, y=2)  # immutable
+
+    def test_assign_multiple(self):
+        assert State(x=1, y=2, z=3).assign(x=0, z=0) == State(x=0, y=2, z=0)
+
+    def test_assign_unknown_variable_raises(self):
+        with pytest.raises(KeyError):
+            State(x=1).assign(q=0)
+        with pytest.raises(KeyError):
+            State(x=1, y=2).assign(x=0, q=0)
+
+    def test_assign_preserves_schema(self):
+        state = State(x=1, y=2)
+        assert state.assign(x=5).schema is state.schema
+
+    def test_extend_adds_and_rejects_duplicates(self):
+        assert State(x=1).extend(y=2) == State(x=1, y=2)
+        with pytest.raises(KeyError):
+            State(x=1).extend(x=2)
+
+    def test_project(self):
+        state = State(x=1, y=2, z=3)
+        assert state.project(["y", "x"]) == State(x=1, y=2)
+        assert state.project(["y"]).schema is State(y=2).schema
+
+
+class TestStateInterner:
+    def test_canonical_identity(self):
+        interner = StateInterner()
+        a = State(x=1, y=2)
+        b = State({"y": 2, "x": 1})
+        assert a is not b
+        assert interner.canonical(a) is a
+        assert interner.canonical(b) is a  # same value -> same object
+
+    def test_seeded(self):
+        seed = State(x=1)
+        interner = StateInterner([seed])
+        assert interner.canonical(State(x=1)) is seed
+        assert State(x=1) in interner and len(interner) == 1
+
+    def test_exploration_states_are_interned(self):
+        program = _counter_program()
+        ts = TransitionSystem(program, [State(x=0)])
+        by_value = {}
+        for state in ts.states:
+            assert by_value.setdefault(state, state) is state
+        for state, edges in ((s, ts.edges_from(s)) for s in ts.states):
+            for _, nxt in edges:
+                assert by_value[nxt] is nxt
+
+
+# ---------------------------------------------------------------------------
+# 2. exploration-layer caches
+# ---------------------------------------------------------------------------
+
+def _counter_program(limit: int = 3) -> Program:
+    return Program(
+        variables=[Variable("x", range(limit + 1))],
+        actions=[
+            Action(
+                "inc",
+                Predicate(lambda s, n=limit: s["x"] < n, name=f"x<{limit}"),
+                assign(x=lambda s: s["x"] + 1),
+            )
+        ],
+        name="counter",
+    )
+
+
+def _fault_action() -> Action:
+    return Action(
+        "fault_reset",
+        Predicate(lambda s: s["x"] > 0, name="x>0"),
+        assign(x=0),
+    )
+
+
+class TestExplorationCaches:
+    def test_edges_from_returns_stored_tuple_without_faults(self):
+        ts = TransitionSystem(_counter_program(), [State(x=0)])
+        state = State(x=0)
+        first = ts.edges_from(state)
+        assert first is ts.edges_from(state)  # no per-call copy
+        assert first is ts.program_edges_from(state)
+
+    def test_edges_from_merges_fault_edges(self):
+        ts = TransitionSystem(
+            _counter_program(), [State(x=0)], fault_actions=[_fault_action()]
+        )
+        edges = ts.edges_from(State(x=1))
+        assert ("inc", State(x=2)) in edges
+        assert ("fault_reset", State(x=0)) in edges
+        assert ts.edges_from(State(x=1), include_faults=False) \
+            == ts.program_edges_from(State(x=1))
+
+    def test_deadlock_states_from_recorded_edges(self):
+        ts = TransitionSystem(_counter_program(2), [State(x=0)])
+        assert ts.deadlock_states() == [State(x=2)]
+
+    def test_states_satisfying_memoized_per_predicate_object(self):
+        ts = TransitionSystem(_counter_program(), [State(x=0)])
+        even = Predicate(lambda s: s["x"] % 2 == 0, name="even")
+        first = ts.states_satisfying(even)
+        assert first == [State(x=0), State(x=2)]
+        assert ts.states_satisfying(even) == first
+        assert ts.states_satisfying(even) is not first  # fresh list, shared memo
+
+    def test_explored_system_returns_shared_instance(self):
+        clear_system_cache()
+        program = _counter_program()
+        starts = (State(x=0),)
+        first = explored_system(program, starts)
+        assert explored_system(program, starts) is first
+        assert explored_system(program, (State(x=1),)) is not first
+
+    def test_explored_system_distinguishes_fault_classes(self):
+        clear_system_cache()
+        program = _counter_program()
+        fault = _fault_action()
+        bare = explored_system(program, (State(x=0),))
+        faulty = explored_system(program, (State(x=0),), fault_actions=(fault,))
+        assert bare is not faulty
+        assert explored_system(
+            program, (State(x=0),), fault_actions=(fault,)
+        ) is faulty
+
+    def test_clear_system_cache_drops_instances(self):
+        clear_system_cache()
+        program = _counter_program()
+        first = explored_system(program, (State(x=0),))
+        clear_system_cache()
+        assert explored_system(program, (State(x=0),)) is not first
+
+    def test_program_states_satisfying_memoized(self):
+        program = _counter_program()
+        zero = var_eq("x", 0)
+        assert program.states_satisfying(zero) == [State(x=0)]
+        assert program.states_satisfying(zero) == [State(x=0)]
+
+    def test_action_successors_memoized_and_correct(self):
+        action = _counter_program().actions[0]
+        state = State(x=1)
+        first = action.successors(state)
+        assert first == (State(x=2),)
+        assert action.successors(state) is first
+        assert action.successors(State(x=3)) == ()
+
+
+# ---------------------------------------------------------------------------
+# 3. parallel campaigns
+# ---------------------------------------------------------------------------
+
+def _strip_wall(text: str):
+    rows = []
+    for line in text.splitlines():
+        row = json.loads(line)
+        rows.append({k: v for k, v in row.items() if not k.startswith("wall")})
+    return rows
+
+
+def _run_campaign(scenario, workers: int, trials: int, seed: int):
+    from repro.campaigns import Campaign
+
+    stream = io.StringIO()
+    campaign = Campaign(
+        scenario, trials=trials, seed=seed, stream=stream, workers=workers
+    )
+    result = campaign.run()
+    return result, stream.getvalue()
+
+
+@pytest.mark.parametrize(
+    "name", ["token_ring", "tmr", "byzantine", "memory_access"]
+)
+def test_parallel_campaign_matches_serial(name):
+    """workers=4 must reproduce workers=1 exactly: same verdict, same
+    per-trial outcomes, and an identical event stream modulo wall-clock
+    fields — the scheduler must not leak into the results."""
+    from repro.campaigns import SCENARIOS
+
+    scenario = SCENARIOS[name]
+    serial, serial_log = _run_campaign(scenario, workers=1, trials=4, seed=11)
+    parallel, parallel_log = _run_campaign(scenario, workers=4, trials=4, seed=11)
+
+    assert parallel.verdict == serial.verdict
+    assert parallel.outcomes() == serial.outcomes()
+    assert parallel.summary == serial.summary
+    assert _strip_wall(parallel_log) == _strip_wall(serial_log)
+
+
+def test_workers_one_and_zero_trials_degenerate():
+    from repro.campaigns import Campaign, SCENARIOS
+
+    campaign = Campaign(SCENARIOS["tmr"], trials=0, seed=3, workers=8)
+    result = campaign.run()
+    assert result.trials == []
+
+
+def test_cli_accepts_workers_flag(tmp_path):
+    from repro.cli import main
+
+    jsonl = tmp_path / "log.jsonl"
+    code = main(
+        [
+            "campaign", "tmr", "--trials", "2", "--seed", "5",
+            "--workers", "2", "--jsonl", str(jsonl),
+        ]
+    )
+    assert code == 0
+    assert jsonl.exists() and jsonl.read_text().strip()
