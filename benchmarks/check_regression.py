@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Fail when the benchmark suites regress against the committed record.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py
+    PYTHONPATH=src python benchmarks/check_regression.py --current run.json
+    PYTHONPATH=src python benchmarks/check_regression.py --threshold 0.5
+
+Compares a fresh quick-mode run (or ``--current``, a JSON produced by
+``record.py``) against the committed ``BENCH_core.json`` and exits
+non-zero when any comparable suite is more than ``--threshold``
+(default 30%) slower than the committed wall time.
+
+Two guards keep the gate honest rather than flaky:
+
+- only suites whose explored ``states`` count matches the committed
+  record are compared — quick mode shrinks the ``synthesis`` and
+  ``token_ring_stabilization`` workloads, so their walls are not
+  commensurable with the full-scale record;
+- suites whose committed wall is below ``--min-wall`` (default 10 ms)
+  are reported but never gated: at sub-millisecond scale the wall
+  measures scheduler noise, not the engine.
+
+Fresh runs use best-of ``--repeat`` (default 3) to damp one-off stalls.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import os
+import sys
+from typing import Dict, List
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+RECORD_PATH = os.path.join(HERE, "..", "BENCH_core.json")
+
+
+def _harness():
+    spec = importlib.util.spec_from_file_location(
+        "_bench_record", os.path.join(HERE, "record.py")
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--record", default=RECORD_PATH,
+        help="committed benchmark record to compare against",
+    )
+    parser.add_argument(
+        "--current", default=None,
+        help="JSON of the run under test (default: run quick suites now)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.30,
+        help="maximum tolerated slowdown, as a fraction (default 0.30)",
+    )
+    parser.add_argument(
+        "--min-wall", type=float, default=0.010,
+        help="committed walls below this many seconds are never gated",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=3,
+        help="repetitions (best-of) when running the suites here",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.record, encoding="utf-8") as fh:
+            committed: Dict[str, dict] = json.load(fh)["suites"]
+    except (OSError, KeyError, ValueError) as exc:
+        print(f"cannot read committed record {args.record!r}: {exc}")
+        return 2
+
+    if args.current:
+        try:
+            with open(args.current, encoding="utf-8") as fh:
+                current: Dict[str, dict] = json.load(fh)["suites"]
+        except (OSError, KeyError, ValueError) as exc:
+            print(f"cannot read current record {args.current!r}: {exc}")
+            return 2
+    else:
+        harness = _harness()
+        current = {
+            name: harness.run_suite(name, args.repeat, quick=True)
+            for name in harness.SUITES
+        }
+
+    failures = 0
+    for name, result in current.items():
+        wall = float(result["wall_s"])
+        base = committed.get(name)
+        if base is None or base.get("states") != result.get("states"):
+            print(f"{name:26s} {wall:9.4f}s   (no comparable committed wall)")
+            continue
+        base_wall = float(base["wall_s"])
+        ratio = wall / base_wall if base_wall > 0 else 1.0
+        line = (
+            f"{name:26s} {wall:9.4f}s   committed {base_wall:.4f}s "
+            f"({ratio:5.2f}x)"
+        )
+        if base_wall < args.min_wall:
+            print(line + "   [below --min-wall, not gated]")
+        elif ratio > 1.0 + args.threshold:
+            print(line + f"   REGRESSION (> {args.threshold:.0%} slower)")
+            failures += 1
+        else:
+            print(line)
+
+    if failures:
+        print(f"{failures} suite(s) regressed beyond {args.threshold:.0%}")
+        return 1
+    print("no benchmark regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

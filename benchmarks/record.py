@@ -127,11 +127,36 @@ def _suite_tmr_tolerance() -> int:
     return len(ts.states)
 
 
+def _suite_token_ring_stabilization(quick: bool = False) -> int:
+    """Larger-instance workload: the self-stabilization certificate of
+    Dijkstra's token ring at n=6/K=5 (15,625 states — 61x the bundled
+    n=4 scenario), n=5/K=4 under ``--quick``.
+
+    This is the heaviest fixpoint shape in the library: convergence from
+    *every* state (span = true) under the full transient-corruption
+    fault class, i.e. forward closure plus fair-SCC analysis over the
+    whole product space.  (The issue's suggested n≥9 is unreachable for
+    any engine at K ≥ n-1 — 8^9 ≈ 1.3e8 states — so "larger" here means
+    the largest instance that stays within the explorable range.)
+    """
+    from repro.core import TRUE, is_nonmasking_tolerant
+    from repro.programs import token_ring
+
+    size, k = (5, 4) if quick else (6, 5)
+    model = token_ring.build(size, k)
+    assert is_nonmasking_tolerant(
+        model.ring, model.faults, model.spec, model.invariant, TRUE
+    )
+    ts = model.faults.system(model.ring, TRUE)
+    return len(ts.states)
+
+
 SUITES: Dict[str, Callable[[bool], int]] = {
     "byzantine_explore": lambda quick: _suite_byzantine_explore(),
     "byzantine_tolerance": lambda quick: _suite_byzantine_tolerance(),
     "synthesis": _suite_synthesis,
     "tmr_tolerance": lambda quick: _suite_tmr_tolerance(),
+    "token_ring_stabilization": _suite_token_ring_stabilization,
 }
 
 

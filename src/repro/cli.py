@@ -7,6 +7,8 @@ Usage::
     python -m repro verify tmr byzantine
     python -m repro verify --all
     python -m repro campaign token_ring --trials 20 --seed 0 --jsonl out.jsonl
+    python -m repro bench            # quick perf smoke (CI scale)
+    python -m repro bench --full     # the full recorded suite
 
 (``repro`` installed via ``pip install -e .`` works in place of
 ``python -m repro``.)
@@ -16,7 +18,9 @@ catalogue entry registers and prints the PASS/FAIL lines with
 counterexamples — a one-command reproduction of each construction in
 the paper.  ``campaign`` sweeps seeded random fault schedules over a
 simulated scenario and reports the observed tolerance-class mix (see
-:mod:`repro.campaigns`).
+:mod:`repro.campaigns`).  ``bench`` runs the perf-core benchmark
+harness (``benchmarks/record.py``) from a source checkout — quick mode
+by default, ``--full`` for the numbers recorded in ``BENCH_core.json``.
 """
 
 from __future__ import annotations
@@ -290,6 +294,48 @@ def _campaign(args, out=sys.stdout) -> int:
     return 0
 
 
+def _bench(args, out=sys.stdout) -> int:
+    """Run the perf-core benchmark harness in place.
+
+    The harness lives in ``benchmarks/record.py`` next to the source
+    tree (it is a measurement script, not library code), so ``bench``
+    only works from a checkout — an installed-only environment gets a
+    clear error instead of a stack trace.
+    """
+    import importlib.util
+    from pathlib import Path
+
+    script = Path(__file__).resolve().parents[2] / "benchmarks" / "record.py"
+    if not script.is_file():
+        print(
+            f"benchmark harness not found at {script} — "
+            "'repro bench' needs a source checkout",
+            file=out,
+        )
+        return 2
+    spec = importlib.util.spec_from_file_location("_repro_bench_record", script)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+
+    forwarded: List[str] = []
+    if not args.full:
+        forwarded.append("--quick")
+    if args.repeat is not None:
+        forwarded += ["--repeat", str(args.repeat)]
+    if args.output is not None:
+        forwarded += ["--output", args.output]
+    elif not args.full:
+        # quick numbers are measured at a smaller scale — don't clobber
+        # the committed full-scale BENCH_core.json with them
+        import os
+        import tempfile
+
+        fd, path = tempfile.mkstemp(prefix="repro_bench_quick_", suffix=".json")
+        os.close(fd)
+        forwarded += ["--output", path]
+    return module.main(forwarded)
+
+
 def main(argv: List[str] = None, out=sys.stdout) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -339,6 +385,22 @@ def main(argv: List[str] = None, out=sys.stdout) -> int:
     campaign_parser.add_argument(
         "--list", action="store_true", help="list campaign scenarios"
     )
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="run the perf-core benchmarks (quick smoke by default)",
+    )
+    bench_parser.add_argument(
+        "--full", action="store_true",
+        help="full suite at recorded scale (default: --quick smoke)",
+    )
+    bench_parser.add_argument(
+        "--repeat", type=int, default=None,
+        help="repetitions per suite (best-of; harness default)",
+    )
+    bench_parser.add_argument(
+        "--output", default=None,
+        help="where to write the JSON record (harness default)",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -349,6 +411,9 @@ def main(argv: List[str] = None, out=sys.stdout) -> int:
 
     if args.command == "campaign":
         return _campaign(args, out=out)
+
+    if args.command == "bench":
+        return _bench(args, out=out)
 
     names = list(CATALOGUE) if args.all else args.names
     if not names:

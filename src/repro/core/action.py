@@ -26,7 +26,17 @@ Helper constructors:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, Iterable, Sequence, Tuple, Union
+import operator
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from .predicate import Predicate, TRUE
 from .state import State
@@ -47,6 +57,18 @@ def assign(**updates: Union[Hashable, Callable[[State], Hashable]]) -> Statement
 
         assign(x=1, y=lambda s: s["x"] + 1)   # y gets old x + 1
     """
+
+    if len(updates) == 1:
+        # single-variable updates are the overwhelmingly common action
+        # shape; resolve the name once and skip the kwargs packing
+        [(name, value)] = updates.items()
+        if callable(value):
+            def statement(state: State) -> State:
+                return state.assign_one(name, value(state))
+        else:
+            def statement(state: State) -> State:
+                return state.assign_one(name, value)
+        return statement
 
     def statement(state: State) -> State:
         resolved: Dict[str, Hashable] = {}
@@ -95,21 +117,51 @@ class Action:
         Deterministic or nondeterministic statement (see module docs).
     """
 
-    __slots__ = ("name", "guard", "statement", "_successors")
+    __slots__ = ("name", "guard", "statement", "reads", "writes",
+                 "_successors", "_class_memo", "_base", "_restriction")
 
     #: per-action successor memo stops growing past this many states
     SUCCESSOR_CACHE_LIMIT = 1 << 18
 
-    def __init__(self, name: str, guard: Predicate, statement: Statement):
+    def __init__(
+        self,
+        name: str,
+        guard: Predicate,
+        statement: Statement,
+        reads: Optional[Iterable[str]] = None,
+        writes: Optional[Iterable[str]] = None,
+    ):
         self.name = name
         self.guard = guard
         self.statement = statement
+        #: Optional frame declaration.  ``reads`` must cover every
+        #: variable the guard or the statement's right-hand sides
+        #: consult; ``writes`` every variable the statement may change.
+        #: When both are declared, two states that agree outside
+        #: ``writes - reads`` provably have identical successor sets, so
+        #: the successor memo collapses them to one statement evaluation
+        #: (a big win for actions that overwrite a large-domain variable
+        #: they never read, e.g. nondeterministic domain sweeps).  An
+        #: incorrect declaration silently corrupts the transition
+        #: relation — declare only what the action text makes obvious.
+        self.reads = frozenset(reads) if reads is not None else None
+        self.writes = frozenset(writes) if writes is not None else None
         #: state -> tuple of successors.  Guards and statements are pure
         #: functions of the state (guarded-command semantics), so the
         #: transition relation of an action never changes and the
         #: synthesis/verification passes that sweep the same state space
         #: several times can replay it.  The cache dies with the action.
         self._successors: Dict[State, Tuple[State, ...]] = {}
+        #: schema -> (key getter, {key: successors}); see reads/writes
+        self._class_memo: Optional[Dict[object, Tuple]] = (
+            {} if self.reads is not None and self.writes is not None
+            else None
+        )
+        #: set by :meth:`restrict`: the unrestricted action and the
+        #: restricting predicate, letting ``successors`` consult the
+        #: base action's memo instead of re-running the statement
+        self._base: "Action" = None
+        self._restriction: Predicate = None
 
     def enabled(self, state: State) -> bool:
         """True iff the guard holds at ``state``."""
@@ -128,7 +180,18 @@ class Action:
         found = cache.get(state)
         if found is not None:
             return found
-        if not self.guard.fn(state):
+        if self._base is not None:
+            # restricted action: ``(Z ∧ g) --> st`` produces exactly the
+            # base action's successors where Z holds and none elsewhere,
+            # so reuse the base memo instead of re-running the statement
+            result = (
+                self._base.successors(state)
+                if self._restriction.fn(state)
+                else ()
+            )
+        elif self._class_memo is not None:
+            result = self._class_successors(state)
+        elif not self.guard.fn(state):
             result: Tuple[State, ...] = ()
         else:
             raw = self.statement(state)
@@ -137,17 +200,60 @@ class Action:
             cache[state] = result
         return result
 
+    def _class_successors(self, state: State) -> Tuple[State, ...]:
+        """Successor computation through the reads/writes declaration.
+
+        States that agree on every variable outside ``writes - reads``
+        have the same successor set: the overwritten variables do not
+        influence the guard or the written values (they are not read)
+        and do not survive into the successors (they are written)."""
+        schema = state.schema
+        plan = self._class_memo.get(schema)
+        if plan is None:
+            masked = self.writes - self.reads
+            kept = tuple(
+                i for i, name in enumerate(schema.names)
+                if name not in masked
+            )
+            if len(kept) == len(schema.names):
+                plan = (None, None)     # nothing masked: no sharing here
+            else:
+                plan = (operator.itemgetter(*kept) if kept else None, {})
+            self._class_memo[schema] = plan
+        getter, table = plan
+        if table is None:
+            if not self.guard.fn(state):
+                return ()
+            raw = self.statement(state)
+            return (raw,) if isinstance(raw, State) else tuple(raw)
+        key = getter(state.values_tuple) if getter is not None else ()
+        found = table.get(key)
+        if found is None:
+            if not self.guard.fn(state):
+                found = ()
+            else:
+                raw = self.statement(state)
+                found = (raw,) if isinstance(raw, State) else tuple(raw)
+            table[key] = found
+        return found
+
     def restrict(self, predicate: Predicate) -> "Action":
         """The paper's ``Z ∧ ac``: the action ``Z ∧ g --> st``."""
-        return Action(
+        restricted = Action(
             name=self.name,
             guard=predicate & self.guard,
             statement=self.statement,
         )
+        restricted._base = self
+        restricted._restriction = predicate
+        return restricted
 
     def renamed(self, name: str) -> "Action":
         """A copy of this action under a different name."""
-        return Action(name=name, guard=self.guard, statement=self.statement)
+        return Action(
+            name=name, guard=self.guard, statement=self.statement,
+            reads=self.reads, writes=self.writes,
+        )
 
     def preserves(self, predicate: Predicate, states: Iterable[State]) -> bool:
         """Section 2.3 *Preserves*: executing the action in any state (from

@@ -54,6 +54,7 @@ from typing import (
 from .action import Action
 from .predicate import Predicate
 from .program import Program
+from .regions import first_bit, iter_bits, system_index
 from .results import CheckResult, Counterexample
 from .state import State
 
@@ -255,34 +256,45 @@ class TransitionSystem:
             f"{predicate.name} closed in {self.program.name}"
             + (" [] F" if include_faults else "")
         )
-        for state in self._program_edges:
-            if not predicate(state):
-                continue
-            for action_name, nxt in self.edges_from(state, include_faults):
-                if not predicate(nxt):
-                    return CheckResult.failed(
-                        what,
-                        counterexample=Counterexample(
-                            kind="transition",
-                            states=(state, nxt),
-                            actions=(action_name,),
-                            note=f"{predicate.name} falsified by {action_name}",
-                        ),
-                    )
+        index = system_index(self)
+        bits = index.region_bits(predicate)
+        if bits != index.full_bits:  # full region: every edge is internal
+            data = index.region_data(predicate)
+            states = index.states
+            for u in iter_bits(bits, index.n):
+                rows = index.plabeled[u]
+                if include_faults:
+                    rows += index.flabeled[u]
+                for action_name, v in rows:
+                    if not data[v >> 3] & (1 << (v & 7)):
+                        return CheckResult.failed(
+                            what,
+                            counterexample=Counterexample(
+                                kind="transition",
+                                states=(states[u], states[v]),
+                                actions=(action_name,),
+                                note=(
+                                    f"{predicate.name} falsified by "
+                                    f"{action_name}"
+                                ),
+                            ),
+                        )
         return CheckResult.passed(what)
 
     def is_fault_span(self, span: Predicate, invariant: Predicate) -> CheckResult:
         """Section 2.3 *Fault-span*: ``S ⇒ T``, T closed in p, T closed in F."""
-        for state in self._program_edges:
-            if invariant(state) and not span(state):
-                return CheckResult.failed(
-                    f"{span.name} is an F-span from {invariant.name}",
-                    counterexample=Counterexample(
-                        kind="state",
-                        states=(state,),
-                        note=f"{invariant.name} holds but {span.name} does not",
-                    ),
-                )
+        index = system_index(self)
+        gap = index.region_bits(invariant) & ~index.region_bits(span)
+        if gap:
+            state = index.states[first_bit(gap)]
+            return CheckResult.failed(
+                f"{span.name} is an F-span from {invariant.name}",
+                counterexample=Counterexample(
+                    kind="state",
+                    states=(state,),
+                    note=f"{invariant.name} holds but {span.name} does not",
+                ),
+            )
         closed = self.is_closed(span, include_faults=True)
         if not closed:
             return closed

@@ -41,6 +41,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tup
 
 from .exploration import TransitionSystem
 from .predicate import Predicate
+from .regions import Region, SystemIndex, bits_of_ids, first_bit, iter_bits, system_index
 from .results import CheckResult, Counterexample
 from .state import State
 
@@ -112,49 +113,144 @@ def strongly_connected_components(
 
 def fair_recurrent_sccs(
     ts: TransitionSystem,
-    region: Set[State],
+    region,
     edge_filter=None,
 ) -> List[Set[State]]:
     """SCCs of the program-edge subgraph on ``region`` in which a weakly
     fair computation can remain forever.
 
+    ``region`` may be a set of states or a
+    :class:`~repro.core.regions.Region` over the system's index.
     ``edge_filter(source, action_name, target)``, when given, further
     restricts which program edges count as internal to the subgraph (used
     e.g. to search for fair *stuttering* cycles in refinement checks).
 
-    See the module docstring for the characterization.
+    See the module docstring for the characterization.  Decided over the
+    system's dense index: iterative Tarjan on integer ids, memoized
+    per-action enabledness bit arrays for the starvation test.  States
+    in ``region`` that the system never explored have no edges, so they
+    can only form trivial SCCs and are skipped outright.
     """
+    index = system_index(ts)
+    if isinstance(region, Region):
+        region_bits = region.bits
+    else:
+        region_bits = index.region_of(region).bits
+    components = _fair_recurrent_component_ids(
+        ts, index, region_bits, edge_filter
+    )
+    states = index.states
+    return [{states[u] for u in component} for component in components]
 
-    def keep(source: State, action_name: str, target: State) -> bool:
-        return edge_filter is None or edge_filter(source, action_name, target)
 
-    def internal_successors(state: State) -> List[State]:
-        return [
-            t
-            for a, t in ts.program_edges_from(state)
-            if t in region and keep(state, a, t)
-        ]
+def _fair_recurrent_component_ids(
+    ts: TransitionSystem,
+    index: SystemIndex,
+    region_bits: int,
+    edge_filter=None,
+) -> List[List[int]]:
+    """Id-level core of :func:`fair_recurrent_sccs`."""
+    n = index.n
+    region_data = region_bits.to_bytes((n + 7) >> 3, "little")
+    plabeled = index.plabeled
+    states = index.states
 
-    recurrent: List[Set[State]] = []
-    for component in strongly_connected_components(region, internal_successors):
-        internal_edges = [
-            (s, a, t)
-            for s in component
-            for a, t in ts.program_edges_from(s)
-            if t in component and keep(s, a, t)
-        ]
-        if not internal_edges:
+    if edge_filter is None:
+        psucc = index.psucc
+        def internal(u: int) -> List[int]:
+            return [
+                v for v in psucc[u] if region_data[v >> 3] & (1 << (v & 7))
+            ]
+    else:
+        def internal(u: int) -> List[int]:
+            source = states[u]
+            return [
+                v
+                for a, v in plabeled[u]
+                if region_data[v >> 3] & (1 << (v & 7))
+                and edge_filter(source, a, states[v])
+            ]
+
+    recurrent: List[List[int]] = []
+    node_ids = list(iter_bits(region_bits, n))
+    for component in _tarjan_ids(node_ids, internal):
+        members = set(component)
+        internal_labels: Set[str] = set()
+        for u in component:
+            if edge_filter is None:
+                for a, v in plabeled[u]:
+                    if v in members:
+                        internal_labels.add(a)
+            else:
+                source = states[u]
+                for a, v in plabeled[u]:
+                    if v in members and edge_filter(source, a, states[v]):
+                        internal_labels.add(a)
+        if not internal_labels:
             continue  # trivial SCC without a self-loop: cannot linger
-        internal_labels: FrozenSet[str] = frozenset(a for _, a, _ in internal_edges)
         fair = True
         for action in ts.program.actions:
-            if all(action.enabled(s) for s in component):
-                if action.name not in internal_labels:
-                    fair = False  # continuously enabled but starved inside C
-                    break
+            if action.name in internal_labels:
+                continue  # executed inside C: cannot be starved
+            enabled = index.enabled_data(action)
+            if all(enabled[u >> 3] & (1 << (u & 7)) for u in component):
+                fair = False  # continuously enabled but starved inside C
+                break
         if fair:
             recurrent.append(component)
     return recurrent
+
+
+def _tarjan_ids(nodes: List[int], edges_from) -> List[List[int]]:
+    """Iterative Tarjan SCC over integer ids (same algorithm as
+    :func:`strongly_connected_components`, minus State hashing)."""
+    index_of: Dict[int, int] = {}
+    lowlink: Dict[int, int] = {}
+    on_stack: Set[int] = set()
+    stack: List[int] = []
+    components: List[List[int]] = []
+    counter = 0
+
+    for root in nodes:
+        if root in index_of:
+            continue
+        work: List[Tuple[int, Iterable[int]]] = [(root, iter(edges_from(root)))]
+        index_of[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for successor in successors:
+                if successor not in index_of:
+                    index_of[successor] = lowlink[successor] = counter
+                    counter += 1
+                    stack.append(successor)
+                    on_stack.add(successor)
+                    work.append((successor, iter(edges_from(successor))))
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    if index_of[successor] < lowlink[node]:
+                        lowlink[node] = index_of[successor]
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                if lowlink[node] < lowlink[parent]:
+                    lowlink[parent] = lowlink[node]
+            if lowlink[node] == index_of[node]:
+                component: List[int] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
 
 
 def check_leads_to(
@@ -169,41 +265,53 @@ def check_leads_to(
     what = description or (
         f"{source.name} leads-to {target.name} in {ts.program.name}"
     )
-    avoid_region: Set[State] = {s for s in ts.states if not target(s)}
-    bad_starts = [s for s in ts.states if source(s) and s in avoid_region]
-    if not bad_starts:
+    index = system_index(ts)
+    avoid_bits = index.full_bits & ~index.region_bits(target)
+    start_bits = index.region_bits(source) & avoid_bits
+    if not start_bits:
         return CheckResult.passed(what, details="source region empty or immediate")
 
-    reachable_in_region = _forward_closure(ts, bad_starts, avoid_region)
+    reach_bits = index.forward_closure_bits(start_bits, avoid_bits)
+    index_states = index.states
 
     # Violation mode 1: a maximal computation dies inside ¬target.
-    for state in reachable_in_region:
-        if ts.program.is_deadlocked(state):
-            path = ts.find_path(
-                bad_starts,
-                Predicate(lambda s, d=state: s == d, name="deadlock"),
-                include_faults=True,
-                within=Predicate(
-                    lambda s, r=avoid_region: s in r, name=f"¬({target.name})"
+    dead_bits = reach_bits & index.deadlock_bits
+    if dead_bits:
+        state = index_states[first_bit(dead_bits)]
+        bad_starts = [index_states[i] for i in iter_bits(start_bits, index.n)]
+        avoid_region = {
+            index_states[i] for i in iter_bits(avoid_bits, index.n)
+        }
+        path = ts.find_path(
+            bad_starts,
+            Predicate(lambda s, d=state: s == d, name="deadlock"),
+            include_faults=True,
+            within=Predicate(
+                lambda s, r=avoid_region: s in r, name=f"¬({target.name})"
+            ),
+        )
+        states, actions = path if path else ((state,), ())
+        return CheckResult.failed(
+            what,
+            counterexample=Counterexample(
+                kind="trace",
+                states=tuple(states),
+                actions=tuple(actions),
+                note=(
+                    f"maximal computation reaches deadlock without "
+                    f"satisfying {target.name}"
                 ),
-            )
-            states, actions = path if path else ((state,), ())
-            return CheckResult.failed(
-                what,
-                counterexample=Counterexample(
-                    kind="trace",
-                    states=tuple(states),
-                    actions=tuple(actions),
-                    note=(
-                        f"maximal computation reaches deadlock without "
-                        f"satisfying {target.name}"
-                    ),
-                ),
-            )
+            ),
+        )
 
     # Violation mode 2: a fair cycle inside ¬target.
-    for component in fair_recurrent_sccs(ts, reachable_in_region):
+    for component_ids in _fair_recurrent_component_ids(ts, index, reach_bits):
+        component = {index_states[u] for u in component_ids}
         witness = next(iter(component))
+        bad_starts = [index_states[i] for i in iter_bits(start_bits, index.n)]
+        avoid_region = {
+            index_states[i] for i in iter_bits(avoid_bits, index.n)
+        }
         path = ts.find_path(
             bad_starts,
             Predicate(lambda s, c=component: s in c, name="fair SCC"),
@@ -273,43 +381,52 @@ def liveness_violating_states(
     it can reach (via any edges) a ``source``-state inside the danger
     zone.  The violating set is closed under predecessors, so removing
     it from a closed predicate keeps it closed.
+
+    Both backward closures run as bitset worklists over the system
+    index's precomputed predecessor lists.
     """
-    avoid_region: Set[State] = {s for s in ts.states if not target(s)}
+    index = system_index(ts)
+    n = index.n
+    avoid_bits = index.full_bits & ~index.region_bits(target)
+    avoid_data = avoid_bits.to_bytes((n + 7) >> 3, "little")
 
-    core: Set[State] = set()
-    for component in fair_recurrent_sccs(ts, avoid_region):
-        core |= component
-    for state in avoid_region:
-        if ts.program.is_deadlocked(state):
-            core.add(state)
+    core_ids: List[int] = []
+    for component in _fair_recurrent_component_ids(ts, index, avoid_bits):
+        core_ids.extend(component)
+    core_ids.extend(iter_bits(avoid_bits & index.deadlock_bits, n))
 
-    predecessors: Dict[State, List[State]] = {s: [] for s in ts.states}
-    for state in ts.states:
-        for _, nxt in ts.edges_from(state, include_faults=True):
-            if nxt in predecessors:
-                predecessors[nxt].append(state)
+    predecessors = index.apred
 
     # danger: backward closure of the core within ¬target
-    danger: Set[State] = set(core)
-    frontier = deque(core)
+    danger = bytearray((n + 7) >> 3)
+    for i in core_ids:
+        danger[i >> 3] |= 1 << (i & 7)
+    frontier = deque(core_ids)
     while frontier:
-        state = frontier.popleft()
-        for previous in predecessors[state]:
-            if previous in avoid_region and previous not in danger:
-                danger.add(previous)
-                frontier.append(previous)
+        v = frontier.popleft()
+        for u in predecessors[v]:
+            k, b = u >> 3, 1 << (u & 7)
+            if not danger[k] & b and avoid_data[k] & b:
+                danger[k] |= b
+                frontier.append(u)
 
-    bad_sources = {s for s in danger if source(s)}
+    danger_bits = int.from_bytes(danger, "little")
+    bad_source_bits = danger_bits & index.region_bits(source)
 
-    violating: Set[State] = set(bad_sources)
-    frontier = deque(bad_sources)
+    violating = bytearray(bad_source_bits.to_bytes((n + 7) >> 3, "little"))
+    frontier = deque(iter_bits(bad_source_bits, n))
     while frontier:
-        state = frontier.popleft()
-        for previous in predecessors[state]:
-            if previous not in violating:
-                violating.add(previous)
-                frontier.append(previous)
-    return violating
+        v = frontier.popleft()
+        for u in predecessors[v]:
+            k, b = u >> 3, 1 << (u & 7)
+            if not violating[k] & b:
+                violating[k] |= b
+                frontier.append(u)
+    index_states = index.states
+    return {
+        index_states[i]
+        for i in iter_bits(int.from_bytes(violating, "little"), n)
+    }
 
 
 # -- internals ---------------------------------------------------------------

@@ -32,6 +32,7 @@ from .action import Action
 from .exploration import TransitionSystem, explored_system
 from .predicate import Predicate
 from .program import Program
+from .regions import Region, StateIndex, largest_closed_subset_bits, universe_index
 from .specification import Spec, StateInvariant, TransitionInvariant
 from .state import State
 
@@ -75,6 +76,28 @@ def _safety_checks(spec: Spec):
     return state_checks, transition_checks
 
 
+def _successors_allowed(
+    state: State,
+    successors: Iterable[State],
+    state_checks: Sequence[Callable[[State], bool]],
+    transition_checks: Sequence[Callable[[State, State], bool]],
+    forbidden=None,
+) -> bool:
+    """The "every successor is allowed" scan shared by the detection-
+    predicate calculations here and by ``synthesis/weakest.py``: every
+    successor must be an allowed state, reached by an allowed
+    transition, and (when ``forbidden`` is given — any container with
+    membership) outside the forbidden region."""
+    for successor in successors:
+        if forbidden is not None and successor in forbidden:
+            return False
+        if not all(check(successor) for check in state_checks):
+            return False
+        if not all(check(state, successor) for check in transition_checks):
+            return False
+    return True
+
+
 def largest_invariant_for_safety(
     program: Program,
     spec: Spec,
@@ -85,36 +108,33 @@ def largest_invariant_for_safety(
     safety part of ``spec``.
 
     Computed over the full state space: start from the states that are
-    not themselves bad, then repeatedly remove states having some
-    transition that is bad or leaves the current set.  (Transitions
-    *leaving* the candidate set must be removed because closure of ``S``
-    is part of the paper's definition of refinement from ``S``.)
+    not themselves bad, then remove states having some transition that
+    is bad or leaves the current set.  (Transitions *leaving* the
+    candidate set must be removed because closure of ``S`` is part of
+    the paper's definition of refinement from ``S``.)  The fixpoint runs
+    as a backward bitset worklist over the program's indexed adjacency —
+    O(V+E) — instead of rescanning the candidate set until stable.
     """
     state_checks, transition_checks = _safety_checks(spec.safety_part())
-    candidate: Set[State] = {
-        s for s in program.states() if all(check(s) for check in state_checks)
-    }
-    changed = True
-    while changed:
-        changed = False
-        to_remove: Set[State] = set()
-        for state in candidate:
-            for action in program.actions:
-                for successor in action.successors(state):
-                    if successor not in candidate or not all(
-                        check(state, successor) for check in transition_checks
-                    ):
-                        to_remove.add(state)
-                        break
-                else:
-                    continue
-                break
-        if to_remove:
-            candidate -= to_remove
-            changed = True
-    return Predicate.from_states(
-        candidate, name=name or f"gfp_safe({spec.name})"
+    index = universe_index(program) or StateIndex(program.states())
+    good_bits = _passing_bits(index, state_checks)
+    closed_bits = largest_closed_subset_bits(
+        index, program.actions, good_bits, transition_checks
     )
+    return Region(index, closed_bits).to_predicate(
+        name or f"gfp_safe({spec.name})"
+    )
+
+
+def _passing_bits(index: StateIndex, state_checks) -> int:
+    """Bits of the index states passing every state check."""
+    if not state_checks:
+        return index.full_bits
+    buf = bytearray((index.n + 7) >> 3)
+    for i, state in enumerate(index.states):
+        if all(check(state) for check in state_checks):
+            buf[i >> 3] |= 1 << (i & 7)
+    return int.from_bytes(buf, "little")
 
 
 def weakest_detection_predicate(
@@ -137,15 +157,9 @@ def weakest_detection_predicate(
     for state in states:
         if not all(check(state) for check in state_checks):
             continue
-        safe = True
-        for successor in action.successors(state):
-            if not all(check(successor) for check in state_checks):
-                safe = False
-                break
-            if not all(check(state, successor) for check in transition_checks):
-                safe = False
-                break
-        if safe:
+        if _successors_allowed(
+            state, action.successors(state), state_checks, transition_checks
+        ):
             good.append(state)
     return Predicate.from_states(
         good, name=name or f"wdp({action.name},{spec.name})"
@@ -166,9 +180,8 @@ def is_detection_predicate(
             continue
         if not all(check(state) for check in state_checks):
             return False
-        for successor in action.successors(state):
-            if not all(check(successor) for check in state_checks):
-                return False
-            if not all(check(state, successor) for check in transition_checks):
-                return False
+        if not _successors_allowed(
+            state, action.successors(state), state_checks, transition_checks
+        ):
+            return False
     return True

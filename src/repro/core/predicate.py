@@ -37,11 +37,22 @@ class Predicate:
         counterexample explanations.
     """
 
-    __slots__ = ("fn", "name")
+    __slots__ = ("fn", "name", "values_builder")
 
-    def __init__(self, fn: Callable[[State], bool], name: str = "pred"):
+    def __init__(
+        self,
+        fn: Callable[[State], bool],
+        name: str = "pred",
+        values_builder: Callable = None,
+    ):
         self.fn = fn
         self.name = name
+        #: Optional schema compiler: ``values_builder(schema.index)``
+        #: returns an evaluator over raw values-tuples equivalent to
+        #: ``fn`` on states of that schema.  Single-schema region sweeps
+        #: (:meth:`repro.core.regions.StateIndex.region_bits`) use it to
+        #: skip the per-state schema dispatch the ``fn`` wrapper needs.
+        self.values_builder = values_builder
 
     # -- evaluation --------------------------------------------------------
     def __call__(self, state: State) -> bool:
@@ -88,7 +99,7 @@ class Predicate:
 
     def rename(self, name: str) -> "Predicate":
         """Return the same predicate under a new display name."""
-        return Predicate(self.fn, name=name)
+        return Predicate(self.fn, name=name, values_builder=self.values_builder)
 
     # -- extensional view ------------------------------------------------
     @staticmethod

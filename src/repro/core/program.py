@@ -25,10 +25,20 @@ from __future__ import annotations
 
 import itertools
 import weakref
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from .action import Action, _unique_names
 from .predicate import Predicate
+from .regions import clear_universe_cache, universe_index
 from .state import State, Variable, state_space
 
 __all__ = ["Program"]
@@ -99,31 +109,59 @@ class Program:
         """
         if self._state_cache is not None:
             return iter(self._state_cache)
-        if self.state_count() <= self.STATE_CACHE_LIMIT:
-            self._state_cache = tuple(state_space(self.variables))
+        index = universe_index(self)
+        if index is not None:
+            # the enumeration is shared process-wide across programs
+            # with the same variable signature (see repro.core.regions)
+            self._state_cache = index.states
             Program._cache_holders.add(self)
             return iter(self._state_cache)
         return state_space(self.variables)
 
     def states_satisfying(self, predicate: Predicate) -> List[State]:
         """The full-space states at which ``predicate`` holds (the
-        paper's ``p | S`` start set), memoized per predicate object."""
+        paper's ``p | S`` start set), memoized per predicate object —
+        on the *shared* universe index when the space is materializable,
+        so same-shaped programs interrogated with a shared predicate
+        object (a model's span, say) sweep once between them."""
         cached = self._satisfying_cache.get(predicate)
         if cached is None:
-            # filter() drives the scan at C speed; only the predicate
-            # function itself runs per state
-            cached = tuple(filter(predicate.fn, self.states()))
+            index = universe_index(self)
+            if index is not None:
+                cached = index.satisfying(predicate)
+            else:
+                # filter() drives the scan at C speed; only the
+                # predicate function itself runs per state
+                cached = tuple(filter(predicate.fn, self.states()))
             self._satisfying_cache[predicate] = cached
             Program._cache_holders.add(self)
         return list(cached)
 
+    def universe(self):
+        """The shared full-space :class:`~repro.core.regions.StateIndex`
+        for this program's variables (``None`` above the cache limit)."""
+        return universe_index(self)
+
     @classmethod
     def clear_state_caches(cls) -> None:
-        """Drop every program's memoized state space and start sets."""
+        """Drop every program's memoized state space and start sets,
+        along with the shared full-space indexes they alias (and any
+        registered downstream memo — see :meth:`register_cache_clearer`)."""
         for program in list(cls._cache_holders):
             program._state_cache = None
             program._satisfying_cache.clear()
         cls._cache_holders = weakref.WeakSet()
+        clear_universe_cache()
+        for clearer in cls._cache_clearers:
+            clearer()
+
+    _cache_clearers: List[Callable[[], None]] = []
+
+    @classmethod
+    def register_cache_clearer(cls, clearer: Callable[[], None]) -> None:
+        """Hook a downstream cache into :meth:`clear_state_caches` —
+        used by layers (e.g. synthesis memos) that core cannot import."""
+        cls._cache_clearers.append(clearer)
 
     def validate_state(self, state: State) -> None:
         """Raise if ``state`` is not a state of this program."""

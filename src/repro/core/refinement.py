@@ -35,6 +35,7 @@ from typing import Iterable, List, Optional, Sequence, Set, Tuple
 from .exploration import TransitionSystem, explored_system
 from .fairness import fair_recurrent_sccs
 from .predicate import Predicate
+from .regions import system_index
 from .program import Program
 from .results import CheckResult, Counterexample, all_of
 from .specification import Spec
@@ -246,7 +247,7 @@ def _check_projected_liveness(
     which holds in all programs in this library — and is otherwise a
     sound violation-finding approximation (documented in DESIGN.md).
     """
-    region = set(ts.states)
+    region = system_index(ts).full_region()
     for component in fair_recurrent_sccs(ts, region):
         projections = {s.project(base_vars) for s in component}
         if len(projections) == 1:

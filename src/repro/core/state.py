@@ -306,6 +306,44 @@ class State(Mapping[str, Hashable]):
             mutable[position] = value
         return _state_of(self._schema, tuple(mutable))
 
+    def assign_one(self, name: str, value: Hashable) -> "State":
+        """:meth:`assign` for exactly one variable, without the kwargs
+        packing — the hot shape of deterministic statements."""
+        position = self._schema.index.get(name)
+        if position is None:
+            raise KeyError(
+                f"cannot assign unknown variable {name!r}; "
+                f"state variables are {list(self._schema.names)}"
+            )
+        values = self._values
+        return _state_of(
+            self._schema,
+            values[:position] + (value,) + values[position + 1:],
+        )
+
+    def assign_each(
+        self, name: str, values: Iterable[Hashable]
+    ) -> Tuple["State", ...]:
+        """All states obtained by assigning each of ``values`` to ``name``.
+
+        Equivalent to ``tuple(self.assign(name=v) for v in values)`` but
+        the schema lookup and tuple splitting happen once, not per value
+        — this is the hot path of nondeterministic statements that range
+        over a variable's domain (Byzantine decision changes, reads of
+        unwritten memory)."""
+        position = self._schema.index.get(name)
+        if position is None:
+            raise KeyError(
+                f"cannot assign unknown variable {name!r}; "
+                f"state variables are {list(self._schema.names)}"
+            )
+        schema = self._schema
+        before = self._values[:position]
+        after = self._values[position + 1:]
+        return tuple(
+            [_state_of(schema, before + (value,) + after) for value in values]
+        )
+
     def extend(self, **new_variables: Hashable) -> "State":
         """Return a new state with additional variables.
 

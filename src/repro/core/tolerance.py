@@ -47,6 +47,7 @@ from .faults import FaultClass
 from .predicate import Predicate, TRUE
 from .program import Program
 from .refinement import refines_spec, start_states_of
+from .regions import first_bit, universe_index
 from .results import CheckResult, Counterexample, all_of
 from .specification import Spec
 from .state import State
@@ -64,8 +65,25 @@ __all__ = [
 def check_implication(
     program: Program, antecedent: Predicate, consequent: Predicate
 ) -> CheckResult:
-    """Check ``antecedent ⇒ consequent`` over the full state space."""
+    """Check ``antecedent ⇒ consequent`` over the full state space.
+
+    Decided on the program's shared universe index when the space is
+    materializable: both sides become memoized bitsets and the check is
+    one ``a & ~c`` big-int operation (the witness, when any, is the
+    first counterexample in enumeration order, as before).
+    """
     what = f"{antecedent.name} ⇒ {consequent.name}"
+    index = universe_index(program)
+    if index is not None:
+        gap = index.region_bits(antecedent) & ~index.region_bits(consequent)
+        if gap:
+            return CheckResult.failed(
+                what,
+                counterexample=Counterexample(
+                    kind="state", states=(index.states[first_bit(gap)],)
+                ),
+            )
+        return CheckResult.passed(what)
     for state in program.states():
         if antecedent(state) and not consequent(state):
             return CheckResult.failed(

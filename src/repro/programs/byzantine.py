@@ -43,7 +43,7 @@ State variables: ``dg``/``bg`` for the general; per non-general ``j``:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Sequence, Tuple
+from typing import Callable, Dict, Hashable, List, Sequence, Tuple
 
 from ..core import (
     BOTTOM,
@@ -133,6 +133,28 @@ def _variables() -> List[Variable]:
     return variables
 
 
+def _compiled_predicate(name: str, build: Callable) -> Predicate:
+    """A predicate compiled per state schema.
+
+    ``build(schema.index)`` returns a values-tuple evaluator with the
+    variable positions bound as defaults.  Action guards run once per
+    (state, action) pair in every exploration and the tolerance
+    predicates sweep the full product space, so the per-call cost of
+    rebuilding ``f"b{j}"``-style keys and chaining ``&`` lambdas was a
+    measurable share of the Byzantine workloads."""
+    plans: Dict[object, Callable] = {}
+
+    def holds(state) -> bool:
+        schema = state.schema
+        fn = plans.get(schema)
+        if fn is None:
+            fn = build(schema.index)
+            plans[schema] = fn
+        return fn(state.values_tuple)
+
+    return Predicate(holds, name=name, values_builder=build)
+
+
 def _honest(j: int) -> Predicate:
     return Predicate(lambda s, j=j: not s[f"b{j}"], name=f"¬b{j}")
 
@@ -158,39 +180,111 @@ def _detection(j: int) -> Predicate:
     return Predicate(holds, name=f"X{j}: d{j}=corrdecn")
 
 
+def _ib1_guard(j: int) -> Predicate:
+    bn, dn = f"b{j}", f"d{j}"
+
+    def build(index):
+        b_at, d_at = index[bn], index[dn]
+
+        def fn(values, b_at=b_at, d_at=d_at):
+            return not values[b_at] and values[d_at] is BOTTOM
+
+        return fn
+
+    return _compiled_predicate(f"(¬{bn} ∧ {dn}=⊥)", build)
+
+
+def _ib2_guard(j: int, guarded: bool) -> Predicate:
+    bn, dn, on = f"b{j}", f"d{j}", f"out{j}"
+    name = f"(¬{bn} ∧ {dn}≠⊥ ∧ {on}=⊥)"
+    if guarded:
+        name = f"({name[1:-1]} ∧ W{j})"
+
+    def build(index):
+        b_at, d_at, o_at = index[bn], index[dn], index[on]
+        if not guarded:
+            def fn(values, b_at=b_at, d_at=d_at, o_at=o_at):
+                return (
+                    not values[b_at]
+                    and values[d_at] is not BOTTOM
+                    and values[o_at] is BOTTOM
+                )
+            return fn
+        d1, d2, d3 = (index[n] for n in _D_NAMES)
+
+        def fn(values, b_at=b_at, d_at=d_at, o_at=o_at,
+               d1=d1, d2=d2, d3=d3):
+            if (
+                values[b_at]
+                or values[d_at] is BOTTOM
+                or values[o_at] is not BOTTOM
+            ):
+                return False
+            a, b, c = values[d1], values[d2], values[d3]
+            if a is BOTTOM or b is BOTTOM or c is BOTTOM:
+                return False
+            if a == b or a == c:
+                m = a
+            elif b == c:
+                m = b
+            else:
+                raise ValueError(f"no strict majority in {[a, b, c]!r}")
+            return values[d_at] == m
+
+        return fn
+
+    return _compiled_predicate(name, build)
+
+
 def _ib_actions(j: int, guarded: bool) -> List[Action]:
     """``IB1.j`` and ``IB2.j``; with ``guarded=True`` the output action
     carries DB.j's witness (the fail-safe restriction ``DB.j ; IB2.j``)."""
+    dn = f"d{j}"
     copy = Action(
         f"IB1.{j}",
-        _honest(j)
-        & Predicate(lambda s, j=j: s[f"d{j}"] is BOTTOM, name=f"d{j}=⊥"),
-        assign(**{f"d{j}": lambda s: s["dg"]}),
+        _ib1_guard(j),
+        assign(**{dn: lambda s: s["dg"]}),
     )
-    output_guard = (
-        _honest(j)
-        & Predicate(lambda s, j=j: s[f"d{j}"] is not BOTTOM, name=f"d{j}≠⊥")
-        & Predicate(lambda s, j=j: s[f"out{j}"] is BOTTOM, name=f"out{j}=⊥")
-    )
-    if guarded:
-        output_guard = output_guard & _witness(j)
     output = Action(
         f"IB2.{j}",
-        output_guard,
-        assign(**{f"out{j}": lambda s, j=j: s[f"d{j}"]}),
+        _ib2_guard(j, guarded),
+        assign(**{f"out{j}": lambda s, dn=dn: s[dn]}),
     )
     return [copy, output]
+
+
+def _cb1_guard(j: int) -> Predicate:
+    bn, dn = f"b{j}", f"d{j}"
+
+    def build(index):
+        b_at, d_at = index[bn], index[dn]
+        d1, d2, d3 = (index[n] for n in _D_NAMES)
+
+        def fn(values, b_at=b_at, d_at=d_at, d1=d1, d2=d2, d3=d3):
+            if values[b_at]:
+                return False
+            a, b, c = values[d1], values[d2], values[d3]
+            if a is BOTTOM or b is BOTTOM or c is BOTTOM:
+                return False
+            if a == b or a == c:
+                m = a
+            elif b == c:
+                m = b
+            else:
+                raise ValueError(f"no strict majority in {[a, b, c]!r}")
+            return values[d_at] != m
+
+        return fn
+
+    return _compiled_predicate(
+        f"(¬{bn} ∧ ∀k: dk≠⊥ ∧ {dn}≠majority)", build
+    )
 
 
 def _cb_action(j: int) -> Action:
     return Action(
         f"CB1.{j}",
-        _honest(j)
-        & Predicate(_all_copied, name="∀k: dk≠⊥")
-        & Predicate(
-            lambda s, j=j: s[f"d{j}"] != _majority_of_state(s),
-            name=f"d{j}≠majority",
-        ),
+        _cb1_guard(j),
         assign(**{f"d{j}": lambda s: _majority_of_state(s)}),
     )
 
@@ -204,9 +298,8 @@ def _byz_behaviour_actions() -> List[Action]:
         Action(
             "BYZ.g.lie",
             Predicate(lambda s: s["bg"], name="bg"),
-            lambda s: tuple(
-                s.assign(dg=v) for v in VALUES
-            ),
+            lambda s: s.assign_each("dg", VALUES),
+            reads={"bg"}, writes={"dg"},
         )
     ]
     for j in NON_GENERALS:
@@ -214,18 +307,16 @@ def _byz_behaviour_actions() -> List[Action]:
             Action(
                 f"BYZ.{j}.lie_d",
                 Predicate(lambda s, j=j: s[f"b{j}"], name=f"b{j}"),
-                lambda s, j=j: tuple(
-                    s.assign(**{f"d{j}": v}) for v in VALUES
-                ),
+                lambda s, j=j: s.assign_each(f"d{j}", VALUES),
+                reads={f"b{j}"}, writes={f"d{j}"},
             )
         )
         actions.append(
             Action(
                 f"BYZ.{j}.lie_out",
                 Predicate(lambda s, j=j: s[f"b{j}"], name=f"b{j}"),
-                lambda s, j=j: tuple(
-                    s.assign(**{f"out{j}": v}) for v in VALUES
-                ),
+                lambda s, j=j: s.assign_each(f"out{j}", VALUES),
+                reads={f"b{j}"}, writes={f"out{j}"},
             )
         )
     return actions
@@ -234,10 +325,18 @@ def _byz_behaviour_actions() -> List[Action]:
 def _fault_latches() -> FaultClass:
     """The fault-class proper: one latch per process, guarded so that at
     most one process ever turns Byzantine."""
-    nobody_byzantine = Predicate(
-        lambda s: not s["bg"] and not any(s[f"b{j}"] for j in NON_GENERALS),
-        name="nobody Byzantine",
-    )
+    def build(index):
+        bg_at = index["bg"]
+        b1, b2, b3 = (index[n] for n in _B_NAMES)
+
+        def fn(values, bg_at=bg_at, b1=b1, b2=b2, b3=b3):
+            return not (
+                values[bg_at] or values[b1] or values[b2] or values[b3]
+            )
+
+        return fn
+
+    nobody_byzantine = _compiled_predicate("nobody Byzantine", build)
     actions = [Action("BYZ.g.enter", nobody_byzantine, assign(bg=True))]
     for j in NON_GENERALS:
         actions.append(
@@ -247,37 +346,75 @@ def _fault_latches() -> FaultClass:
 
 
 def _spec() -> Spec:
-    def validity(state) -> bool:
-        if state["bg"]:
+    def build_validity(index):
+        bg_at, dg_at = index["bg"], index["dg"]
+        pairs = tuple(
+            (index[b], index[o]) for b, o in zip(_B_NAMES, _OUT_NAMES)
+        )
+
+        def fn(values, bg_at=bg_at, dg_at=dg_at, pairs=pairs):
+            if values[bg_at]:
+                return True
+            dg = values[dg_at]
+            for bi, oi in pairs:
+                if values[bi]:
+                    continue
+                out = values[oi]
+                if out is not BOTTOM and out != dg:
+                    return False
             return True
-        return all(
-            state[f"b{j}"]
-            or state[f"out{j}"] is BOTTOM
-            or state[f"out{j}"] == state["dg"]
-            for j in NON_GENERALS
+
+        return fn
+
+    def build_agreement(index):
+        pairs = tuple(
+            (index[b], index[o]) for b, o in zip(_B_NAMES, _OUT_NAMES)
         )
 
-    def agreement(state) -> bool:
-        outputs = [
-            state[f"out{j}"]
-            for j in NON_GENERALS
-            if not state[f"b{j}"] and state[f"out{j}"] is not BOTTOM
-        ]
-        return len(set(outputs)) <= 1
+        def fn(values, pairs=pairs):
+            seen = None
+            for bi, oi in pairs:
+                if values[bi]:
+                    continue
+                out = values[oi]
+                if out is BOTTOM:
+                    continue
+                if seen is None:
+                    seen = out
+                elif out != seen:
+                    return False
+            return True
 
-    def all_decided(state) -> bool:
-        return all(
-            state[f"b{j}"] or state[f"out{j}"] is not BOTTOM
-            for j in NON_GENERALS
+        return fn
+
+    def build_all_decided(index):
+        pairs = tuple(
+            (index[b], index[o]) for b, o in zip(_B_NAMES, _OUT_NAMES)
         )
+
+        def fn(values, pairs=pairs):
+            for bi, oi in pairs:
+                if not values[bi] and values[oi] is BOTTOM:
+                    return False
+            return True
+
+        return fn
 
     return Spec(
         [
-            StateInvariant(Predicate(validity, name="validity"), name="validity"),
-            StateInvariant(Predicate(agreement, name="agreement"), name="agreement"),
+            StateInvariant(
+                _compiled_predicate("validity", build_validity),
+                name="validity",
+            ),
+            StateInvariant(
+                _compiled_predicate("agreement", build_agreement),
+                name="agreement",
+            ),
             LeadsTo(
                 TRUE,
-                Predicate(all_decided, name="all honest processes decided"),
+                _compiled_predicate(
+                    "all honest processes decided", build_all_decided
+                ),
                 name="every honest process eventually outputs",
             ),
         ],
@@ -285,34 +422,62 @@ def _spec() -> Spec:
     )
 
 
-def _invariant_ib() -> Predicate:
-    def holds(state) -> bool:
-        if state["bg"] or any(state[n] for n in _B_NAMES):
+def _build_invariant_ib(index) -> Callable:
+    """Values-tuple evaluator for the IB invariant: nobody Byzantine,
+    every copy/output either ``⊥`` or ``d.g``."""
+    bg_at, dg_at = index["bg"], index["dg"]
+    b_at = tuple(index[n] for n in _B_NAMES)
+    do_at = tuple(
+        (index[d], index[o]) for d, o in zip(_D_NAMES, _OUT_NAMES)
+    )
+
+    def fn(values, bg_at=bg_at, dg_at=dg_at, b_at=b_at, do_at=do_at):
+        if values[bg_at]:
             return False
-        honest = (BOTTOM, state["dg"])
-        for d_name, out_name in zip(_D_NAMES, _OUT_NAMES):
-            if state[d_name] not in honest:
+        for i in b_at:
+            if values[i]:
                 return False
-            if state[out_name] not in honest:
+        honest = (BOTTOM, values[dg_at])
+        for di, oi in do_at:
+            if values[di] not in honest:
+                return False
+            if values[oi] not in honest:
                 return False
         return True
 
-    return Predicate(holds, name="S_ib")
+    return fn
+
+
+def _invariant_ib() -> Predicate:
+    # Compiled against the state schema like _span below: the invariant
+    # seeds every refinement/implication sweep over the full product
+    # space, so positions are resolved once per schema and evaluation
+    # reads the values-tuple directly.
+    return _compiled_predicate("S_ib", _build_invariant_ib)
 
 
 def _invariant() -> Predicate:
-    base = _invariant_ib()
+    def build(index):
+        ib_fn = _build_invariant_ib(index)
+        out_at = tuple(index[n] for n in _OUT_NAMES)
+        d_at = tuple(index[n] for n in _D_NAMES)
 
-    base_fn = base.fn
-
-    def holds(state) -> bool:
-        if not base_fn(state):
-            return False
-        if all(state[n] is BOTTOM for n in _OUT_NAMES):
+        def fn(values, ib_fn=ib_fn, out_at=out_at, d_at=d_at):
+            if not ib_fn(values):
+                return False
+            for i in out_at:
+                if values[i] is not BOTTOM:
+                    break
+            else:
+                return True
+            for i in d_at:
+                if values[i] is BOTTOM:
+                    return False
             return True
-        return _all_copied(state)
 
-    return Predicate(holds, name="S_byz")
+        return fn
+
+    return _compiled_predicate("S_byz", build)
 
 
 def _span() -> Predicate:
@@ -326,66 +491,56 @@ def _span() -> Predicate:
     # variable positions are resolved once per schema and each evaluation
     # reads the values-tuple directly instead of going through
     # ``state[name]`` a dozen times.
-    plans: Dict[object, Tuple] = {}
+    def build(index):
+        bg_at, dg_at = index["bg"], index["dg"]
+        b_at = tuple(index[n] for n in _B_NAMES)
+        d_at = tuple(index[n] for n in _D_NAMES)
+        out_at = tuple(index[n] for n in _OUT_NAMES)
+        bo_at = tuple(zip(b_at, out_at))
+        bdo_at = tuple(zip(b_at, d_at, out_at))
 
-    def _plan(schema) -> Tuple:
-        index = schema.index
-        plan = (
-            index["bg"],
-            index["dg"],
-            tuple(index[n] for n in _B_NAMES),
-            tuple(index[n] for n in _D_NAMES),
-            tuple(index[n] for n in _OUT_NAMES),
-        )
-        plans[schema] = plan
-        return plan
-
-    def holds(state) -> bool:
-        schema = state.schema
-        plan = plans.get(schema)
-        if plan is None:
-            plan = _plan(schema)
-        bg_at, dg_at, b_at, d_at, out_at = plan
-        values = state.values_tuple
-
-        count = 1 if values[bg_at] else 0
-        for i in b_at:
-            if values[i]:
-                count += 1
-        if count > 1:
-            return False
-        witness = None  # (all copied?, their majority), computed at most once
-        for bi, oi in zip(b_at, out_at):
-            if values[bi]:
-                continue
-            out = values[oi]
-            if out is BOTTOM:
-                continue
-            if witness is None:
-                copies = [values[i] for i in d_at]
-                if any(c is BOTTOM for c in copies):
-                    return False
-                a, b, c = copies
-                if a == b or a == c:
-                    witness = a
-                elif b == c:
-                    witness = b
-                else:
-                    raise ValueError(f"no strict majority in {copies!r}")
-            if out != witness:
+        def fn(values, bg_at=bg_at, dg_at=dg_at, b_at=b_at, d_at=d_at,
+               bo_at=bo_at, bdo_at=bdo_at):
+            count = 1 if values[bg_at] else 0
+            for i in b_at:
+                if values[i]:
+                    count += 1
+            if count > 1:
                 return False
-        if not values[bg_at]:
-            honest = (BOTTOM, values[dg_at])
-            for bi, di, oi in zip(b_at, d_at, out_at):
+            witness = None  # the stable majority, computed at most once
+            for bi, oi in bo_at:
                 if values[bi]:
                     continue
-                if values[di] not in honest:
+                out = values[oi]
+                if out is BOTTOM:
+                    continue
+                if witness is None:
+                    copies = [values[i] for i in d_at]
+                    if any(c is BOTTOM for c in copies):
+                        return False
+                    a, b, c = copies
+                    if a == b or a == c:
+                        witness = a
+                    elif b == c:
+                        witness = b
+                    else:
+                        raise ValueError(f"no strict majority in {copies!r}")
+                if out != witness:
                     return False
-                if values[oi] not in honest:
-                    return False
-        return True
+            if not values[bg_at]:
+                honest = (BOTTOM, values[dg_at])
+                for bi, di, oi in bdo_at:
+                    if values[bi]:
+                        continue
+                    if values[di] not in honest:
+                        return False
+                    if values[oi] not in honest:
+                        return False
+            return True
 
-    return Predicate(holds, name="T_byz")
+        return fn
+
+    return _compiled_predicate("T_byz", build)
 
 
 def build() -> ByzantineModel:
@@ -397,14 +552,16 @@ def build() -> ByzantineModel:
 
     byz_behaviour = _byz_behaviour_actions()
     ib_with_byz = Program(variables, ib_actions + byz_behaviour, name="IB‖BYZ")
-    failsafe_actions = (
-        [a for j in NON_GENERALS for a in _ib_actions(j, guarded=True)]
-        + byz_behaviour
+    # one shared set of guarded IB actions: actions are immutable and
+    # memoize their successors, so the masking program's exploration
+    # replays the fail-safe program's evaluations instead of redoing them
+    guarded_ib = [a for j in NON_GENERALS for a in _ib_actions(j, guarded=True)]
+    failsafe = Program(
+        variables, guarded_ib + byz_behaviour, name="IB1‖DB;IB2‖BYZ"
     )
-    failsafe = Program(variables, failsafe_actions, name="IB1‖DB;IB2‖BYZ")
 
     masking_actions = (
-        [a for j in NON_GENERALS for a in _ib_actions(j, guarded=True)]
+        guarded_ib
         + [_cb_action(j) for j in NON_GENERALS]
         + byz_behaviour
     )

@@ -100,7 +100,7 @@ def _read_statement(value_if_absent_domain: Sequence[Hashable]):
     def statement(state):
         if state["mem"] is not BOTTOM:
             return state.assign(data=state["mem"])
-        return tuple(state.assign(data=v) for v in value_if_absent_domain)
+        return state.assign_each("data", value_if_absent_domain)
 
     return statement
 
@@ -135,9 +135,14 @@ def build(
     read = _read_statement(data_domain)
 
     # -- the intolerant program p (Section 3.3) ---------------------------------
+    # the read actions neither consult nor keep ``data`` (it is
+    # overwritten wholesale), so declaring the frame lets the action
+    # collapse successor computation across all ``data`` values
     p = Program(
         variables=[mem, data],
-        actions=[Action("p1", TRUE, read)],
+        actions=[
+            Action("p1", TRUE, read, reads={"mem"}, writes={"data"})
+        ],
         name="p",
     )
 
@@ -150,7 +155,10 @@ def build(
                 x1 & Predicate(lambda s: not s["Z1"], name="¬Z1"),
                 assign(Z1=True),
             ),
-            Action("pf2", z1_pred, read),
+            Action(
+                "pf2", z1_pred, read,
+                reads={"mem", "Z1"}, writes={"data"},
+            ),
         ],
         name="pf",
     )
@@ -160,7 +168,7 @@ def build(
         variables=[mem, data],
         actions=[
             Action("pn1", ~x1, assign(mem=value)),
-            Action("pn2", TRUE, read),
+            Action("pn2", TRUE, read, reads={"mem"}, writes={"data"}),
         ],
         name="pn",
     )
@@ -175,7 +183,10 @@ def build(
                 x1 & Predicate(lambda s: not s["Z1"], name="¬Z1"),
                 assign(Z1=True),
             ),
-            Action("pm3", z1_pred, read),
+            Action(
+                "pm3", z1_pred, read,
+                reads={"mem", "Z1"}, writes={"data"},
+            ),
         ],
         name="pm",
     )

@@ -19,6 +19,15 @@ The detectors added here are exactly the ones Theorem 3.4 says must
 exist in any fail-safe tolerant refinement: each restricted action
 ``sf ∧ g --> st`` *is* a detector with witness ``sf ∧ g`` and detection
 predicate ``sf``.
+
+The whole pipeline runs over the program's shared full-space
+:class:`~repro.core.regions.StateIndex`: the ``ms`` region and the
+per-action safe predicates are single indexed passes, the certifying
+invariant is one backward bitset fixpoint (the two greatest fixpoints
+of the set-based formulation — largest safe invariant, then closure
+outside ``ms`` — coincide with the single fixpoint seeded by their
+conjunction), and the restricted actions' adjacency is derived from the
+base actions' rows instead of re-evaluating any statement.
 """
 
 from __future__ import annotations
@@ -28,13 +37,20 @@ from typing import Dict, List, Optional
 
 from ..core.exploration import TransitionSystem
 from ..core.faults import FaultClass
-from ..core.invariants import largest_invariant_for_safety
+from ..core.invariants import _passing_bits, _safety_checks
 from ..core.predicate import Predicate
 from ..core.program import Program
+from ..core.regions import (
+    Region,
+    StateIndex,
+    iter_bits,
+    largest_closed_subset_bits,
+    universe_index,
+)
 from ..core.results import CheckResult
 from ..core.specification import Spec
 from ..core.tolerance import is_failsafe_tolerant
-from .weakest import fault_unsafe_region, safe_action_predicate
+from .weakest import _fault_unsafe_bits, _safe_action_bits
 
 __all__ = ["FailsafeSynthesis", "add_failsafe"]
 
@@ -56,6 +72,16 @@ class FailsafeSynthesis:
         )
 
 
+# add_failsafe is a pure function of its (immutable) arguments, and the
+# masking pipeline re-runs it on the same triple the caller typically
+# just synthesized — memoize per argument identity.  Cleared with the
+# state caches so benchmark repetitions stay honest.
+_FAILSAFE_MEMO: Dict[tuple, FailsafeSynthesis] = {}
+_FAILSAFE_MEMO_MAXSIZE = 32
+
+Program.register_cache_clearer(_FAILSAFE_MEMO.clear)
+
+
 def add_failsafe(
     program: Program,
     faults: FaultClass,
@@ -68,25 +94,58 @@ def add_failsafe(
     state from which the program both is safe and stays safe — the
     specification is unimplementable for this program and fault-class).
     """
-    states = list(program.states())
-    unsafe_states = fault_unsafe_region(faults, spec, states)
-    unsafe = Predicate.from_states(unsafe_states, name="ms")
+    key = (program, faults, spec, name)
+    cached = _FAILSAFE_MEMO.get(key)
+    if cached is not None:
+        return cached
+    result = _add_failsafe(program, faults, spec, name)
+    _FAILSAFE_MEMO[key] = result
+    if len(_FAILSAFE_MEMO) > _FAILSAFE_MEMO_MAXSIZE:
+        _FAILSAFE_MEMO.pop(next(iter(_FAILSAFE_MEMO)))
+    return result
+
+
+def _add_failsafe(
+    program: Program,
+    faults: FaultClass,
+    spec: Spec,
+    name: Optional[str],
+) -> FailsafeSynthesis:
+    index = universe_index(program) or StateIndex(program.states())
+    state_checks, transition_checks = _safety_checks(spec.safety_part())
+
+    unsafe_bits = _fault_unsafe_bits(
+        index, faults.actions, state_checks, transition_checks
+    )
+    unsafe_data = unsafe_bits.to_bytes((index.n + 7) >> 3, "little")
+    unsafe = Region(index, unsafe_bits).to_predicate("ms")
 
     detection: Dict[str, Predicate] = {}
     restricted = []
     for action in program.actions:
-        predicate = safe_action_predicate(
-            action, spec, unsafe_states, states, name=f"sf({action.name})"
+        safe_bits = _safe_action_bits(
+            index, action, unsafe_data, state_checks, transition_checks
+        )
+        predicate = Region(index, safe_bits).to_predicate(
+            f"sf({action.name})"
         )
         detection[action.name] = predicate
-        restricted.append(action.restrict(predicate))
+        restricted_action = action.restrict(predicate)
+        index.derive_restricted_edges(
+            restricted_action, action,
+            safe_bits.to_bytes((index.n + 7) >> 3, "little"),
+        )
+        restricted.append(restricted_action)
 
     synthesized = program.with_actions(
         restricted, name=name or f"failsafe({program.name})"
     )
 
-    invariant = _failsafe_invariant(synthesized, spec, unsafe_states, states)
-    invariant_states = [s for s in states if invariant(s)]
+    invariant = _failsafe_invariant(
+        index, synthesized, spec, unsafe_bits, state_checks,
+        transition_checks,
+    )
+    invariant_states = list(index.satisfying(invariant))
     if not invariant_states:
         raise ValueError(
             f"fail-safe synthesis for {program.name!r} yields an empty "
@@ -107,34 +166,44 @@ def add_failsafe(
 
 
 def _failsafe_invariant(
-    synthesized: Program, spec: Spec, unsafe_states, states
+    index: StateIndex,
+    synthesized: Program,
+    spec: Spec,
+    unsafe_bits: int,
+    state_checks,
+    transition_checks,
 ) -> Predicate:
     """The largest invariant certifying the synthesis: safe states
     outside the fault-unsafe region, closed under the restricted
     program, from which the liveness part of the specification also
     holds (tolerance still requires full SPEC in the absence of
-    faults)."""
-    base = largest_invariant_for_safety(synthesized, spec)
-    good_set = {s for s in states if base(s) and s not in unsafe_states}
-    changed = True
-    while changed:
-        changed = False
-        for state in list(good_set):
-            for action in synthesized.actions:
-                if any(
-                    nxt not in good_set for nxt in action.successors(state)
-                ):
-                    good_set.discard(state)
-                    changed = True
-                    break
+    faults).
+
+    The set-based construction took the largest safe invariant and then
+    re-closed its intersection with ``¬ms``; both greatest fixpoints
+    compose into a single one (gfp of a monotone operator restricted to
+    a smaller seed), so one backward pass seeded with
+    ``safe ∧ ¬ms`` suffices.
+    """
+    good_bits = _passing_bits(index, state_checks) & ~unsafe_bits
+    closed_bits = largest_closed_subset_bits(
+        index, synthesized.actions, good_bits, transition_checks
+    )
+    good_set = {
+        index.states[i] for i in iter_bits(closed_bits, index.n)
+    }
 
     if good_set:
         from ..core.fairness import liveness_violating_states
         from ..core.specification import LeadsTo
 
-        ts = TransitionSystem(synthesized, good_set)
-        for component in spec.liveness_part().components:
-            if isinstance(component, LeadsTo):
+        liveness = [
+            c for c in spec.liveness_part().components
+            if isinstance(c, LeadsTo)
+        ]
+        if liveness:
+            ts = TransitionSystem(synthesized, good_set)
+            for component in liveness:
                 good_set -= liveness_violating_states(
                     ts, component.source, component.target
                 )

@@ -26,14 +26,16 @@ from typing import List, Optional, Sequence
 from ..core.action import Action
 from ..core.exploration import TransitionSystem
 from ..core.faults import FaultClass
+from ..core.invariants import _safety_checks
 from ..core.predicate import Predicate
 from ..core.program import Program
+from ..core.regions import Region, StateIndex, universe_index
 from ..core.results import CheckResult
 from ..core.specification import Spec
 from ..core.tolerance import is_masking_tolerant
 from .failsafe import FailsafeSynthesis, add_failsafe
 from .nonmasking import reset_corrector
-from .weakest import safe_action_predicate
+from .weakest import _safe_action_bits
 
 __all__ = ["MaskingSynthesis", "add_masking"]
 
@@ -70,8 +72,13 @@ def add_masking(
     predicate, making recovery itself safe.
     """
     stage = add_failsafe(program, faults, spec)
-    states = list(program.states())
-    unsafe_states = {s for s in states if stage.unsafe(s)}
+    index = universe_index(program) or StateIndex(program.states())
+    state_checks, transition_checks = _safety_checks(spec.safety_part())
+    # ms as a bit array on the shared index (memoized per predicate
+    # object, so this sweep is shared with any earlier interrogation)
+    unsafe_data = index.region_bits(stage.unsafe).to_bytes(
+        (index.n + 7) >> 3, "little"
+    )
 
     if correctors is None:
         correctors = [
@@ -81,11 +88,18 @@ def add_masking(
         ]
     safe_correctors: List[Action] = []
     for corrector in correctors:
-        predicate = safe_action_predicate(
-            corrector, spec, unsafe_states, states,
-            name=f"sf({corrector.name})",
+        safe_bits = _safe_action_bits(
+            index, corrector, unsafe_data, state_checks, transition_checks
         )
-        safe_correctors.append(corrector.restrict(predicate))
+        predicate = Region(index, safe_bits).to_predicate(
+            f"sf({corrector.name})"
+        )
+        restricted = corrector.restrict(predicate)
+        index.derive_restricted_edges(
+            restricted, corrector,
+            safe_bits.to_bytes((index.n + 7) >> 3, "little"),
+        )
+        safe_correctors.append(restricted)
 
     composed = Program(
         variables=stage.program.variables,
@@ -95,7 +109,7 @@ def add_masking(
 
     # The span may grow: corrector edges can pass through states the
     # fail-safe program alone never visited.  Recompute it.
-    invariant_states = [s for s in states if stage.invariant(s)]
+    invariant_states = list(index.satisfying(stage.invariant))
     ts = TransitionSystem(
         composed, invariant_states, fault_actions=list(faults.actions)
     )

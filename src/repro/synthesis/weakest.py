@@ -6,22 +6,33 @@ Two region computations drive the synthesis algorithms:
   *fault actions alone* can violate the safety specification.  No
   program restriction can help once the state is in ``ms`` (the program
   cannot prevent fault steps), so a fail-safe program must never enter
-  it.  Computed as a backward fixpoint over fault edges.
+  it.  Computed as a backward worklist over precomputed
+  fault-predecessor lists: seed with the bad states and the sources of
+  bad fault transitions, then propagate along fault edges — each fault
+  edge is examined exactly once (the set-based version rescanned the
+  whole universe per pass, O(|S|²·|F|)).
 - :func:`safe_action_predicate` — the weakest predicate under which
   executing a given action neither violates safety directly nor enters
   ``ms``.  This is the *detection predicate* the synthesized detector
   checks before permitting the action (Theorem 3.3 guarantees its
   existence; here we additionally close it under fault reachability).
+
+Both are single scans over a :class:`~repro.core.regions.StateIndex`'s
+per-action adjacency; the synthesis pipelines pass the program's shared
+universe index so successor relations and safety sweeps are computed
+once per space, not once per call.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Callable, Iterable, List, Sequence, Set, Tuple
 
 from ..core.action import Action
 from ..core.faults import FaultClass
-from ..core.invariants import _safety_checks
+from ..core.invariants import _safety_checks, _successors_allowed
 from ..core.predicate import Predicate
+from ..core.regions import StateIndex, iter_bits
 from ..core.specification import Spec
 from ..core.state import State
 
@@ -37,39 +48,79 @@ def fault_unsafe_region(
 
     Seed: states that are themselves bad, plus sources of bad fault
     transitions.  Fixpoint: any state with a fault edge into the region
-    joins it.
+    joins it (backward closure over indexed fault-predecessor lists).
     """
     state_checks, transition_checks = _safety_checks(spec.safety_part())
-    universe: List[State] = list(states)
+    index = StateIndex(states)
+    unsafe_bits = _fault_unsafe_bits(
+        index, faults.actions, state_checks, transition_checks
+    )
+    index_states = index.states
+    return {index_states[i] for i in iter_bits(unsafe_bits, index.n)}
 
-    region: Set[State] = {
-        s for s in universe if not all(check(s) for check in state_checks)
-    }
-    changed = True
-    while changed:
-        changed = False
-        for state in universe:
-            if state in region:
-                continue
-            for fault_action in faults.actions:
-                doomed = False
-                for successor in fault_action.successors(state):
-                    if successor in region:
-                        doomed = True
-                        break
-                    if not all(check(successor) for check in state_checks):
-                        doomed = True
-                        break
+
+def _fault_unsafe_bits(
+    index: StateIndex,
+    fault_actions: Sequence[Action],
+    state_checks: Sequence[Callable[[State], bool]],
+    transition_checks: Sequence[Callable[[State, State], bool]],
+) -> int:
+    """Bits of the paper's ``ms`` region over ``index``.
+
+    One pass over the fault adjacency builds the predecessor lists and
+    the seed (bad states, sources of bad or index-escaping-into-badness
+    fault transitions); a worklist then closes the seed backward.
+    """
+    n = index.n
+    states = index.states
+    in_region = bytearray((n + 7) >> 3)
+    worklist: deque = deque()
+
+    def mark(i: int) -> None:
+        k, b = i >> 3, 1 << (i & 7)
+        if not in_region[k] & b:
+            in_region[k] |= b
+            worklist.append(i)
+
+    if state_checks:
+        for i, state in enumerate(states):
+            if not all(check(state) for check in state_checks):
+                mark(i)
+
+    preds: List[List[int]] = [[] for _ in range(n)]
+    for action in fault_actions:
+        rows, extern = index.action_edges(action)
+        for u, row in enumerate(rows):
+            for v in row:
+                preds[v].append(u)
+            if transition_checks and row:
+                source = states[u]
+                for v in row:
                     if not all(
-                        check(state, successor) for check in transition_checks
+                        check(source, states[v])
+                        for check in transition_checks
                     ):
-                        doomed = True
+                        mark(u)
                         break
-                if doomed:
-                    region.add(state)
-                    changed = True
-                    break
-    return region
+        for u, outside in extern.items():
+            # successors beyond the given universe still count as
+            # violations when they are bad states or bad transitions
+            # (matching the set-based semantics exactly); a *good*
+            # out-of-universe successor can never be in the region
+            source = states[u]
+            if not _successors_allowed(
+                source, outside, state_checks, transition_checks
+            ):
+                mark(u)
+
+    while worklist:
+        v = worklist.popleft()
+        for u in preds[v]:
+            k, b = u >> 3, 1 << (u & 7)
+            if not in_region[k] & b:
+                in_region[k] |= b
+                worklist.append(u)
+    return int.from_bytes(in_region, "little")
 
 
 def safe_action_predicate(
@@ -87,23 +138,57 @@ def safe_action_predicate(
     transition, outside ``unsafe``.
     """
     state_checks, transition_checks = _safety_checks(spec.safety_part())
-    good: List[State] = []
-    for state in states:
-        if state in unsafe:
-            continue
-        safe = True
-        for successor in action.successors(state):
-            if successor in unsafe:
-                safe = False
-                break
-            if not all(check(successor) for check in state_checks):
-                safe = False
-                break
-            if not all(check(state, successor) for check in transition_checks):
-                safe = False
-                break
-        if safe:
-            good.append(state)
-    return Predicate.from_states(
-        good, name=name or f"safe({action.name})"
+    index = StateIndex(states)
+    unsafe_data = index.region_of(unsafe).data()
+    good_bits = _safe_action_bits(
+        index, action, unsafe_data, state_checks, transition_checks,
+        extern_unsafe=unsafe,
     )
+    index_states = index.states
+    return Predicate.from_states(
+        (index_states[i] for i in iter_bits(good_bits, index.n)),
+        name=name or f"safe({action.name})",
+    )
+
+
+def _safe_action_bits(
+    index: StateIndex,
+    action: Action,
+    unsafe_data: bytes,
+    state_checks: Sequence[Callable[[State], bool]],
+    transition_checks: Sequence[Callable[[State, State], bool]],
+    extern_unsafe=None,
+) -> int:
+    """Bits of the safe-execution predicate of ``action``: sources
+    outside ``unsafe`` all of whose successors are allowed and outside
+    ``unsafe``.  Single pass over the action's indexed adjacency."""
+    n = index.n
+    states = index.states
+    rows, extern = index.action_edges(action)
+    good = bytearray((n + 7) >> 3)
+    for u in range(n):
+        if unsafe_data[u >> 3] & (1 << (u & 7)):
+            continue
+        source = states[u]
+        ok = True
+        for v in rows[u]:
+            if unsafe_data[v >> 3] & (1 << (v & 7)):
+                ok = False
+                break
+            target = states[v]
+            if not all(check(target) for check in state_checks):
+                ok = False
+                break
+            if not all(
+                check(source, target) for check in transition_checks
+            ):
+                ok = False
+                break
+        if ok and u in extern:
+            ok = _successors_allowed(
+                source, extern[u], state_checks, transition_checks,
+                forbidden=extern_unsafe,
+            )
+        if ok:
+            good[u >> 3] |= 1 << (u & 7)
+    return int.from_bytes(good, "little")

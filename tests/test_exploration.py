@@ -3,7 +3,11 @@
 import pytest
 
 from repro.core.action import Action, assign
-from repro.core.exploration import TransitionSystem
+from repro.core.exploration import (
+    TransitionSystem,
+    clear_system_cache,
+    explored_system,
+)
 from repro.core.faults import set_variable
 from repro.core.predicate import Predicate, TRUE
 from repro.core.program import Program
@@ -65,6 +69,30 @@ class TestExploration:
     def test_states_satisfying(self):
         ts = TransitionSystem(chain(3), [State(x=0)])
         assert len(ts.states_satisfying(Predicate(lambda s: s["x"] > 1))) == 2
+
+
+class TestExploredSystemCache:
+    def test_failed_exploration_is_not_cached(self):
+        """A ``max_states`` overflow must not poison the memo: the same
+        call retried with a larger budget succeeds, and the overflowing
+        budget keeps raising (a success at one budget must not be
+        returned for a stricter one)."""
+        clear_system_cache()
+        program = chain(50)
+        starts = [State(x=0)]
+        try:
+            with pytest.raises(RuntimeError, match="max_states"):
+                explored_system(program, starts, max_states=5)
+            ts = explored_system(program, starts, max_states=500)
+            assert len(ts.states) == 51
+            # the successful system is memoized under its own budget...
+            assert explored_system(program, starts, max_states=500) is ts
+            # ...and the failing budget still fails rather than hitting
+            # a stale or partially-explored cache entry
+            with pytest.raises(RuntimeError, match="max_states"):
+                explored_system(program, starts, max_states=5)
+        finally:
+            clear_system_cache()
 
 
 class TestClosure:

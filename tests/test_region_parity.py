@@ -1,0 +1,317 @@
+"""Parity: the indexed bitset fixpoints vs the set-based originals.
+
+The region engine rewrote three fixpoints — the largest safe invariant,
+the fault-unsafe region (the paper's ``ms``), and the liveness-violation
+core — from set-scanning loops to bitset worklists over indexed
+adjacency.  These tests pin the *pre-rewrite implementations* verbatim
+as oracles and check that the new engine computes identical sets on
+every bundled scenario.  If an engine change alters any of these
+results, the parity failure localizes it immediately.
+"""
+
+from collections import deque
+from typing import Dict, FrozenSet, List, Set
+
+import pytest
+
+from repro.core.exploration import TransitionSystem
+from repro.core.fairness import liveness_violating_states
+from repro.core.invariants import _safety_checks, largest_invariant_for_safety
+from repro.core.specification import LeadsTo
+from repro.core.state import State
+from repro.synthesis.weakest import fault_unsafe_region
+
+
+# -- the pre-rewrite implementations, pinned as oracles ---------------------
+
+def _oracle_largest_invariant(program, spec) -> Set[State]:
+    state_checks, transition_checks = _safety_checks(spec.safety_part())
+    candidate: Set[State] = {
+        s for s in program.states() if all(check(s) for check in state_checks)
+    }
+    changed = True
+    while changed:
+        changed = False
+        to_remove: Set[State] = set()
+        for state in candidate:
+            for action in program.actions:
+                for successor in action.successors(state):
+                    if successor not in candidate or not all(
+                        check(state, successor) for check in transition_checks
+                    ):
+                        to_remove.add(state)
+                        break
+                else:
+                    continue
+                break
+        if to_remove:
+            candidate -= to_remove
+            changed = True
+    return candidate
+
+
+def _oracle_fault_unsafe(faults, spec, states) -> Set[State]:
+    state_checks, transition_checks = _safety_checks(spec.safety_part())
+    universe: List[State] = list(states)
+    region: Set[State] = {
+        s for s in universe if not all(check(s) for check in state_checks)
+    }
+    changed = True
+    while changed:
+        changed = False
+        for state in universe:
+            if state in region:
+                continue
+            for fault_action in faults.actions:
+                doomed = False
+                for successor in fault_action.successors(state):
+                    if successor in region:
+                        doomed = True
+                        break
+                    if not all(check(successor) for check in state_checks):
+                        doomed = True
+                        break
+                    if not all(
+                        check(state, successor) for check in transition_checks
+                    ):
+                        doomed = True
+                        break
+                if doomed:
+                    region.add(state)
+                    changed = True
+                    break
+    return region
+
+
+def _oracle_sccs(nodes, edges_from) -> List[Set[State]]:
+    nodes = list(nodes)
+    index_of: Dict[State, int] = {}
+    lowlink: Dict[State, int] = {}
+    on_stack: Set[State] = set()
+    stack: List[State] = []
+    components: List[Set[State]] = []
+    counter = [0]
+    for root in nodes:
+        if root in index_of:
+            continue
+        work = [(root, iter(edges_from(root)))]
+        index_of[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for successor in successors:
+                if successor not in index_of:
+                    index_of[successor] = lowlink[successor] = counter[0]
+                    counter[0] += 1
+                    stack.append(successor)
+                    on_stack.add(successor)
+                    work.append((successor, iter(edges_from(successor))))
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[successor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                component: Set[State] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+def _oracle_fair_recurrent_sccs(ts, region) -> List[Set[State]]:
+    def internal_successors(state):
+        return [t for _, t in ts.program_edges_from(state) if t in region]
+
+    recurrent: List[Set[State]] = []
+    for component in _oracle_sccs(region, internal_successors):
+        internal_edges = [
+            (s, a, t)
+            for s in component
+            for a, t in ts.program_edges_from(s)
+            if t in component
+        ]
+        if not internal_edges:
+            continue
+        internal_labels: FrozenSet[str] = frozenset(
+            a for _, a, _ in internal_edges
+        )
+        fair = True
+        for action in ts.program.actions:
+            if all(action.enabled(s) for s in component):
+                if action.name not in internal_labels:
+                    fair = False
+                    break
+        if fair:
+            recurrent.append(component)
+    return recurrent
+
+
+def _oracle_liveness_violating(ts, source, target) -> Set[State]:
+    avoid_region: Set[State] = {s for s in ts.states if not target(s)}
+    core: Set[State] = set()
+    for component in _oracle_fair_recurrent_sccs(ts, avoid_region):
+        core |= component
+    for state in avoid_region:
+        if ts.program.is_deadlocked(state):
+            core.add(state)
+
+    predecessors: Dict[State, List[State]] = {s: [] for s in ts.states}
+    for state in ts.states:
+        for _, nxt in ts.edges_from(state, include_faults=True):
+            if nxt in predecessors:
+                predecessors[nxt].append(state)
+
+    danger: Set[State] = set(core)
+    frontier = deque(core)
+    while frontier:
+        state = frontier.popleft()
+        for previous in predecessors[state]:
+            if previous in avoid_region and previous not in danger:
+                danger.add(previous)
+                frontier.append(previous)
+
+    bad_sources = {s for s in danger if source(s)}
+    violating: Set[State] = set(bad_sources)
+    frontier = deque(bad_sources)
+    while frontier:
+        state = frontier.popleft()
+        for previous in predecessors[state]:
+            if previous not in violating:
+                violating.add(previous)
+                frontier.append(previous)
+    return violating
+
+
+# -- bundled scenarios ------------------------------------------------------
+
+def _memory_access_cases():
+    from repro.programs import memory_access
+
+    m = memory_access.build()
+    return [
+        ("memory_access/p", m.p, m.fault_anytime, m.spec),
+        ("memory_access/pf", m.pf, m.fault_before_witness, m.spec),
+        ("memory_access/pn", m.pn, m.fault_anytime, m.spec),
+        ("memory_access/pm", m.pm, m.fault_before_witness, m.spec),
+    ]
+
+
+def _small_cases():
+    from repro.programs import (
+        barrier,
+        leader_election,
+        mutual_exclusion,
+        tmr,
+        token_ring,
+    )
+
+    t = tmr.build()
+    r = token_ring.build(4)
+    x = mutual_exclusion.build(3)
+    b = barrier.build(3)
+    e = leader_election.build((3, 1, 2))
+    return _memory_access_cases() + [
+        ("tmr/tmr", t.tmr, t.faults, t.spec),
+        ("tmr/dr_ir", t.dr_ir, t.faults, t.spec),
+        ("token_ring", r.ring, r.faults, r.spec),
+        ("mutual_exclusion", x.tolerant, x.faults, x.spec),
+        ("barrier", b.tolerant, b.faults, b.spec),
+        ("leader_election", e.program, e.faults, e.spec),
+    ]
+
+
+def _byzantine_cases():
+    from repro.programs import byzantine
+
+    b = byzantine.build()
+    return [
+        ("byzantine/failsafe", b.failsafe, b.faults, b.spec, b.span),
+        ("byzantine/masking", b.masking, b.faults, b.spec, b.span),
+    ]
+
+
+_SMALL = _small_cases()
+_BYZ = _byzantine_cases()
+
+
+@pytest.mark.parametrize(
+    "program,faults,spec",
+    [case[1:] for case in _SMALL],
+    ids=[case[0] for case in _SMALL],
+)
+class TestSmallScenarioParity:
+    def test_largest_invariant(self, program, faults, spec):
+        expected = _oracle_largest_invariant(program, spec)
+        predicate = largest_invariant_for_safety(program, spec)
+        computed = {s for s in program.states() if predicate(s)}
+        assert computed == expected
+
+    def test_fault_unsafe_region(self, program, faults, spec):
+        states = list(program.states())
+        expected = _oracle_fault_unsafe(faults, spec, states)
+        computed = fault_unsafe_region(faults, spec, states)
+        assert computed == expected
+
+    def test_liveness_violating_states(self, program, faults, spec):
+        leads_tos = [
+            c for c in spec.liveness_part().components
+            if isinstance(c, LeadsTo)
+        ]
+        if not leads_tos:
+            pytest.skip("scenario has no leads-to component")
+        ts = TransitionSystem(
+            program,
+            list(program.states()),
+            fault_actions=list(faults.actions),
+        )
+        for component in leads_tos:
+            expected = _oracle_liveness_violating(
+                ts, component.source, component.target
+            )
+            computed = liveness_violating_states(
+                ts, component.source, component.target
+            )
+            assert set(computed) == expected
+
+
+@pytest.mark.parametrize(
+    "program,faults,spec,span",
+    [case[1:] for case in _BYZ],
+    ids=[case[0] for case in _BYZ],
+)
+class TestByzantineParity:
+    # The 23,328-state product space: too large for the quadratic
+    # invariant oracle, but the worklist oracles stay linear enough.
+
+    def test_fault_unsafe_region(self, program, faults, spec, span):
+        states = list(program.states())
+        expected = _oracle_fault_unsafe(faults, spec, states)
+        computed = fault_unsafe_region(faults, spec, states)
+        assert computed == expected
+
+    def test_liveness_violating_states(self, program, faults, spec, span):
+        ts = faults.system(program, span)
+        component = next(
+            c for c in spec.liveness_part().components
+            if isinstance(c, LeadsTo)
+        )
+        expected = _oracle_liveness_violating(
+            ts, component.source, component.target
+        )
+        computed = liveness_violating_states(
+            ts, component.source, component.target
+        )
+        assert set(computed) == expected
