@@ -1,0 +1,64 @@
+"""Static analysis for guarded-command programs (``repro lint``).
+
+A rule-based linter that checks program, fault-class, and component
+definitions *without* exhaustive state-space exploration: every rule
+evaluates guards, statements, and predicates pointwise over a bounded
+probe set (exhaustive for small spaces, seeded-sampled otherwise) and
+emits structured :class:`~repro.analysis.diagnostics.Diagnostic`\\ s
+with stable codes.
+
+Rules and code ranges:
+
+- ``DC0xx`` — totality: guards/statements that raise during probing.
+- ``DC1xx`` — frame soundness (:mod:`repro.analysis.frames`):
+  ``reads``/``writes`` declarations validated by differential probing;
+  a wrong frame silently corrupts the successor memo introduced in the
+  perf core, which is exactly the class of bug a test suite built on
+  the same memo cannot see.
+- ``DC2xx`` — interference (:mod:`repro.analysis.interference`):
+  the paper's interference-freedom condition checked semantically for
+  declared correctors, plus an advisory read/write race audit.
+- ``DC3xx`` — guard satisfiability (:mod:`repro.analysis.guards`):
+  dead guards, actions never enabled from the start set, pure
+  stutterers.
+- ``DC4xx`` — spec well-formedness (:mod:`repro.analysis.specs`):
+  representable safety shapes (Lemma 3.2), satisfiability, and the
+  invariant/span closure preconditions every tolerance definition
+  assumes.
+
+Entry points: :func:`lint` / :func:`lint_program` for one target, the
+:data:`LINT_CATALOGUE` for the bundled programs, and ``repro lint`` on
+the command line.
+"""
+
+from .diagnostics import (
+    Diagnostic,
+    InterferenceError,
+    LintReport,
+    Severity,
+    Suppression,
+)
+from .catalogue import LINT_CATALOGUE, all_lint_targets, lint_targets
+from .frames import check_frames, format_frame, infer_frame
+from .guards import check_guards
+from .interference import (
+    check_interference,
+    interference_diagnostics_for_states,
+)
+from .linter import LintConfig, LintTarget, lint, lint_program
+from .probe import ProbeSet, build_probe, raw_successors
+from .reporters import render_json, render_text, summarize, worst_severity
+from .specs import check_closure, check_spec
+
+__all__ = [
+    "Diagnostic", "Severity", "Suppression", "LintReport",
+    "InterferenceError",
+    "LintConfig", "LintTarget", "lint", "lint_program",
+    "LINT_CATALOGUE", "lint_targets", "all_lint_targets",
+    "check_frames", "infer_frame", "format_frame",
+    "check_guards", "check_interference",
+    "interference_diagnostics_for_states",
+    "check_spec", "check_closure",
+    "ProbeSet", "build_probe", "raw_successors",
+    "render_text", "render_json", "summarize", "worst_severity",
+]

@@ -1,0 +1,268 @@
+"""Lint targets for every bundled catalogue program.
+
+Each entry of :data:`LINT_CATALOGUE` mirrors an entry of
+:data:`repro.cli.CATALOGUE` and expands into one or more
+:class:`~repro.analysis.linter.LintTarget`\\ s — one per program variant
+the entry verifies (``memory_access`` contributes ``p``/``pf``/``pn``/
+``pm``, ``tmr`` contributes ``ir``/``dr_ir``/``tmr``, …).  The targets
+carry the same invariants, spans, and fault classes the ``verify``
+subcommand uses, so ``repro lint --all --strict`` is a static
+pre-flight over exactly the artifacts the exhaustive certificates run
+on.
+
+Classification notes (the interesting part of each target):
+
+- ``correctors`` lists reset-style corrector actions — their guards
+  must be false everywhere inside the invariant, and the strict
+  semantic interference rule (``DC203``) enforces that.
+- ``components`` lists composed detector/corrector actions that
+  *legitimately* execute inside the invariant (a detector setting its
+  witness, TMR's majority vote, the modelled Byzantine behaviour):
+  they are exempt from the start-set advisory but not held to the
+  strict condition.
+- A span is only attached where it is actually closed under the
+  target's action set: ``T_io`` is not closed under the *unguarded*
+  ``IR``, so the ``tmr/ir`` target carries the invariant alone.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..core.predicate import TRUE
+from .linter import LintTarget
+
+__all__ = ["LINT_CATALOGUE", "lint_targets", "all_lint_targets"]
+
+
+def _memory_access() -> List[LintTarget]:
+    from ..programs import memory_access
+
+    m = memory_access.build()
+    return [
+        # the intolerant program: no faults, no span — but its invariant
+        # must still be closed and its spec representable
+        LintTarget(name="memory_access/p", program=m.p,
+                   spec=m.spec, invariant=m.S_p),
+        # fail-safe: pf1 is a *detector* (it raises the witness Z1
+        # inside the invariant), so it is advisory, not strict
+        LintTarget(name="memory_access/pf", program=m.pf,
+                   spec=m.spec, invariant=m.S_pf, span=m.T_pf,
+                   faults=m.fault_before_witness,
+                   components=("pf1",)),
+        # nonmasking: pn1 restores mem and must be disabled inside S_pn
+        LintTarget(name="memory_access/pn", program=m.pn,
+                   spec=m.spec, invariant=m.S_pn, span=m.T_pn,
+                   faults=m.fault_anytime,
+                   correctors=("pn1",)),
+        # masking: corrector pm1 strict, detector pm2 advisory
+        LintTarget(name="memory_access/pm", program=m.pm,
+                   spec=m.spec, invariant=m.S_pm, span=m.T_pm,
+                   faults=m.fault_before_witness,
+                   correctors=("pm1",), components=("pm2",)),
+    ]
+
+
+def _tmr() -> List[LintTarget]:
+    from ..programs import tmr
+
+    t = tmr.build()
+    return [
+        # T_io is not closed under the unguarded IR (IR1 may copy the
+        # corrupted input), so the intolerant target gets S_io only
+        LintTarget(name="tmr/ir", program=t.ir,
+                   spec=t.spec, invariant=t.invariant),
+        LintTarget(name="tmr/dr_ir", program=t.dr_ir,
+                   spec=t.spec, invariant=t.invariant, span=t.span,
+                   faults=t.faults),
+        # CR1/CR2 vote inside the invariant (out=⊥ there), so they are
+        # inline correctors — advisory, not reset-style
+        LintTarget(name="tmr/tmr", program=t.tmr,
+                   spec=t.spec, invariant=t.invariant, span=t.span,
+                   faults=t.faults,
+                   components=("CR1", "CR2")),
+    ]
+
+
+def _byzantine() -> List[LintTarget]:
+    from ..programs import byzantine
+
+    b = byzantine.build()
+    lies = tuple(
+        a.name for a in b.failsafe.actions if ".lie" in a.name
+    )
+    return [
+        LintTarget(name="byzantine/failsafe", program=b.failsafe,
+                   spec=b.spec, invariant=b.invariant, span=b.span,
+                   faults=b.faults,
+                   components=lies),
+        # the CB guard needs d.j ≠ majority, which is false everywhere
+        # inside S_byz — strict correctors
+        LintTarget(name="byzantine/masking", program=b.masking,
+                   spec=b.spec, invariant=b.invariant, span=b.span,
+                   faults=b.faults,
+                   correctors=("CB1.1", "CB1.2", "CB1.3"),
+                   components=lies),
+    ]
+
+
+def _token_ring() -> List[LintTarget]:
+    from ..programs import token_ring
+
+    r = token_ring.build(4)
+    return [
+        # self-stabilizing: the move actions run inside the invariant
+        # too (the token holder moves), so none are correctors
+        LintTarget(name="token_ring", program=r.ring,
+                   spec=r.spec, invariant=r.invariant, span=TRUE,
+                   faults=r.faults),
+    ]
+
+
+def _mutual_exclusion() -> List[LintTarget]:
+    from ..programs import mutual_exclusion
+
+    x = mutual_exclusion.build(3)
+    return [
+        LintTarget(name="mutual_exclusion/intolerant",
+                   program=x.intolerant,
+                   spec=x.spec, invariant=x.invariant),
+        LintTarget(name="mutual_exclusion/tolerant", program=x.tolerant,
+                   spec=x.spec, invariant=x.invariant, span=x.span,
+                   faults=x.faults,
+                   correctors=("regenerate",)),
+        # the duplication fault-class with its own span; regenerate and
+        # dedup both fire only outside "exactly one token"
+        LintTarget(name="mutual_exclusion/multitolerant",
+                   program=x.multitolerant,
+                   spec=x.spec_strong, invariant=x.invariant,
+                   span=x.span_duplication, faults=x.duplication,
+                   correctors=("regenerate", "dedup")),
+    ]
+
+
+def _leader_election() -> List[LintTarget]:
+    from ..programs import leader_election
+
+    e = leader_election.build((3, 1, 2))
+    return [
+        # elect actions are the stabilizing corrector: all candidates
+        # already hold max(ids) inside the invariant
+        LintTarget(name="leader_election", program=e.program,
+                   spec=e.spec, invariant=e.invariant, span=TRUE,
+                   faults=e.faults,
+                   correctors=tuple(
+                       a.name for a in e.program.actions
+                   )),
+    ]
+
+
+def _termination_detection() -> List[LintTarget]:
+    from ..programs import termination_detection
+
+    t = termination_detection.build(3)
+    scanner = tuple(
+        a.name for a in t.detector.actions if a.name.startswith("scan")
+    )
+    return [
+        # a pure detector: no invariant/faults, lint from U_td; with no
+        # invariant the interference rule falls back to the frame-race
+        # audit, which (correctly) flags the dirty-bit handshake
+        LintTarget(name="termination_detection", program=t.detector,
+                   spec=t.spec, start=t.from_,
+                   components=scanner),
+    ]
+
+
+def _distributed_reset() -> List[LintTarget]:
+    from ..programs import distributed_reset
+
+    d = distributed_reset.build(3, 2)
+    return [
+        # the whole program is one distributed corrector: every action
+        # is disabled in the all-clean invariant
+        LintTarget(name="distributed_reset", program=d.program,
+                   spec=d.spec, invariant=d.invariant, span=d.span,
+                   faults=d.faults,
+                   correctors=tuple(
+                       a.name for a in d.program.actions
+                   )),
+    ]
+
+
+def _tree_maintenance() -> List[LintTarget]:
+    from ..programs import tree_maintenance
+
+    t = tree_maintenance.build()
+    return [
+        LintTarget(name="tree_maintenance", program=t.program,
+                   spec=t.spec, invariant=t.invariant, span=TRUE,
+                   faults=t.faults,
+                   correctors=tuple(
+                       a.name for a in t.program.actions
+                   )),
+    ]
+
+
+def _barrier() -> List[LintTarget]:
+    from ..programs import barrier
+
+    b = barrier.build(3)
+    re_announce = tuple(
+        a.name for a in b.tolerant.actions
+        if a.name.startswith("re_announce")
+    )
+    return [
+        LintTarget(name="barrier/intolerant", program=b.intolerant,
+                   spec=b.spec, invariant=b.invariant, span=b.span,
+                   faults=b.faults),
+        # flags mirror arrival inside S_barrier, so re-announce is
+        # disabled there — strict correctors
+        LintTarget(name="barrier/tolerant", program=b.tolerant,
+                   spec=b.spec, invariant=b.invariant, span=b.span,
+                   faults=b.faults,
+                   correctors=re_announce),
+    ]
+
+
+def _failure_detector() -> List[LintTarget]:
+    from ..failure_detectors import build
+
+    fd = build(limit=2)
+    return [
+        LintTarget(name="failure_detector", program=fd.program,
+                   spec=None, start=fd.from_, faults=fd.faults),
+    ]
+
+
+#: catalogue name -> builder of that entry's lint targets
+LINT_CATALOGUE: Dict[str, Callable[[], List[LintTarget]]] = {
+    "memory_access": _memory_access,
+    "tmr": _tmr,
+    "byzantine": _byzantine,
+    "token_ring": _token_ring,
+    "mutual_exclusion": _mutual_exclusion,
+    "leader_election": _leader_election,
+    "termination_detection": _termination_detection,
+    "distributed_reset": _distributed_reset,
+    "tree_maintenance": _tree_maintenance,
+    "barrier": _barrier,
+    "failure_detector": _failure_detector,
+}
+
+
+def lint_targets(name: str) -> List[LintTarget]:
+    """The lint targets of one catalogue entry."""
+    try:
+        builder = LINT_CATALOGUE[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown catalogue entry {name!r}; "
+            f"choose from {sorted(LINT_CATALOGUE)}"
+        ) from None
+    return builder()
+
+
+def all_lint_targets() -> List[LintTarget]:
+    """Every lint target of every catalogue entry, in catalogue order."""
+    return [t for name in LINT_CATALOGUE for t in lint_targets(name)]

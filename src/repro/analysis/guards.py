@@ -1,0 +1,155 @@
+"""Guard satisfiability: dead guards and never-enabled actions.
+
+An action whose guard is false on every schema-consistent valuation is
+dead code — it can never contribute a transition, which in a
+guarded-command model almost always means a typo in the guard (a
+conjunction that accidentally became unsatisfiable, a comparison against
+a value outside the domain).  Weaker variants are worth surfacing too:
+
+- ``DC301``: the guard is false on every probed valuation.  An error on
+  an exhaustive probe (the action is provably dead), a warning on a
+  sampled one (never observed enabled).
+- ``DC302`` (info): the guard is satisfiable, but disjoint from the
+  target's start set (``from_``/invariant).  Detector and corrector
+  actions are *designed* to be disabled inside the invariant
+  (interference freedom), so this rule skips declared component
+  actions; for base-program actions it usually means the action only
+  runs after faults.
+- ``DC303`` (info): the action is enabled somewhere but every enabled
+  probed valuation yields only self-loops — the action never changes
+  the state (a detector that witnesses nothing, or a statement that
+  re-assigns current values).
+- ``DC001`` (error): the guard or statement raised during probing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..core.action import Action
+from ..core.predicate import Predicate
+from .diagnostics import Diagnostic, Severity
+from .probe import ProbeSet, raw_successors
+
+__all__ = ["check_guards"]
+
+RULE = "guard-satisfiability"
+
+
+def check_guards(
+    actions: Sequence[Action],
+    probe: ProbeSet,
+    target: str = "",
+    start: Optional[Predicate] = None,
+    component_names: Iterable[str] = (),
+    kind: str = "action",
+) -> List[Diagnostic]:
+    """Guard diagnostics for ``actions`` over ``probe`` (see module doc).
+
+    ``kind`` labels the actions in messages (``"action"`` for program
+    actions, ``"fault action"`` for a fault class); a dead fault action
+    means the modelled fault can never strike, which is as suspicious as
+    a dead program action.
+    """
+    component_names = frozenset(component_names)
+    diagnostics: List[Diagnostic] = []
+    start_fn = start.fn if start is not None else None
+
+    for action in actions:
+        enabled_anywhere = False
+        enabled_in_start = False
+        changes_state = False
+        failure: Optional[Diagnostic] = None
+        for state in probe.states:
+            try:
+                if not action.guard.fn(state):
+                    continue
+                enabled_anywhere = True
+                if start_fn is not None and not enabled_in_start:
+                    enabled_in_start = bool(start_fn(state))
+                if not changes_state:
+                    for successor in raw_successors(action, state):
+                        if successor != state:
+                            changes_state = True
+                            break
+            except Exception as exc:
+                failure = Diagnostic(
+                    code="DC001",
+                    severity=Severity.ERROR,
+                    rule=RULE,
+                    message=(
+                        f"guard or statement of {action.name!r} raised "
+                        f"{type(exc).__name__}: {exc}"
+                    ),
+                    target=target,
+                    action=action.name,
+                    evidence=repr(state),
+                    hint="guards and statements must be total on the full "
+                         "Cartesian state space",
+                )
+                break
+            if (
+                enabled_anywhere and changes_state
+                and (start_fn is None or enabled_in_start)
+            ):
+                break  # nothing left to learn about this action
+        if failure is not None:
+            diagnostics.append(failure)
+            continue
+
+        if not enabled_anywhere:
+            diagnostics.append(Diagnostic(
+                code="DC301",
+                severity=Severity.ERROR if probe.exhaustive
+                else Severity.WARNING,
+                rule=RULE,
+                message=(
+                    f"guard of {kind} {action.name!r} is "
+                    + ("unsatisfiable: the action is dead code"
+                       if probe.exhaustive else
+                       f"false on all {len(probe)} sampled valuations")
+                ),
+                target=target,
+                action=action.name,
+                hint="check the guard against the variable domains",
+                sampled=not probe.exhaustive,
+            ))
+            continue
+
+        if (
+            start_fn is not None
+            and not enabled_in_start
+            and action.name not in component_names
+        ):
+            diagnostics.append(Diagnostic(
+                code="DC302",
+                severity=Severity.INFO,
+                rule=RULE,
+                message=(
+                    f"{kind} {action.name!r} is never enabled in the "
+                    f"start set ({start.name}); it only runs outside it"
+                ),
+                target=target,
+                action=action.name,
+                hint="expected for recovery actions; otherwise check the "
+                     "guard against the start predicate",
+                sampled=not probe.exhaustive,
+            ))
+
+        if not changes_state:
+            diagnostics.append(Diagnostic(
+                code="DC303",
+                severity=Severity.INFO,
+                rule=RULE,
+                message=(
+                    f"{kind} {action.name!r} is enabled but never changes "
+                    f"the state on any probed valuation (self-loops only)"
+                ),
+                target=target,
+                action=action.name,
+                hint="a pure stutter action; drop it unless the self-loop "
+                     "is intentional",
+                sampled=not probe.exhaustive,
+            ))
+
+    return diagnostics

@@ -1,0 +1,196 @@
+"""The linter driver: one target in, one :class:`LintReport` out.
+
+A :class:`LintTarget` names a program plus the optional semantic
+context the rules can exploit — spec, invariant, fault-span, fault
+class, start set, and a declared split of the actions into base program
+vs detector/corrector components.  :func:`lint` runs every applicable
+rule over a shared probe set and applies the target's suppressions.
+
+Nothing here explores a transition system: every rule evaluates guards,
+statements, and predicates pointwise on the probe states.  That is what
+makes ``repro lint`` cheap enough to run on every catalogue entry in CI
+while `repro verify` remains the (exhaustive, expensive) certificate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from ..core.action import Action
+from ..core.faults import FaultClass
+from ..core.predicate import Predicate
+from ..core.program import Program
+from ..core.specification import Spec
+from ..core.state import State
+from .diagnostics import LintReport, Suppression
+from .frames import check_frames
+from .guards import check_guards
+from .interference import check_interference
+from .probe import build_probe
+from .specs import check_closure, check_spec
+
+__all__ = ["LintConfig", "LintTarget", "lint", "lint_program"]
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Tunable budgets for one lint run.
+
+    The defaults keep a full-catalogue run in CI territory: spaces up to
+    ``probe_limit`` states are enumerated (rule results are proofs
+    there); larger spaces are sampled with ``seed``; differential frame
+    probing spends at most ``pair_budget`` perturbation pairs per
+    action, trying at most ``alt_limit`` alternative values per
+    variable; closure sweeps stop after ``closure_limit`` in-predicate
+    states.
+    """
+
+    probe_limit: int = 4096
+    pair_budget: int = 2000
+    alt_limit: int = 3
+    closure_limit: int = 2048
+    invariant_limit: int = 1 << 16
+    seed: int = 0
+    suggest_frames: bool = False
+
+
+@dataclass(frozen=True)
+class LintTarget:
+    """One lintable program with its semantic context.
+
+    ``correctors`` names the actions (of ``program``) added as
+    reset-style correctors: their job is done inside the invariant, so
+    they get the strict semantic interference rule (``DC203``).
+    ``components`` names other composed detector/corrector actions —
+    ones that legitimately execute inside the invariant (detectors
+    setting a witness, TMR's majority vote) — which only get the
+    advisory race audit.  Both classes are exempt from the
+    start-set-disjointness advisory (``DC302``): being disabled inside
+    the invariant is their design.
+    """
+
+    name: str
+    program: Program
+    spec: Optional[Spec] = None
+    invariant: Optional[Predicate] = None
+    span: Optional[Predicate] = None
+    faults: Optional[FaultClass] = None
+    start: Optional[Predicate] = None
+    correctors: Tuple[str, ...] = ()
+    components: Tuple[str, ...] = ()
+    suppressions: Tuple[Suppression, ...] = ()
+
+    def _named(self, names: frozenset) -> Tuple[Action, ...]:
+        return tuple(a for a in self.program.actions if a.name in names)
+
+    def corrector_actions(self) -> Tuple[Action, ...]:
+        return self._named(frozenset(self.correctors))
+
+    def component_actions(self) -> Tuple[Action, ...]:
+        return self._named(frozenset(self.components))
+
+    def base_actions(self) -> Tuple[Action, ...]:
+        names = frozenset(self.correctors) | frozenset(self.components)
+        return tuple(a for a in self.program.actions if a.name not in names)
+
+
+def _invariant_states(
+    target: LintTarget, config: LintConfig, probe
+) -> Tuple[Sequence[State], bool]:
+    """The invariant states for the semantic interference rule, and
+    whether they are the *complete* set (full-space enumeration)."""
+    program = target.program
+    if program.state_count() <= config.invariant_limit:
+        return program.states_satisfying(target.invariant), True
+    fn = target.invariant.fn
+    return [s for s in probe.states if fn(s)], False
+
+
+def lint(target: LintTarget, config: Optional[LintConfig] = None) -> LintReport:
+    """Run every applicable rule over ``target``."""
+    config = config or LintConfig()
+    program = target.program
+    probe = build_probe(
+        program.variables, limit=config.probe_limit, seed=config.seed
+    )
+    report = LintReport(target=target.name)
+
+    fault_actions: Tuple[Action, ...] = (
+        tuple(target.faults.actions) if target.faults is not None else ()
+    )
+
+    # frame soundness — program actions and fault actions alike (fault
+    # actions run through the same successor machinery when explored)
+    for action in program.actions + fault_actions:
+        if action._base is not None:
+            # a restricted action ``Z ∧ ac`` delegates to its base
+            # action's memo; it carries no frame of its own to validate
+            continue
+        report.extend(check_frames(
+            action, program.variables, probe,
+            target=target.name,
+            suggest=config.suggest_frames,
+            pair_budget=config.pair_budget,
+            alt_limit=config.alt_limit,
+        ))
+
+    # guard satisfiability
+    start = target.start if target.start is not None else target.invariant
+    report.extend(check_guards(
+        program.actions, probe,
+        target=target.name,
+        start=start,
+        component_names=target.correctors + target.components,
+    ))
+    if fault_actions:
+        report.extend(check_guards(
+            fault_actions, probe,
+            target=target.name,
+            kind="fault action",
+        ))
+
+    # spec well-formedness
+    if target.spec is not None:
+        report.extend(check_spec(target.spec, probe, target=target.name))
+    report.extend(check_closure(
+        program.actions, probe,
+        invariant=target.invariant,
+        span=target.span,
+        fault_actions=fault_actions,
+        target=target.name,
+        closure_limit=config.closure_limit,
+    ))
+
+    # interference between base and composed corrector/component actions
+    correctors = target.corrector_actions()
+    components = target.component_actions()
+    if correctors or components:
+        if target.invariant is not None:
+            states, exhaustive = _invariant_states(target, config, probe)
+        else:
+            states, exhaustive = None, False
+        report.extend(check_interference(
+            target.base_actions(), correctors, program.variables, probe,
+            components=components,
+            invariant=target.invariant,
+            invariant_states=states,
+            invariant_exhaustive=exhaustive,
+            target=target.name,
+            pair_budget=min(config.pair_budget, 500),
+        ))
+
+    report.apply_suppressions(target.suppressions)
+    return report
+
+
+def lint_program(program: Program, **context) -> LintReport:
+    """Convenience wrapper: lint a bare program.
+
+    ``context`` accepts the :class:`LintTarget` fields (``spec``,
+    ``invariant``, ``span``, ``faults``, ``start``, ``correctors``,
+    ``components``, ``suppressions``) plus ``config``.
+    """
+    config = context.pop("config", None)
+    target = LintTarget(name=program.name, program=program, **context)
+    return lint(target, config=config)

@@ -1,0 +1,105 @@
+"""Probe sets: the states the linter evaluates rules over.
+
+The linter never *explores* — it evaluates guards and statements on a
+set of schema-consistent valuations chosen up front:
+
+- when the full Cartesian space fits under ``limit`` states, the probe
+  set is the whole space and every clean rule result is a proof
+  (``exhaustive=True``);
+- otherwise the probe set is a deterministic seeded sample of the space
+  (plus the all-first-values and all-last-values corner states), and
+  clean results are reported as sampled evidence, not proofs.
+
+:func:`raw_successors` is the linter's view of an action: it calls the
+guard function and the statement directly, bypassing both the per-state
+successor memo and the frame-indexed class memo in
+:meth:`repro.core.action.Action.successors`.  That bypass is the point —
+the frame-soundness rule exists to validate the declarations those memos
+trust, so it must observe the action's *actual* behaviour.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from ..core.action import Action
+from ..core.state import State, Variable, state_space
+
+__all__ = ["ProbeSet", "build_probe", "raw_successors"]
+
+
+@dataclass(frozen=True)
+class ProbeSet:
+    """The valuations a lint run evaluates rules over."""
+
+    states: Tuple[State, ...]
+    exhaustive: bool       #: True iff ``states`` is the full Cartesian space
+    space_size: int        #: size of the full space (for reporting)
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+
+def build_probe(
+    variables: Sequence[Variable],
+    limit: int = 4096,
+    seed: int = 0,
+) -> ProbeSet:
+    """The probe set for a program's variables.
+
+    Deterministic for a given ``(variables, limit, seed)``: CI and local
+    runs see identical diagnostics.
+    """
+    space_size = 1
+    for variable in variables:
+        space_size *= len(variable.domain)
+    if space_size <= limit:
+        return ProbeSet(
+            states=tuple(state_space(variables)),
+            exhaustive=True,
+            space_size=space_size,
+        )
+
+    rng = random.Random(seed)
+    names = [v.name for v in variables]
+    domains = [v.domain for v in variables]
+    seen = set()
+    states = []
+
+    def record(values_by_name):
+        state = State(values_by_name)
+        key = state.values_tuple
+        if key not in seen:
+            seen.add(key)
+            states.append(state)
+
+    # corner states first: all-first and all-last domain values surface
+    # "everything still ⊥ / everything saturated" pathologies that a
+    # uniform sample of a large space is unlikely to hit
+    record({n: d[0] for n, d in zip(names, domains)})
+    record({n: d[-1] for n, d in zip(names, domains)})
+    attempts = 0
+    max_attempts = limit * 4
+    while len(states) < limit and attempts < max_attempts:
+        attempts += 1
+        record({n: rng.choice(d) for n, d in zip(names, domains)})
+    return ProbeSet(
+        states=tuple(states), exhaustive=False, space_size=space_size
+    )
+
+
+def raw_successors(action: Action, state: State) -> Tuple[State, ...]:
+    """The action's successors at ``state``, computed from first
+    principles — no per-state memo, no frame-indexed class memo, no
+    restricted-action base-memo shortcut.
+
+    For restricted actions (``Z ∧ ac``) the composed guard already
+    includes the restriction, so evaluating ``guard.fn`` + ``statement``
+    directly is exactly the restricted action's semantics.
+    """
+    if not action.guard.fn(state):
+        return ()
+    raw = action.statement(state)
+    return (raw,) if isinstance(raw, State) else tuple(raw)

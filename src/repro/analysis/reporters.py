@@ -1,0 +1,109 @@
+"""Render :class:`~repro.analysis.diagnostics.LintReport`\\ s.
+
+Two reporters, both writing to a file-like object:
+
+- :func:`render_text` — the human-facing format used by ``repro
+  lint``: one line per diagnostic (``target: CODE severity [action]
+  message``), an optional ``hint:`` continuation, and a per-run
+  summary line.
+- :func:`render_json` — one JSON document for the whole run
+  (``{"reports": [...], "summary": {...}}``), for CI artifacts and
+  editor integrations.  The shape is stable: diagnostics serialize via
+  :meth:`Diagnostic.to_dict`, which never drops keys.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence, TextIO
+
+from .diagnostics import Diagnostic, LintReport, Severity
+
+__all__ = ["render_text", "render_json", "summarize", "worst_severity"]
+
+
+def summarize(reports: Sequence[LintReport]) -> dict:
+    """Aggregate counts over a run, for both reporters."""
+    counts = {"error": 0, "warning": 0, "info": 0, "suppressed": 0}
+    for report in reports:
+        for diagnostic in report.diagnostics:
+            if diagnostic.suppressed:
+                counts["suppressed"] += 1
+            else:
+                counts[str(diagnostic.severity)] += 1
+    counts["targets"] = len(reports)
+    return counts
+
+
+def _text_line(diagnostic: Diagnostic) -> str:
+    location = diagnostic.target or "<program>"
+    if diagnostic.action:
+        location += f" [{diagnostic.action}]"
+    flags = ""
+    if diagnostic.sampled:
+        flags += " (sampled)"
+    if diagnostic.suppressed:
+        flags += " (suppressed)"
+    return (
+        f"{location}: {diagnostic.code} {diagnostic.severity}{flags}: "
+        f"{diagnostic.message}"
+    )
+
+
+def render_text(
+    reports: Sequence[LintReport],
+    out: TextIO,
+    verbose: bool = False,
+) -> None:
+    """One line per diagnostic plus a summary.
+
+    Suppressed diagnostics and hints only appear with ``verbose``;
+    clean targets print a single ``ok`` line so a full-catalogue run
+    shows its coverage.
+    """
+    for report in reports:
+        shown = [
+            d for d in report.diagnostics
+            if verbose or not d.suppressed
+        ]
+        if not shown:
+            out.write(f"{report.target}: ok\n")
+            continue
+        for diagnostic in shown:
+            out.write(_text_line(diagnostic) + "\n")
+            if verbose and diagnostic.hint:
+                out.write(f"    hint: {diagnostic.hint}\n")
+            if verbose and diagnostic.suppressed:
+                out.write(
+                    f"    suppressed: {diagnostic.justification}\n"
+                )
+            if verbose and diagnostic.evidence:
+                out.write(f"    evidence: {diagnostic.evidence}\n")
+    counts = summarize(reports)
+    out.write(
+        f"{counts['targets']} target(s): "
+        f"{counts['error']} error(s), {counts['warning']} warning(s), "
+        f"{counts['info']} info, {counts['suppressed']} suppressed\n"
+    )
+
+
+def render_json(reports: Sequence[LintReport], out: TextIO) -> None:
+    """The whole run as one JSON document."""
+    document = {
+        "reports": [report.to_dict() for report in reports],
+        "summary": summarize(reports),
+    }
+    json.dump(document, out, indent=2, sort_keys=True)
+    out.write("\n")
+
+
+def worst_severity(reports: Sequence[LintReport]):
+    """The highest unsuppressed severity across a run, or ``None``."""
+    worst = None
+    for report in reports:
+        for diagnostic in report.diagnostics:
+            if diagnostic.suppressed:
+                continue
+            if worst is None or diagnostic.severity > worst:
+                worst = diagnostic.severity
+    return worst

@@ -1,0 +1,261 @@
+"""Specification and invariant well-formedness.
+
+Section 2.2 restricts problem specifications to suffix-closed,
+fusion-closed sets of sequences, and Lemma 3.2 shows that for such
+safety specifications violation is detectable from the last state or
+transition alone — which is why the representable safety shapes in this
+library are exactly :class:`StateInvariant` and
+:class:`TransitionInvariant` (``repro.core.invariants._safety_checks``
+raises ``TypeError`` on anything else).  These rules catch the
+violations statically, before a spec reaches the region engine:
+
+- ``DC401`` (error): a safety component outside the representable
+  class — the downstream machinery will reject it.
+- ``DC402`` / ``DC403`` (error on exhaustive probe, warning on
+  sampled): a :class:`StateInvariant` predicate, or a
+  :class:`LeadsTo` target, satisfiable nowhere — the invariant can
+  never hold / the obligation can never be discharged.
+- ``DC404`` (info): a :class:`LeadsTo` source satisfiable nowhere —
+  the obligation is vacuous.
+- ``DC405`` (error/warning): a declared invariant or fault-span is
+  empty.
+- ``DC406`` (error): the invariant is not closed under the program's
+  actions — a precondition of every tolerance definition
+  (``S`` must be an invariant *of the program*).
+- ``DC407`` (error): the span is not closed under program ∪ fault
+  actions — the F-span condition of Section 2.3.
+- ``DC408`` (error): the invariant does not imply the span
+  (``S ⇒ T`` fails).
+
+Closure counterexamples found on a *sampled* probe are still errors —
+the witness transition is concrete — but a clean sampled run is
+reported as evidence, not proof (``sampled`` flag on nothing found
+means nothing here; absence of diagnostics is simply absence).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..core.action import Action
+from ..core.predicate import Predicate
+from ..core.specification import (
+    LeadsTo,
+    Spec,
+    StateInvariant,
+    TransitionInvariant,
+)
+from ..core.state import State
+from .diagnostics import Diagnostic, Severity
+from .probe import ProbeSet, raw_successors
+
+__all__ = ["check_spec", "check_closure"]
+
+RULE = "spec-wellformedness"
+
+
+def _unsat(
+    predicate: Predicate,
+    states: Sequence[State],
+) -> bool:
+    fn = predicate.fn
+    return not any(fn(s) for s in states)
+
+
+def check_spec(
+    spec: Spec,
+    probe: ProbeSet,
+    target: str = "",
+) -> List[Diagnostic]:
+    """Well-formedness diagnostics for one :class:`Spec`."""
+    diagnostics: List[Diagnostic] = []
+    unsat_severity = (
+        Severity.ERROR if probe.exhaustive else Severity.WARNING
+    )
+    scope = "" if probe.exhaustive else (
+        f" on all {len(probe)} sampled valuations"
+    )
+    for component in spec.components:
+        if component.kind == "safety" and not isinstance(
+            component, (StateInvariant, TransitionInvariant)
+        ):
+            diagnostics.append(Diagnostic(
+                code="DC401",
+                severity=Severity.ERROR,
+                rule=RULE,
+                message=(
+                    f"safety component {component.name!r} of {spec.name} is "
+                    f"a {type(component).__name__}, outside the "
+                    f"fusion/suffix-closed representable class "
+                    f"(Lemma 3.2: StateInvariant or TransitionInvariant)"
+                ),
+                target=target,
+                hint="express the property as a state or transition "
+                     "invariant",
+            ))
+            continue
+        if isinstance(component, StateInvariant):
+            if _unsat(component.predicate, probe.states):
+                diagnostics.append(Diagnostic(
+                    code="DC402",
+                    severity=unsat_severity,
+                    rule=RULE,
+                    message=(
+                        f"state invariant {component.name!r} of {spec.name} "
+                        f"is satisfiable nowhere{scope}: every computation "
+                        f"violates it immediately"
+                    ),
+                    target=target,
+                    sampled=not probe.exhaustive,
+                ))
+        elif isinstance(component, LeadsTo):
+            if _unsat(component.target, probe.states):
+                diagnostics.append(Diagnostic(
+                    code="DC403",
+                    severity=unsat_severity,
+                    rule=RULE,
+                    message=(
+                        f"leads-to target {component.target.name!r} of "
+                        f"{component.name!r} is satisfiable nowhere{scope}: "
+                        f"the obligation can never be discharged"
+                    ),
+                    target=target,
+                    sampled=not probe.exhaustive,
+                ))
+            elif _unsat(component.source, probe.states):
+                diagnostics.append(Diagnostic(
+                    code="DC404",
+                    severity=Severity.INFO,
+                    rule=RULE,
+                    message=(
+                        f"leads-to source {component.source.name!r} of "
+                        f"{component.name!r} is satisfiable nowhere{scope}: "
+                        f"the obligation is vacuous"
+                    ),
+                    target=target,
+                    sampled=not probe.exhaustive,
+                ))
+    return diagnostics
+
+
+def _closure_violation(
+    actions: Sequence[Action],
+    predicate: Predicate,
+    states: Sequence[State],
+    limit: int,
+) -> Optional[tuple]:
+    """First ``(action, state, successor)`` leaving ``predicate``."""
+    fn = predicate.fn
+    checked = 0
+    for state in states:
+        if not fn(state):
+            continue
+        checked += 1
+        if checked > limit:
+            break
+        for action in actions:
+            for successor in raw_successors(action, state):
+                if not fn(successor):
+                    return action, state, successor
+    return None
+
+
+def check_closure(
+    program_actions: Sequence[Action],
+    probe: ProbeSet,
+    invariant: Optional[Predicate] = None,
+    span: Optional[Predicate] = None,
+    fault_actions: Sequence[Action] = (),
+    target: str = "",
+    closure_limit: int = 2048,
+) -> List[Diagnostic]:
+    """Invariant/span closure preconditions (DC405–DC408)."""
+    diagnostics: List[Diagnostic] = []
+    unsat_severity = (
+        Severity.ERROR if probe.exhaustive else Severity.WARNING
+    )
+    scope = "" if probe.exhaustive else (
+        f" on all {len(probe)} sampled valuations"
+    )
+
+    for name, predicate in (("invariant", invariant), ("span", span)):
+        if predicate is not None and _unsat(predicate, probe.states):
+            diagnostics.append(Diagnostic(
+                code="DC405",
+                severity=unsat_severity,
+                rule=RULE,
+                message=(
+                    f"declared {name} {predicate.name!r} is satisfiable "
+                    f"nowhere{scope}"
+                ),
+                target=target,
+                sampled=not probe.exhaustive,
+            ))
+    if any(d.code == "DC405" for d in diagnostics):
+        return diagnostics  # the closure checks below would be vacuous
+
+    if invariant is not None:
+        violation = _closure_violation(
+            program_actions, invariant, probe.states, closure_limit
+        )
+        if violation is not None:
+            action, state, successor = violation
+            diagnostics.append(Diagnostic(
+                code="DC406",
+                severity=Severity.ERROR,
+                rule=RULE,
+                message=(
+                    f"invariant {invariant.name!r} is not closed under the "
+                    f"program: action {action.name!r} leaves it"
+                ),
+                target=target,
+                action=action.name,
+                evidence=f"{state!r} -> {successor!r}",
+                hint="every tolerance definition requires the invariant "
+                     "to be closed in the fault-free program",
+                sampled=not probe.exhaustive,
+            ))
+
+    if span is not None:
+        violation = _closure_violation(
+            list(program_actions) + list(fault_actions),
+            span, probe.states, closure_limit,
+        )
+        if violation is not None:
+            action, state, successor = violation
+            diagnostics.append(Diagnostic(
+                code="DC407",
+                severity=Severity.ERROR,
+                rule=RULE,
+                message=(
+                    f"span {span.name!r} is not closed under "
+                    f"program ∪ faults: action {action.name!r} leaves it"
+                ),
+                target=target,
+                action=action.name,
+                evidence=f"{state!r} -> {successor!r}",
+                hint="the F-span (Section 2.3) must be closed under both "
+                     "the program's and the fault-class's actions",
+                sampled=not probe.exhaustive,
+            ))
+
+    if invariant is not None and span is not None:
+        invariant_fn, span_fn = invariant.fn, span.fn
+        for state in probe.states:
+            if invariant_fn(state) and not span_fn(state):
+                diagnostics.append(Diagnostic(
+                    code="DC408",
+                    severity=Severity.ERROR,
+                    rule=RULE,
+                    message=(
+                        f"invariant {invariant.name!r} does not imply span "
+                        f"{span.name!r} (S ⇒ T fails)"
+                    ),
+                    target=target,
+                    evidence=repr(state),
+                    hint="the fault-span must contain the invariant",
+                    sampled=not probe.exhaustive,
+                ))
+                break
+
+    return diagnostics

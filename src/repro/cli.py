@@ -9,6 +9,8 @@ Usage::
     python -m repro campaign token_ring --trials 20 --seed 0 --jsonl out.jsonl
     python -m repro bench            # quick perf smoke (CI scale)
     python -m repro bench --full     # the full recorded suite
+    python -m repro lint --all --strict   # static pre-flight, CI gate
+    python -m repro lint tmr --json       # machine-readable diagnostics
 
 (``repro`` installed via ``pip install -e .`` works in place of
 ``python -m repro``.)
@@ -21,6 +23,11 @@ simulated scenario and reports the observed tolerance-class mix (see
 :mod:`repro.campaigns`).  ``bench`` runs the perf-core benchmark
 harness (``benchmarks/record.py``) from a source checkout — quick mode
 by default, ``--full`` for the numbers recorded in ``BENCH_core.json``.
+``lint`` runs the static analyzer (:mod:`repro.analysis`) over the same
+catalogue — frame soundness, interference races, dead guards, spec
+well-formedness — without exhaustive exploration; ``--strict`` makes
+any unsuppressed error fail the command, which is how CI gates every
+bundled program.
 """
 
 from __future__ import annotations
@@ -336,6 +343,44 @@ def _bench(args, out=sys.stdout) -> int:
     return module.main(forwarded)
 
 
+def _lint(args, out=sys.stdout) -> int:
+    from .analysis import (
+        LINT_CATALOGUE,
+        LintConfig,
+        lint,
+        lint_targets,
+        render_json,
+        render_text,
+    )
+
+    names = list(LINT_CATALOGUE) if args.all else args.names
+    if not names:
+        print("nothing to lint; pass entry names or --all", file=out)
+        return 2
+
+    config = LintConfig(
+        probe_limit=args.probe_limit,
+        seed=args.seed,
+        suggest_frames=args.suggest_frames,
+    )
+    reports = []
+    for name in names:
+        if name not in LINT_CATALOGUE:
+            print(f"unknown catalogue entry {name!r}; try 'list'", file=out)
+            return 2
+        for target in lint_targets(name):
+            reports.append(lint(target, config))
+
+    if args.json:
+        render_json(reports, out)
+    else:
+        render_text(reports, out, verbose=args.verbose)
+
+    if args.strict and any(report.errors() for report in reports):
+        return 1
+    return 0
+
+
 def main(argv: List[str] = None, out=sys.stdout) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -401,6 +446,36 @@ def main(argv: List[str] = None, out=sys.stdout) -> int:
         "--output", default=None,
         help="where to write the JSON record (harness default)",
     )
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="statically analyze catalogue programs (no exploration)",
+    )
+    lint_parser.add_argument("names", nargs="*", help="entries to lint")
+    lint_parser.add_argument(
+        "--all", action="store_true", help="lint the whole catalogue"
+    )
+    lint_parser.add_argument(
+        "--json", action="store_true", help="emit JSON diagnostics"
+    )
+    lint_parser.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 if any unsuppressed error-level diagnostic remains",
+    )
+    lint_parser.add_argument(
+        "--verbose", action="store_true",
+        help="also print suppressed diagnostics and their justifications",
+    )
+    lint_parser.add_argument(
+        "--suggest-frames", action="store_true",
+        help="propose reads/writes declarations for unframed actions",
+    )
+    lint_parser.add_argument(
+        "--probe-limit", type=int, default=4096,
+        help="state-space size above which probing falls back to sampling",
+    )
+    lint_parser.add_argument(
+        "--seed", type=int, default=0, help="seed for sampled probe states"
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -414,6 +489,9 @@ def main(argv: List[str] = None, out=sys.stdout) -> int:
 
     if args.command == "bench":
         return _bench(args, out=out)
+
+    if args.command == "lint":
+        return _lint(args, out=out)
 
     names = list(CATALOGUE) if args.all else args.names
     if not names:

@@ -102,9 +102,23 @@ def perturb_variable(
     """Transient fault: set ``variable`` to any other value of its domain.
 
     One fault action per target value, so model checking sees each
-    perturbation as a distinct fault edge.
+    perturbation as a distinct fault edge.  A singleton domain yields an
+    empty class: the only candidate action (``v ≠ x --> v := x`` with
+    ``x`` the sole value) would be dead code.
+
+    With the default ``TRUE`` guard the actions carry their exact
+    ``reads``/``writes`` frame; a caller-supplied guard may consult
+    other variables the factory cannot see, so no frame is declared.
     """
     actions: List[Action] = []
+    frame = (
+        dict(reads={variable.name}, writes={variable.name})
+        if guard is TRUE else {}
+    )
+    if len(variable.domain) < 2:
+        return FaultClass(
+            actions, name=name or f"perturb({variable.name})"
+        )
     for value in variable.domain:
         actions.append(
             Action(
@@ -114,6 +128,7 @@ def perturb_variable(
                     name=f"{variable.name}≠{value!r}",
                 ),
                 statement=assign(**{variable.name: value}),
+                **frame,
             )
         )
     return FaultClass(actions, name=name or f"perturb({variable.name})")
@@ -126,13 +141,23 @@ def set_variable(
     name: Optional[str] = None,
 ) -> FaultClass:
     """Fault that sets one variable to one specific value (e.g. a page
-    fault removing an entry, a stuck-at fault)."""
+    fault removing an entry, a stuck-at fault).
+
+    With the default ``TRUE`` guard the action reads nothing and
+    unconditionally overwrites its target, the ideal frame shape for
+    the successor memo; a caller-supplied guard disables the frame.
+    """
+    frame = (
+        dict(reads=frozenset(), writes={variable_name})
+        if guard is TRUE else {}
+    )
     return FaultClass(
         [
             Action(
                 name=f"fault_set_{variable_name}_{value!r}",
                 guard=guard,
                 statement=assign(**{variable_name: value}),
+                **frame,
             )
         ],
         name=name or f"set({variable_name}:={value!r})",
@@ -149,6 +174,7 @@ def crash_variable(flag_name: str, name: Optional[str] = None) -> FaultClass:
                 name=f"crash_{flag_name}",
                 guard=Predicate(lambda s, f=flag_name: not s[f], name=f"¬{flag_name}"),
                 statement=assign(**{flag_name: True}),
+                reads={flag_name}, writes={flag_name},
             )
         ],
         name=name or f"crash({flag_name})",

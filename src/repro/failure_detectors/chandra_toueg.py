@@ -83,18 +83,22 @@ def build(limit: int = 2) -> FailureDetectorModel:
     program = Program(
         variables,
         [
-            Action("heartbeat", ~crashed & ~alive_bit, assign(alive=True)),
+            Action("heartbeat", ~crashed & ~alive_bit, assign(alive=True),
+                   reads={"crashed", "alive"}, writes={"alive"}),
             Action(
                 "consume",
                 alive_bit,
                 assign(alive=False, missed=0, suspect=False),
+                reads={"alive"}, writes={"alive", "missed", "suspect"},
             ),
             Action(
                 "count",
                 ~alive_bit & ~timed_out,
                 assign(missed=lambda s: s["missed"] + 1),
+                reads={"alive", "missed"}, writes={"missed"},
             ),
-            Action("suspect", timed_out & ~suspected, assign(suspect=True)),
+            Action("suspect", timed_out & ~suspected, assign(suspect=True),
+                   reads={"missed", "suspect"}, writes={"suspect"}),
         ],
         name=f"heartbeat_fd(limit={limit})",
     )

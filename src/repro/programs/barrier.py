@@ -86,6 +86,7 @@ def build(size: int = 3) -> BarrierModel:
                 Predicate(lambda s, i=i: s[f"pc{i}"] == WORKING,
                           name=f"pc{i}=working"),
                 assign(**{f"pc{i}": ARRIVED, f"a{i}": True}),
+                reads={f"pc{i}"}, writes={f"pc{i}", f"a{i}"},
             )
         )
     release_updates = {"round": lambda s: 1 - s["round"]}
@@ -97,6 +98,10 @@ def build(size: int = 3) -> BarrierModel:
             "release",
             Predicate(all_flags, name="all flags up"),
             assign(**release_updates),
+            reads={"round"} | {f"a{i}" for i in range(size)},
+            writes={"round"}
+            | {f"pc{i}" for i in range(size)}
+            | {f"a{i}" for i in range(size)},
         )
     )
     intolerant = Program(variables, actions, name=f"barrier(n={size})")
@@ -109,6 +114,7 @@ def build(size: int = 3) -> BarrierModel:
                 name=f"arrived{i} ∧ ¬a{i}",
             ),
             assign(**{f"a{i}": True}),
+            reads={f"pc{i}", f"a{i}"}, writes={f"a{i}"},
         )
         for i in range(size)
     ]
@@ -156,6 +162,7 @@ def build(size: int = 3) -> BarrierModel:
                 f"lose_flag{i}",
                 Predicate(lambda s, i=i: s[f"a{i}"], name=f"a{i}"),
                 assign(**{f"a{i}": False}),
+                reads={f"a{i}"}, writes={f"a{i}"},
             )
             for i in range(size)
         ],

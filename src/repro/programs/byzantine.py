@@ -244,11 +244,17 @@ def _ib_actions(j: int, guarded: bool) -> List[Action]:
         f"IB1.{j}",
         _ib1_guard(j),
         assign(**{dn: lambda s: s["dg"]}),
+        reads={f"b{j}", dn, "dg"}, writes={dn},
     )
+    output_reads = {f"b{j}", f"out{j}", dn}
+    if guarded:
+        # DB.j's witness consults every non-general's copy
+        output_reads |= set(_D_NAMES)
     output = Action(
         f"IB2.{j}",
         _ib2_guard(j, guarded),
         assign(**{f"out{j}": lambda s, dn=dn: s[dn]}),
+        reads=output_reads, writes={f"out{j}"},
     )
     return [copy, output]
 
@@ -286,6 +292,7 @@ def _cb_action(j: int) -> Action:
         f"CB1.{j}",
         _cb1_guard(j),
         assign(**{f"d{j}": lambda s: _majority_of_state(s)}),
+        reads={f"b{j}", *_D_NAMES}, writes={f"d{j}"},
     )
 
 
@@ -337,10 +344,14 @@ def _fault_latches() -> FaultClass:
         return fn
 
     nobody_byzantine = _compiled_predicate("nobody Byzantine", build)
-    actions = [Action("BYZ.g.enter", nobody_byzantine, assign(bg=True))]
+    flags = {"bg", *_B_NAMES}
+    actions = [Action("BYZ.g.enter", nobody_byzantine, assign(bg=True),
+                      reads=flags, writes={"bg"})]
     for j in NON_GENERALS:
         actions.append(
-            Action(f"BYZ.{j}.enter", nobody_byzantine, assign(**{f"b{j}": True}))
+            Action(f"BYZ.{j}.enter", nobody_byzantine,
+                   assign(**{f"b{j}": True}),
+                   reads=flags, writes={f"b{j}"})
         )
     return FaultClass(actions, name="BYZ (≤1 process)")
 

@@ -83,6 +83,7 @@ def build(size: int = 3, sessions: int = 2) -> DistributedResetModel:
                     name=f"x{i} corrupt ∧ ¬req{i}",
                 ),
                 assign(**{f"req{i}": True}),
+                reads={f"x{i}", f"req{i}"}, writes={f"req{i}"},
             )
         )
     for i in range(1, size):
@@ -95,6 +96,7 @@ def build(size: int = 3, sessions: int = 2) -> DistributedResetModel:
                     name=f"req{i} ∧ ¬req{i-1}",
                 ),
                 assign(**{f"req{i - 1}": True}),
+                reads={f"req{i}", f"req{i - 1}"}, writes={f"req{i - 1}"},
             )
         )
     # The root starts a new session — but only once the previous wave
@@ -118,6 +120,8 @@ def build(size: int = 3, sessions: int = 2) -> DistributedResetModel:
                 x0=0,
                 req0=False,
             ),
+            reads={"req0"} | {f"sn{i}" for i in range(size)},
+            writes={"sn0", "x0", "req0"},
         )
     )
     for i in range(1, size):
@@ -136,6 +140,8 @@ def build(size: int = 3, sessions: int = 2) -> DistributedResetModel:
                         f"req{i}": False,
                     }
                 ),
+                reads={f"sn{i}", f"sn{i - 1}"},
+                writes={f"sn{i}", f"x{i}", f"req{i}"},
             )
         )
     program = Program(variables, actions, name=f"distributed_reset(n={size})")
@@ -179,6 +185,7 @@ def build(size: int = 3, sessions: int = 2) -> DistributedResetModel:
                 f"corrupt_x{i}",
                 Predicate(lambda s, i=i: s[f"x{i}"] == 0, name=f"x{i}=0"),
                 assign(**{f"x{i}": 1}),
+                reads={f"x{i}"}, writes={f"x{i}"},
             )
         )
         fault_actions.append(
@@ -186,6 +193,7 @@ def build(size: int = 3, sessions: int = 2) -> DistributedResetModel:
                 f"spurious_req{i}",
                 Predicate(lambda s, i=i: not s[f"req{i}"], name=f"¬req{i}"),
                 assign(**{f"req{i}": True}),
+                reads={f"req{i}"}, writes={f"req{i}"},
             )
         )
 

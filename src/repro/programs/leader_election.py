@@ -74,6 +74,9 @@ def build(ids: Sequence[int] = (3, 1, 2)) -> LeaderElectionModel:
 
     actions: List[Action] = []
     for i in range(size):
+        neighbourhood = {
+            f"ldr{j}" for j in (i - 1, i, i + 1) if 0 <= j < size
+        }
         actions.append(
             Action(
                 f"elect{i}",
@@ -82,6 +85,7 @@ def build(ids: Sequence[int] = (3, 1, 2)) -> LeaderElectionModel:
                     name=f"ldr{i} below local max",
                 ),
                 assign(**{f"ldr{i}": lambda s, i=i: local_max(s, i)}),
+                reads=neighbourhood, writes={f"ldr{i}"},
             )
         )
     program = Program(variables, actions, name=f"leader_election({ids})")

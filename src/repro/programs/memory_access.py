@@ -154,6 +154,7 @@ def build(
                 "pf1",
                 x1 & Predicate(lambda s: not s["Z1"], name="¬Z1"),
                 assign(Z1=True),
+                reads={"mem", "Z1"}, writes={"Z1"},
             ),
             Action(
                 "pf2", z1_pred, read,
@@ -167,7 +168,8 @@ def build(
     pn = Program(
         variables=[mem, data],
         actions=[
-            Action("pn1", ~x1, assign(mem=value)),
+            Action("pn1", ~x1, assign(mem=value),
+                   reads={"mem"}, writes={"mem"}),
             Action("pn2", TRUE, read, reads={"mem"}, writes={"data"}),
         ],
         name="pn",
@@ -177,11 +179,13 @@ def build(
     pm = Program(
         variables=[mem, data, z1],
         actions=[
-            Action("pm1", ~x1, assign(mem=value)),
+            Action("pm1", ~x1, assign(mem=value),
+                   reads={"mem"}, writes={"mem"}),
             Action(
                 "pm2",
                 x1 & Predicate(lambda s: not s["Z1"], name="¬Z1"),
                 assign(Z1=True),
+                reads={"mem", "Z1"}, writes={"Z1"},
             ),
             Action(
                 "pm3", z1_pred, read,
@@ -210,6 +214,7 @@ def build(
                 "page_fault",
                 x1,
                 assign(mem=BOTTOM),
+                reads={"mem"}, writes={"mem"},
             )
         ],
         name="page-fault",
@@ -220,6 +225,7 @@ def build(
                 "page_fault",
                 x1 & Predicate(lambda s: not s["Z1"], name="¬Z1"),
                 assign(mem=BOTTOM),
+                reads={"mem", "Z1"}, writes={"mem"},
             )
         ],
         name="page-fault(¬Z1)",

@@ -92,7 +92,8 @@ def build(size: int = 3) -> MutexModel:
         used = Predicate(lambda s, i=i: s[f"done{i}"], name=f"done{i}")
         actions.append(
             Action(
-                f"enter{i}", holds & ~inside & ~used, assign(**{f"cs{i}": True})
+                f"enter{i}", holds & ~inside & ~used, assign(**{f"cs{i}": True}),
+                reads={f"tok{i}", f"cs{i}", f"done{i}"}, writes={f"cs{i}"},
             )
         )
         actions.append(
@@ -100,6 +101,8 @@ def build(size: int = 3) -> MutexModel:
                 f"exit{i}",
                 holds & inside,
                 assign(**{f"cs{i}": False, f"done{i}": True}),
+                reads={f"tok{i}", f"cs{i}"},
+                writes={f"cs{i}", f"done{i}"},
             )
         )
         actions.append(
@@ -109,6 +112,8 @@ def build(size: int = 3) -> MutexModel:
                 assign(
                     **{f"tok{i}": False, f"done{i}": False, f"tok{nxt}": True}
                 ),
+                reads={f"tok{i}", f"cs{i}", f"done{i}"},
+                writes={f"tok{i}", f"done{i}", f"tok{nxt}"},
             )
         )
     intolerant = Program(variables, actions, name=f"mutex(n={size})")
@@ -116,7 +121,9 @@ def build(size: int = 3) -> MutexModel:
     no_token = Predicate(
         lambda s, n=size: _token_count(s, n) == 0, name="no token"
     )
-    regenerate = Action("regenerate", no_token, assign(tok0=True))
+    all_tokens = frozenset(f"tok{i}" for i in range(size))
+    regenerate = Action("regenerate", no_token, assign(tok0=True),
+                        reads=all_tokens, writes={"tok0"})
     tolerant = Program(
         variables, actions + [regenerate], name=f"mutex+corrector(n={size})"
     )
@@ -170,6 +177,8 @@ def build(size: int = 3) -> MutexModel:
                     name=f"tok{i} ∧ ¬cs{i}",
                 ),
                 assign(**{f"tok{i}": False, f"done{i}": False}),
+                reads={f"tok{i}", f"cs{i}"},
+                writes={f"tok{i}", f"done{i}"},
             )
             for i in range(size)
         ],
@@ -191,6 +200,7 @@ def build(size: int = 3) -> MutexModel:
                 one_token
                 & Predicate(lambda s, i=i: not s[f"tok{i}"], name=f"¬tok{i}"),
                 assign(**{f"tok{i}": True, f"done{i}": False}),
+                reads=all_tokens, writes={f"tok{i}", f"done{i}"},
             )
             for i in range(size)
         ],
@@ -217,7 +227,16 @@ def build(size: int = 3) -> MutexModel:
         ),
         name="a holder is outside its CS",
     )
-    dedup = Action("dedup", many_tokens & some_holder_out, dedup_statement)
+    # done{keep} survives dedup untouched, so the done-variables must
+    # sit in *reads* (a masked variable must be overwritten regardless
+    # of its current value, which done{keep} is not)
+    dedup = Action(
+        "dedup", many_tokens & some_holder_out, dedup_statement,
+        reads=all_tokens
+        | frozenset(f"cs{i}" for i in range(size))
+        | frozenset(f"done{i}" for i in range(size)),
+        writes=all_tokens | frozenset(f"done{i}" for i in range(size)),
+    )
 
     multitolerant_actions = []
     for action in actions:

@@ -82,6 +82,7 @@ def build(size: int = 3) -> TerminationModel:
                 f"deactivate{i}",
                 Predicate(lambda s, i=i: s[f"active{i}"], name=f"active{i}"),
                 assign(**{f"active{i}": False}),
+                reads={f"active{i}"}, writes={f"active{i}"},
             )
         )
         for j in range(size):
@@ -96,6 +97,8 @@ def build(size: int = 3) -> TerminationModel:
                         name=f"active{i} ∧ ¬active{j}",
                     ),
                     assign(**{f"active{j}": True, "dirty": True}),
+                    reads={f"active{i}", f"active{j}"},
+                    writes={f"active{j}", "dirty"},
                 )
             )
 
@@ -109,6 +112,11 @@ def build(size: int = 3) -> TerminationModel:
             (at_cursor_active | dirty) if sound else at_cursor_active
         )
         suffix = "" if sound else "_unsound"
+        # the cursor actions read active{idx} — which active variable
+        # depends on idx, so the read frame covers all of them
+        cursor_reads = frozenset(
+            {"idx", "dirty"} | {f"active{i}" for i in range(size)}
+        )
         actions = [
             Action(
                 f"scan_advance{suffix}",
@@ -121,6 +129,7 @@ def build(size: int = 3) -> TerminationModel:
                     name="idle at cursor",
                 ),
                 assign(idx=lambda s: s["idx"] + 1),
+                reads=cursor_reads, writes={"idx"},
             ),
             Action(
                 f"scan_restart{suffix}",
@@ -129,6 +138,7 @@ def build(size: int = 3) -> TerminationModel:
                     lambda s: s["idx"] > 0 or s["dirty"], name="progress to undo"
                 ),
                 assign(idx=0, dirty=False),
+                reads=cursor_reads, writes={"idx", "dirty"},
             ),
             Action(
                 f"scan_report{suffix}",
@@ -141,6 +151,7 @@ def build(size: int = 3) -> TerminationModel:
                     name="clean sweep complete",
                 ),
                 assign(done=True),
+                reads={"idx", "dirty", "done"}, writes={"done"},
             ),
         ]
         return actions
@@ -190,6 +201,7 @@ def build(size: int = 3) -> TerminationModel:
                         lambda s, i=i: not s[f"active{i}"], name=f"¬active{i}"
                     ),
                     assign(**{f"active{i}": True}),
+                    reads={f"active{i}"}, writes={f"active{i}"},
                 )
                 for i in range(size)
             ],

@@ -87,7 +87,8 @@ def build(uncor: Hashable = 1, corrupted: Hashable = 0) -> TmrModel:
 
     ir = Program(
         variables=[x, y, z, out],
-        actions=[Action("IR1", unset, assign(out=lambda s: s["x"]))],
+        actions=[Action("IR1", unset, assign(out=lambda s: s["x"]),
+                        reads={"out", "x"}, writes={"out"})],
         name="IR",
     )
 
@@ -104,6 +105,7 @@ def build(uncor: Hashable = 1, corrupted: Hashable = 0) -> TmrModel:
                     name="y=z ∨ y=x",
                 ),
                 assign(out=lambda s: s["y"]),
+                reads={"out", "x", "y", "z"}, writes={"out"},
             ),
             Action(
                 "CR2",
@@ -112,6 +114,7 @@ def build(uncor: Hashable = 1, corrupted: Hashable = 0) -> TmrModel:
                     name="z=x ∨ z=y",
                 ),
                 assign(out=lambda s: s["z"]),
+                reads={"out", "x", "y", "z"}, writes={"out"},
             ),
         ],
         name="CR",
@@ -162,6 +165,7 @@ def build(uncor: Hashable = 1, corrupted: Hashable = 0) -> TmrModel:
                 f"corrupt_{name}",
                 all_good,
                 assign(**{name: corrupted}),
+                reads={"x", "y", "z"}, writes={name},
             )
             for name in ("x", "y", "z")
         ],

@@ -96,6 +96,7 @@ def build(size: int = 4, k: int = None) -> TokenRingModel:
             "move0",
             tokens[0],
             assign(x0=lambda s, n=size, kk=k: (s[f"x{n - 1}"] + 1) % kk),
+            reads={"x0", f"x{size - 1}"}, writes={"x0"},
         )
     ]
     for i in range(1, size):
@@ -104,6 +105,7 @@ def build(size: int = 4, k: int = None) -> TokenRingModel:
                 f"move{i}",
                 tokens[i],
                 assign(**{f"x{i}": lambda s, i=i: s[f"x{i - 1}"]}),
+                reads={f"x{i}", f"x{i - 1}"}, writes={f"x{i}"},
             )
         )
     ring = Program(variables, actions, name=f"token_ring(n={size},K={k})")

@@ -122,6 +122,11 @@ def build(size: int = 4,
 
     actions: List[Action] = []
     for i in range(1, size):
+        # the root contributes distance 0 without a dist variable, so
+        # only non-root neighbours are actual reads
+        neighbour_dists = {
+            f"dist{j}" for j in adjacency[i] if j != 0
+        }
         actions.append(
             Action(
                 f"fix{i}",
@@ -133,6 +138,8 @@ def build(size: int = 4,
                         f"parent{i}": best(s, i)[1],
                     }
                 ),
+                reads=neighbour_dists | {f"dist{i}", f"parent{i}"},
+                writes={f"dist{i}", f"parent{i}"},
             )
         )
     program = Program(variables, actions, name=f"bfs_tree(n={size})")

@@ -127,24 +127,25 @@ def add_nonmasking(
     composed program and certifying predicates are returned (call
     :meth:`NonmaskingSynthesis.verify` to model-check the claim).
 
-    Raises ``ValueError`` if a corrector can execute inside the
-    invariant and change the state (interference with the fault-free
-    behaviour)."""
+    Raises :class:`~repro.analysis.InterferenceError` (a ``ValueError``
+    subclass) if a corrector can execute inside the invariant and change
+    the state (interference with the fault-free behaviour).  All
+    interfering correctors are collected before raising, so one run
+    reports every offender — the error's ``diagnostics`` attribute
+    carries one structured ``DC203`` diagnostic per corrector."""
+    from ..analysis.diagnostics import InterferenceError
+    from ..analysis.interference import interference_diagnostics_for_states
+
     if correctors is None:
         correctors = [reset_corrector(program, invariant, span)]
     correctors = list(correctors)
 
     states = list(program.states())
-    for corrector in correctors:
-        for state in states:
-            if not invariant(state):
-                continue
-            for successor in corrector.successors(state):
-                if successor != state:
-                    raise ValueError(
-                        f"corrector {corrector.name!r} interferes: it moves "
-                        f"invariant state {state!r} to {successor!r}"
-                    )
+    diagnostics = interference_diagnostics_for_states(
+        correctors, invariant, states, use_memo=True
+    )
+    if diagnostics:
+        raise InterferenceError(diagnostics)
 
     composed = Program(
         variables=program.variables,

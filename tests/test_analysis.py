@@ -1,0 +1,446 @@
+"""Tests for the static analyzer (:mod:`repro.analysis`).
+
+Covers the diagnostic rules one by one on purpose-built tiny programs
+(including the deliberately mis-framed action the acceptance criteria
+call for), the Action frame edge cases the frame rule exists to guard,
+the catalogue self-lint, the ``repro lint`` CLI surface, and the
+aggregated interference report of the nonmasking synthesis pass.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro import synthesis
+from repro.analysis import (
+    InterferenceError,
+    LintConfig,
+    Severity,
+    Suppression,
+    all_lint_targets,
+    infer_frame,
+    lint,
+    lint_program,
+)
+from repro.analysis.linter import LintTarget
+from repro.cli import main
+from repro.core import (
+    Action,
+    FALSE,
+    FaultClass,
+    LeadsTo,
+    Predicate,
+    Program,
+    Spec,
+    StateInvariant,
+    TRUE,
+    Variable,
+    assign,
+)
+
+
+def codes(report):
+    return {d.code for d in report.diagnostics}
+
+
+def error_codes(report):
+    return {d.code for d in report.errors()}
+
+
+def two_var_program(actions, name="toy"):
+    return Program(
+        [Variable("x", [0, 1, 2]), Variable("y", [0, 1])], actions, name=name
+    )
+
+
+class TestFrameRule:
+    def test_correct_frames_are_clean(self):
+        action = Action(
+            "inc",
+            Predicate(lambda s: s["y"] == 1, "y=1"),
+            assign(x=lambda s: (s["x"] + 1) % 3),
+            reads={"x", "y"}, writes={"x"},
+        )
+        report = lint_program(two_var_program([action]))
+        assert not report.errors()
+        assert "DC101" not in codes(report) and "DC102" not in codes(report)
+
+    def test_misframed_action_is_flagged(self):
+        """The acceptance criterion: a deliberately mis-framed action
+        draws DC1xx errors — reads misses the guard variable ``y``,
+        writes misses the written variable ``x``."""
+        action = Action(
+            "bad",
+            Predicate(lambda s: s["y"] == 1, "y=1"),
+            assign(x=1),
+            reads={"x"}, writes={"y"},
+        )
+        report = lint_program(two_var_program([action]))
+        assert {"DC101", "DC102"} <= error_codes(report)
+        read_violation = next(
+            d for d in report.errors() if d.code == "DC101"
+        )
+        assert "y" in read_violation.variables
+        assert read_violation.action == "bad"
+
+    def test_unknown_frame_variable(self):
+        action = Action("a", TRUE, assign(x=0),
+                        reads={"nonexistent"}, writes={"x"})
+        report = lint_program(two_var_program([action]))
+        assert "DC105" in error_codes(report)
+
+    def test_unframed_action_is_info_only(self):
+        action = Action("a", TRUE, assign(x=0))
+        report = lint_program(two_var_program([action]))
+        assert "DC103" in codes(report)
+        assert not report.errors()
+
+    def test_partial_frame_warns_and_disables_memo(self):
+        action = Action("a", TRUE, assign(x=0), reads={"x"})
+        assert action._class_memo is None  # memo needs both halves
+        report = lint_program(two_var_program([action]))
+        assert "DC104" in codes(report)
+        assert not report.errors()
+
+    def test_suggest_frames_proposes_a_declaration(self):
+        action = Action(
+            "guarded",
+            Predicate(lambda s: s["y"] == 1, "y=1"),
+            assign(x=lambda s: (s["x"] + 1) % 3),
+        )
+        report = lint_program(
+            two_var_program([action]), config=LintConfig(suggest_frames=True)
+        )
+        suggestion = next(d for d in report.diagnostics if d.code == "DC103")
+        assert "reads=" in suggestion.hint and "writes=" in suggestion.hint
+        assert "'y'" in suggestion.hint and "'x'" in suggestion.hint
+
+    def test_infer_frame_matches_dependencies(self):
+        action = Action(
+            "guarded",
+            Predicate(lambda s: s["y"] == 1, "y=1"),
+            assign(x=lambda s: (s["x"] + 1) % 3),
+        )
+        program = two_var_program([action])
+        from repro.analysis import build_probe
+
+        probe = build_probe(program.variables)
+        reads, writes, complete = infer_frame(
+            action, program.variables, probe
+        )
+        assert complete
+        assert reads == {"x", "y"} and writes == {"x"}
+
+
+class TestFrameEdgeCases:
+    """The Action machinery the frame rule exists to protect."""
+
+    def test_renamed_preserves_frames_and_memo(self):
+        action = Action("a", TRUE, assign(x=0), reads={"x"}, writes={"x"})
+        clone = action.renamed("b")
+        assert clone.reads == action.reads
+        assert clone.writes == action.writes
+        assert clone._class_memo is not None
+
+    def test_masked_write_memoizes_correctly(self):
+        """``writes - reads`` (masked) is sound only because the rule
+        verifies the variable is overwritten regardless of its value;
+        here it is, and the memoized relation matches first principles."""
+        from repro.analysis import raw_successors
+
+        action = Action(
+            "clear",
+            Predicate(lambda s: s["y"] == 1, "y=1"),
+            assign(x=0),
+            reads={"y"}, writes={"x"},  # x is masked: written, never read
+        )
+        program = two_var_program([action])
+        report = lint_program(program)
+        assert not report.errors()
+        for state in program.states():
+            assert action.successors(state) == raw_successors(action, state)
+
+    def test_writes_subset_of_reads_memoizes_correctly(self):
+        from repro.analysis import raw_successors
+
+        action = Action(
+            "inc", TRUE,
+            assign(x=lambda s: (s["x"] + 1) % 3),
+            reads={"x"}, writes={"x"},  # no masked set
+        )
+        program = two_var_program([action])
+        assert not lint_program(program).errors()
+        for state in program.states():
+            assert action.successors(state) == raw_successors(action, state)
+
+    def test_under_declared_mask_is_caught_not_silently_wrong(self):
+        """Declaring x write-only while the statement *keeps* x on some
+        states is exactly the silent-corruption case: the memo would
+        collapse states that differ on x.  The rule must flag it."""
+        action = Action(
+            "keep_sometimes", TRUE,
+            lambda s: s.assign(x=0) if s["y"] == 1 else s,
+            reads={"y"}, writes={"x"},
+        )
+        report = lint_program(two_var_program([action]))
+        assert error_codes(report) & {"DC101", "DC102"}
+
+
+class TestGuardRule:
+    def test_dead_guard_is_an_error_when_exhaustive(self):
+        action = Action("dead", Predicate(lambda s: s["x"] == 99, "x=99"),
+                        assign(x=0))
+        report = lint_program(two_var_program([action]))
+        dead = next(d for d in report.diagnostics if d.code == "DC301")
+        assert dead.severity == Severity.ERROR
+        assert dead.action == "dead"
+
+    def test_disjoint_from_start_is_advisory(self):
+        action = Action("recover", Predicate(lambda s: s["x"] == 2, "x=2"),
+                        assign(x=0))
+        report = lint_program(
+            two_var_program([action]),
+            start=Predicate(lambda s: s["x"] == 0, "x=0"),
+        )
+        advisory = next(d for d in report.diagnostics if d.code == "DC302")
+        assert advisory.severity == Severity.INFO
+
+    def test_correctors_exempt_from_start_advisory(self):
+        action = Action("recover", Predicate(lambda s: s["x"] == 2, "x=2"),
+                        assign(x=0))
+        report = lint_program(
+            two_var_program([action]),
+            start=Predicate(lambda s: s["x"] == 0, "x=0"),
+            correctors=("recover",),
+        )
+        assert "DC302" not in codes(report)
+
+    def test_stutter_only_action_is_flagged(self):
+        action = Action("noop", TRUE, lambda s: s)
+        report = lint_program(two_var_program([action]))
+        assert "DC303" in codes(report)
+        assert not report.errors()
+
+
+class TestSpecRule:
+    def test_unsatisfiable_state_invariant(self):
+        spec = Spec([StateInvariant(FALSE, name="never")], name="BAD")
+        action = Action("a", TRUE, assign(x=0), reads=set(), writes={"x"})
+        report = lint_program(two_var_program([action]), spec=spec)
+        assert "DC402" in error_codes(report)
+
+    def test_vacuous_leads_to_source(self):
+        spec = Spec([LeadsTo(FALSE, TRUE, name="vacuous")], name="SPEC")
+        action = Action("a", TRUE, assign(x=0), reads=set(), writes={"x"})
+        report = lint_program(two_var_program([action]), spec=spec)
+        vacuous = next(d for d in report.diagnostics if d.code == "DC404")
+        assert vacuous.severity == Severity.INFO
+
+    def test_invariant_not_closed_under_program(self):
+        flip = Action(
+            "flip", TRUE,
+            assign(x=lambda s: (s["x"] + 1) % 3),
+            reads={"x"}, writes={"x"},
+        )
+        report = lint_program(
+            two_var_program([flip]),
+            invariant=Predicate(lambda s: s["x"] == 0, "x=0"),
+        )
+        closure = next(d for d in report.diagnostics if d.code == "DC406")
+        assert closure.severity == Severity.ERROR
+        assert closure.evidence  # names the escaping transition
+
+    def test_span_closure_includes_faults(self):
+        corrupt = Action("corrupt", Predicate(lambda s: s["x"] == 0, "x=0"),
+                         assign(x=2), reads={"x"}, writes={"x"})
+        keep = Action("keep", TRUE, assign(y=1),
+                      reads=set(), writes={"y"})
+        report = lint_program(
+            two_var_program([keep]),
+            span=Predicate(lambda s: s["x"] < 2, "x<2"),
+            faults=FaultClass([corrupt], name="corruption"),
+        )
+        assert "DC407" in error_codes(report)
+
+
+class TestInterferenceRule:
+    def invariant(self):
+        return Predicate(lambda s: s["x"] == 0, "x=0")
+
+    def flip(self):
+        return Action("flip", TRUE, assign(x=lambda s: 1 - min(s["x"], 1)),
+                      reads={"x"}, writes={"x"})
+
+    def test_corrector_moving_invariant_state_is_an_error(self):
+        report = lint_program(
+            two_var_program([self.flip()]),
+            invariant=self.invariant(),
+            correctors=("flip",),
+        )
+        dc203 = next(d for d in report.errors() if d.code == "DC203")
+        assert dc203.action == "flip"
+        assert "interferes" in dc203.message
+
+    def test_component_is_exempt_from_strict_condition(self):
+        report = lint_program(
+            two_var_program([self.flip()]),
+            invariant=self.invariant(),
+            components=("flip",),
+        )
+        assert "DC203" not in codes(report)
+
+    def test_write_write_race_without_invariant(self):
+        base = Action("base", TRUE, assign(x=0), reads=set(), writes={"x"})
+        comp = Action("comp", TRUE, assign(x=1), reads=set(), writes={"x"})
+        report = lint_program(
+            two_var_program([base, comp]),
+            components=("comp",),
+        )
+        race = next(d for d in report.diagnostics if d.code == "DC201")
+        assert race.severity == Severity.WARNING
+        assert "x" in race.variables
+
+    def test_clean_exhaustive_semantic_check_subsumes_races(self):
+        """When DC203 ran over the full invariant set and found nothing,
+        the syntactic race audit is skipped: interference freedom has
+        been verified directly."""
+        base = Action("base", TRUE, assign(x=0), reads=set(), writes={"x"})
+        guarded = Action(
+            "fixup",
+            Predicate(lambda s: s["x"] != 0, "x≠0"),
+            assign(x=0),
+            reads={"x"}, writes={"x"},
+        )
+        report = lint_program(
+            two_var_program([base, guarded]),
+            invariant=self.invariant(),
+            correctors=("fixup",),
+        )
+        assert not codes(report) & {"DC201", "DC202", "DC203"}
+
+
+class TestSuppressions:
+    def test_justified_suppression_downgrades_strictness(self):
+        dead = Action("dead", Predicate(lambda s: s["x"] == 99, "x=99"),
+                      assign(x=0))
+        program = two_var_program([dead])
+        target = LintTarget(
+            name="toy", program=program,
+            suppressions=(
+                Suppression("DC301", "kept as documentation", action="dead"),
+            ),
+        )
+        report = lint(target)
+        assert not report.errors()
+        suppressed = next(d for d in report.diagnostics if d.suppressed)
+        assert suppressed.code == "DC301"
+        assert suppressed.justification == "kept as documentation"
+
+
+class TestCatalogueSelfLint:
+    def test_every_bundled_target_is_error_free(self):
+        reports = [lint(target) for target in all_lint_targets()]
+        assert reports, "catalogue must not be empty"
+        failing = {
+            r.target: [d.format() for d in r.errors()]
+            for r in reports if r.errors()
+        }
+        assert not failing, failing
+
+    def test_termination_detection_dirty_bit_race_is_reported(self):
+        """The scanner's dirty-bit handshake races the activations by
+        design; the pure detector has no invariant to prove interference
+        freedom against, so the audit stays — as a warning, not an
+        error."""
+        from repro.analysis import lint_targets
+
+        (report,) = [lint(t) for t in lint_targets("termination_detection")]
+        race = next(d for d in report.diagnostics if d.code == "DC201")
+        assert race.severity == Severity.WARNING
+        assert race.action == "scan_restart"
+
+
+class TestLintCli:
+    def test_single_entry_text(self):
+        out = io.StringIO()
+        assert main(["lint", "token_ring"], out=out) == 0
+        text = out.getvalue()
+        assert "token_ring: ok" in text
+        assert "0 error(s)" in text
+
+    def test_strict_passes_on_clean_entry(self):
+        out = io.StringIO()
+        assert main(["lint", "memory_access", "--strict"], out=out) == 0
+
+    def test_json_output_is_machine_readable(self):
+        out = io.StringIO()
+        assert main(["lint", "tmr", "--json"], out=out) == 0
+        payload = json.loads(out.getvalue())
+        targets = {r["target"] for r in payload["reports"]}
+        assert {"tmr/ir", "tmr/dr_ir", "tmr/tmr"} <= targets
+        assert all("summary" in r for r in payload["reports"])
+
+    def test_unknown_entry(self):
+        out = io.StringIO()
+        assert main(["lint", "nonsense"], out=out) == 2
+        assert "unknown catalogue entry" in out.getvalue()
+
+    def test_no_entries(self):
+        out = io.StringIO()
+        assert main(["lint"], out=out) == 2
+
+    def test_strict_fails_on_errors(self, monkeypatch):
+        """--strict turns error-level findings into exit 1."""
+        from repro.analysis import catalogue
+
+        dead = Action("dead", Predicate(lambda s: s["x"] == 99, "x=99"),
+                      assign(x=0))
+        broken = LintTarget(name="broken", program=two_var_program([dead]))
+        monkeypatch.setitem(
+            catalogue.LINT_CATALOGUE, "broken", lambda: [broken]
+        )
+        out = io.StringIO()
+        assert main(["lint", "broken", "--strict"], out=out) == 1
+        assert "DC301" in out.getvalue()
+        out = io.StringIO()
+        assert main(["lint", "broken"], out=out) == 0  # advisory without it
+
+
+class TestNonmaskingAggregation:
+    def build(self):
+        program = Program(
+            [Variable("x", [0, 1, 2])],
+            [Action("settle", Predicate(lambda s: s["x"] == 2, "x=2"),
+                    assign(x=0), reads={"x"}, writes={"x"})],
+            name="toy",
+        )
+        invariant = Predicate(lambda s: s["x"] == 0, "x=0")
+        return program, invariant
+
+    def meddler(self, name, value):
+        return Action(name, TRUE, assign(x=value),
+                      reads=set(), writes={"x"})
+
+    def test_all_interfering_correctors_reported_in_one_pass(self):
+        program, invariant = self.build()
+        with pytest.raises(InterferenceError) as excinfo:
+            synthesis.add_nonmasking(
+                program, FaultClass([], name="none"), invariant, TRUE,
+                correctors=[self.meddler("m1", 1), self.meddler("m2", 2)],
+            )
+        error = excinfo.value
+        assert isinstance(error, ValueError)  # backward compatibility
+        assert [d.action for d in error.diagnostics] == ["m1", "m2"]
+        assert all(d.code == "DC203" for d in error.diagnostics)
+        assert "m1" in str(error) and "m2" in str(error)
+
+    def test_clean_composition_still_succeeds(self):
+        program, invariant = self.build()
+        fix = Action("fix", Predicate(lambda s: s["x"] == 1, "x=1"),
+                     assign(x=0), reads={"x"}, writes={"x"})
+        result = synthesis.add_nonmasking(
+            program, FaultClass([], name="none"), invariant, TRUE,
+            correctors=[fix],
+        )
+        assert "fix" in {a.name for a in result.program.actions}
