@@ -14,9 +14,11 @@ speedup numbers live in ``BENCH_core.json`` (see ``record.py`` and
 from repro.core import is_masking_tolerant
 from repro.core.exploration import (
     TransitionSystem,
+    clear_all_caches,
     clear_system_cache,
     explored_system,
 )
+from repro.core.regions import iter_bits
 from repro.core.state import Schema, State, Variable, state_space
 from repro.programs import byzantine
 
@@ -54,7 +56,7 @@ def bench_perf_exploration_cold(benchmark, report):
     start = model.masking.states_satisfying(model.span)
 
     def work():
-        clear_system_cache()
+        clear_all_caches()
         return TransitionSystem(
             model.masking, start, fault_actions=list(model.faults.actions)
         )
@@ -63,6 +65,24 @@ def bench_perf_exploration_cold(benchmark, report):
     # the span is fault-closed: exploration confirms it adds no states
     assert len(system.states) == len(start) > 0
     report("PERF", "byzantine masking exploration from span (cold)")
+
+
+def bench_perf_exploration_quotient_cold(benchmark, report):
+    """The same cold exploration through the orbit-canonicalizing
+    interner: the S_3 quotient must be ≥3x smaller and build faster."""
+    model = byzantine.build()
+    start = model.masking.states_satisfying(model.span)
+
+    def work():
+        clear_all_caches()
+        return TransitionSystem(
+            model.masking, start, fault_actions=list(model.faults.actions),
+            symmetric=True,
+        )
+
+    system = benchmark(work)
+    assert 3 * len(system.states) <= len(start)
+    report("PERF", "byzantine masking quotient exploration (cold, S_3)")
 
 
 def bench_perf_explored_system_warm_hit(benchmark, report):
@@ -120,6 +140,34 @@ def bench_perf_masking_certificate_warm(benchmark, report):
     )
     assert result
     report("PERF", "warm masking certificate (byzantine n=4 f=1)")
+
+
+def bench_perf_iter_bits_sparse(benchmark, report):
+    """Sparse bitset iteration (~1% full): the isolate-lowest-bit path
+    must skip the empty bytes entirely."""
+    n = 100_000
+    ids = list(range(0, n, 97))
+    bits = 0
+    for i in ids:
+        bits |= 1 << i
+
+    out = benchmark(lambda: list(iter_bits(bits, n)))
+    assert out == ids
+    report("PERF", f"iter_bits sparse ({len(ids)}/{n} bits set)")
+
+
+def bench_perf_iter_bits_dense(benchmark, report):
+    """Dense bitset iteration (>50% full): the byte-scan path, where
+    per-bit big-int arithmetic would lose."""
+    n = 100_000
+    bits = (1 << n) - 1
+    for i in range(0, n, 1000):  # punch a few holes, stay dense
+        bits &= ~(1 << i)
+    expected = [i for i in range(n) if i % 1000 != 0]
+
+    out = benchmark(lambda: list(iter_bits(bits, n)))
+    assert out == expected
+    report("PERF", f"iter_bits dense ({n - n // 1000}/{n} bits set)")
 
 
 def bench_perf_schema_interning(benchmark, report):

@@ -15,9 +15,14 @@ non-zero when any comparable suite is more than ``--threshold``
 Two guards keep the gate honest rather than flaky:
 
 - only suites whose explored ``states`` count matches the committed
-  record are compared — quick mode shrinks the ``synthesis`` and
-  ``token_ring_stabilization`` workloads, so their walls are not
-  commensurable with the full-scale record;
+  record are compared — quick mode shrinks the ``synthesis``,
+  ``token_ring_stabilization``, and ``byzantine_scaling_sym``
+  workloads, so their walls are not commensurable with the full-scale
+  record.  For the suites in ``record.STATE_GATED`` (symmetry-quotient
+  workloads that run the same instance in both modes) a state-count
+  mismatch is itself a FAILURE: the count is the quotient's orbit
+  census, and a canonicalization change that alters it is a
+  correctness bug, not a workload change;
 - suites whose committed wall is below ``--min-wall`` (default 10 ms)
   are reported but never gated: at sub-millisecond scale the wall
   measures scheduler noise, not the engine.
@@ -78,6 +83,8 @@ def main(argv: List[str] = None) -> int:
         print(f"cannot read committed record {args.record!r}: {exc}")
         return 2
 
+    harness = _harness()
+    state_gated = getattr(harness, "STATE_GATED", frozenset())
     if args.current:
         try:
             with open(args.current, encoding="utf-8") as fh:
@@ -86,7 +93,6 @@ def main(argv: List[str] = None) -> int:
             print(f"cannot read current record {args.current!r}: {exc}")
             return 2
     else:
-        harness = _harness()
         current = {
             name: harness.run_suite(name, args.repeat, quick=True)
             for name in harness.SUITES
@@ -97,7 +103,18 @@ def main(argv: List[str] = None) -> int:
         wall = float(result["wall_s"])
         base = committed.get(name)
         if base is None or base.get("states") != result.get("states"):
-            print(f"{name:26s} {wall:9.4f}s   (no comparable committed wall)")
+            if base is not None and name in state_gated:
+                print(
+                    f"{name:26s} {result.get('states')} states   "
+                    f"committed {base.get('states')}   STATE-COUNT MISMATCH "
+                    f"(quotient census must match exactly)"
+                )
+                failures += 1
+            else:
+                print(
+                    f"{name:26s} {wall:9.4f}s   "
+                    f"(no comparable committed wall)"
+                )
             continue
         base_wall = float(base["wall_s"])
         ratio = wall / base_wall if base_wall > 0 else 1.0
@@ -114,7 +131,7 @@ def main(argv: List[str] = None) -> int:
             print(line)
 
     if failures:
-        print(f"{failures} suite(s) regressed beyond {args.threshold:.0%}")
+        print(f"{failures} suite(s) failed the benchmark gate")
         return 1
     print("no benchmark regressions")
     return 0

@@ -45,12 +45,20 @@ OUTPUT_PATH = os.path.join(HERE, "..", "BENCH_core.json")
 
 
 def _clear_caches() -> None:
-    """Reset the exploration memo-caches so every repetition is cold."""
+    """Reset every exploration memo-cache so every repetition is cold:
+    the system LRU, the per-action successor memos, and the frame-class
+    memos (``clear_all_caches``; older trees only expose the system
+    cache, the oldest none)."""
     try:
-        from repro.core.exploration import clear_system_cache
-    except ImportError:  # pre-optimization tree: nothing to clear
+        from repro.core.exploration import clear_all_caches
+    except ImportError:
+        try:
+            from repro.core.exploration import clear_system_cache
+        except ImportError:  # pre-optimization tree: nothing to clear
+            return
+        clear_system_cache()
         return
-    clear_system_cache()
+    clear_all_caches()
 
 
 # ---------------------------------------------------------------------------
@@ -68,20 +76,25 @@ def _suite_byzantine_explore() -> int:
 
 
 def _suite_byzantine_tolerance() -> int:
-    """The two SEC62 tolerance certificates (fail-safe and masking),
-    exactly as ``repro verify byzantine`` runs them."""
+    """The two SEC62 tolerance certificates (fail-safe and masking) in
+    symmetric mode: the S_3 quotient over the non-generals (144 states
+    vs 520 unreduced) carries the same verdicts —
+    ``tests/test_symmetry_parity.py`` pins the parity against the
+    unreduced oracle."""
     from repro.core import is_failsafe_tolerant, is_masking_tolerant
     from repro.programs import byzantine
 
     model = byzantine.build()
     failsafe = is_failsafe_tolerant(
-        model.failsafe, model.faults, model.spec, model.invariant, model.span
+        model.failsafe, model.faults, model.spec, model.invariant, model.span,
+        symmetric=True,
     )
     masking = is_masking_tolerant(
-        model.masking, model.faults, model.spec, model.invariant, model.span
+        model.masking, model.faults, model.spec, model.invariant, model.span,
+        symmetric=True,
     )
     assert failsafe and masking, "byzantine certificates must pass"
-    ts = model.faults.system(model.masking, model.span)
+    ts = model.faults.system(model.masking, model.span, symmetric=True)
     return len(ts.states)
 
 
@@ -151,13 +164,105 @@ def _suite_token_ring_stabilization(quick: bool = False) -> int:
     return len(ts.states)
 
 
+def _suite_nmr_tolerance_sym() -> int:
+    """The 5-way majority voter's masking certificate on the S_5
+    quotient: the 32 reachable input/output vectors collapse to the 6
+    corruption-count orbits."""
+    from repro.core import is_masking_tolerant
+    from repro.programs import tmr
+
+    model = tmr.build_nmr(5)
+    assert is_masking_tolerant(
+        model.nmr, model.faults, model.spec, model.invariant, model.span,
+        symmetric=True,
+    )
+    ts = model.faults.system(model.nmr, model.span, symmetric=True)
+    return len(ts.states)
+
+
+def _suite_token_ring_stabilization_sym() -> int:
+    """The n=6/K=5 stabilization certificate on the Z_5 value-rotation
+    quotient (3,125 states vs 15,625).  Same instance in quick and full
+    mode, so the regression gate can always compare it."""
+    from repro.core import TRUE, is_nonmasking_tolerant
+    from repro.programs import token_ring
+
+    model = token_ring.build(6, 5)
+    assert is_nonmasking_tolerant(
+        model.ring, model.faults, model.spec, model.invariant, TRUE,
+        symmetric=True,
+    )
+    ts = model.faults.system(model.ring, TRUE, symmetric=True)
+    return len(ts.states)
+
+
+def _suite_byzantine_scaling_sym(quick: bool = False) -> int:
+    """Quotient exploration of the k-non-general Byzantine family from
+    the protocol's initial states — the previously-infeasible instance.
+
+    At k=13 the unreduced reachable graph (computed *exactly* below
+    by summing orbit sizes — the reachable set is a union of orbits) is
+    over 10 million states, far past the 2M exploration cap; the S_13
+    quotient explores it in under a thousand states.  ``--quick`` runs
+    k=5, so this suite's state count legitimately differs between modes
+    and is deliberately NOT in :data:`STATE_GATED`."""
+    import math
+
+    from repro.core import explored_system
+    from repro.programs import byzantine
+
+    k = 5 if quick else 13
+    ngs = tuple(range(1, k + 1))
+    model = byzantine.build_family(ngs)
+    quot = explored_system(
+        model.masking, byzantine.initial_states(ngs), model.faults,
+        symmetric=True,
+    )
+    blocks = model.masking.symmetry.blocks
+    unreduced = 0
+    for state in quot.states:
+        counts: Dict[Tuple, int] = {}
+        for block in blocks:
+            key = tuple(state[name] for name in block)
+            counts[key] = counts.get(key, 0) + 1
+        size = math.factorial(k)
+        for count in counts.values():
+            size //= math.factorial(count)
+        unreduced += size
+    if not quick:
+        from repro.core.exploration import DEFAULT_MAX_STATES
+
+        assert unreduced > DEFAULT_MAX_STATES, (
+            f"k={k} was supposed to be infeasible unreduced "
+            f"({unreduced} states vs cap {DEFAULT_MAX_STATES})"
+        )
+    return len(quot.states)
+
+
 SUITES: Dict[str, Callable[[bool], int]] = {
     "byzantine_explore": lambda quick: _suite_byzantine_explore(),
     "byzantine_tolerance": lambda quick: _suite_byzantine_tolerance(),
     "synthesis": _suite_synthesis,
     "tmr_tolerance": lambda quick: _suite_tmr_tolerance(),
     "token_ring_stabilization": _suite_token_ring_stabilization,
+    "nmr_tolerance_sym": lambda quick: _suite_nmr_tolerance_sym(),
+    "token_ring_stabilization_sym":
+        lambda quick: _suite_token_ring_stabilization_sym(),
+    "byzantine_scaling_sym": _suite_byzantine_scaling_sym,
 }
+
+#: suites whose ``states`` count is a *quotient* size that must match
+#: the committed record exactly: a canonicalization change that alters
+#: the orbit count is a correctness bug, not a workload change, so the
+#: regression gate fails (rather than skips) on a mismatch.  These
+#: suites run the same instance in quick and full mode.
+#: ``byzantine_scaling_sym`` is excluded: quick mode runs k=5 where the
+#: full record holds k=13, so its counts differ by design.
+STATE_GATED = frozenset({
+    "byzantine_tolerance",
+    "nmr_tolerance_sym",
+    "token_ring_stabilization_sym",
+})
 
 
 def run_suite(

@@ -10,11 +10,14 @@ with stable codes.
 Rules and code ranges:
 
 - ``DC0xx`` — totality: guards/statements that raise during probing.
-- ``DC1xx`` — frame soundness (:mod:`repro.analysis.frames`):
-  ``reads``/``writes`` declarations validated by differential probing;
-  a wrong frame silently corrupts the successor memo introduced in the
+- ``DC1xx`` — declaration soundness: ``reads``/``writes`` frames
+  validated by differential probing (:mod:`repro.analysis.frames`) — a
+  wrong frame silently corrupts the successor memo introduced in the
   perf core, which is exactly the class of bug a test suite built on
-  the same memo cannot see.
+  the same memo cannot see — and symmetry declarations validated the
+  same way (``DC106``, :mod:`repro.analysis.symmetry_lint`): a group
+  element that is not an automorphism of ``p [] F`` silently merges
+  inequivalent states in quotient exploration.
 - ``DC2xx`` — interference (:mod:`repro.analysis.interference`):
   the paper's interference-freedom condition checked semantically for
   declared correctors, plus an advisory read/write race audit.
@@ -49,6 +52,7 @@ from .linter import LintConfig, LintTarget, lint, lint_program
 from .probe import ProbeSet, build_probe, raw_successors
 from .reporters import render_json, render_text, summarize, worst_severity
 from .specs import check_closure, check_spec
+from .symmetry_lint import check_symmetry
 
 __all__ = [
     "Diagnostic", "Severity", "Suppression", "LintReport",
@@ -58,7 +62,7 @@ __all__ = [
     "check_frames", "infer_frame", "format_frame",
     "check_guards", "check_interference",
     "interference_diagnostics_for_states",
-    "check_spec", "check_closure",
+    "check_spec", "check_closure", "check_symmetry",
     "ProbeSet", "build_probe", "raw_successors",
     "render_text", "render_json", "summarize", "worst_severity",
 ]

@@ -67,6 +67,7 @@ def _tmr() -> List[LintTarget]:
     from ..programs import tmr
 
     t = tmr.build()
+    n = tmr.build_nmr(5)
     return [
         # T_io is not closed under the unguarded IR (IR1 may copy the
         # corrupted input), so the intolerant target gets S_io only
@@ -81,6 +82,12 @@ def _tmr() -> List[LintTarget]:
                    spec=t.spec, invariant=t.invariant, span=t.span,
                    faults=t.faults,
                    components=("CR1", "CR2")),
+        # the n-way voter backs the symmetry quotient benchmarks; its
+        # S_5 declaration (blocks + VOTE orbit) is what DC106 validates
+        LintTarget(name="tmr/nmr5", program=n.nmr,
+                   spec=n.spec, invariant=n.invariant, span=n.span,
+                   faults=n.faults,
+                   components=tuple(a.name for a in n.nmr.actions)),
     ]
 
 

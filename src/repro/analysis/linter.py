@@ -29,6 +29,7 @@ from .guards import check_guards
 from .interference import check_interference
 from .probe import build_probe
 from .specs import check_closure, check_spec
+from .symmetry_lint import check_symmetry
 
 __all__ = ["LintConfig", "LintTarget", "lint", "lint_program"]
 
@@ -51,6 +52,7 @@ class LintConfig:
     alt_limit: int = 3
     closure_limit: int = 2048
     invariant_limit: int = 1 << 16
+    symmetry_limit: int = 256
     seed: int = 0
     suggest_frames: bool = False
 
@@ -148,6 +150,16 @@ def lint(target: LintTarget, config: Optional[LintConfig] = None) -> LintReport:
             fault_actions, probe,
             target=target.name,
             kind="fault action",
+        ))
+
+    # symmetry-declaration soundness (DC106) — only fires when the
+    # program declares a group; quotient exploration trusts the claim
+    if program.symmetry is not None:
+        report.extend(check_symmetry(
+            program, probe,
+            target=target.name,
+            faults=target.faults,
+            limit=config.symmetry_limit,
         ))
 
     # spec well-formedness

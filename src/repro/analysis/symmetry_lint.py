@@ -1,0 +1,170 @@
+"""Symmetry-declaration soundness: the ``DC106`` rule.
+
+A symmetry declaration (:mod:`repro.core.symmetry`) is a *claim* that
+every group element is an automorphism of the transition relation of
+``p [] F`` — quotient exploration trusts it, so a wrong declaration
+silently merges states that behave differently.  This rule validates
+the claim the same way the frame rules validate ``reads``/``writes``
+declarations: differentially, on the probe set, from first principles
+(:func:`~repro.analysis.probe.raw_successors` bypasses every memo).
+
+For each generator ``g`` and probed state ``s``:
+
+- **program actions** are checked at *orbit* granularity: every edge
+  ``s --a--> t`` must map to an edge ``g·s --a'--> g·t`` for some
+  action ``a'`` in ``a``'s declared orbit
+  (:meth:`~repro.core.symmetry.Symmetry.orbit_of`).  An undeclared
+  action has a singleton orbit — it claims to be a *fixed point* of the
+  group — so this check also catches a missing ``action_orbits``
+  declaration, which would make the quotient's orbit-granular fairness
+  test unsound;
+- **fault actions** are checked as a set: the image of a fault edge
+  must be a fault edge (fault actions carry no fairness obligations, so
+  per-orbit resolution is not needed — Dijkstra's ring is the motivating
+  case, where value translation maps the fault ``x0 := 2`` onto the
+  *different* fault ``x0 := 3``).
+
+A violation is an error: the declaration must be fixed (or removed),
+not suppressed.  Like all lint rules this is a probe, not a proof —
+the exhaustive net is ``tests/test_symmetry_parity.py``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.action import Action
+from ..core.faults import FaultClass
+from ..core.program import Program
+from ..core.state import State
+from .diagnostics import Diagnostic, Severity
+from .probe import ProbeSet, raw_successors
+
+__all__ = ["check_symmetry"]
+
+RULE = "symmetry-soundness"
+
+
+def check_symmetry(
+    program: Program,
+    probe: ProbeSet,
+    target: str = "",
+    faults: Optional[FaultClass] = None,
+    limit: int = 256,
+) -> List[Diagnostic]:
+    """``DC106`` diagnostics for ``program``'s symmetry declaration.
+
+    Silently returns no findings when the program declares no symmetry.
+    ``limit`` bounds the probed states per generator (the check is
+    quadratic in successors, so it gets a tighter budget than the
+    pointwise rules).
+    """
+    symmetry = program.symmetry
+    if symmetry is None:
+        return []
+    diagnostics: List[Diagnostic] = []
+    states = probe.states[:limit]
+    sampled = not probe.exhaustive or len(states) < len(probe.states)
+
+    by_name = {action.name: action for action in program.actions}
+    for generator in symmetry.generators():
+        apply = generator.apply
+        for action in program.actions:
+            orbit = symmetry.orbit_of(action.name)
+            partners = tuple(
+                by_name[name] for name in sorted(orbit) if name in by_name
+            )
+            witness = _orbit_mismatch(action, partners, apply, states)
+            if witness is None:
+                continue
+            s, t = witness
+            declared = (
+                f"declared orbit {{{', '.join(sorted(orbit))}}}"
+                if len(orbit) > 1 else "claimed fixed (no declared orbit)"
+            )
+            diagnostics.append(Diagnostic(
+                code="DC106",
+                severity=Severity.ERROR,
+                rule=RULE,
+                message=(
+                    f"symmetry {symmetry.name!r} is not an automorphism: "
+                    f"generator {generator.name} maps an edge of "
+                    f"{action.name!r} ({declared}) to a transition no "
+                    f"orbit member produces"
+                ),
+                target=target,
+                action=action.name,
+                evidence=f"{s!r} --{action.name}--> {t!r}",
+                hint="fix the block/orbit declaration or remove the "
+                     "symmetry; quotient exploration trusts it",
+                sampled=sampled,
+            ))
+        if faults is not None and faults.actions:
+            witness = _fault_set_mismatch(
+                tuple(faults.actions), apply, states
+            )
+            if witness is not None:
+                s, t = witness
+                diagnostics.append(Diagnostic(
+                    code="DC106",
+                    severity=Severity.ERROR,
+                    rule=RULE,
+                    message=(
+                        f"symmetry {symmetry.name!r} is not an automorphism "
+                        f"of the fault class {faults.name!r}: generator "
+                        f"{generator.name} maps a fault edge to a "
+                        f"transition no fault action produces"
+                    ),
+                    target=target,
+                    evidence=f"{s!r} --fault--> {t!r}",
+                    hint="the group must permute fault edges too "
+                         "(tolerance checks explore p [] F)",
+                    sampled=sampled,
+                ))
+    return diagnostics
+
+
+def _orbit_mismatch(
+    action: Action,
+    partners: Sequence[Action],
+    apply,
+    states: Sequence[State],
+) -> Optional[Tuple[State, State]]:
+    """An edge of ``action`` whose image under the generator is produced
+    by no orbit member, or ``None``."""
+    for s in states:
+        successors = raw_successors(action, s)
+        if not successors:
+            continue
+        gs = apply(s)
+        images = None
+        for t in successors:
+            gt = apply(t)
+            if images is None:
+                images = set()
+                for partner in partners:
+                    images.update(raw_successors(partner, gs))
+            if gt not in images:
+                return (s, t)
+    return None
+
+
+def _fault_set_mismatch(
+    fault_actions: Sequence[Action],
+    apply,
+    states: Sequence[State],
+) -> Optional[Tuple[State, State]]:
+    """A fault edge whose image is no fault edge, or ``None``."""
+    for s in states:
+        gs = None
+        images = None
+        for action in fault_actions:
+            for t in raw_successors(action, s):
+                if gs is None:
+                    gs = apply(s)
+                    images = set()
+                    for other in fault_actions:
+                        images.update(raw_successors(other, gs))
+                if apply(t) not in images:
+                    return (s, t)
+    return None

@@ -29,6 +29,7 @@ from .detector import (
 from .exploration import (
     Edge,
     TransitionSystem,
+    clear_all_caches,
     clear_system_cache,
     explored_system,
 )
@@ -68,6 +69,14 @@ from .specification import (
     maintains,
 )
 from .state import BOTTOM, Schema, State, StateInterner, Variable, state_space
+from .symmetry import (
+    Canonicalizer,
+    ReplicaSymmetry,
+    RingRotation,
+    Symmetry,
+    SymmetryError,
+    ValueRotation,
+)
 from .multitolerance import ToleranceRequirement, is_multitolerant
 from .tolerance import (
     check_implication,
@@ -97,7 +106,10 @@ __all__ = [
     # refinement
     "refines_spec", "refines_program", "violates_spec",
     "start_states_of", "system_from",
-    "explored_system", "clear_system_cache",
+    "explored_system", "clear_system_cache", "clear_all_caches",
+    # symmetry
+    "Symmetry", "SymmetryError", "ReplicaSymmetry", "RingRotation",
+    "ValueRotation", "Canonicalizer",
     # faults & tolerance
     "FaultClass", "perturb_variable", "set_variable", "crash_variable",
     "check_implication",

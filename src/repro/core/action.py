@@ -27,6 +27,7 @@ Helper constructors:
 from __future__ import annotations
 
 import operator
+import weakref
 from typing import (
     Callable,
     Dict,
@@ -118,10 +119,16 @@ class Action:
     """
 
     __slots__ = ("name", "guard", "statement", "reads", "writes",
-                 "_successors", "_class_memo", "_base", "_restriction")
+                 "_successors", "_class_memo", "_base", "_restriction",
+                 "__weakref__")
 
     #: per-action successor memo stops growing past this many states
     SUCCESSOR_CACHE_LIMIT = 1 << 18
+
+    #: every live action, so :meth:`clear_successor_caches` can reach the
+    #: per-action memos (weak references: registration does not extend
+    #: any action's lifetime)
+    _instances: "weakref.WeakSet[Action]" = None  # set below
 
     def __init__(
         self,
@@ -162,6 +169,7 @@ class Action:
         #: base action's memo instead of re-running the statement
         self._base: "Action" = None
         self._restriction: Predicate = None
+        Action._instances.add(self)
 
     def enabled(self, state: State) -> bool:
         """True iff the guard holds at ``state``."""
@@ -267,8 +275,23 @@ class Action:
                     return False
         return True
 
+    @classmethod
+    def clear_successor_caches(cls) -> None:
+        """Drop every live action's successor and equivalence-class
+        memos.  These are per-action (not process-global), so
+        ``clear_system_cache`` cannot reach them; benchmark cold-start
+        paths call this through
+        :func:`repro.core.exploration.clear_all_caches`."""
+        for action in list(cls._instances):
+            action._successors.clear()
+            if action._class_memo is not None:
+                action._class_memo.clear()
+
     def __repr__(self) -> str:
         return f"Action({self.name} :: {self.guard.name} --> ...)"
+
+
+Action._instances = weakref.WeakSet()
 
 
 def _unique_names(actions: Sequence[Action]) -> None:

@@ -57,12 +57,14 @@ from .program import Program
 from .regions import first_bit, iter_bits, system_index
 from .results import CheckResult, Counterexample
 from .state import State
+from .symmetry import SymmetryError
 
 __all__ = [
     "Edge",
     "TransitionSystem",
     "explored_system",
     "clear_system_cache",
+    "clear_all_caches",
 ]
 
 #: A labelled edge: (source, action name, target).
@@ -91,6 +93,16 @@ class TransitionSystem:
     max_states:
         Safety valve against state-space explosion; exploration raises if
         exceeded.
+    symmetric:
+        When true, explore the *quotient* graph under the program's
+        declared symmetry group: every start state and every successor is
+        mapped to the canonical representative of its orbit before it
+        touches the frontier, so the full graph is never materialized.
+        Requires ``program.symmetry`` (raises
+        :class:`~repro.core.symmetry.SymmetryError` otherwise).  Verdicts
+        over a quotient system equal those over the full system provided
+        every consulted predicate/spec is a union of orbits — the
+        tolerance checkers validate that before opting in.
 
     A constructed system is immutable; consider :func:`explored_system`
     to share one instance across repeated identical explorations.
@@ -102,8 +114,17 @@ class TransitionSystem:
         start_states: Iterable[State],
         fault_actions: Sequence[Action] = (),
         max_states: int = DEFAULT_MAX_STATES,
+        symmetric: bool = False,
     ):
         self.program = program
+        self.symmetry = None
+        if symmetric:
+            if program.symmetry is None:
+                raise SymmetryError(
+                    f"symmetric exploration requested but {program.name!r} "
+                    f"declares no symmetry group"
+                )
+            self.symmetry = program.symmetry
         self.fault_actions: Tuple[Action, ...] = tuple(fault_actions)
         self.fault_action_names: FrozenSet[str] = frozenset(
             a.name for a in self.fault_actions
@@ -130,10 +151,16 @@ class TransitionSystem:
         return self._program_edges.keys()
 
     def _explore(self, max_states: int) -> None:
-        # canonicalization is one C-level dict op: setdefault(s, s)
-        # returns the pooled representative (inserting s if unseen),
-        # exactly StateInterner.canonical without the method frames
-        canonical = {}.setdefault
+        if self.symmetry is not None:
+            # orbit canonicalization: each state maps to the pooled
+            # minimal representative of its symmetry orbit, so the BFS
+            # materializes the quotient graph directly
+            canonical = self.symmetry.canonicalizer(self.program).canonical
+        else:
+            # canonicalization is one C-level dict op: setdefault(s, s)
+            # returns the pooled representative (inserting s if unseen),
+            # exactly StateInterner.canonical without the method frames
+            canonical = {}.setdefault
         start_states = tuple(canonical(s, s) for s in self.start_states)
         self.start_states = tuple(dict.fromkeys(start_states))
         frontier = deque(self.start_states)
@@ -374,6 +401,7 @@ def explored_system(
     start_states: Iterable[State],
     fault_actions: Sequence[Action] = (),
     max_states: int = DEFAULT_MAX_STATES,
+    symmetric: bool = False,
 ) -> TransitionSystem:
     """A memoized :class:`TransitionSystem`.
 
@@ -384,18 +412,27 @@ def explored_system(
     the first call pays for exploration.  The cache is a bounded LRU of
     :data:`_SYSTEM_CACHE_MAXSIZE` systems; evict explicitly with
     :func:`clear_system_cache`.
+
+    ``symmetric=True`` explores the quotient graph under the program's
+    declared symmetry (see :class:`TransitionSystem`); the declared
+    group joins the cache key, so quotient and unreduced systems of the
+    same ``p [] F`` are cached independently.
     """
     starts = tuple(dict.fromkeys(start_states))
     faults = tuple(fault_actions)
     # Program and Action objects hash/compare by identity (they are never
     # mutated after construction); start states compare by value.
-    key = (program, starts, faults, max_states)
+    key = (
+        program, starts, faults, max_states,
+        program.symmetry if symmetric else None,
+    )
     system = _SYSTEM_CACHE.get(key)
     if system is not None:
         _SYSTEM_CACHE.move_to_end(key)
         return system
     system = TransitionSystem(
-        program, starts, fault_actions=faults, max_states=max_states
+        program, starts, fault_actions=faults, max_states=max_states,
+        symmetric=symmetric,
     )
     _SYSTEM_CACHE[key] = system
     if len(_SYSTEM_CACHE) > _SYSTEM_CACHE_MAXSIZE:
@@ -408,3 +445,21 @@ def clear_system_cache() -> None:
     state caches kept by :class:`~repro.core.program.Program`)."""
     _SYSTEM_CACHE.clear()
     Program.clear_state_caches()
+
+
+def clear_all_caches() -> None:
+    """Reset the library to a cache-cold state.
+
+    :func:`clear_system_cache` drops the memoized systems, the
+    per-program state/start-set caches, the shared full-space universe
+    indexes, and every registered downstream memo — but the per-
+    :class:`~repro.core.action.Action` successor and equivalence-class
+    memos live on action objects held by long-lived models, and survive
+    it.  (The ``action_edges`` row-translation memos do *not* need
+    separate treatment: they hang off ``StateIndex`` objects whose
+    lifetimes end with the universe cache or with the cached systems'
+    region indexes, both already dropped above.)  Benchmark cold-start
+    paths call this so recorded numbers include every cache miss.
+    """
+    clear_system_cache()
+    Action.clear_successor_caches()

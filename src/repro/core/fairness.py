@@ -149,7 +149,25 @@ def _fair_recurrent_component_ids(
     region_bits: int,
     edge_filter=None,
 ) -> List[List[int]]:
-    """Id-level core of :func:`fair_recurrent_sccs`."""
+    """Id-level core of :func:`fair_recurrent_sccs`.
+
+    On a symmetry quotient the starvation test is *orbit-granular*:
+    canonicalization re-sorts replica blocks along quotient edges, so
+    the process waiting for action ``IB2.2`` in the full graph may be
+    "process 1" at one quotient representative and "process 3" at the
+    next — no single action stays continuously enabled even where the
+    full graph starves one.  The weak-fairness obligation therefore
+    attaches to each declared *action-name orbit* (see
+    :meth:`~repro.core.symmetry.Symmetry.orbit_of`): an SCC is unfair
+    when some orbit has a member enabled at every component state and
+    no internal edge is labelled by any member.  A starved action in
+    the full graph projects to exactly that pattern, so every unfair
+    full-graph SCC is rejected here too; the converse direction (an
+    orbit enabled everywhere only by alternating members) is an
+    approximation in the missed-violation direction, validated
+    empirically by the parity suite — the same trade the SCC-granular
+    full-graph test already makes.
+    """
     n = index.n
     region_data = region_bits.to_bytes((n + 7) >> 3, "little")
     plabeled = index.plabeled
@@ -171,6 +189,20 @@ def _fair_recurrent_component_ids(
                 and edge_filter(source, a, states[v])
             ]
 
+    symmetry = ts.symmetry
+    if symmetry is None:
+        obligations: List[Tuple[FrozenSet[str], Tuple]] = [
+            (frozenset((action.name,)), (action,))
+            for action in ts.program.actions
+        ]
+    else:
+        grouped: Dict[FrozenSet[str], List] = {}
+        for action in ts.program.actions:
+            grouped.setdefault(symmetry.orbit_of(action.name), []).append(action)
+        obligations = [
+            (orbit, tuple(actions)) for orbit, actions in grouped.items()
+        ]
+
     recurrent: List[List[int]] = []
     node_ids = list(iter_bits(region_bits, n))
     for component in _tarjan_ids(node_ids, internal):
@@ -189,11 +221,21 @@ def _fair_recurrent_component_ids(
         if not internal_labels:
             continue  # trivial SCC without a self-loop: cannot linger
         fair = True
-        for action in ts.program.actions:
-            if action.name in internal_labels:
-                continue  # executed inside C: cannot be starved
-            enabled = index.enabled_data(action)
-            if all(enabled[u >> 3] & (1 << (u & 7)) for u in component):
+        for names, actions in obligations:
+            if not internal_labels.isdisjoint(names):
+                continue  # some orbit member executed inside C
+            if len(actions) == 1:
+                enabled = index.enabled_data(actions[0])
+                starved = all(
+                    enabled[u >> 3] & (1 << (u & 7)) for u in component
+                )
+            else:
+                datas = [index.enabled_data(a) for a in actions]
+                starved = all(
+                    any(d[u >> 3] & (1 << (u & 7)) for d in datas)
+                    for u in component
+                )
+            if starved:
                 fair = False  # continuously enabled but starved inside C
                 break
         if fair:

@@ -63,6 +63,7 @@ class FaultClass:
         program: Program,
         from_: Predicate,
         max_states: int = 2_000_000,
+        symmetric: bool = False,
     ) -> TransitionSystem:
         """The reachable transition system of ``program [] F`` from the
         states of ``program`` satisfying ``from_``.
@@ -71,10 +72,15 @@ class FaultClass:
         per-predicate cache and the exploration from the shared system
         LRU, so the repeated ``faults.system(p, span)`` calls inside a
         tolerance certificate all resolve to one explored graph.
+
+        ``symmetric=True`` builds the quotient system under the program's
+        declared symmetry; the caller is responsible for ``from_`` being
+        a union of orbits (the tolerance checkers validate this).
         """
         starts = program.states_satisfying(from_)
         return explored_system(
-            program, starts, fault_actions=self.actions, max_states=max_states
+            program, starts, fault_actions=self.actions, max_states=max_states,
+            symmetric=symmetric,
         )
 
     def check_span(

@@ -62,7 +62,7 @@ class Program:
     _cache_holders: "weakref.WeakSet[Program]" = None  # set below
 
     def __init__(self, variables: Sequence[Variable], actions: Sequence[Action],
-                 name: str = "program"):
+                 name: str = "program", symmetry=None):
         names = [v.name for v in variables]
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate variable names: {names}")
@@ -70,7 +70,14 @@ class Program:
         self.variables: Tuple[Variable, ...] = tuple(variables)
         self.actions: Tuple[Action, ...] = tuple(actions)
         self.name = name
+        #: declared symmetry group of this program (see repro.core.symmetry),
+        #: or None; validated against the variables at declaration time.
+        #: Compositions deliberately do not propagate it — a composed
+        #: program must re-declare (the composition may break the group).
+        self.symmetry = symmetry
         self._domains: Dict[str, Tuple] = {v.name: v.domain for v in variables}
+        if symmetry is not None:
+            symmetry.validate(self.variables)
         self._state_cache: Optional[Tuple[State, ...]] = None
         #: predicate (by identity) -> tuple of full-space states satisfying it
         self._satisfying_cache: Dict[Predicate, Tuple[State, ...]] = {}
@@ -233,7 +240,16 @@ class Program:
         )
 
     def renamed(self, name: str) -> "Program":
-        return Program(self.variables, self.actions, name=name)
+        return Program(self.variables, self.actions, name=name,
+                       symmetry=self.symmetry)
+
+    def with_symmetry(self, symmetry) -> "Program":
+        """The same program with ``symmetry`` declared (validated against
+        the variables).  Symmetric exploration (``explored_system(...,
+        symmetric=True)``) requires a declaration; compositions drop any
+        declared group, so composed programs attach theirs here."""
+        return Program(self.variables, self.actions, name=self.name,
+                       symmetry=symmetry)
 
     def with_actions(self, actions: Sequence[Action],
                      name: Optional[str] = None) -> "Program":

@@ -57,14 +57,19 @@ def system_from(
     from_: Predicate,
     fault_actions: Sequence = (),
     max_states: int = 2_000_000,
+    symmetric: bool = False,
 ) -> TransitionSystem:
     """Build the reachable transition system of ``program [] faults`` from
-    the states satisfying ``from_`` (memoized; see :func:`explored_system`)."""
+    the states satisfying ``from_`` (memoized; see :func:`explored_system`).
+
+    ``symmetric=True`` builds the quotient under the program's declared
+    symmetry; the caller must ensure ``from_`` is a union of orbits."""
     return explored_system(
         program,
         start_states_of(program, from_),
         fault_actions=fault_actions,
         max_states=max_states,
+        symmetric=symmetric,
     )
 
 
@@ -75,6 +80,7 @@ def refines_spec(
     fault_actions: Sequence = (),
     ts: Optional[TransitionSystem] = None,
     description: Optional[str] = None,
+    symmetric: bool = False,
 ) -> CheckResult:
     """Decide ``program refines spec from from_`` (Section 2.2.1).
 
@@ -85,6 +91,11 @@ def refines_spec(
 
     A prebuilt ``ts`` may be supplied to avoid re-exploration; it must
     have been built from ``from_`` with the same fault actions.
+
+    ``symmetric=True`` decides the check over the quotient system; the
+    verdict equals the full-system one provided ``spec`` and ``from_``
+    are invariant under the declared group (the tolerance checkers
+    validate this before opting in).
     """
     what = description or (
         f"{program.name}"
@@ -92,7 +103,7 @@ def refines_spec(
         + f" refines {spec.name} from {from_.name}"
     )
     if ts is None:
-        ts = system_from(program, from_, fault_actions)
+        ts = system_from(program, from_, fault_actions, symmetric=symmetric)
     closed = ts.is_closed(from_, include_faults=False,
                           description=f"{from_.name} closed in {program.name}")
     if not closed:

@@ -93,18 +93,53 @@ def check_implication(
     return CheckResult.passed(what)
 
 
+def _require_symmetric_checkable(
+    program: Program,
+    spec: Spec,
+    invariant: Predicate,
+    span: Predicate,
+) -> None:
+    """Refuse symmetric checking unless every predicate the certificate
+    consults is invariant under the program's declared group.
+
+    Quotient verdicts equal full-graph verdicts only when the start set
+    and every consulted predicate are unions of orbits.  The sweep here
+    is a sampled refusal heuristic (see
+    :meth:`~repro.core.symmetry.Symmetry.require_predicate_invariant`);
+    declarations themselves are validated exhaustively by lint rule
+    DC106 and the parity test suite.  Raises
+    :class:`~repro.core.symmetry.SymmetryError`.
+    """
+    symmetry = program.symmetry
+    if symmetry is None:
+        from .symmetry import SymmetryError
+
+        raise SymmetryError(
+            f"symmetric tolerance check requested but {program.name!r} "
+            f"declares no symmetry group"
+        )
+    variables = program.variables
+    what = f"symmetric check of {program.name}"
+    symmetry.require_predicate_invariant(invariant, variables, what)
+    symmetry.require_predicate_invariant(span, variables, what)
+    symmetry.require_spec_invariant(spec, variables, what)
+
+
 def _common_obligations(
     program: Program,
     faults: FaultClass,
     spec: Spec,
     invariant: Predicate,
     span: Predicate,
+    symmetric: bool = False,
 ) -> Iterable[CheckResult]:
     """Obligations shared by all three tolerance classes: refinement in
     the absence of faults, ``S ⇒ T``, and ``T`` closed in ``p [] F``."""
-    yield refines_spec(program, spec, invariant)
+    yield refines_spec(program, spec, invariant, symmetric=symmetric)
+    # S ⇒ T is a full-space implication — exact and orbit-agnostic, so
+    # it runs identically in symmetric mode
     yield check_implication(program, invariant, span)
-    ts = faults.system(program, span)
+    ts = faults.system(program, span, symmetric=symmetric)
     yield ts.is_closed(
         span,
         include_faults=True,
@@ -118,15 +153,26 @@ def is_failsafe_tolerant(
     spec: Spec,
     invariant: Predicate,
     span: Predicate,
+    symmetric: bool = False,
 ) -> CheckResult:
     """``program`` is fail-safe F-tolerant to ``spec`` from ``invariant``
-    with fault-span ``span``."""
+    with fault-span ``span``.
+
+    ``symmetric=True`` discharges every graph obligation on the quotient
+    system under the program's declared symmetry (after verifying that
+    the spec, invariant, and span are group-invariant — the check is
+    refused with :class:`~repro.core.symmetry.SymmetryError` otherwise).
+    """
+    if symmetric:
+        _require_symmetric_checkable(program, spec, invariant, span)
     what = (
         f"{program.name} is fail-safe {faults.name}-tolerant to {spec.name} "
         f"from {invariant.name} (span {span.name})"
     )
-    obligations = list(_common_obligations(program, faults, spec, invariant, span))
-    ts = faults.system(program, span)
+    obligations = list(_common_obligations(
+        program, faults, spec, invariant, span, symmetric=symmetric
+    ))
+    ts = faults.system(program, span, symmetric=symmetric)
     obligations.append(
         spec.safety_part().check(
             ts,
@@ -145,6 +191,7 @@ def is_nonmasking_tolerant(
     spec: Spec,
     invariant: Predicate,
     span: Predicate,
+    symmetric: bool = False,
 ) -> CheckResult:
     """``program`` is nonmasking F-tolerant to ``spec`` from
     ``invariant`` with fault-span ``span``.
@@ -153,13 +200,20 @@ def is_nonmasking_tolerant(
     perturbed computation must re-enter ``invariant`` (and stay, since
     the invariant is closed), after which suffix closure of the
     specification gives the ``(true)*SPEC`` membership.
+
+    ``symmetric=True`` runs on the quotient system (see
+    :func:`is_failsafe_tolerant`).
     """
+    if symmetric:
+        _require_symmetric_checkable(program, spec, invariant, span)
     what = (
         f"{program.name} is nonmasking {faults.name}-tolerant to {spec.name} "
         f"from {invariant.name} (span {span.name})"
     )
-    obligations = list(_common_obligations(program, faults, spec, invariant, span))
-    ts = faults.system(program, span)
+    obligations = list(_common_obligations(
+        program, faults, spec, invariant, span, symmetric=symmetric
+    ))
+    ts = faults.system(program, span, symmetric=symmetric)
     obligations.append(
         ts.is_closed(
             invariant,
@@ -187,6 +241,7 @@ def is_masking_tolerant(
     spec: Spec,
     invariant: Predicate,
     span: Predicate,
+    symmetric: bool = False,
 ) -> CheckResult:
     """``program`` is masking F-tolerant to ``spec`` from ``invariant``
     with fault-span ``span``: ``p [] F`` refines SPEC itself from the
@@ -199,13 +254,20 @@ def is_masking_tolerant(
     e.g. TMR masks a corrupted input without ever repairing it.  The
     convergence-based *sufficient* certificate of Theorem 5.2 lives in
     :func:`repro.theory.masking.theorem_5_2`.
+
+    ``symmetric=True`` runs on the quotient system (see
+    :func:`is_failsafe_tolerant`).
     """
+    if symmetric:
+        _require_symmetric_checkable(program, spec, invariant, span)
     what = (
         f"{program.name} is masking {faults.name}-tolerant to {spec.name} "
         f"from {invariant.name} (span {span.name})"
     )
-    obligations = list(_common_obligations(program, faults, spec, invariant, span))
-    ts = faults.system(program, span)
+    obligations = list(_common_obligations(
+        program, faults, spec, invariant, span, symmetric=symmetric
+    ))
+    ts = faults.system(program, span, symmetric=symmetric)
     obligations.append(
         spec.safety_part().check(
             ts,
@@ -227,6 +289,7 @@ def is_tolerant(
     spec: Spec,
     invariant: Predicate,
     span: Predicate,
+    symmetric: bool = False,
 ) -> CheckResult:
     """Dispatch on tolerance class name: ``"failsafe"``, ``"nonmasking"``,
     or ``"masking"``."""
@@ -241,7 +304,7 @@ def is_tolerant(
         raise ValueError(
             f"unknown tolerance kind {kind!r}; expected one of {sorted(checkers)}"
         ) from None
-    return checker(program, faults, spec, invariant, span)
+    return checker(program, faults, spec, invariant, span, symmetric=symmetric)
 
 
 def semantic_tolerance_check(

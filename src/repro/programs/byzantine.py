@@ -52,6 +52,7 @@ from ..core import (
     LeadsTo,
     Predicate,
     Program,
+    ReplicaSymmetry,
     Spec,
     StateInvariant,
     TRUE,
@@ -59,7 +60,7 @@ from ..core import (
     assign,
 )
 
-__all__ = ["ByzantineModel", "build", "majority", "corrdecn"]
+__all__ = ["ByzantineModel", "build", "build_family", "majority", "corrdecn"]
 
 NON_GENERALS: Tuple[int, ...] = (1, 2, 3)
 VALUES: Tuple[int, ...] = (0, 1)
@@ -558,17 +559,32 @@ def build() -> ByzantineModel:
     """Construct the Byzantine-agreement family for n = 4, f = 1."""
     variables = _variables()
 
+    # the non-generals are interchangeable: permuting the (d, out, b)
+    # triples permutes every per-j action onto its sibling and fixes the
+    # majority/witness/spec predicates (all functions of the multiset of
+    # copies), so every program of the family declares S_3 over them
+    symmetry = ReplicaSymmetry.of_families(
+        "d{i}", "out{i}", "b{i}", indices=NON_GENERALS,
+        name="S_3 over non-generals",
+        action_templates=(
+            "IB1.{i}", "IB2.{i}", "CB1.{i}",
+            "BYZ.{i}.lie_d", "BYZ.{i}.lie_out",
+        ),
+    )
+
     ib_actions = [a for j in NON_GENERALS for a in _ib_actions(j, guarded=False)]
-    ib = Program(variables, ib_actions, name="IB")
+    ib = Program(variables, ib_actions, name="IB", symmetry=symmetry)
 
     byz_behaviour = _byz_behaviour_actions()
-    ib_with_byz = Program(variables, ib_actions + byz_behaviour, name="IB‖BYZ")
+    ib_with_byz = Program(variables, ib_actions + byz_behaviour,
+                          name="IB‖BYZ", symmetry=symmetry)
     # one shared set of guarded IB actions: actions are immutable and
     # memoize their successors, so the masking program's exploration
     # replays the fail-safe program's evaluations instead of redoing them
     guarded_ib = [a for j in NON_GENERALS for a in _ib_actions(j, guarded=True)]
     failsafe = Program(
-        variables, guarded_ib + byz_behaviour, name="IB1‖DB;IB2‖BYZ"
+        variables, guarded_ib + byz_behaviour, name="IB1‖DB;IB2‖BYZ",
+        symmetry=symmetry,
     )
 
     masking_actions = (
@@ -576,7 +592,8 @@ def build() -> ByzantineModel:
         + [_cb_action(j) for j in NON_GENERALS]
         + byz_behaviour
     )
-    masking = Program(variables, masking_actions, name="IB1‖DB;IB2‖CB‖BYZ")
+    masking = Program(variables, masking_actions, name="IB1‖DB;IB2‖CB‖BYZ",
+                      symmetry=symmetry)
 
     return ByzantineModel(
         ib=ib,
@@ -590,4 +607,413 @@ def build() -> ByzantineModel:
         faults=_fault_latches(),
         witnesses={j: _witness(j) for j in NON_GENERALS},
         detections={j: _detection(j) for j in NON_GENERALS},
+    )
+
+
+# -- the k-non-general generalization -----------------------------------------
+
+def initial_states(non_generals: Sequence[int] = NON_GENERALS) -> List:
+    """The protocol's initial states: the general holds either value,
+    nobody is Byzantine, nothing copied or output yet.  Exploration from
+    these states covers exactly the protocol's runs — the scaling
+    benchmarks use this (the full product space sweep that seeds
+    span-based exploration is itself exponential in k)."""
+    from ..core import State
+
+    base = {"bg": False}
+    for j in non_generals:
+        base[f"d{j}"] = BOTTOM
+        base[f"out{j}"] = BOTTOM
+        base[f"b{j}"] = False
+    return [State(dict(base, dg=value)) for value in VALUES]
+
+
+def build_family(non_generals: Sequence[int] = NON_GENERALS) -> ByzantineModel:
+    """Byzantine agreement generalized to ``k`` non-generals (k odd).
+
+    The same Section 6.2 construction — copy, guarded output, majority
+    correction, ≤1 Byzantine latch — with the majority taken over ``k``
+    copies.  ``build_family((1, 2, 3))`` is semantically identical to
+    :func:`build` (the parity tests pin this); larger instances are the
+    scaling story for symmetric exploration, since the unreduced graph
+    grows exponentially in ``k`` while the quotient grows polynomially
+    (states are determined by *counts* of non-general configurations,
+    not their assignment to processes).
+
+    The model's programs declare ``S_k`` over the per-process
+    ``(d, out, b)`` triples.
+    """
+    ngs = tuple(non_generals)
+    k = len(ngs)
+    if k < 3 or k % 2 == 0:
+        raise ValueError(
+            "build_family needs an odd number of non-generals ≥ 3 "
+            "(strict majority voting)"
+        )
+    if len(set(ngs)) != k:
+        raise ValueError(f"duplicate non-general ids: {ngs}")
+    b_names = tuple(f"b{j}" for j in ngs)
+    d_names = tuple(f"d{j}" for j in ngs)
+    out_names = tuple(f"out{j}" for j in ngs)
+
+    variables = [Variable("dg", VALUES), Variable("bg", [False, True])]
+    for j in ngs:
+        variables.append(Variable(f"d{j}", [BOTTOM, *VALUES]))
+        variables.append(Variable(f"out{j}", [BOTTOM, *VALUES]))
+        variables.append(Variable(f"b{j}", [False, True]))
+
+    # binary strict majority of k odd copies: 1 iff more than half are 1
+    # (callers guarantee no copy is ⊥)
+    def majority_of(copies, k=k):
+        return 1 if 2 * sum(copies) > k else 0
+
+    def ib2_guard(j: int, guarded: bool) -> Predicate:
+        bn, dn, on = f"b{j}", f"d{j}", f"out{j}"
+        name = f"(¬{bn} ∧ {dn}≠⊥ ∧ {on}=⊥)"
+        if guarded:
+            name = f"({name[1:-1]} ∧ W{j})"
+
+        def build_fn(index):
+            b_at, d_at, o_at = index[bn], index[dn], index[on]
+            if not guarded:
+                def fn(values, b_at=b_at, d_at=d_at, o_at=o_at):
+                    return (
+                        not values[b_at]
+                        and values[d_at] is not BOTTOM
+                        and values[o_at] is BOTTOM
+                    )
+                return fn
+            all_d = tuple(index[n] for n in d_names)
+
+            def fn(values, b_at=b_at, d_at=d_at, o_at=o_at, all_d=all_d):
+                if (
+                    values[b_at]
+                    or values[d_at] is BOTTOM
+                    or values[o_at] is not BOTTOM
+                ):
+                    return False
+                copies = [values[i] for i in all_d]
+                if BOTTOM in copies:
+                    return False
+                return values[d_at] == majority_of(copies)
+
+            return fn
+
+        return _compiled_predicate(name, build_fn)
+
+    def ib_actions(j: int, guarded: bool) -> List[Action]:
+        dn = f"d{j}"
+        copy = Action(
+            f"IB1.{j}",
+            _ib1_guard(j),
+            assign(**{dn: lambda s: s["dg"]}),
+            reads={f"b{j}", dn, "dg"}, writes={dn},
+        )
+        output_reads = {f"b{j}", f"out{j}", dn}
+        if guarded:
+            output_reads |= set(d_names)
+        output = Action(
+            f"IB2.{j}",
+            ib2_guard(j, guarded),
+            assign(**{f"out{j}": lambda s, dn=dn: s[dn]}),
+            reads=output_reads, writes={f"out{j}"},
+        )
+        return [copy, output]
+
+    def cb_action(j: int) -> Action:
+        bn, dn = f"b{j}", f"d{j}"
+
+        def build_fn(index):
+            b_at, d_at = index[bn], index[dn]
+            all_d = tuple(index[n] for n in d_names)
+
+            def fn(values, b_at=b_at, d_at=d_at, all_d=all_d):
+                if values[b_at]:
+                    return False
+                copies = [values[i] for i in all_d]
+                if BOTTOM in copies:
+                    return False
+                return values[d_at] != majority_of(copies)
+
+            return fn
+
+        return Action(
+            f"CB1.{j}",
+            _compiled_predicate(f"(¬{bn} ∧ ∀k: dk≠⊥ ∧ {dn}≠majority)",
+                                build_fn),
+            assign(**{dn: lambda s, dn=dn: majority_of(
+                [s[n] for n in d_names]
+            )}),
+            reads={bn, *d_names}, writes={dn},
+        )
+
+    def byz_behaviour() -> List[Action]:
+        actions = [
+            Action(
+                "BYZ.g.lie",
+                Predicate(lambda s: s["bg"], name="bg"),
+                lambda s: s.assign_each("dg", VALUES),
+                reads={"bg"}, writes={"dg"},
+            )
+        ]
+        for j in ngs:
+            actions.append(
+                Action(
+                    f"BYZ.{j}.lie_d",
+                    Predicate(lambda s, j=j: s[f"b{j}"], name=f"b{j}"),
+                    lambda s, j=j: s.assign_each(f"d{j}", VALUES),
+                    reads={f"b{j}"}, writes={f"d{j}"},
+                )
+            )
+            actions.append(
+                Action(
+                    f"BYZ.{j}.lie_out",
+                    Predicate(lambda s, j=j: s[f"b{j}"], name=f"b{j}"),
+                    lambda s, j=j: s.assign_each(f"out{j}", VALUES),
+                    reads={f"b{j}"}, writes={f"out{j}"},
+                )
+            )
+        return actions
+
+    def fault_latches() -> FaultClass:
+        def build_fn(index):
+            flag_at = (index["bg"],) + tuple(index[n] for n in b_names)
+
+            def fn(values, flag_at=flag_at):
+                for i in flag_at:
+                    if values[i]:
+                        return False
+                return True
+
+            return fn
+
+        nobody_byzantine = _compiled_predicate("nobody Byzantine", build_fn)
+        flags = {"bg", *b_names}
+        actions = [Action("BYZ.g.enter", nobody_byzantine, assign(bg=True),
+                          reads=flags, writes={"bg"})]
+        for j in ngs:
+            actions.append(
+                Action(f"BYZ.{j}.enter", nobody_byzantine,
+                       assign(**{f"b{j}": True}),
+                       reads=flags, writes={f"b{j}"})
+            )
+        return FaultClass(actions, name="BYZ (≤1 process)")
+
+    bo_names = tuple(zip(b_names, out_names))
+
+    def spec() -> Spec:
+        def build_validity(index):
+            bg_at, dg_at = index["bg"], index["dg"]
+            pairs = tuple((index[b], index[o]) for b, o in bo_names)
+
+            def fn(values, bg_at=bg_at, dg_at=dg_at, pairs=pairs):
+                if values[bg_at]:
+                    return True
+                dg = values[dg_at]
+                for bi, oi in pairs:
+                    if values[bi]:
+                        continue
+                    out = values[oi]
+                    if out is not BOTTOM and out != dg:
+                        return False
+                return True
+
+            return fn
+
+        def build_agreement(index):
+            pairs = tuple((index[b], index[o]) for b, o in bo_names)
+
+            def fn(values, pairs=pairs):
+                seen = None
+                for bi, oi in pairs:
+                    if values[bi]:
+                        continue
+                    out = values[oi]
+                    if out is BOTTOM:
+                        continue
+                    if seen is None:
+                        seen = out
+                    elif out != seen:
+                        return False
+                return True
+
+            return fn
+
+        def build_all_decided(index):
+            pairs = tuple((index[b], index[o]) for b, o in bo_names)
+
+            def fn(values, pairs=pairs):
+                for bi, oi in pairs:
+                    if not values[bi] and values[oi] is BOTTOM:
+                        return False
+                return True
+
+            return fn
+
+        return Spec(
+            [
+                StateInvariant(
+                    _compiled_predicate("validity", build_validity),
+                    name="validity",
+                ),
+                StateInvariant(
+                    _compiled_predicate("agreement", build_agreement),
+                    name="agreement",
+                ),
+                LeadsTo(
+                    TRUE,
+                    _compiled_predicate(
+                        "all honest processes decided", build_all_decided
+                    ),
+                    name="every honest process eventually outputs",
+                ),
+            ],
+            name=f"SPEC_byz(k={k})",
+        )
+
+    def build_invariant_ib(index):
+        bg_at, dg_at = index["bg"], index["dg"]
+        b_at = tuple(index[n] for n in b_names)
+        do_at = tuple((index[d], index[o]) for d, o in zip(d_names, out_names))
+
+        def fn(values, bg_at=bg_at, dg_at=dg_at, b_at=b_at, do_at=do_at):
+            if values[bg_at]:
+                return False
+            for i in b_at:
+                if values[i]:
+                    return False
+            honest = (BOTTOM, values[dg_at])
+            for di, oi in do_at:
+                if values[di] not in honest:
+                    return False
+                if values[oi] not in honest:
+                    return False
+            return True
+
+        return fn
+
+    def invariant() -> Predicate:
+        def build_fn(index):
+            ib_fn = build_invariant_ib(index)
+            out_at = tuple(index[n] for n in out_names)
+            d_at = tuple(index[n] for n in d_names)
+
+            def fn(values, ib_fn=ib_fn, out_at=out_at, d_at=d_at):
+                if not ib_fn(values):
+                    return False
+                for i in out_at:
+                    if values[i] is not BOTTOM:
+                        break
+                else:
+                    return True
+                for i in d_at:
+                    if values[i] is BOTTOM:
+                        return False
+                return True
+
+            return fn
+
+        return _compiled_predicate(f"S_byz(k={k})", build_fn)
+
+    def span() -> Predicate:
+        def build_fn(index):
+            bg_at, dg_at = index["bg"], index["dg"]
+            b_at = tuple(index[n] for n in b_names)
+            d_at = tuple(index[n] for n in d_names)
+            out_at = tuple(index[n] for n in out_names)
+            bo_at = tuple(zip(b_at, out_at))
+            bdo_at = tuple(zip(b_at, d_at, out_at))
+
+            def fn(values, bg_at=bg_at, dg_at=dg_at, b_at=b_at, d_at=d_at,
+                   bo_at=bo_at, bdo_at=bdo_at):
+                count = 1 if values[bg_at] else 0
+                for i in b_at:
+                    if values[i]:
+                        count += 1
+                if count > 1:
+                    return False
+                witness = None
+                for bi, oi in bo_at:
+                    if values[bi]:
+                        continue
+                    out = values[oi]
+                    if out is BOTTOM:
+                        continue
+                    if witness is None:
+                        copies = [values[i] for i in d_at]
+                        if BOTTOM in copies:
+                            return False
+                        witness = majority_of(copies)
+                    if out != witness:
+                        return False
+                if not values[bg_at]:
+                    honest = (BOTTOM, values[dg_at])
+                    for bi, di, oi in bdo_at:
+                        if values[bi]:
+                            continue
+                        if values[di] not in honest:
+                            return False
+                        if values[oi] not in honest:
+                            return False
+                return True
+
+            return fn
+
+        return _compiled_predicate(f"T_byz(k={k})", build_fn)
+
+    def witness(j: int) -> Predicate:
+        def holds(s, j=j):
+            copies = [s[n] for n in d_names]
+            if BOTTOM in copies:
+                return False
+            return s[f"d{j}"] == majority_of(copies)
+
+        return Predicate(holds, name=f"W{j}: all copied ∧ d{j}=majority")
+
+    def detection(j: int) -> Predicate:
+        def holds(s, j=j):
+            copies = [s[n] for n in d_names]
+            if not s["bg"]:
+                return s[f"d{j}"] == s["dg"]
+            if BOTTOM in copies:
+                return False
+            return s[f"d{j}"] == majority_of(copies)
+
+        return Predicate(holds, name=f"X{j}: d{j}=corrdecn")
+
+    symmetry = ReplicaSymmetry.of_families(
+        "d{i}", "out{i}", "b{i}", indices=ngs,
+        name=f"S_{k} over non-generals",
+        action_templates=(
+            "IB1.{i}", "IB2.{i}", "CB1.{i}",
+            "BYZ.{i}.lie_d", "BYZ.{i}.lie_out",
+        ),
+    )
+
+    plain_ib = [a for j in ngs for a in ib_actions(j, guarded=False)]
+    ib = Program(variables, plain_ib, name=f"IB(k={k})", symmetry=symmetry)
+    behaviour = byz_behaviour()
+    ib_with_byz = Program(variables, plain_ib + behaviour,
+                          name=f"IB‖BYZ(k={k})", symmetry=symmetry)
+    guarded_ib = [a for j in ngs for a in ib_actions(j, guarded=True)]
+    failsafe = Program(variables, guarded_ib + behaviour,
+                       name=f"IB1‖DB;IB2‖BYZ(k={k})", symmetry=symmetry)
+    masking = Program(
+        variables,
+        guarded_ib + [cb_action(j) for j in ngs] + behaviour,
+        name=f"IB1‖DB;IB2‖CB‖BYZ(k={k})", symmetry=symmetry,
+    )
+
+    return ByzantineModel(
+        ib=ib,
+        ib_with_byz=ib_with_byz,
+        failsafe=failsafe,
+        masking=masking,
+        spec=spec(),
+        invariant_ib=_compiled_predicate(f"S_ib(k={k})", build_invariant_ib),
+        invariant=invariant(),
+        span=span(),
+        faults=fault_latches(),
+        witnesses={j: witness(j) for j in ngs},
+        detections={j: detection(j) for j in ngs},
     )

@@ -37,6 +37,7 @@ from ..core import (
     LeadsTo,
     Predicate,
     Program,
+    ReplicaSymmetry,
     Spec,
     TRUE,
     TransitionInvariant,
@@ -44,7 +45,7 @@ from ..core import (
     assign,
 )
 
-__all__ = ["TmrModel", "build"]
+__all__ = ["TmrModel", "NmrModel", "build", "build_nmr"]
 
 
 @dataclass(frozen=True)
@@ -121,6 +122,18 @@ def build(uncor: Hashable = 1, corrupted: Hashable = 0) -> TmrModel:
     )
 
     tmr = dr_ir.parallel(cr, name="DR;IR ‖ CR")
+    # The composed voter is symmetric under every permutation of the
+    # three inputs: swapping x and y maps IR1's guarded command to CR1's
+    # and fixes CR2 (and so on for the other transpositions), so the
+    # *action set* is closed under S_3 even though no single action is.
+    # The components are not — IR reads only x, DR;IR's witness is
+    # x-centric — which is why only the composition declares the group.
+    tmr = tmr.with_symmetry(
+        ReplicaSymmetry(
+            (("x",), ("y",), ("z",)), name="S_3 over {x,y,z}",
+            action_orbits=[("IR1", "CR1", "CR2")],
+        )
+    )
 
     # the paper's "program that merely evaluates the state predicate":
     # an action-free program over the inputs, whose every computation is
@@ -186,5 +199,134 @@ def build(uncor: Hashable = 1, corrupted: Hashable = 0) -> TmrModel:
         invariant=invariant,
         span=span,
         span_inputs=span_inputs,
+        faults=faults,
+    )
+
+
+@dataclass(frozen=True)
+class NmrModel:
+    """Artifacts of the N-modular-redundancy generalization."""
+
+    uncor: Hashable
+    replicas: int
+    max_faults: int            #: f = (n-1)//2
+    nmr: Program               #: the n-way voter (S_n-symmetric)
+    spec: Spec
+    invariant: Predicate       #: no input corrupted, out ∈ {⊥, uncor}
+    span: Predicate            #: ≤ f inputs corrupted, out ∈ {⊥, uncor}
+    faults: FaultClass         #: corrupt an input while < f are corrupted
+
+
+def build_nmr(
+    replicas: int = 5, uncor: Hashable = 1, corrupted: Hashable = 0
+) -> NmrModel:
+    """The n-way majority voter: TMR's construction scaled to ``n``
+    replicas tolerating ``f = (n-1)//2`` corruptions.
+
+    One vote action per replica copies its value to the output when at
+    least ``f+1`` replicas agree with it — with ≤ f corruptions the
+    uncorrupted value always has such a quorum and a corrupted one never
+    does, so the voter is masking tolerant by the same argument as TMR.
+    The replicas are fully interchangeable (every action/fault/predicate
+    is a function of the multiset of input values), so the program
+    declares the full symmetric group: the quotient identifies input
+    vectors with equal corruption *counts*, collapsing the
+    ``sum(C(n,j), j ≤ f)`` reachable input vectors to ``f+1`` orbits.
+    """
+    if replicas < 3 or replicas % 2 == 0:
+        raise ValueError("NMR needs an odd number of replicas ≥ 3")
+    if uncor == corrupted:
+        raise ValueError("corrupted value must differ from the uncorrupted one")
+    n = replicas
+    quorum = (n - 1) // 2 + 1       # f + 1, a strict majority
+    max_faults = n - quorum          # = f
+    names = tuple(f"x{i}" for i in range(n))
+    domain = [uncor, corrupted]
+    variables = [Variable(name, domain) for name in names]
+    out = Variable("out", [BOTTOM, *domain])
+
+    unset = Predicate(lambda s: s["out"] is BOTTOM, name="out=⊥")
+    actions = [
+        Action(
+            f"VOTE{i}",
+            unset & Predicate(
+                lambda s, i=i, ns=names, q=quorum:
+                    sum(1 for name in ns if s[name] == s[f"x{i}"]) >= q,
+                name=f"x{i} has a quorum",
+            ),
+            assign(out=lambda s, i=i: s[f"x{i}"]),
+            reads={"out", *names}, writes={"out"},
+        )
+        for i in range(n)
+    ]
+    nmr = Program(
+        [*variables, out],
+        actions,
+        name=f"NMR(n={n})",
+        symmetry=ReplicaSymmetry(
+            tuple((name,) for name in names), name=f"S_{n} over inputs",
+            action_orbits=[tuple(f"VOTE{i}" for i in range(n))],
+        ),
+    )
+
+    spec = Spec(
+        [
+            TransitionInvariant(
+                lambda s, t, u=uncor: s["out"] == t["out"] or t["out"] == u,
+                name="out never set to a corrupted value",
+            ),
+            LeadsTo(
+                TRUE,
+                Predicate(lambda s, u=uncor: s["out"] == u, name="out=uncor"),
+                name="out eventually assigned an uncorrupted input",
+            ),
+        ],
+        name=f"SPEC_io(n={n})",
+    )
+
+    out_ok = Predicate(
+        lambda s, u=uncor: s["out"] in (BOTTOM, u), name="out∈{⊥,uncor}"
+    )
+    invariant = (
+        Predicate(
+            lambda s, u=uncor, ns=names: all(s[name] == u for name in ns),
+            name="no input corrupted",
+        )
+        & out_ok
+    ).rename(f"S_io(n={n})")
+    span = (
+        Predicate(
+            lambda s, u=uncor, ns=names, f=max_faults:
+                sum(1 for name in ns if s[name] != u) <= f,
+            name=f"≤{max_faults} inputs corrupted",
+        )
+        & out_ok
+    ).rename(f"T_io(n={n})")
+
+    faults = FaultClass(
+        [
+            Action(
+                f"corrupt_{name}",
+                Predicate(
+                    lambda s, u=uncor, ns=names, f=max_faults:
+                        sum(1 for other in ns if s[other] != u) < f,
+                    name=f"<{max_faults} corrupted",
+                ),
+                assign(**{name: corrupted}),
+                reads=set(names), writes={name},
+            )
+            for name in names
+        ],
+        name=f"≤{max_faults}-input-corruption",
+    )
+
+    return NmrModel(
+        uncor=uncor,
+        replicas=n,
+        max_faults=max_faults,
+        nmr=nmr,
+        spec=spec,
+        invariant=invariant,
+        span=span,
         faults=faults,
     )

@@ -37,6 +37,7 @@ from ..core import (
     Spec,
     StateInvariant,
     TRUE,
+    ValueRotation,
     Variable,
     assign,
     perturb_variable,
@@ -108,7 +109,18 @@ def build(size: int = 4, k: int = None) -> TokenRingModel:
                 reads={f"x{i}", f"x{i - 1}"}, writes={f"x{i}"},
             )
         )
-    ring = Program(variables, actions, name=f"token_ring(n={size},K={k})")
+    # The ring is NOT process-rotation symmetric — process 0 runs the
+    # distinguished increment action (rotating processes maps move0's
+    # edges to edges no action produces; lint rule DC106 flags exactly
+    # that if you try).  The protocol's true symmetry is on *values*:
+    # translating every counter by the same amount mod K commutes with
+    # every action (x0 := x_{n-1}+1 and x_i := x_{i-1} are translation-
+    # equivariant) and with every token predicate (all are (in)equality
+    # comparisons between counters).  The quotient divides the space by
+    # exactly K.
+    symmetry = ValueRotation(tuple(f"x{i}" for i in range(size)), modulus=k)
+    ring = Program(variables, actions, name=f"token_ring(n={size},K={k})",
+                   symmetry=symmetry)
 
     one_token = Predicate(
         lambda s, ts=tokens: sum(1 for t in ts.values() if t(s)) == 1,

@@ -37,6 +37,11 @@ def byz():
 
 
 @pytest.fixture(scope="session")
+def nmr5():
+    return tmr.build_nmr(5)
+
+
+@pytest.fixture(scope="session")
 def ring():
     return token_ring.build(4)
 
