@@ -42,7 +42,12 @@ from .diagnostics import (
     Suppression,
 )
 from .catalogue import LINT_CATALOGUE, all_lint_targets, lint_targets
-from .frames import check_frames, format_frame, infer_frame
+from .frames import (
+    check_frames,
+    format_frame,
+    infer_frame,
+    infer_predicate_reads,
+)
 from .guards import check_guards
 from .interference import (
     check_interference,
@@ -59,7 +64,7 @@ __all__ = [
     "InterferenceError",
     "LintConfig", "LintTarget", "lint", "lint_program",
     "LINT_CATALOGUE", "lint_targets", "all_lint_targets",
-    "check_frames", "infer_frame", "format_frame",
+    "check_frames", "infer_frame", "infer_predicate_reads", "format_frame",
     "check_guards", "check_interference",
     "interference_diagnostics_for_states",
     "check_spec", "check_closure", "check_symmetry",

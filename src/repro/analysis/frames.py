@@ -49,7 +49,9 @@ from ..core.state import State, Variable
 from .diagnostics import Diagnostic, Severity
 from .probe import ProbeSet, raw_successors
 
-__all__ = ["check_frames", "infer_frame", "format_frame"]
+__all__ = [
+    "check_frames", "infer_frame", "infer_predicate_reads", "format_frame",
+]
 
 RULE = "frame-soundness"
 
@@ -300,6 +302,45 @@ def check_frames(
         diagnostics.append(failure.diagnostic)
 
     return diagnostics
+
+
+def infer_predicate_reads(
+    predicate,
+    variables: Sequence[Variable],
+    states: Iterable[State],
+    alt_limit: int = 3,
+) -> FrozenSet[str]:
+    """The variables ``predicate`` observably depends on, by probing.
+
+    Same differential idea as the action frame check, applied to a
+    boolean function of the state: a variable is *read* iff perturbing
+    it (to up to ``alt_limit`` other domain values) flips the
+    predicate's value at some probe state.  On an exhaustive probe with
+    an unbounded ``alt_limit`` this is exact; on a sample it is a lower
+    bound — callers that need soundness (e.g. the monitoring runtime's
+    incremental evaluation, which *skips* detectors whose read frame
+    misses an event's writes) should pass the full state space.
+
+    Used by :meth:`repro.monitoring.DetectorBank` to derive detector
+    read-frames when none are declared.
+    """
+    domains = {v.name: v.domain for v in variables}
+    reads = set()
+    probe_states = list(states)
+    for name, domain in domains.items():
+        if len(domain) < 2:
+            continue
+        for state in probe_states:
+            value = bool(predicate(state))
+            flipped = False
+            for alternative in _alternatives(domain, state[name], alt_limit):
+                if bool(predicate(state.assign_one(name, alternative))) != value:
+                    flipped = True
+                    break
+            if flipped:
+                reads.add(name)
+                break
+    return frozenset(reads)
 
 
 def infer_frame(

@@ -29,7 +29,15 @@ from .classify import (
     classify_outcome,
     classify_trial,
 )
-from .report import CampaignLog, format_verdict, percentile, summarize
+from .report import (
+    SCHEMA_VERSION,
+    CampaignLog,
+    format_verdict,
+    load_summary,
+    percentile,
+    read_events,
+    summarize,
+)
 from .runner import (
     Campaign,
     CampaignResult,
@@ -53,7 +61,10 @@ __all__ = [
     "classify_outcome",
     "classify_trial",
     "campaign_verdict",
+    "SCHEMA_VERSION",
     "CampaignLog",
+    "read_events",
+    "load_summary",
     "percentile",
     "summarize",
     "format_verdict",

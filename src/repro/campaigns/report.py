@@ -23,14 +23,22 @@ The aggregate summary reports percentile latencies via
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, IO, Iterable, List, Optional, Sequence
+from typing import Any, Dict, IO, Iterable, Iterator, List, Optional, Sequence
 
 __all__ = [
+    "SCHEMA_VERSION",
     "CampaignLog",
+    "read_events",
+    "load_summary",
     "percentile",
     "summarize",
     "format_verdict",
 ]
+
+#: stamped on every emitted record so consumers (the report path, the
+#: monitoring runtime's replay source) can dispatch on log vintage.
+#: Version history: 0 = unversioned pre-stamp logs, 1 = current layout.
+SCHEMA_VERSION = 1
 
 #: the percentiles the summary reports for each latency series
 PERCENTILES = (50, 90, 99)
@@ -49,7 +57,9 @@ class CampaignLog:
         self.events: List[Dict[str, Any]] = []
 
     def emit(self, event: str, **payload: Any) -> Dict[str, Any]:
-        record = {"event": event, **payload}
+        # ``payload`` may already carry schema_version (buffered trial
+        # events being replayed into the main log keep their stamp)
+        record = {"event": event, "schema_version": SCHEMA_VERSION, **payload}
         self.events.append(record)
         if self.stream is not None:
             self.stream.write(json.dumps(record, sort_keys=True, default=str))
@@ -59,6 +69,33 @@ class CampaignLog:
     def close(self) -> None:
         if self.stream is not None:
             self.stream.flush()
+
+
+def read_events(path) -> Iterator[Dict[str, Any]]:
+    """Parse a campaign JSONL log back into its event records.
+
+    Blank lines are skipped.  Records from logs written before the
+    schema stamp get ``schema_version: 0``, so every consumer sees a
+    versioned record regardless of log vintage.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            record.setdefault("schema_version", 0)
+            yield record
+
+
+def load_summary(path) -> Optional[Dict[str, Any]]:
+    """The ``campaign_end`` aggregate summary recorded in a log, or
+    None when the log has no campaign end (e.g. a crashed run)."""
+    summary: Optional[Dict[str, Any]] = None
+    for record in read_events(path):
+        if record.get("event") == "campaign_end":
+            summary = record.get("summary")
+    return summary
 
 
 def percentile(values: Sequence[float], q: float) -> Optional[float]:

@@ -7,6 +7,8 @@ Usage::
     python -m repro verify tmr byzantine
     python -m repro verify --all
     python -m repro campaign token_ring --trials 20 --seed 0 --jsonl out.jsonl
+    python -m repro campaign --report out.jsonl   # re-print a recorded verdict
+    python -m repro monitor --replay out.jsonl    # detector-bank replay
     python -m repro bench            # quick perf smoke (CI scale)
     python -m repro bench --full     # the full recorded suite
     python -m repro lint --all --strict   # static pre-flight, CI gate
@@ -20,7 +22,9 @@ catalogue entry registers and prints the PASS/FAIL lines with
 counterexamples — a one-command reproduction of each construction in
 the paper.  ``campaign`` sweeps seeded random fault schedules over a
 simulated scenario and reports the observed tolerance-class mix (see
-:mod:`repro.campaigns`).  ``bench`` runs the perf-core benchmark
+:mod:`repro.campaigns`).  ``monitor`` replays a recorded campaign log
+through the online detector-bank runtime (:mod:`repro.monitoring`) and
+prints the syndrome/latency telemetry.  ``bench`` runs the perf-core benchmark
 harness (``benchmarks/record.py``) from a source checkout — quick mode
 by default, ``--full`` for the numbers recorded in ``BENCH_core.json``.
 ``lint`` runs the static analyzer (:mod:`repro.analysis`) over the same
@@ -261,6 +265,24 @@ def _verify(names: Iterable[str], out=sys.stdout) -> int:
 def _campaign(args, out=sys.stdout) -> int:
     from .campaigns import Campaign, SCENARIOS
 
+    if args.report:
+        from .campaigns import format_verdict, load_summary
+
+        try:
+            summary = load_summary(args.report)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read campaign log {args.report!r}: {exc}", file=out)
+            return 2
+        if summary is None:
+            print(
+                f"no campaign_end summary in {args.report!r} "
+                "(incomplete or non-campaign log)",
+                file=out,
+            )
+            return 1
+        print(format_verdict(summary), file=out)
+        return 0
+
     if args.list or not args.scenario:
         for name, scenario in sorted(SCENARIOS.items()):
             print(f"{name:16s} {scenario.description}", file=out)
@@ -298,6 +320,74 @@ def _campaign(args, out=sys.stdout) -> int:
     if args.jsonl:
         print(f"   telemetry: {args.jsonl} "
               f"({len(campaign.log.events)} events)", file=out)
+    return 0
+
+
+def _monitor(args, out=sys.stdout) -> int:
+    """Replay recorded telemetry through the online monitoring runtime.
+
+    ``--replay`` takes a ``repro campaign --jsonl`` log; ``--events``
+    takes a raw runtime-event JSONL file (``{"time", "kind",
+    "writes"}`` objects).  Either way the events stream through the
+    frame-aware incremental path and the run ends with the bank's
+    telemetry report (fire counts, syndrome transitions, detection
+    latency percentiles, events/sec).
+    """
+    from .monitoring import (
+        MonitorRuntime,
+        SyndromeDecoder,
+        TelemetrySink,
+        campaign_bank,
+        format_monitor_summary,
+        iter_campaign_events,
+        normalize_event,
+    )
+
+    if not args.replay and not args.events:
+        print("nothing to monitor; pass --replay LOG or --events LOG", file=out)
+        return 2
+
+    monitors = [m for m in args.monitors.split(",") if m]
+    bank = campaign_bank(monitors)
+    decoder = SyndromeDecoder.for_bank(bank)
+    for j, detector in enumerate(bank.detector_names):
+        decoder.register(1 << j, name=f"correct[{detector}]")
+
+    try:
+        stream = open(args.out, "w", encoding="utf-8") if args.out else None
+    except OSError as exc:
+        print(f"cannot write telemetry {args.out!r}: {exc}", file=out)
+        return 2
+    try:
+        telemetry = TelemetrySink(bank.detector_names, stream=stream)
+        runtime = MonitorRuntime(bank, decoder=decoder, telemetry=telemetry)
+        if args.replay:
+            events = iter_campaign_events(args.replay)
+        else:
+            from .campaigns import read_events
+
+            events = (
+                event
+                for record in read_events(args.events)
+                for event in [normalize_event(record)]
+                if event is not None
+            )
+        try:
+            summary = runtime.run_sync(events)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"replay failed: {type(exc).__name__}: {exc}", file=out)
+            return 2
+        telemetry.write_summary(summary["events"], summary["wall_s"])
+    finally:
+        if stream is not None:
+            stream.close()
+    print(format_monitor_summary(summary), file=out)
+    print(
+        f"   final syndrome: {runtime.bank.describe(runtime.syndrome)}",
+        file=out,
+    )
+    if args.out:
+        print(f"   telemetry: {args.out}", file=out)
     return 0
 
 
@@ -430,6 +520,31 @@ def main(argv: List[str] = None, out=sys.stdout) -> int:
     campaign_parser.add_argument(
         "--list", action="store_true", help="list campaign scenarios"
     )
+    campaign_parser.add_argument(
+        "--report", metavar="PATH",
+        help="print the verdict recorded in an existing JSONL log "
+             "(no trials are run)",
+    )
+    monitor_parser = subparsers.add_parser(
+        "monitor",
+        help="replay recorded telemetry through the detector-bank runtime",
+    )
+    monitor_parser.add_argument(
+        "--replay", metavar="PATH",
+        help="campaign JSONL log to replay (from 'repro campaign --jsonl')",
+    )
+    monitor_parser.add_argument(
+        "--events", metavar="PATH",
+        help="raw runtime-event JSONL file to ingest",
+    )
+    monitor_parser.add_argument(
+        "--monitors", default="safety,legitimacy",
+        help="comma-separated monitor/variable names the bank tracks",
+    )
+    monitor_parser.add_argument(
+        "--out", metavar="PATH",
+        help="write structured monitoring telemetry (JSONL) here",
+    )
     bench_parser = subparsers.add_parser(
         "bench",
         help="run the perf-core benchmarks (quick smoke by default)",
@@ -486,6 +601,9 @@ def main(argv: List[str] = None, out=sys.stdout) -> int:
 
     if args.command == "campaign":
         return _campaign(args, out=out)
+
+    if args.command == "monitor":
+        return _monitor(args, out=out)
 
     if args.command == "bench":
         return _bench(args, out=out)

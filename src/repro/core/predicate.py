@@ -18,9 +18,9 @@ counterexamples remain legible.
 
 from __future__ import annotations
 
-from typing import Callable, FrozenSet, Iterable, Iterator, Set
+from typing import Callable, FrozenSet, Iterable, Iterator, Sequence, Set
 
-from .state import State
+from .state import Schema, State, _state_of
 
 __all__ = ["Predicate", "TRUE", "FALSE", "var_eq", "var_ne", "var_in"]
 
@@ -101,6 +101,23 @@ class Predicate:
         """Return the same predicate under a new display name."""
         return Predicate(self.fn, name=name, values_builder=self.values_builder)
 
+    def compile_for(self, schema: Schema) -> Callable[[Sequence], bool]:
+        """An evaluator over raw values sequences of ``schema``.
+
+        Schema-compiled predicates go through :attr:`values_builder`
+        directly; others fall back to wrapping the values in a
+        :class:`State`.  Either way the returned callable accepts any
+        sequence in schema order (tuple or mutable list), which is what
+        the region sweeps and the monitoring runtime's incremental
+        evaluation both feed it.
+        """
+        if self.values_builder is not None:
+            return self.values_builder(schema.index)
+        fn = self.fn
+        def evaluate(values, _schema=schema, _fn=fn):
+            return bool(_fn(_state_of(_schema, tuple(values))))
+        return evaluate
+
     # -- extensional view ------------------------------------------------
     @staticmethod
     def from_states(states: Iterable[State], name: str = "set") -> "Predicate":
@@ -126,19 +143,39 @@ TRUE = Predicate(lambda s: True, name="true")
 FALSE = Predicate(lambda s: False, name="false")
 
 
+# the variable-comparison factories carry a values_builder so that
+# region sweeps and detector banks evaluate them on raw values tuples
+# without the State wrapper
+
 def var_eq(name: str, value: object) -> Predicate:
     """Predicate ``name == value``."""
-    return Predicate(lambda s: s[name] == value, name=f"{name}={value!r}")
+    return Predicate(
+        lambda s: s[name] == value,
+        name=f"{name}={value!r}",
+        values_builder=lambda index, n=name, v=value: (
+            lambda values, i=index[n]: values[i] == v
+        ),
+    )
 
 
 def var_ne(name: str, value: object) -> Predicate:
     """Predicate ``name != value``."""
-    return Predicate(lambda s: s[name] != value, name=f"{name}≠{value!r}")
+    return Predicate(
+        lambda s: s[name] != value,
+        name=f"{name}≠{value!r}",
+        values_builder=lambda index, n=name, v=value: (
+            lambda values, i=index[n]: values[i] != v
+        ),
+    )
 
 
 def var_in(name: str, values: Iterable[object]) -> Predicate:
     """Predicate ``name ∈ values``."""
     allowed: Set[object] = set(values)
     return Predicate(
-        lambda s: s[name] in allowed, name=f"{name}∈{sorted(map(repr, allowed))}"
+        lambda s: s[name] in allowed,
+        name=f"{name}∈{sorted(map(repr, allowed))}",
+        values_builder=lambda index, n=name, a=allowed: (
+            lambda values, i=index[n]: values[i] in a
+        ),
     )

@@ -58,6 +58,9 @@ __all__ = [
     "Region",
     "StateIndex",
     "SystemIndex",
+    "bits_of_ids",
+    "iter_bits",
+    "first_bit",
     "universe_index",
     "system_index",
     "clear_universe_cache",

@@ -1,0 +1,72 @@
+"""Syndrome-vector detector banks and an online monitoring runtime.
+
+The paper's Section 3 treats detectors one at a time: a witness
+predicate ``Z`` refining a detection predicate ``X``, checked by the
+theory layer (:mod:`repro.theory.detectors`) over whole transition
+systems.  This package is the operational view the QEC formalization
+makes explicit (SNIPPETS Def 8/Def 9): *all* of a program's detectors
+at once, as a bank whose joint verdict at a state is a syndrome vector
+in Z2^m — and a runtime that maintains that vector online over an
+event stream instead of a materialized state space.
+
+- :mod:`~repro.monitoring.syndrome` — syndromes as packed ints
+  (weight, distance, rendering);
+- :mod:`~repro.monitoring.banks` — :class:`DetectorBank`: predicates
+  compiled per-schema (raw values-tuple sweeps) and per-index
+  (big-int rows), fire counts and fault-coverage reports;
+- :mod:`~repro.monitoring.decoder` — :class:`SyndromeDecoder`:
+  exact-match corrector table with nearest-syndrome fallback;
+- :mod:`~repro.monitoring.runtime` — :class:`MonitorRuntime`: the
+  frame-aware incremental hot path plus the asyncio shell;
+- :mod:`~repro.monitoring.sources` — campaign-log replay, JSONL files,
+  socket feeds, and live simulator hooks;
+- :mod:`~repro.monitoring.telemetry` — fire counts, detection-latency
+  histograms, events/sec, as JSONL and formatted reports.
+
+CLI: ``repro monitor --replay <campaign.jsonl>``.
+"""
+
+from .banks import BankCoverage, BankDetector, DetectorBank
+from .decoder import CorrectorEntry, Decoded, SyndromeDecoder
+from .runtime import FAULT_KINDS, MonitorRuntime
+from .sources import (
+    aiter_events,
+    attach_monitors,
+    attach_network,
+    campaign_bank,
+    campaign_to_events,
+    iter_campaign_events,
+    jsonl_source,
+    normalize_event,
+    open_socket_source,
+    socket_source,
+)
+from .syndrome import (
+    distance,
+    fired_indices,
+    fired_names,
+    format_syndrome,
+    parse_syndrome,
+    weight,
+)
+from .telemetry import (
+    LATENCY_BUCKETS,
+    TELEMETRY_SCHEMA_VERSION,
+    TelemetrySink,
+    format_monitor_summary,
+    latency_histogram,
+)
+
+__all__ = [
+    "BankDetector", "DetectorBank", "BankCoverage",
+    "CorrectorEntry", "Decoded", "SyndromeDecoder",
+    "MonitorRuntime", "FAULT_KINDS",
+    "aiter_events", "attach_monitors", "attach_network",
+    "campaign_bank", "campaign_to_events", "iter_campaign_events",
+    "jsonl_source", "normalize_event",
+    "open_socket_source", "socket_source",
+    "weight", "distance", "fired_indices", "fired_names",
+    "format_syndrome", "parse_syndrome",
+    "TelemetrySink", "TELEMETRY_SCHEMA_VERSION", "LATENCY_BUCKETS",
+    "latency_histogram", "format_monitor_summary",
+]

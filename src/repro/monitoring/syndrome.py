@@ -1,0 +1,71 @@
+"""Syndrome vectors in Z2^m, packed into Python ints.
+
+Following the QEC formalization (SNIPPETS Def 9), a *syndrome* is the
+violation pattern of a detector bank at a state: bit ``j`` is set iff
+detector ``j`` fires.  A syndrome is therefore a vector in Z2^m, and we
+represent it the same way the region engine represents state sets — as
+one arbitrary-precision int — so the vector-space operations the
+decoder needs are single big-int instructions:
+
+- addition in Z2^m is ``^`` (XOR);
+- the Hamming weight is ``int.bit_count``;
+- the Hamming distance between two syndromes is ``(a ^ b).bit_count()``.
+
+The zero syndrome is the healthy pattern: no detector fires.  Everything
+here is a pure function of the packed int (plus the bank's detector
+names for rendering); the bank and runtime pass raw ints around and
+only call into this module at reporting boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+__all__ = [
+    "weight",
+    "distance",
+    "fired_indices",
+    "fired_names",
+    "format_syndrome",
+    "parse_syndrome",
+]
+
+
+def weight(syndrome: int) -> int:
+    """Hamming weight: how many detectors fire."""
+    return syndrome.bit_count()
+
+
+def distance(a: int, b: int) -> int:
+    """Hamming distance between two syndromes (weight of their Z2 sum)."""
+    return (a ^ b).bit_count()
+
+
+def fired_indices(syndrome: int) -> Iterator[int]:
+    """Indices of the set bits, ascending."""
+    while syndrome:
+        low = syndrome & -syndrome
+        yield low.bit_length() - 1
+        syndrome ^= low
+
+
+def fired_names(syndrome: int, names: Sequence[str]) -> List[str]:
+    """Detector names of the set bits, in bank order."""
+    return [names[j] for j in fired_indices(syndrome)]
+
+
+def format_syndrome(syndrome: int, m: int) -> str:
+    """The vector as a bit string, detector 0 leftmost: ``m=4``,
+    syndrome ``0b0101`` renders as ``"1010"`` (detectors 0 and 2)."""
+    return "".join("1" if syndrome >> j & 1 else "0" for j in range(m))
+
+
+def parse_syndrome(text: str) -> int:
+    """Inverse of :func:`format_syndrome` (detector 0 leftmost)."""
+    bits = 0
+    for j, ch in enumerate(text.strip()):
+        if ch == "1":
+            bits |= 1 << j
+        elif ch != "0":
+            raise ValueError(f"syndrome strings are over {{0,1}}: {text!r}")
+    return bits

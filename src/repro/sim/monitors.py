@@ -49,12 +49,29 @@ class PredicateMonitor:
         self.name = name
         self.on_transition = on_transition
         self.samples: List[Tuple[float, bool]] = []
+        self._detached = False
         self._arm()
 
     def _arm(self) -> None:
         self.network.simulator.schedule(0.0, self._sample)
 
+    def detach(self) -> None:
+        """Stop the monitor before its horizon: no further samples are
+        taken or recorded, and the sample loop stops rescheduling.
+
+        The simulator has no event cancellation, so the already-queued
+        sample callback still fires once — the detached flag turns it
+        into a no-op, which is what keeps a detached monitor from
+        resurrecting itself (the loop used to reschedule itself on
+        every firing, so a stale callback restarted sampling forever).
+        Detaching is idempotent and safe both before the network runs
+        and mid-run.
+        """
+        self._detached = True
+
     def _sample(self) -> None:
+        if self._detached:
+            return
         now = self.network.simulator.now
         if self.horizon is not None and now > self.horizon:
             return

@@ -15,6 +15,7 @@ from .detectors import (
     embedding_action,
     theorem_3_4,
     theorem_3_6,
+    witnesses_for,
 )
 from .correctors import (
     CorrectorWitness,
@@ -34,7 +35,7 @@ from .lemmas import lemma_3_1, lemma_3_2, lemma_5_1
 
 __all__ = [
     "DetectorWitness", "detector_witness", "embedding_action",
-    "theorem_3_4", "theorem_3_6",
+    "witnesses_for", "theorem_3_4", "theorem_3_6",
     "CorrectorWitness", "corrector_witness",
     "theorem_4_1", "lemma_4_2", "theorem_4_3",
     "projection_closure", "theorem_5_2", "theorem_5_3", "lemma_5_4",

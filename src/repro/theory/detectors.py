@@ -68,6 +68,7 @@ __all__ = [
     "DetectorWitness",
     "embedding_action",
     "detector_witness",
+    "witnesses_for",
     "theorem_3_4",
     "theorem_3_6",
 ]
@@ -212,6 +213,29 @@ def detector_witness(
     )
 
 
+def witnesses_for(
+    refined: Program,
+    base: Program,
+    from_: Predicate,
+    safety_spec: Spec,
+    ts: Optional[TransitionSystem] = None,
+) -> List[DetectorWitness]:
+    """The Theorem 3.4 witness for **every** action of ``base``.
+
+    This is the constructive half of the theorem on its own — the list
+    of (witness, detection) pairs the refined program embeds, one per
+    base action.  :func:`theorem_3_4` model-checks each of them;
+    :meth:`repro.monitoring.DetectorBank.from_witnesses` compiles them
+    into a bit-packed detector bank instead.
+    """
+    if ts is None:
+        ts = system_from(refined, from_)
+    return [
+        detector_witness(refined, base, action, from_, safety_spec, ts=ts)
+        for action in base.actions
+    ]
+
+
 def theorem_3_4(
     refined: Program,
     base: Program,
@@ -240,15 +264,10 @@ def theorem_3_4(
     if not premises:
         return premises
 
-    ts = system_from(refined, from_)
-    conclusions = []
-    for action in base.actions:
-        built = detector_witness(
-            refined, base, action, from_, safety_spec, ts=ts
-        )
-        conclusions.append(
-            is_detector(refined, built.witness, built.detection, from_)
-        )
+    conclusions = [
+        is_detector(refined, built.witness, built.detection, from_)
+        for built in witnesses_for(refined, base, from_, safety_spec)
+    ]
     return all_of([premises] + conclusions, description=what)
 
 

@@ -8,6 +8,7 @@ import random
 import pytest
 
 from repro.campaigns import (
+    SCHEMA_VERSION,
     Campaign,
     CampaignLog,
     Scenario,
@@ -19,8 +20,10 @@ from repro.campaigns import (
     classify_trial,
     derive_seed,
     format_verdict,
+    load_summary,
     percentile,
     random_schedule,
+    read_events,
     summarize,
 )
 from repro.sim import Network, PredicateMonitor, SimProcess
@@ -268,9 +271,64 @@ class TestSummarizeAndFormat:
         log.close()
         lines = [json.loads(line) for line in
                  buffer.getvalue().strip().splitlines()]
-        assert lines[0] == {"event": "campaign_start", "seed": 3}
+        assert lines[0] == {
+            "event": "campaign_start",
+            "schema_version": SCHEMA_VERSION,
+            "seed": 3,
+        }
         assert lines[1]["outcome"] == "masking"
         assert log.events[0]["event"] == "campaign_start"
+
+    def test_every_record_carries_schema_version(self):
+        buffer = io.StringIO()
+        log = CampaignLog(buffer)
+        log.emit("campaign_start", seed=0)
+        log.emit("transition", monitor="safety", time=1.0, value=False)
+        log.emit("campaign_end", summary={})
+        for record in log.events:
+            assert record["schema_version"] == SCHEMA_VERSION
+
+    def test_read_events_round_trip(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with open(path, "w", encoding="utf-8") as stream:
+            log = CampaignLog(stream)
+            log.emit("campaign_start", seed=7)
+            log.emit("fault", time=2.0, kind="crash", process=1)
+            log.close()
+        records = list(read_events(path))
+        assert [r["event"] for r in records] == ["campaign_start", "fault"]
+        assert all(r["schema_version"] == SCHEMA_VERSION for r in records)
+        assert records[1]["kind"] == "crash"
+
+    def test_read_events_parses_old_unversioned_logs(self, tmp_path):
+        # logs written before the schema stamp: no schema_version key
+        path = tmp_path / "old.jsonl"
+        path.write_text(
+            '{"event": "campaign_start", "seed": 3}\n'
+            "\n"  # blank lines are tolerated
+            '{"event": "transition", "monitor": "safety", '
+            '"time": 1.5, "value": false}\n'
+        )
+        records = list(read_events(path))
+        assert [r["event"] for r in records] == [
+            "campaign_start", "transition",
+        ]
+        # unversioned records are stamped as vintage 0, not current
+        assert all(r["schema_version"] == 0 for r in records)
+
+    def test_load_summary(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with open(path, "w", encoding="utf-8") as stream:
+            log = CampaignLog(stream)
+            log.emit("campaign_start", seed=0)
+            log.emit("campaign_end", summary={"verdict": "masking"})
+            log.close()
+        assert load_summary(path) == {"verdict": "masking"}
+
+    def test_load_summary_missing(self, tmp_path):
+        path = tmp_path / "truncated.jsonl"
+        path.write_text('{"event": "campaign_start", "seed": 0}\n')
+        assert load_summary(path) is None
 
 
 # ---------------------------------------------------------------------------

@@ -99,3 +99,62 @@ class TestOnTransition:
         monitor = monitor_for(lambda s: True)
         assert monitor.on_transition is None
         assert monitor.fraction_true() == 1.0
+
+
+class TestDetach:
+    def test_detach_mid_run_stops_sampling(self):
+        network = Network(seed=0)
+        network.add_process(Stepper("p"))
+        monitor = PredicateMonitor(
+            network, lambda s: True, period=1.0, horizon=20.0
+        )
+        # run half the horizon, detach, run the rest
+        network.run(until=5.0)
+        taken = len(monitor.samples)
+        assert taken >= 5
+        monitor.detach()
+        network.run(until=20.0)
+        assert len(monitor.samples) == taken, (
+            "a detached monitor kept sampling"
+        )
+
+    def test_detach_before_run_takes_no_samples(self):
+        network = Network(seed=0)
+        network.add_process(Stepper("p"))
+        seen = []
+        monitor = PredicateMonitor(
+            network, lambda s: True, period=1.0, horizon=10.0,
+            on_transition=lambda t, v: seen.append((t, v)),
+        )
+        monitor.detach()
+        network.run(until=10.0)
+        assert monitor.samples == []
+        assert seen == []
+
+    def test_detach_is_idempotent_and_keeps_measurements(self):
+        network = Network(seed=0)
+        network.add_process(Stepper("p"))
+        monitor = PredicateMonitor(
+            network, lambda s: s["p"]["x"] >= 2, period=1.0, horizon=20.0
+        )
+        network.run(until=6.0)
+        monitor.detach()
+        monitor.detach()
+        network.run(until=20.0)
+        # samples taken before detach still drive the measurement helpers
+        assert monitor.first_true() is not None
+        assert monitor.fraction_true() > 0.0
+
+    def test_other_monitors_unaffected(self):
+        network = Network(seed=0)
+        network.add_process(Stepper("p"))
+        detached = PredicateMonitor(
+            network, lambda s: True, period=1.0, horizon=10.0
+        )
+        kept = PredicateMonitor(
+            network, lambda s: True, period=1.0, horizon=10.0
+        )
+        detached.detach()
+        network.run(until=10.0)
+        assert detached.samples == []
+        assert len(kept.samples) >= 10
