@@ -48,7 +48,12 @@ def _clear_caches() -> None:
     """Reset every exploration memo-cache so every repetition is cold:
     the system LRU, the per-action successor memos, and the frame-class
     memos (``clear_all_caches``; older trees only expose the system
-    cache, the oldest none)."""
+    cache, the oldest none).  Finish with a full collection so every
+    repetition starts from the same (empty) garbage state — without it,
+    cyclic garbage from the previous repetition gets collected *during*
+    the next timed run and the wall spread becomes mostly GC noise."""
+    import gc
+
     try:
         from repro.core.exploration import clear_all_caches
     except ImportError:
@@ -57,8 +62,10 @@ def _clear_caches() -> None:
         except ImportError:  # pre-optimization tree: nothing to clear
             return
         clear_system_cache()
+        gc.collect()
         return
     clear_all_caches()
+    gc.collect()
 
 
 # ---------------------------------------------------------------------------
@@ -239,6 +246,46 @@ def _suite_byzantine_scaling_sym(quick: bool = False) -> int:
     return len(quot.states)
 
 
+def _suite_token_ring_large() -> int:
+    """Full-space census of the n=8/K=7 token ring in packed-code space:
+    7^8 = 5,764,801 states expanded through compiled code kernels
+    without materializing a single ``State``.  This is the instance the
+    interpreted engine cannot touch (the 2M ``DEFAULT_MAX_STATES`` cap
+    sits far below the space, and State-object exploration would need
+    gigabytes); the exact count is the correctness gate.  Same instance
+    in quick and full mode."""
+    from repro.core.kernels import explore_codes
+    from repro.programs import token_ring
+
+    model = token_ring.build(8, 7)
+    reach = explore_codes(model.ring, "all")
+    assert reach.states == 7 ** 8, (
+        f"token ring census drifted: {reach.states} != {7 ** 8}"
+    )
+    return reach.states
+
+
+def _suite_byzantine_k13_unreduced() -> int:
+    """Unreduced protocol-run census of the k=13 Byzantine agreement
+    program from its initial states: 2·3^13 = 3,188,646 states (per
+    general value, each non-general's (d, out) pair walks ⊥⊥ → v⊥ → vv).
+    ``byzantine_scaling_sym`` checks the same family on the S_13
+    quotient; this suite explores the *unreduced* graph the quotient
+    stands in for, which only the code-space kernels can reach.  Same
+    instance in quick and full mode."""
+    from repro.core.kernels import explore_codes
+    from repro.programs import byzantine
+
+    ngs = tuple(range(1, 14))
+    model = byzantine.build_family(ngs)
+    reach = explore_codes(model.ib, byzantine.initial_states(ngs))
+    expected = 2 * 3 ** 13
+    assert reach.states == expected, (
+        f"byzantine census drifted: {reach.states} != {expected}"
+    )
+    return reach.states
+
+
 def _suite_monitoring_ingest() -> int:
     """Online monitoring ingest: drain a prebuilt 240k-event write
     stream through the frame-aware incremental runtime over an 8-ring
@@ -296,6 +343,9 @@ SUITES: Dict[str, Callable[[bool], int]] = {
     "token_ring_stabilization_sym":
         lambda quick: _suite_token_ring_stabilization_sym(),
     "byzantine_scaling_sym": _suite_byzantine_scaling_sym,
+    "token_ring_large": lambda quick: _suite_token_ring_large(),
+    "byzantine_k13_unreduced":
+        lambda quick: _suite_byzantine_k13_unreduced(),
     "monitoring_ingest": lambda quick: _suite_monitoring_ingest(),
 }
 
@@ -309,10 +359,16 @@ SUITES: Dict[str, Callable[[bool], int]] = {
 #: ``monitoring_ingest`` qualifies for a different reason: its "states"
 #: figure is the event count, fixed by construction in both modes, so a
 #: mismatch means the workload definition drifted from the record.
+#: The code-space censuses (``token_ring_large``,
+#: ``byzantine_k13_unreduced``) are gated on their closed-form exact
+#: counts: a kernel-compilation change that alters either is a
+#: correctness bug in the successor arithmetic.
 STATE_GATED = frozenset({
     "byzantine_tolerance",
     "nmr_tolerance_sym",
     "token_ring_stabilization_sym",
+    "token_ring_large",
+    "byzantine_k13_unreduced",
     "monitoring_ingest",
 })
 
@@ -355,8 +411,26 @@ def main(argv: List[str] = None) -> int:
         "--rebaseline", action="store_true",
         help="rewrite benchmarks/baseline_core.json from this run",
     )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="process count for sharded exploration (default: in-process; "
+        "the finished graphs are bit-identical for any worker count)",
+    )
+    parser.add_argument(
+        "--backend", choices=("auto", "numpy", "pure", "interpreted"),
+        default=None,
+        help="kernel backend for every suite (default: leave the "
+        "library's auto selection in place)",
+    )
     args = parser.parse_args(argv)
     repeat = args.repeat or (1 if args.quick else 5)
+
+    from repro.core import kernels as _kernels
+    from repro.core.exploration import set_default_workers
+
+    if args.backend is not None:
+        _kernels.set_backend(args.backend)
+    set_default_workers(args.workers)
 
     baseline: Dict[str, Dict[str, object]] = {}
     if not args.rebaseline and os.path.exists(BASELINE_PATH):
@@ -388,6 +462,9 @@ def main(argv: List[str] = None) -> int:
         "python": platform.python_version(),
         "platform": platform.platform(),
         "quick": args.quick,
+        "workers": args.workers,
+        "backend": args.backend or "auto",
+        "resolved_backend": _kernels.resolved_backend(),
         "suites": suites,
         "baseline": baseline or None,
         "speedup_vs_baseline": speedups,

@@ -419,6 +419,10 @@ def _bench(args, out=sys.stdout) -> int:
         forwarded.append("--quick")
     if args.repeat is not None:
         forwarded += ["--repeat", str(args.repeat)]
+    if args.workers is not None:
+        forwarded += ["--workers", str(args.workers)]
+    if args.backend is not None:
+        forwarded += ["--backend", args.backend]
     if args.output is not None:
         forwarded += ["--output", args.output]
     elif not args.full:
@@ -560,6 +564,15 @@ def main(argv: List[str] = None, out=sys.stdout) -> int:
     bench_parser.add_argument(
         "--output", default=None,
         help="where to write the JSON record (harness default)",
+    )
+    bench_parser.add_argument(
+        "--workers", type=int, default=None,
+        help="process count for sharded exploration (default: in-process)",
+    )
+    bench_parser.add_argument(
+        "--backend", choices=("auto", "numpy", "pure", "interpreted"),
+        default=None,
+        help="kernel backend for every suite (default: auto selection)",
     )
     lint_parser = subparsers.add_parser(
         "lint",

@@ -32,6 +32,7 @@ from .exploration import (
     clear_all_caches,
     clear_system_cache,
     explored_system,
+    set_default_workers,
 )
 from .fairness import (
     check_converges_to,
@@ -40,6 +41,16 @@ from .fairness import (
     strongly_connected_components,
 )
 from .faults import FaultClass, crash_variable, perturb_variable, set_variable
+from .kernels import (
+    CodeReach,
+    KernelError,
+    Plan,
+    clear_kernel_caches,
+    explore_codes,
+    get_backend,
+    resolved_backend,
+    set_backend,
+)
 from .invariants import (
     is_detection_predicate,
     largest_invariant_for_safety,
@@ -107,6 +118,10 @@ __all__ = [
     "refines_spec", "refines_program", "violates_spec",
     "start_states_of", "system_from",
     "explored_system", "clear_system_cache", "clear_all_caches",
+    "set_default_workers",
+    # batch kernels
+    "Plan", "KernelError", "CodeReach", "explore_codes",
+    "set_backend", "get_backend", "resolved_backend", "clear_kernel_caches",
     # symmetry
     "Symmetry", "SymmetryError", "ReplicaSymmetry", "RingRotation",
     "ValueRotation", "Canonicalizer",

@@ -118,7 +118,7 @@ class Action:
         Deterministic or nondeterministic statement (see module docs).
     """
 
-    __slots__ = ("name", "guard", "statement", "reads", "writes",
+    __slots__ = ("name", "guard", "statement", "reads", "writes", "plan",
                  "_successors", "_class_memo", "_base", "_restriction",
                  "__weakref__")
 
@@ -137,10 +137,19 @@ class Action:
         statement: Statement,
         reads: Optional[Iterable[str]] = None,
         writes: Optional[Iterable[str]] = None,
+        plan=None,
     ):
         self.name = name
         self.guard = guard
         self.statement = statement
+        #: Optional :class:`repro.core.kernels.Plan` — a flat positional
+        #: description of the guard and assignment that batch kernels
+        #: compile into whole-frontier evaluators.  Like ``reads`` and
+        #: ``writes``, the plan is a *claim*: it must implement exactly
+        #: the guard/statement semantics (kernel/interpreted parity is
+        #: pinned by tests).  Actions without a plan simply take the
+        #: interpreted ``successors`` path everywhere.
+        self.plan = plan
         #: Optional frame declaration.  ``reads`` must cover every
         #: variable the guard or the statement's right-hand sides
         #: consult; ``writes`` every variable the statement may change.
@@ -260,7 +269,7 @@ class Action:
         """A copy of this action under a different name."""
         return Action(
             name=name, guard=self.guard, statement=self.statement,
-            reads=self.reads, writes=self.writes,
+            reads=self.reads, writes=self.writes, plan=self.plan,
         )
 
     def preserves(self, predicate: Predicate, states: Iterable[State]) -> bool:

@@ -51,12 +51,13 @@ from typing import (
     Tuple,
 )
 
+from . import kernels as _kernels
 from .action import Action
 from .predicate import Predicate
 from .program import Program
 from .regions import first_bit, iter_bits, system_index
 from .results import CheckResult, Counterexample
-from .state import State
+from .state import Schema, State, StateInterner, _state_of
 from .symmetry import SymmetryError
 
 __all__ = [
@@ -65,6 +66,7 @@ __all__ = [
     "explored_system",
     "clear_system_cache",
     "clear_all_caches",
+    "set_default_workers",
 ]
 
 #: A labelled edge: (source, action name, target).
@@ -73,7 +75,27 @@ Edge = Tuple[State, str, State]
 #: Default cap on explored states (a safety valve, not a tuning knob).
 DEFAULT_MAX_STATES = 2_000_000
 
+#: Largest code space the columnar engine will allocate a dense
+#: code -> id table for (int32 entries: 64 MiB at the limit).
+_DENSE_ID_SPACE_LIMIT = 1 << 24
+
 _EMPTY_EDGES: Tuple[Tuple[str, State], ...] = ()
+
+#: module-wide default worker count for sharded exploration (``None``
+#: or 1 = in-process); see :func:`set_default_workers`
+_DEFAULT_WORKERS: Optional[int] = None
+
+
+def set_default_workers(workers: Optional[int]) -> None:
+    """Set the process count newly built :class:`TransitionSystem`\\ s
+    use when their ``workers`` argument is left at ``None``.  Sharded
+    exploration is bit-identical to in-process exploration for any
+    worker count (pinned by tests), so this is purely a throughput knob.
+    """
+    global _DEFAULT_WORKERS
+    if workers is not None and workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    _DEFAULT_WORKERS = workers
 
 
 class TransitionSystem:
@@ -115,6 +137,7 @@ class TransitionSystem:
         fault_actions: Sequence[Action] = (),
         max_states: int = DEFAULT_MAX_STATES,
         symmetric: bool = False,
+        workers: Optional[int] = None,
     ):
         self.program = program
         self.symmetry = None
@@ -142,7 +165,22 @@ class TransitionSystem:
         self._fault_edges: Dict[State, Tuple[Tuple[str, State], ...]] = {}
         #: per-predicate memo for states_satisfying (keyed by identity)
         self._satisfying: Dict[Predicate, Tuple[State, ...]] = {}
-        self._explore(max_states)
+        #: integer adjacency built alongside level-synchronous assembly:
+        #: (program rows, fault rows, state -> dense id) with rows[i] the
+        #: ``(action name, target id)`` tuple of the state with id ``i``.
+        #: ``SystemIndex`` adopts these instead of re-deriving ids from
+        #: the State-level edge tables; ``None`` when the scalar engine
+        #: ran (it has no level structure to hook)
+        self._labeled_rows: Optional[Tuple[List, List, Dict[State, int]]] = None
+        #: columnar edge arrays, set only by the all-array engine:
+        #: ((src ids, dst ids, action positions) for program and fault
+        #: edges, program names, fault names), each group sorted by
+        #: source id with declaration-order actions — the raw material
+        #: for ``SystemIndex``'s vectorized closure and escape sweeps
+        self._edge_arrays = None
+        if workers is None:
+            workers = _DEFAULT_WORKERS
+        self._explore(max_states, workers)
 
     # -- construction ------------------------------------------------------
     @property
@@ -150,26 +188,71 @@ class TransitionSystem:
         """All explored states, in deterministic BFS discovery order."""
         return self._program_edges.keys()
 
-    def _explore(self, max_states: int) -> None:
+    def _explore(self, max_states: int, workers: Optional[int] = None) -> None:
         if self.symmetry is not None:
             # orbit canonicalization: each state maps to the pooled
             # minimal representative of its symmetry orbit, so the BFS
             # materializes the quotient graph directly
-            canonical = self.symmetry.canonicalizer(self.program).canonical
+            canonicalizer = self.symmetry.canonicalizer(self.program)
+            canonical = canonicalizer.canonical
+            canonical_many = canonicalizer.canonical_many
         else:
             # canonicalization is one C-level dict op: setdefault(s, s)
             # returns the pooled representative (inserting s if unseen),
             # exactly StateInterner.canonical without the method frames
-            canonical = {}.setdefault
-        start_states = tuple(canonical(s, s) for s in self.start_states)
-        self.start_states = tuple(dict.fromkeys(start_states))
+            interner = StateInterner()
+            canonical = interner._pool.setdefault
+            canonical_many = interner.canonical_many
+        self.start_states = tuple(
+            dict.fromkeys(canonical_many(self.start_states))
+        )
+        for state in self.start_states:
+            self._program_edges[state] = _EMPTY_EDGES
+        # Three engines, one transition graph: sharded (process pool),
+        # batched (compiled kernels over whole frontier levels), and
+        # scalar (the original interpreted FIFO).  All three register
+        # states and edges in the exact same order, so which engine ran
+        # is unobservable from the finished system (pinned by tests).
+        # The level-synchronous engines additionally accumulate the
+        # dense-id adjacency rows as they assemble each level.
+        self._labeled_rows = (
+            [], [], {s: i for i, s in enumerate(self._program_edges)}
+        )
+        # Pause generational GC for the build: edge tuples hold State
+        # references, so unlike (str, int) pairs they stay gc-tracked,
+        # and letting collections rescan the growing graph costs more
+        # than the whole expansion.  Exploration allocates no reference
+        # cycles, so deferring collection is free.
+        import gc
+
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            if workers is not None and workers > 1:
+                if self._explore_sharded(
+                    max_states, canonical_many, workers
+                ):
+                    return
+            if _kernels.get_backend() != "interpreted":
+                if self._explore_columnar(max_states):
+                    return
+                if self._explore_batched(max_states, canonical):
+                    return
+            self._labeled_rows = None
+            self._explore_scalar(max_states, canonical)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+    def _explore_scalar(self, max_states: int, canonical) -> None:
+        """The reference engine: interpreted FIFO BFS, one
+        ``Action.successors`` call per (state, action) pair."""
         frontier = deque(self.start_states)
         program_actions = self.program.actions
         fault_actions = self.fault_actions
         program_edges_of = self._program_edges
         fault_edges_of = self._fault_edges
-        for state in self.start_states:
-            program_edges_of[state] = _EMPTY_EDGES
         while frontier:
             state = frontier.popleft()
             program_edges: List[Tuple[str, State]] = []
@@ -203,6 +286,434 @@ class TransitionSystem:
                                 f"state-space exceeds max_states={max_states} "
                                 f"for {self.program.name!r}"
                             )
+
+    def _assemble_level(
+        self,
+        frontier: List[State],
+        program_buckets: List[List[Tuple[str, State]]],
+        fault_buckets: List[List[Tuple[str, State]]],
+        max_states: int,
+        program_dirty: Optional[bytearray] = None,
+        fault_dirty: Optional[bytearray] = None,
+    ) -> List[State]:
+        """Fold one expanded frontier level into the edge tables.
+
+        Buckets hold each frontier state's edges in program-then-fault,
+        action-major order — exactly what the scalar loop produces — and
+        states are registered per source state in edge order, so the
+        discovery order (and the ``max_states`` raise point) of the
+        scalar engine is reproduced bit for bit.
+
+        Duplicate edges can only come from one action offering the same
+        successor twice (action names are unique, so edges from distinct
+        actions never collide) — planned actions are deterministic and
+        cannot do that.  The optional dirty flags mark the buckets where
+        some interpreted action yielded more than one successor; when
+        given, dedup runs only there (``dict.fromkeys`` on a
+        duplicate-free list is the identity, so skipping it is
+        unobservable).
+
+        Because frontier levels are expanded in registration order, the
+        expansion order over the whole run *is* the dense-id order —
+        each pass through this method appends the expanded states'
+        ``(action name, target id)`` rows to the accumulator that
+        :class:`~repro.core.regions.SystemIndex` later adopts, so
+        nothing downstream re-derives ids from State-level edges."""
+        program_edges_of = self._program_edges
+        fault_edges_of = self._fault_edges
+        prows, frows, id_of = self._labeled_rows
+        next_frontier: List[State] = []
+        for i, state in enumerate(frontier):
+            program_edges = program_buckets[i]
+            fault_edges = fault_buckets[i]
+            if (
+                len(program_edges) > 1
+                and (program_dirty is None or program_dirty[i])
+            ):
+                program_edges = list(dict.fromkeys(program_edges))
+            if (
+                len(fault_edges) > 1
+                and (fault_dirty is None or fault_dirty[i])
+            ):
+                fault_edges = list(dict.fromkeys(fault_edges))
+            program_edges_of[state] = tuple(program_edges)
+            if fault_edges:
+                fault_edges_of[state] = tuple(fault_edges)
+            for edges in (program_edges, fault_edges):
+                for _, nxt in edges:
+                    if nxt not in program_edges_of:
+                        program_edges_of[nxt] = _EMPTY_EDGES
+                        id_of[nxt] = len(id_of)
+                        next_frontier.append(nxt)
+                        if len(program_edges_of) > max_states:
+                            raise RuntimeError(
+                                f"state-space exceeds max_states={max_states} "
+                                f"for {self.program.name!r}"
+                            )
+            prows.append(tuple((a, id_of[t]) for a, t in program_edges))
+            frows.append(
+                tuple((a, id_of[t]) for a, t in fault_edges)
+                if fault_edges else _EMPTY_EDGES
+            )
+        return next_frontier
+
+    def _explore_columnar(self, max_states: int) -> bool:
+        """The all-array engine: levels expand, dedup, and id-assign as
+        numpy arrays; Python touches each edge only once, to build the
+        final row tuples.
+
+        Engages only when the whole system is kernel-expressible with a
+        dense code space: numpy backend, no symmetry quotient (orbit
+        canonicalization is per-state by nature), one start schema,
+        every program *and* fault action compiled, and a state space
+        small enough for a code-indexed id table.  Successor codes map
+        to dense ids through that table, so interning, dedup, and
+        discovery-order id assignment are all vectorized; the scalar
+        engine's FIFO order is reproduced by a stable sort on
+        (source, program-before-fault, action position).  Returns
+        ``False`` to hand off to the per-bucket engines otherwise."""
+        starts = self.start_states
+        if not starts:
+            return True
+        if self.symmetry is not None:
+            return False
+        if _kernels.resolved_backend() != "numpy":
+            return False
+        schema = starts[0]._schema
+        for state in starts:
+            if state._schema is not schema:
+                return False
+        layout = _kernels.layout_for(schema, self.program._domains)
+        if layout is None or layout.space > _DENSE_ID_SPACE_LIMIT:
+            return False
+        program_actions = self.program.actions
+        fault_actions = self.fault_actions
+        kernels_p = [
+            _kernels.batch_kernel(a, layout) for a in program_actions
+        ]
+        kernels_f = [_kernels.batch_kernel(a, layout) for a in fault_actions]
+        if any(k is None for k in kernels_p) or any(
+            k is None for k in kernels_f
+        ):
+            return False
+        try:
+            cols = layout.columns_from_states(starts)
+        except KeyError:
+            # a start value escaped its declared domain; codes cannot
+            # represent it, so the bucket engines take over
+            return False
+        np = _kernels._np
+
+        names_p = np.array([a.name for a in program_actions], dtype=object)
+        names_f = np.array([a.name for a in fault_actions], dtype=object)
+        #: dense code -> id table; -1 marks never-seen codes
+        code_ids = np.full(layout.space, -1, dtype=np.int32)
+        code_ids[layout.pack_columns(cols)] = np.arange(
+            len(starts), dtype=np.int32
+        )
+        states_list: List[State] = list(starts)
+        program_edges_of = self._program_edges
+        fault_edges_of = self._fault_edges
+        prows, frows, id_of = self._labeled_rows
+        empty = np.empty(0, dtype=np.int64)
+        acc_p: List = []
+        acc_f: List = []
+        frontier_lo = 0
+        while True:
+            n = cols.shape[1]
+            frontier = states_list[frontier_lo:frontier_lo + n]
+            # expand: one kernel call per action over the whole level
+            group_arrays = []
+            for kernels_g in (kernels_p, kernels_f):
+                srcs, dsts, acts = [empty], [empty], [empty]
+                for pos, kernel in enumerate(kernels_g):
+                    idx, out = kernel(cols)
+                    if out is None:
+                        continue
+                    srcs.append(idx)
+                    dsts.append(layout.pack_columns(out))
+                    acts.append(np.full(idx.shape[0], pos, dtype=np.int64))
+                group_arrays.append(
+                    tuple(np.concatenate(part) for part in (srcs, dsts, acts))
+                )
+            (p_src, p_dst, p_act), (f_src, f_dst, f_act) = group_arrays
+
+            # id assignment: new codes get ids in the scalar engine's
+            # discovery order — source-major, program edges before fault
+            # edges, actions in declaration order (the stable sort keeps
+            # the action-major concatenation order within equal keys)
+            key = np.concatenate((p_src * 2, f_src * 2 + 1))
+            s_dst = np.concatenate((p_dst, f_dst))[
+                np.argsort(key, kind="stable")
+            ]
+            new_mask = code_ids[s_dst] < 0
+            if new_mask.any():
+                uniq, first = np.unique(s_dst[new_mask], return_index=True)
+                new_codes = uniq[np.argsort(first)]
+                next_id = len(states_list)
+                if next_id + new_codes.shape[0] > max_states:
+                    raise RuntimeError(
+                        f"state-space exceeds max_states={max_states} "
+                        f"for {self.program.name!r}"
+                    )
+                code_ids[new_codes] = np.arange(
+                    next_id, next_id + new_codes.shape[0], dtype=np.int32
+                )
+                new_cols = layout.columns_from_codes(new_codes)
+                values_of = layout.values_from_column
+                for j in range(new_codes.shape[0]):
+                    state = _state_of(schema, values_of(new_cols, j))
+                    states_list.append(state)
+                    program_edges_of[state] = _EMPTY_EDGES
+                    id_of[state] = next_id + j
+            else:
+                new_cols = None
+
+            # rows: per-state slices of the source-major edge arrays
+            views = []
+            for acc, (src, dst, act, names_g) in (
+                (acc_p, (p_src, p_dst, p_act, names_p)),
+                (acc_f, (f_src, f_dst, f_act, names_f)),
+            ):
+                order = np.argsort(src, kind="stable")
+                src = src[order]
+                ids_arr = code_ids[dst[order]]
+                act_arr = act[order]
+                acc.append((src + frontier_lo, ids_arr, act_arr))
+                views.append((
+                    names_g[act_arr].tolist(),
+                    ids_arr.tolist(),
+                    np.searchsorted(
+                        src, np.arange(n + 1, dtype=np.int64)
+                    ).tolist(),
+                ))
+            (pn, pi, pb), (fn, fi, fb) = views
+            sl = states_list
+            for i, state in enumerate(frontier):
+                lo, hi = pb[i], pb[i + 1]
+                ids_row = pi[lo:hi]
+                prows.append(tuple(zip(pn[lo:hi], ids_row)))
+                program_edges_of[state] = tuple(
+                    zip(pn[lo:hi], [sl[j] for j in ids_row])
+                )
+                lo, hi = fb[i], fb[i + 1]
+                if lo != hi:
+                    ids_row = fi[lo:hi]
+                    frows.append(tuple(zip(fn[lo:hi], ids_row)))
+                    fault_edges_of[state] = tuple(
+                        zip(fn[lo:hi], [sl[j] for j in ids_row])
+                    )
+                else:
+                    frows.append(_EMPTY_EDGES)
+
+            frontier_lo += n
+            if new_cols is None:
+                self._edge_arrays = (
+                    tuple(np.concatenate(part) for part in zip(*acc_p)),
+                    tuple(np.concatenate(part) for part in zip(*acc_f)),
+                    [a.name for a in program_actions],
+                    [a.name for a in fault_actions],
+                )
+                return True
+            cols = new_cols
+
+    def _explore_batched(self, max_states: int, canonical) -> bool:
+        """Level-synchronous BFS through compiled batch kernels.
+
+        Planned actions expand a whole frontier level per kernel call
+        (vectorized over rank columns on the numpy backend, compiled
+        row closures on the pure backend); unplanned actions fall back
+        to interpreted ``successors`` per state.  Returns ``False``
+        when no action compiles, handing the exploration back to the
+        scalar engine."""
+        starts = self.start_states
+        if not starts:
+            return True
+        schema = starts[0]._schema
+        for state in starts:
+            if state._schema is not schema:
+                return False
+        domains = self.program._domains
+        backend = _kernels.resolved_backend()
+        layout = None
+        if backend == "numpy":
+            layout = _kernels.layout_for(schema, domains)
+        use_numpy = layout is not None
+        program_actions = self.program.actions
+        fault_actions = self.fault_actions
+        compiled = 0
+        action_kernels: Dict[int, object] = {}
+        for group, actions in enumerate((program_actions, fault_actions)):
+            for pos, action in enumerate(actions):
+                if use_numpy:
+                    kernel = _kernels.batch_kernel(action, layout)
+                else:
+                    kernel = _kernels.row_kernel(action, schema, domains)
+                action_kernels[(group, pos)] = kernel
+                if kernel is not None:
+                    compiled += 1
+        if not compiled:
+            return False
+
+        # raw successor (code or values-tuple) -> canonical state; the
+        # authoritative canonicalizer still sees every genuinely new
+        # state, so this memo composes with symmetry quotients and with
+        # the scalar fallback interning identically
+        by_code: Dict[int, State] = {}
+        by_values: Dict[Tuple, State] = {}
+        frontier: List[State] = list(starts)
+        batch_ok = True
+        while frontier:
+            n = len(frontier)
+            program_buckets: List[List] = [[] for _ in range(n)]
+            fault_buckets: List[List] = [[] for _ in range(n)]
+            program_dirty = bytearray(n)
+            fault_dirty = bytearray(n)
+            cols = None
+            if use_numpy and batch_ok:
+                if all(state._schema is schema for state in frontier):
+                    try:
+                        cols = layout.columns_from_states(frontier)
+                    except KeyError:
+                        # a value escaped its declared domain (start
+                        # states are caller-supplied); ranks cannot
+                        # represent it, so finish interpreted
+                        batch_ok = False
+                else:
+                    batch_ok = False
+            for group, (actions, buckets, dirty) in enumerate((
+                (program_actions, program_buckets, program_dirty),
+                (fault_actions, fault_buckets, fault_dirty),
+            )):
+                for pos, action in enumerate(actions):
+                    kernel = action_kernels[(group, pos)]
+                    name = action.name
+                    if kernel is None or (use_numpy and cols is None):
+                        for i, state in enumerate(frontier):
+                            successors = action.successors(state)
+                            if not successors:
+                                continue
+                            if len(successors) > 1:
+                                dirty[i] = 1
+                            bucket = buckets[i]
+                            for nxt in successors:
+                                bucket.append((name, canonical(nxt, nxt)))
+                    elif use_numpy:
+                        idx, out = kernel(cols)
+                        if out is None:
+                            continue
+                        codes = layout.pack_columns(out).tolist()
+                        get = by_code.get
+                        # resolve first (list comp + C-level membership
+                        # scan), materialize the rare misses second —
+                        # after the opening levels nearly every code is
+                        # already interned and the miss pass never runs
+                        reps = [get(code) for code in codes]
+                        # identity scan, not ``None in reps``: ``in``
+                        # would compare ``None == State`` element-wise,
+                        # paying State.__eq__'s Mapping instance check
+                        if any(rep is None for rep in reps):
+                            values_of = layout.values_from_column
+                            for j, rep in enumerate(reps):
+                                if rep is None:
+                                    code = codes[j]
+                                    rep = get(code)
+                                    if rep is None:
+                                        raw = _state_of(
+                                            schema, values_of(out, j)
+                                        )
+                                        rep = canonical(raw, raw)
+                                        by_code[code] = rep
+                                    reps[j] = rep
+                        for i, rep in zip(idx.tolist(), reps):
+                            buckets[i].append((name, rep))
+                    else:
+                        get = by_values.get
+                        for i, state in enumerate(frontier):
+                            if state._schema is not schema:
+                                successors = action.successors(state)
+                                if len(successors) > 1:
+                                    dirty[i] = 1
+                                bucket = buckets[i]
+                                for nxt in successors:
+                                    bucket.append((name, canonical(nxt, nxt)))
+                                continue
+                            row = kernel(state._values)
+                            if row is None:
+                                continue
+                            nxt = get(row)
+                            if nxt is None:
+                                raw = _state_of(schema, row)
+                                nxt = canonical(raw, raw)
+                                by_values[row] = nxt
+                            buckets[i].append((name, nxt))
+            frontier = self._assemble_level(
+                frontier, program_buckets, fault_buckets, max_states,
+                program_dirty, fault_dirty,
+            )
+        return True
+
+    def _explore_sharded(
+        self, max_states: int, canonical_many, workers: int
+    ) -> bool:
+        """Level-synchronous BFS over a fork process pool.
+
+        Each frontier level is partitioned across workers by a
+        deterministic hash of the canonical state's values (crc32, not
+        Python's per-process-salted ``hash``); workers return raw
+        successor rows tagged with their frontier position, and the
+        master bulk-interns each returned row list (one
+        ``canonical_many`` pass instead of a call per successor) and
+        assembles them in frontier order — so the finished graph is
+        bit-identical for any worker count.  Returns ``False`` on
+        platforms without ``fork`` (the pool inherits the program's
+        action closures by address space; guarded-command statements
+        are lambdas, which do not pickle)."""
+        global _SHARD_ACTIONS
+        if not self.start_states:
+            return True
+        import multiprocessing
+
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:
+            return False
+        _SHARD_ACTIONS = (self.program.actions, self.fault_actions)
+        pool = context.Pool(processes=workers)
+        try:
+            frontier: List[State] = list(self.start_states)
+            while frontier:
+                shards: List[List] = [[] for _ in range(workers)]
+                for i, state in enumerate(frontier):
+                    shard = _shard_of(state._values, workers)
+                    shards[shard].append(
+                        (i, state._schema.names, state._values)
+                    )
+                n = len(frontier)
+                program_buckets: List[List] = [None] * n
+                fault_buckets: List[List] = [None] * n
+                for part in pool.map(_expand_shard, shards):
+                    for i, program_rows, fault_rows in part:
+                        for rows, buckets in (
+                            (program_rows, program_buckets),
+                            (fault_rows, fault_buckets),
+                        ):
+                            reps = canonical_many([
+                                _state_of(Schema.of(names), values)
+                                for _, names, values in rows
+                            ])
+                            buckets[i] = [
+                                (row[0], rep)
+                                for row, rep in zip(rows, reps)
+                            ]
+                frontier = self._assemble_level(
+                    frontier, program_buckets, fault_buckets, max_states
+                )
+        finally:
+            _SHARD_ACTIONS = None
+            pool.terminate()
+            pool.join()
+        return True
 
     # -- views ---------------------------------------------------------------
     def program_edges_from(self, state: State) -> Sequence[Tuple[str, State]]:
@@ -286,26 +797,22 @@ class TransitionSystem:
         index = system_index(self)
         bits = index.region_bits(predicate)
         if bits != index.full_bits:  # full region: every edge is internal
-            data = index.region_data(predicate)
-            states = index.states
-            for u in iter_bits(bits, index.n):
-                rows = index.plabeled[u]
-                if include_faults:
-                    rows += index.flabeled[u]
-                for action_name, v in rows:
-                    if not data[v >> 3] & (1 << (v & 7)):
-                        return CheckResult.failed(
-                            what,
-                            counterexample=Counterexample(
-                                kind="transition",
-                                states=(states[u], states[v]),
-                                actions=(action_name,),
-                                note=(
-                                    f"{predicate.name} falsified by "
-                                    f"{action_name}"
-                                ),
-                            ),
-                        )
+            hit = index.first_escaping_edge(bits, include_faults)
+            if hit is not None:
+                u, action_name, v = hit
+                states = index.states
+                return CheckResult.failed(
+                    what,
+                    counterexample=Counterexample(
+                        kind="transition",
+                        states=(states[u], states[v]),
+                        actions=(action_name,),
+                        note=(
+                            f"{predicate.name} falsified by "
+                            f"{action_name}"
+                        ),
+                    ),
+                )
         return CheckResult.passed(what)
 
     def is_fault_span(self, span: Predicate, invariant: Predicate) -> CheckResult:
@@ -370,6 +877,49 @@ class TransitionSystem:
         )
 
 
+# -- sharded-exploration worker side ------------------------------------------
+
+#: (program actions, fault actions) of the exploration currently running
+#: sharded; set by the master immediately before the fork pool is
+#: created, so workers inherit the action objects (closures and all)
+#: through the copied address space instead of pickling
+_SHARD_ACTIONS: Optional[Tuple[Tuple[Action, ...], Tuple[Action, ...]]] = None
+
+
+def _shard_of(values: Tuple, workers: int) -> int:
+    """Deterministic shard assignment of a canonical state.  ``repr`` of
+    a values-tuple is stable across processes and runs, unlike
+    ``hash(str)`` which is per-process salted."""
+    import zlib
+
+    return zlib.crc32(repr(values).encode("utf-8")) % workers
+
+
+def _expand_shard(rows):
+    """Worker body: expand frontier rows through every action.
+
+    Rows arrive and return as plain values-tuples tagged with frontier
+    position — successor *states* never cross the process boundary, so
+    the master remains the only authority on interning and
+    canonicalization."""
+    program_actions, fault_actions = _SHARD_ACTIONS
+    out = []
+    for i, names, values in rows:
+        state = _state_of(Schema.of(names), values)
+        program_rows = [
+            (action.name, nxt._schema.names, nxt._values)
+            for action in program_actions
+            for nxt in action.successors(state)
+        ]
+        fault_rows = [
+            (action.name, nxt._schema.names, nxt._values)
+            for action in fault_actions
+            for nxt in action.successors(state)
+        ]
+        out.append((i, program_rows, fault_rows))
+    return out
+
+
 def _reconstruct(
     parents: Dict[State, Optional[Tuple[State, str]]], goal: State
 ) -> Tuple[List[State], List[str]]:
@@ -402,6 +952,7 @@ def explored_system(
     fault_actions: Sequence[Action] = (),
     max_states: int = DEFAULT_MAX_STATES,
     symmetric: bool = False,
+    workers: Optional[int] = None,
 ) -> TransitionSystem:
     """A memoized :class:`TransitionSystem`.
 
@@ -416,7 +967,10 @@ def explored_system(
     ``symmetric=True`` explores the quotient graph under the program's
     declared symmetry (see :class:`TransitionSystem`); the declared
     group joins the cache key, so quotient and unreduced systems of the
-    same ``p [] F`` are cached independently.
+    same ``p [] F`` are cached independently.  ``workers`` is *not* part
+    of the cache key: sharded and in-process exploration produce
+    bit-identical systems, so a cached system satisfies any worker
+    count.
     """
     starts = tuple(dict.fromkeys(start_states))
     faults = tuple(fault_actions)
@@ -432,7 +986,7 @@ def explored_system(
         return system
     system = TransitionSystem(
         program, starts, fault_actions=faults, max_states=max_states,
-        symmetric=symmetric,
+        symmetric=symmetric, workers=workers,
     )
     _SYSTEM_CACHE[key] = system
     if len(_SYSTEM_CACHE) > _SYSTEM_CACHE_MAXSIZE:
@@ -458,8 +1012,13 @@ def clear_all_caches() -> None:
     it.  (The ``action_edges`` row-translation memos do *not* need
     separate treatment: they hang off ``StateIndex`` objects whose
     lifetimes end with the universe cache or with the cached systems'
-    region indexes, both already dropped above.)  Benchmark cold-start
-    paths call this so recorded numbers include every cache miss.
+    region indexes, both already dropped above.)  Compiled batch
+    kernels and interned layouts
+    (:func:`repro.core.kernels.clear_kernel_caches`) are drained here
+    too, so cold starts pay for plan compilation like any other cache
+    miss.  Benchmark cold-start paths call this so recorded numbers
+    include every cache miss.
     """
     clear_system_cache()
     Action.clear_successor_caches()
+    _kernels.clear_kernel_caches()

@@ -41,7 +41,17 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tup
 
 from .exploration import TransitionSystem
 from .predicate import Predicate
-from .regions import Region, SystemIndex, bits_of_ids, first_bit, iter_bits, system_index
+from .regions import (
+    Region,
+    SystemIndex,
+    _data_to_mask,
+    _np,
+    bits_of_ids,
+    first_bit,
+    iter_bits,
+    paused_gc,
+    system_index,
+)
 from .results import CheckResult, Counterexample
 from .state import State
 
@@ -203,39 +213,154 @@ def _fair_recurrent_component_ids(
             (orbit, tuple(actions)) for orbit, actions in grouped.items()
         ]
 
+    with paused_gc():
+        core = None
+        if edge_filter is None:
+            core = _cycle_core(index, region_data, n)
+        if core is not None:
+            # every node Tarjan could place in a non-trivial SCC (or a
+            # self-loop) survives the trim, so restricting both the
+            # roots and the adjacency to the core drops only trivial
+            # components — which are filtered below anyway
+            region_data = _np.packbits(core, bitorder="little").tobytes()
+            node_ids = _np.flatnonzero(core).tolist()
+        else:
+            node_ids = list(iter_bits(region_bits, n))
+        components = _tarjan_ids(node_ids, internal)
+        if edge_filter is None:
+            vetted = _vet_components_csr(index, components, obligations)
+            if vetted is not None:
+                return vetted
+
+        recurrent: List[List[int]] = []
+        for component in components:
+            members = set(component)
+            internal_labels: Set[str] = set()
+            for u in component:
+                if edge_filter is None:
+                    for a, v in plabeled[u]:
+                        if v in members:
+                            internal_labels.add(a)
+                else:
+                    source = states[u]
+                    for a, v in plabeled[u]:
+                        if v in members and edge_filter(source, a, states[v]):
+                            internal_labels.add(a)
+            if not internal_labels:
+                continue  # trivial SCC without a self-loop: cannot linger
+            fair = True
+            for names, actions in obligations:
+                if not internal_labels.isdisjoint(names):
+                    continue  # some orbit member executed inside C
+                if len(actions) == 1:
+                    enabled = index.enabled_data(actions[0])
+                    starved = all(
+                        enabled[u >> 3] & (1 << (u & 7)) for u in component
+                    )
+                else:
+                    datas = [index.enabled_data(a) for a in actions]
+                    starved = all(
+                        any(d[u >> 3] & (1 << (u & 7)) for d in datas)
+                        for u in component
+                    )
+                if starved:
+                    fair = False  # continuously enabled but starved inside C
+                    break
+            if fair:
+                recurrent.append(component)
+        return recurrent
+
+
+def _cycle_core(index: SystemIndex, region_data: bytes, n: int):
+    """Boolean mask of the region nodes that can lie on a program-edge
+    cycle within the region — or ``None`` without CSR/numpy support.
+
+    Iteratively peels nodes with no internal successor or no internal
+    predecessor (the classic trim step of FW-BW SCC algorithms) in
+    whole-graph ``bincount`` passes.  Non-trivial SCC members and
+    self-loop nodes always keep an internal edge in both directions, so
+    the trim is exact: it removes precisely the nodes Tarjan would have
+    placed in trivial, self-loop-free components.  Convergent regions —
+    the dominant shape in stabilization certificates — trim to a small
+    fraction of the region in a few passes."""
+    csr = index._edge_csr(False)
+    if csr is None or _np is None:
+        return None
+    indptr, dst, _act, _names = csr
+    alive = _data_to_mask(region_data, n)
+    src = _np.repeat(_np.arange(n, dtype=_np.int64), _np.diff(indptr))
+    inside = alive[src] & alive[dst]
+    src = src[inside]
+    dst = dst[inside]
+    count = int(alive.sum())
+    while True:
+        live = alive[src] & alive[dst]
+        out_deg = _np.bincount(src[live], minlength=n)
+        in_deg = _np.bincount(dst[live], minlength=n)
+        alive &= (out_deg > 0) & (in_deg > 0)
+        next_count = int(alive.sum())
+        if next_count == count:
+            return alive
+        count = next_count
+
+
+def _vet_components_csr(
+    index: SystemIndex,
+    components: List[List[int]],
+    obligations,
+) -> Optional[List[List[int]]]:
+    """Array-level fairness vetting of Tarjan components.
+
+    Replaces the per-SCC Python loops (internal-label collection and the
+    per-obligation starvation probes) with a handful of whole-graph numpy
+    passes over the program-edge CSR: one labelling pass classifies every
+    edge by (source component, action) at once, and each obligation's
+    starvation test becomes a single ``bincount`` of enabled members per
+    component.  Returns ``None`` when the exploration engine left no
+    columnar edge arrays behind (the caller then runs the reference
+    loops) — semantics are identical either way."""
+    csr = index._edge_csr(False)
+    if csr is None or _np is None:
+        return None
+    indptr, dst, act, names = csr
+    ncomp = len(components)
+    comp = _np.full(index.n, -1, dtype=_np.int64)
+    for ci, nodes in enumerate(components):
+        comp[nodes] = ci
+    src_comp = _np.repeat(comp, _np.diff(indptr))
+    internal_edge = (src_comp >= 0) & (src_comp == comp[dst])
+    pair = src_comp[internal_edge] * len(names) + act[internal_edge]
+    labels: List[Set[str]] = [set() for _ in range(ncomp)]
+    for key in _np.unique(pair).tolist():
+        labels[key // len(names)].add(names[key % len(names)])
+
+    member_ids = _np.flatnonzero(comp >= 0)
+    member_comp = comp[member_ids]
+    sizes = _np.bincount(member_comp, minlength=ncomp)
+    starved_cache: Dict[int, object] = {}
+
+    def starved(oi: int, actions) -> "object":
+        mask = starved_cache.get(oi)
+        if mask is None:
+            enabled = _data_to_mask(index.enabled_data(actions[0]), index.n)
+            for action in actions[1:]:
+                enabled |= _data_to_mask(index.enabled_data(action), index.n)
+            count = _np.bincount(
+                member_comp, weights=enabled[member_ids], minlength=ncomp
+            )
+            mask = starved_cache[oi] = count == sizes
+        return mask
+
     recurrent: List[List[int]] = []
-    node_ids = list(iter_bits(region_bits, n))
-    for component in _tarjan_ids(node_ids, internal):
-        members = set(component)
-        internal_labels: Set[str] = set()
-        for u in component:
-            if edge_filter is None:
-                for a, v in plabeled[u]:
-                    if v in members:
-                        internal_labels.add(a)
-            else:
-                source = states[u]
-                for a, v in plabeled[u]:
-                    if v in members and edge_filter(source, a, states[v]):
-                        internal_labels.add(a)
+    for ci, component in enumerate(components):
+        internal_labels = labels[ci]
         if not internal_labels:
             continue  # trivial SCC without a self-loop: cannot linger
         fair = True
-        for names, actions in obligations:
-            if not internal_labels.isdisjoint(names):
+        for oi, (names_set, actions) in enumerate(obligations):
+            if not internal_labels.isdisjoint(names_set):
                 continue  # some orbit member executed inside C
-            if len(actions) == 1:
-                enabled = index.enabled_data(actions[0])
-                starved = all(
-                    enabled[u >> 3] & (1 << (u & 7)) for u in component
-                )
-            else:
-                datas = [index.enabled_data(a) for a in actions]
-                starved = all(
-                    any(d[u >> 3] & (1 << (u & 7)) for d in datas)
-                    for u in component
-                )
-            if starved:
+            if starved(oi, actions)[ci]:
                 fair = False  # continuously enabled but starved inside C
                 break
         if fair:

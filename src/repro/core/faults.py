@@ -26,6 +26,7 @@ from typing import Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from .action import Action, assign
 from .exploration import TransitionSystem, explored_system
+from .kernels import Plan
 from .predicate import Predicate, TRUE
 from .program import Program
 from .results import CheckResult
@@ -113,13 +114,15 @@ def perturb_variable(
     ``x`` the sole value) would be dead code.
 
     With the default ``TRUE`` guard the actions carry their exact
-    ``reads``/``writes`` frame; a caller-supplied guard may consult
-    other variables the factory cannot see, so no frame is declared.
+    ``reads``/``writes`` frame and a batch-kernel :class:`Plan`; a
+    caller-supplied guard may consult other variables the factory
+    cannot see, so neither is declared.
     """
     actions: List[Action] = []
+    exact = guard is TRUE
     frame = (
         dict(reads={variable.name}, writes={variable.name})
-        if guard is TRUE else {}
+        if exact else {}
     )
     if len(variable.domain) < 2:
         return FaultClass(
@@ -134,6 +137,10 @@ def perturb_variable(
                     name=f"{variable.name}≠{value!r}",
                 ),
                 statement=assign(**{variable.name: value}),
+                plan=Plan(
+                    ("ne_const", variable.name, value),
+                    [("set_const", variable.name, value)],
+                ) if exact else None,
                 **frame,
             )
         )
@@ -153,9 +160,10 @@ def set_variable(
     unconditionally overwrites its target, the ideal frame shape for
     the successor memo; a caller-supplied guard disables the frame.
     """
+    exact = guard is TRUE
     frame = (
         dict(reads=frozenset(), writes={variable_name})
-        if guard is TRUE else {}
+        if exact else {}
     )
     return FaultClass(
         [
@@ -163,6 +171,9 @@ def set_variable(
                 name=f"fault_set_{variable_name}_{value!r}",
                 guard=guard,
                 statement=assign(**{variable_name: value}),
+                plan=Plan(
+                    ("true",), [("set_const", variable_name, value)]
+                ) if exact else None,
                 **frame,
             )
         ],
@@ -173,7 +184,10 @@ def set_variable(
 def crash_variable(flag_name: str, name: Optional[str] = None) -> FaultClass:
     """Crash fault: latch the boolean ``flag_name`` to True, permanently
     marking a process as down (the process's actions should be guarded by
-    ``¬flag``)."""
+    ``¬flag``).
+
+    The attached plan encodes the guard as ``flag == False`` — exactly
+    ``not flag`` over the boolean (or 0/1) domains crash flags use."""
     return FaultClass(
         [
             Action(
@@ -181,6 +195,10 @@ def crash_variable(flag_name: str, name: Optional[str] = None) -> FaultClass:
                 guard=Predicate(lambda s, f=flag_name: not s[f], name=f"¬{flag_name}"),
                 statement=assign(**{flag_name: True}),
                 reads={flag_name}, writes={flag_name},
+                plan=Plan(
+                    ("eq_const", flag_name, False),
+                    [("set_const", flag_name, True)],
+                ),
             )
         ],
         name=name or f"crash({flag_name})",

@@ -1,0 +1,984 @@
+"""Compiled batch successor kernels: whole-frontier action evaluation.
+
+Exploration cost in this library is dominated by ``Action.successors``
+— an interpreted Python round trip (guard predicate, statement closure,
+``State`` allocation, hash) per *(state, action)* pair.  This module
+compiles actions whose authors declare a :class:`Plan` — a flat
+positional description of the guard and the assignment — into *batch
+kernels* that evaluate one action over an entire BFS frontier at once:
+
+- the **numpy backend** represents a frontier as a ``(vars, N)`` matrix
+  of domain *ranks* (a value's position in its declared domain) and
+  evaluates guards/effects as vectorized column arithmetic, packing
+  each successor into a single mixed-radix ``int64`` code for O(1)
+  interning;
+- the **pure backend** compiles the same plan into a per-row closure
+  over raw values-tuples (the ``values_builder`` protocol the region
+  engine and :class:`~repro.core.predicate.Predicate` already speak) —
+  no arrays, no numpy, same semantics;
+- actions without a plan (or whose plan does not fit a schema) simply
+  fall back to the interpreted ``successors`` path inside the batched
+  BFS, so kernels are an accelerator, never a constraint.
+
+A plan is a *claim*, like an action's ``reads``/``writes`` frame: the
+kernel must implement exactly the guard and statement of the action it
+annotates.  ``tests/test_kernels.py`` pins kernel/interpreted parity
+(state sets, edges, deadlocks) across every bundled program and fault
+builder, under symmetry quotients, for both backends.
+
+For state spaces too large to materialize as ``State`` objects at all
+(the ROADMAP's million-state explorations), :func:`explore_codes` runs
+the whole BFS in packed-code space: frontiers are ``int64`` arrays,
+dedup is a bitmap or a sorted-merge anti-join, and no per-state Python
+object ever exists.  The ``token_ring_large`` and
+``byzantine_k13_unreduced`` benchmark suites are gated on its exact
+reachable-state counts.
+
+Plan grammar (nested tuples; ``name`` is a variable name):
+
+Guards::
+
+    ("true",)
+    ("eq_const", name, value)      ("ne_const", name, value)
+    ("eq_var", name_a, name_b)     ("ne_var", name_a, name_b)
+    ("all_ne_const", names, value)             # every name  != value
+    ("eq_majority", name, names, k)            # name == majority(names)
+    ("ne_majority", name, names, k)            # (strict 0/1 majority)
+    ("and", *exprs)  ("or", *exprs)  ("not", expr)
+
+Effects (applied atomically — every right-hand side reads the
+pre-state)::
+
+    ("set_const", name, value)
+    ("copy", dst, src)                         # dst := src (values)
+    ("inc_mod", dst, src, m)                   # dst := (src + 1) mod m
+    ("set_majority", dst, names, k)            # dst := 0/1 majority
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Tuple
+
+from .state import State, _state_of, state_space
+
+try:  # numpy is optional: every kernel has a pure-python twin
+    import numpy as _np
+except Exception:  # pragma: no cover - exercised on numpy-less installs
+    _np = None
+
+__all__ = [
+    "Plan",
+    "KernelError",
+    "Layout",
+    "layout_for",
+    "set_backend",
+    "get_backend",
+    "resolved_backend",
+    "numpy_available",
+    "row_kernel",
+    "batch_kernel",
+    "explore_codes",
+    "CodeReach",
+    "clear_kernel_caches",
+]
+
+#: packed codes must fit a signed int64 with headroom for arithmetic
+MAX_CODE_BITS = 62
+
+#: safety valve for :func:`explore_codes` (far above the State-object
+#: explorer's cap — code-space BFS is exactly what makes this range
+#: reachable)
+DEFAULT_MAX_CODES = 50_000_000
+
+#: full code spaces up to this size dedup through a byte bitmap
+#: (space bytes of memory); larger spaces use a sorted-merge anti-join
+_BITMAP_SPACE_LIMIT = 1 << 26
+
+#: Frontier rows expanded per kernel batch inside :func:`explore_codes`;
+#: bounds peak memory at chunk × variables × 8 bytes per column set.
+_FRONTIER_CHUNK = 1 << 20
+
+
+class KernelError(ValueError):
+    """A plan cannot be compiled for a schema (unknown variable,
+    incompatible domains, or a value a domain cannot represent)."""
+
+
+class Plan:
+    """Declarative guard + assignment of one deterministic action.
+
+    ``guard`` and each effect follow the module-level grammar.  A plan
+    describes an action with at most one successor per state; actions
+    with nondeterministic statements stay unplanned and run interpreted.
+    """
+
+    __slots__ = ("guard", "effects")
+
+    _GUARD_OPS = frozenset({
+        "true", "eq_const", "ne_const", "eq_var", "ne_var",
+        "all_ne_const", "eq_majority", "ne_majority", "and", "or", "not",
+    })
+    _EFFECT_OPS = frozenset({"set_const", "copy", "inc_mod", "set_majority"})
+
+    def __init__(self, guard: Tuple, effects: Iterable[Tuple]):
+        self.guard = tuple(guard)
+        self.effects = tuple(tuple(effect) for effect in effects)
+        self._check_guard(self.guard)
+        if not self.effects:
+            raise KernelError("a plan needs at least one effect")
+        for effect in self.effects:
+            if not effect or effect[0] not in self._EFFECT_OPS:
+                raise KernelError(f"unknown effect op: {effect!r}")
+
+    @classmethod
+    def _check_guard(cls, expr: Tuple) -> None:
+        if not expr or expr[0] not in cls._GUARD_OPS:
+            raise KernelError(f"unknown guard op: {expr!r}")
+        if expr[0] in ("and", "or"):
+            for sub in expr[1:]:
+                cls._check_guard(sub)
+        elif expr[0] == "not":
+            cls._check_guard(expr[1])
+
+    def __repr__(self) -> str:
+        return f"Plan(guard={self.guard!r}, effects={self.effects!r})"
+
+
+# -- backend selection ---------------------------------------------------------
+
+_BACKENDS = ("auto", "numpy", "pure", "interpreted")
+_backend = "auto"
+
+
+def numpy_available() -> bool:
+    return _np is not None
+
+
+def set_backend(backend: str) -> None:
+    """Select the kernel backend: ``auto`` (numpy when importable, else
+    pure), ``numpy``, ``pure``, or ``interpreted`` (disable kernels —
+    the pre-kernel scalar BFS, used by the parity tests as the oracle).
+    """
+    global _backend
+    if backend not in _BACKENDS:
+        raise ValueError(
+            f"unknown kernel backend {backend!r}; choose from {_BACKENDS}"
+        )
+    if backend == "numpy" and _np is None:
+        raise KernelError("numpy backend requested but numpy is unavailable")
+    _backend = backend
+
+
+def get_backend() -> str:
+    return _backend
+
+
+def resolved_backend() -> str:
+    """The backend batched exploration will actually run."""
+    if _backend == "auto":
+        return "numpy" if _np is not None else "pure"
+    return _backend
+
+
+# -- layouts: schema + domains -> positions, ranks, mixed-radix strides --------
+
+class Layout:
+    """The packing of one (schema, domains) pair.
+
+    Position ``i`` holds ``schema.names[i]``; ``ranks[i]`` maps a value
+    of that variable's domain to its rank, ``domains[i]`` maps it back.
+    ``strides`` are big-endian mixed-radix weights, so the packed code
+    of a values-tuple is ``sum(strides[i] * rank_i)`` and code order
+    equals lexicographic rank order.
+    """
+
+    __slots__ = (
+        "schema", "domains", "sizes", "strides", "ranks", "space",
+        "index", "_strides_arr",
+    )
+
+    def __init__(self, schema, domains: Tuple[Tuple[Hashable, ...], ...]):
+        self.schema = schema
+        self.index = schema.index
+        self.domains = domains
+        self.sizes = tuple(len(d) for d in domains)
+        strides: List[int] = [0] * len(domains)
+        acc = 1
+        for i in range(len(domains) - 1, -1, -1):
+            strides[i] = acc
+            acc *= self.sizes[i]
+        self.strides = tuple(strides)
+        self.space = acc
+        self.ranks = tuple(
+            {value: rank for rank, value in enumerate(domain)}
+            for domain in domains
+        )
+        self._strides_arr = (
+            _np.array(strides, dtype=_np.int64) if _np is not None else None
+        )
+
+    # -- scalar paths ------------------------------------------------------
+    def pack_values(self, values: Tuple[Hashable, ...]) -> int:
+        """The packed code of one values-tuple (KeyError when a value is
+        outside its declared domain)."""
+        code = 0
+        for stride, rank, value in zip(self.strides, self.ranks, values):
+            code += stride * rank[value]
+        return code
+
+    def unpack(self, code: int) -> Tuple[Hashable, ...]:
+        return tuple(
+            domain[(code // stride) % size]
+            for domain, stride, size in zip(
+                self.domains, self.strides, self.sizes
+            )
+        )
+
+    # -- numpy paths -------------------------------------------------------
+    def columns_from_states(self, states) -> "object":
+        """``(vars, N)`` int64 rank matrix of a state sequence."""
+        ranks = self.ranks
+        flat = [
+            rank[value]
+            for state in states
+            for rank, value in zip(ranks, state._values)
+        ]
+        return (
+            _np.array(flat, dtype=_np.int64)
+            .reshape(len(states), len(ranks))
+            .T.copy()
+        )
+
+    def columns_from_codes(self, codes) -> "object":
+        cols = _np.empty((len(self.sizes), codes.shape[0]), dtype=_np.int64)
+        for i, (stride, size) in enumerate(zip(self.strides, self.sizes)):
+            cols[i] = (codes // stride) % size
+        return cols
+
+    def pack_columns(self, cols) -> "object":
+        return self._strides_arr @ cols
+
+    def values_from_column(self, cols, j: int) -> Tuple[Hashable, ...]:
+        return tuple(
+            domain[cols[i, j]] for i, domain in enumerate(self.domains)
+        )
+
+
+#: (schema, domains signature) -> Layout (or None when unpackable)
+_LAYOUTS: Dict[Tuple, Optional[Layout]] = {}
+
+
+def layout_for(schema, domains: Dict[str, Tuple]) -> Optional[Layout]:
+    """The interned :class:`Layout` of ``schema`` under ``domains``, or
+    ``None`` when a variable has no declared domain or the packed code
+    would overflow :data:`MAX_CODE_BITS` bits."""
+    signature = tuple(domains.get(name) for name in schema.names)
+    key = (schema, signature)
+    found = _LAYOUTS.get(key, _LAYOUTS)
+    if found is not _LAYOUTS:
+        return found
+    layout: Optional[Layout] = None
+    if all(domain for domain in signature):
+        space = 1
+        for domain in signature:
+            space *= len(domain)
+        if space.bit_length() <= MAX_CODE_BITS:
+            layout = Layout(schema, signature)
+    _LAYOUTS[key] = layout
+    return layout
+
+
+# -- plan compilation: shared validation ---------------------------------------
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise KernelError(message)
+
+
+def _position(index: Dict[str, int], name: str) -> int:
+    _require(name in index, f"plan names unknown variable {name!r}")
+    return index[name]
+
+
+def _domain_of(domains: Dict[str, Tuple], name: str) -> Tuple:
+    domain = domains.get(name)
+    _require(
+        bool(domain),
+        f"plan variable {name!r} has no declared domain",
+    )
+    return domain
+
+
+def _validate_effects(plan: Plan, index, domains: Dict[str, Tuple]) -> None:
+    for effect in plan.effects:
+        op = effect[0]
+        if op == "set_const":
+            _, name, value = effect
+            _position(index, name)
+            _require(
+                value in _domain_of(domains, name),
+                f"set_const value {value!r} outside domain of {name!r}",
+            )
+        elif op == "copy":
+            _, dst, src = effect
+            _position(index, dst)
+            _position(index, src)
+            dst_domain = set(_domain_of(domains, dst))
+            _require(
+                all(v in dst_domain for v in _domain_of(domains, src)),
+                f"copy {src!r} -> {dst!r}: source domain not contained "
+                f"in destination domain",
+            )
+        elif op == "inc_mod":
+            _, dst, src, m = effect
+            _position(index, dst)
+            _position(index, src)
+            expected = tuple(range(m))
+            _require(
+                _domain_of(domains, dst) == expected
+                and _domain_of(domains, src) == expected,
+                f"inc_mod needs 0..{m - 1} domains on {dst!r} and {src!r}",
+            )
+        elif op == "set_majority":
+            _, dst, names, _k = effect
+            _position(index, dst)
+            for n in names:
+                _position(index, n)
+            dst_domain = _domain_of(domains, dst)
+            _require(
+                0 in dst_domain and 1 in dst_domain,
+                f"set_majority target {dst!r} cannot hold 0/1",
+            )
+
+
+def _validate_guard(expr: Tuple, index) -> None:
+    op = expr[0]
+    if op in ("eq_const", "ne_const"):
+        _position(index, expr[1])
+    elif op in ("eq_var", "ne_var"):
+        _position(index, expr[1])
+        _position(index, expr[2])
+    elif op == "all_ne_const":
+        for n in expr[1]:
+            _position(index, n)
+    elif op in ("eq_majority", "ne_majority"):
+        _position(index, expr[1])
+        for n in expr[2]:
+            _position(index, n)
+    elif op in ("and", "or"):
+        for sub in expr[1:]:
+            _validate_guard(sub, index)
+    elif op == "not":
+        _validate_guard(expr[1], index)
+
+
+# -- pure backend: per-row closures over raw values-tuples ---------------------
+
+def _majority_counter(positions: Tuple[int, ...], k: int):
+    def majority(values, positions=positions, k=k):
+        count = 0
+        for p in positions:
+            if values[p] == 1:
+                count += 1
+        return 1 if 2 * count > k else 0
+    return majority
+
+
+def _compile_guard_pure(expr: Tuple, index) -> Optional[Callable]:
+    op = expr[0]
+    if op == "true":
+        return None
+    if op == "eq_const":
+        p, v = index[expr[1]], expr[2]
+        return lambda values, p=p, v=v: values[p] == v
+    if op == "ne_const":
+        p, v = index[expr[1]], expr[2]
+        return lambda values, p=p, v=v: values[p] != v
+    if op == "eq_var":
+        a, b = index[expr[1]], index[expr[2]]
+        return lambda values, a=a, b=b: values[a] == values[b]
+    if op == "ne_var":
+        a, b = index[expr[1]], index[expr[2]]
+        return lambda values, a=a, b=b: values[a] != values[b]
+    if op == "all_ne_const":
+        positions = tuple(index[n] for n in expr[1])
+        v = expr[2]
+        def all_ne(values, positions=positions, v=v):
+            for p in positions:
+                if values[p] == v:
+                    return False
+            return True
+        return all_ne
+    if op in ("eq_majority", "ne_majority"):
+        p = index[expr[1]]
+        majority = _majority_counter(tuple(index[n] for n in expr[2]), expr[3])
+        if op == "eq_majority":
+            return lambda values, p=p, m=majority: values[p] == m(values)
+        return lambda values, p=p, m=majority: values[p] != m(values)
+    if op == "not":
+        sub = _compile_guard_pure(expr[1], index)
+        if sub is None:
+            return lambda values: False
+        return lambda values, f=sub: not f(values)
+    subs = [_compile_guard_pure(sub, index) for sub in expr[1:]]
+    if op == "and":
+        subs = [f for f in subs if f is not None]
+        if not subs:
+            return None
+        def conj(values, fns=tuple(subs)):
+            for fn in fns:
+                if not fn(values):
+                    return False
+            return True
+        return conj
+    # "or": a "true" operand makes the whole disjunction trivially true
+    if any(f is None for f in subs):
+        return None
+    def disj(values, fns=tuple(subs)):
+        for fn in fns:
+            if fn(values):
+                return True
+        return False
+    return disj
+
+
+def _compile_effects_pure(plan: Plan, index) -> Callable:
+    steps = []
+    for effect in plan.effects:
+        op = effect[0]
+        if op == "set_const":
+            p, v = index[effect[1]], effect[2]
+            steps.append(lambda values, out, p=p, v=v: out.__setitem__(p, v))
+        elif op == "copy":
+            d, s = index[effect[1]], index[effect[2]]
+            steps.append(
+                lambda values, out, d=d, s=s: out.__setitem__(d, values[s])
+            )
+        elif op == "inc_mod":
+            d, s, m = index[effect[1]], index[effect[2]], effect[3]
+            steps.append(
+                lambda values, out, d=d, s=s, m=m:
+                out.__setitem__(d, (values[s] + 1) % m)
+            )
+        else:  # set_majority
+            d = index[effect[1]]
+            majority = _majority_counter(
+                tuple(index[n] for n in effect[2]), effect[3]
+            )
+            steps.append(
+                lambda values, out, d=d, m=majority:
+                out.__setitem__(d, m(values))
+            )
+    steps = tuple(steps)
+
+    def apply(values, steps=steps):
+        out = list(values)
+        for step in steps:
+            step(values, out)
+        return tuple(out)
+
+    return apply
+
+
+#: action -> {(schema, domains signature): row fn or None}
+_ROW_KERNELS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def row_kernel(action, schema, domains: Dict[str, Tuple]) -> Optional[Callable]:
+    """A compiled per-row evaluator of ``action``'s plan: values-tuple
+    in, successor values-tuple (or ``None`` when disabled) out.  Returns
+    ``None`` when the action has no plan or the plan does not fit the
+    schema/domains."""
+    plan = getattr(action, "plan", None)
+    if plan is None:
+        return None
+    per_action = _ROW_KERNELS.get(action)
+    if per_action is None:
+        per_action = _ROW_KERNELS[action] = {}
+    key = (schema, tuple(domains.get(name) for name in schema.names))
+    found = per_action.get(key, _ROW_KERNELS)
+    if found is not _ROW_KERNELS:
+        return found
+    fn: Optional[Callable] = None
+    try:
+        index = schema.index
+        _validate_guard(plan.guard, index)
+        _validate_effects(plan, index, domains)
+        guard = _compile_guard_pure(plan.guard, index)
+        effects = _compile_effects_pure(plan, index)
+        if guard is None:
+            fn = effects
+        else:
+            def fn(values, guard=guard, effects=effects):
+                if not guard(values):
+                    return None
+                return effects(values)
+    except KernelError:
+        fn = None
+    per_action[key] = fn
+    return fn
+
+
+# -- numpy backend: vectorized guards/effects over rank columns ----------------
+
+def _rank_or_sentinel(layout: Layout, name: str, value) -> int:
+    """The rank of ``value`` in ``name``'s domain, or ``-1`` (no column
+    ever holds -1, so equality against it is constant-false)."""
+    return layout.ranks[layout.index[name]].get(value, -1)
+
+
+def _value_lut(layout: Layout, src: str, dst: str):
+    """``src-rank -> dst-rank`` translation table (copy across domains
+    compares/assigns *values*, never raw ranks)."""
+    src_domain = layout.domains[layout.index[src]]
+    dst_ranks = layout.ranks[layout.index[dst]]
+    return _np.array(
+        [dst_ranks.get(value, -1) for value in src_domain], dtype=_np.int64
+    )
+
+
+def _majority_column(layout: Layout, names, k: int):
+    positions = tuple(layout.index[n] for n in names)
+    ones = tuple(_rank_or_sentinel(layout, n, 1) for n in names)
+
+    def majority_is_one(cols, positions=positions, ones=ones, k=k):
+        count = (cols[positions[0]] == ones[0]).astype(_np.int64)
+        for p, r1 in zip(positions[1:], ones[1:]):
+            count += cols[p] == r1
+        return 2 * count > k
+
+    return majority_is_one
+
+
+def _compile_guard_numpy(expr: Tuple, layout: Layout) -> Optional[Callable]:
+    op = expr[0]
+    index = layout.index
+    if op == "true":
+        return None
+    if op in ("eq_const", "ne_const"):
+        p = index[expr[1]]
+        r = _rank_or_sentinel(layout, expr[1], expr[2])
+        if op == "eq_const":
+            return lambda cols, p=p, r=r: cols[p] == r
+        return lambda cols, p=p, r=r: cols[p] != r
+    if op in ("eq_var", "ne_var"):
+        a, b = index[expr[1]], index[expr[2]]
+        if layout.domains[a] == layout.domains[b]:
+            if op == "eq_var":
+                return lambda cols, a=a, b=b: cols[a] == cols[b]
+            return lambda cols, a=a, b=b: cols[a] != cols[b]
+        lut = _value_lut(layout, expr[2], expr[1])
+        if op == "eq_var":
+            return lambda cols, a=a, b=b, lut=lut: cols[a] == lut[cols[b]]
+        return lambda cols, a=a, b=b, lut=lut: cols[a] != lut[cols[b]]
+    if op == "all_ne_const":
+        pairs = tuple(
+            (index[n], _rank_or_sentinel(layout, n, expr[2]))
+            for n in expr[1]
+        )
+        def all_ne(cols, pairs=pairs):
+            acc = cols[pairs[0][0]] != pairs[0][1]
+            for p, r in pairs[1:]:
+                acc &= cols[p] != r
+            return acc
+        return all_ne
+    if op in ("eq_majority", "ne_majority"):
+        p = index[expr[1]]
+        r0 = _rank_or_sentinel(layout, expr[1], 0)
+        r1 = _rank_or_sentinel(layout, expr[1], 1)
+        majority_is_one = _majority_column(layout, expr[2], expr[3])
+        def eq_majority(cols, p=p, r0=r0, r1=r1, m=majority_is_one):
+            return cols[p] == _np.where(m(cols), r1, r0)
+        if op == "eq_majority":
+            return eq_majority
+        return lambda cols, f=eq_majority: ~f(cols)
+    if op == "not":
+        sub = _compile_guard_numpy(expr[1], layout)
+        if sub is None:
+            return lambda cols: _np.zeros(cols.shape[1], dtype=bool)
+        return lambda cols, f=sub: ~f(cols)
+    subs = [_compile_guard_numpy(sub, layout) for sub in expr[1:]]
+    if op == "and":
+        subs = [f for f in subs if f is not None]
+        if not subs:
+            return None
+        def conj(cols, fns=tuple(subs)):
+            acc = fns[0](cols)
+            for fn in fns[1:]:
+                acc &= fn(cols)
+            return acc
+        return conj
+    if any(f is None for f in subs):
+        return None
+    def disj(cols, fns=tuple(subs)):
+        acc = fns[0](cols)
+        for fn in fns[1:]:
+            acc |= fn(cols)
+        return acc
+    return disj
+
+
+def _compile_effects_numpy(plan: Plan, layout: Layout) -> Tuple[Callable, ...]:
+    index = layout.index
+    steps: List[Callable] = []
+    for effect in plan.effects:
+        op = effect[0]
+        if op == "set_const":
+            p = index[effect[1]]
+            r = layout.ranks[p][effect[2]]
+            steps.append(lambda pre, out, p=p, r=r: out.__setitem__(p, r))
+        elif op == "copy":
+            d, s = index[effect[1]], index[effect[2]]
+            if layout.domains[d] == layout.domains[s]:
+                steps.append(
+                    lambda pre, out, d=d, s=s: out.__setitem__(d, pre[s])
+                )
+            else:
+                lut = _value_lut(layout, effect[2], effect[1])
+                _require(
+                    bool((lut >= 0).all()),
+                    f"copy {effect[2]!r} -> {effect[1]!r}: source domain "
+                    f"not contained in destination domain",
+                )
+                steps.append(
+                    lambda pre, out, d=d, s=s, lut=lut:
+                    out.__setitem__(d, lut[pre[s]])
+                )
+        elif op == "inc_mod":
+            d, s, m = index[effect[1]], index[effect[2]], effect[3]
+            steps.append(
+                lambda pre, out, d=d, s=s, m=m:
+                out.__setitem__(d, (pre[s] + 1) % m)
+            )
+        else:  # set_majority
+            d = index[effect[1]]
+            r0 = layout.ranks[d][0]
+            r1 = layout.ranks[d][1]
+            majority_is_one = _majority_column(layout, effect[2], effect[3])
+            steps.append(
+                lambda pre, out, d=d, r0=r0, r1=r1, m=majority_is_one:
+                out.__setitem__(d, _np.where(m(pre), r1, r0))
+            )
+    return tuple(steps)
+
+
+#: action -> {layout: batch kernel or None}
+_BATCH_KERNELS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def batch_kernel(action, layout: Layout) -> Optional[Callable]:
+    """A vectorized evaluator of ``action``'s plan over a ``(vars, N)``
+    rank matrix: returns ``(enabled column indices, successor rank
+    matrix)`` — or ``None`` when the action has no plan, the plan does
+    not fit, or numpy is unavailable.
+
+    The successor matrix has one column per enabled source column, in
+    source order, so callers can zip the two results directly.
+    """
+    if _np is None:
+        return None
+    plan = getattr(action, "plan", None)
+    if plan is None:
+        return None
+    per_action = _BATCH_KERNELS.get(action)
+    if per_action is None:
+        per_action = _BATCH_KERNELS[action] = {}
+    found = per_action.get(layout, _BATCH_KERNELS)
+    if found is not _BATCH_KERNELS:
+        return found
+    kernel: Optional[Callable] = None
+    try:
+        domains = {
+            name: layout.domains[i]
+            for i, name in enumerate(layout.schema.names)
+        }
+        _validate_guard(plan.guard, layout.index)
+        _validate_effects(plan, layout.index, domains)
+        guard = _compile_guard_numpy(plan.guard, layout)
+        steps = _compile_effects_numpy(plan, layout)
+        empty = _np.empty(0, dtype=_np.int64)
+
+        def kernel(cols, guard=guard, steps=steps, empty=empty):
+            if guard is None:
+                idx = _np.arange(cols.shape[1], dtype=_np.int64)
+                pre = cols
+            else:
+                idx = _np.flatnonzero(guard(cols))
+                if idx.size == 0:
+                    return empty, None
+                pre = cols[:, idx]
+            out = pre.copy()
+            for step in steps:
+                step(pre, out)
+            return idx, out
+    except KernelError:
+        kernel = None
+    per_action[layout] = kernel
+    return kernel
+
+
+#: action -> {layout: code kernel or None}
+_CODE_KERNELS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def code_kernel(action, layout: Layout) -> Optional[Callable]:
+    """A successor evaluator that stays entirely in code space:
+    ``kernel(codes, cols)`` returns ``(enabled column indices, successor
+    codes)`` — or ``None`` when the action has no compilable plan.
+
+    Because a plan's effects are per-variable assignments and codes are
+    mixed-radix sums, the successor code is the source code plus
+    ``(new_rank - old_rank) * stride`` per written variable — no
+    successor rank matrix is ever materialized and no repacking happens,
+    so the per-edge cost is independent of the number of variables.
+    :func:`explore_codes` prefers this over :func:`batch_kernel`.
+    """
+    if _np is None:
+        return None
+    plan = getattr(action, "plan", None)
+    if plan is None:
+        return None
+    per_action = _CODE_KERNELS.get(action)
+    if per_action is None:
+        per_action = _CODE_KERNELS[action] = {}
+    found = per_action.get(layout, _CODE_KERNELS)
+    if found is not _CODE_KERNELS:
+        return found
+    kernel: Optional[Callable] = None
+    try:
+        index = layout.index
+        domains = {
+            name: layout.domains[i]
+            for i, name in enumerate(layout.schema.names)
+        }
+        _validate_guard(plan.guard, index)
+        _validate_effects(plan, index, domains)
+        guard = _compile_guard_numpy(plan.guard, layout)
+        strides = layout.strides
+        deltas: List[Callable] = []
+        for effect in plan.effects:
+            op = effect[0]
+            if op == "set_const":
+                d = index[effect[1]]
+                r, st = layout.ranks[d][effect[2]], strides[d]
+                deltas.append(
+                    lambda cols, idx, d=d, r=r, st=st:
+                    (r - cols[d, idx]) * st
+                )
+            elif op == "copy":
+                d, s = index[effect[1]], index[effect[2]]
+                st = strides[d]
+                if layout.domains[d] == layout.domains[s]:
+                    deltas.append(
+                        lambda cols, idx, d=d, s=s, st=st:
+                        (cols[s, idx] - cols[d, idx]) * st
+                    )
+                else:
+                    lut = _value_lut(layout, effect[2], effect[1])
+                    deltas.append(
+                        lambda cols, idx, d=d, s=s, st=st, lut=lut:
+                        (lut[cols[s, idx]] - cols[d, idx]) * st
+                    )
+            elif op == "inc_mod":
+                d, s, m = index[effect[1]], index[effect[2]], effect[3]
+                st = strides[d]
+                deltas.append(
+                    lambda cols, idx, d=d, s=s, st=st, m=m:
+                    ((cols[s, idx] + 1) % m - cols[d, idx]) * st
+                )
+            else:  # set_majority
+                d = index[effect[1]]
+                r0, r1 = layout.ranks[d][0], layout.ranks[d][1]
+                st = strides[d]
+                majority_is_one = _majority_column(
+                    layout, effect[2], effect[3]
+                )
+                deltas.append(
+                    lambda cols, idx, d=d, r0=r0, r1=r1, st=st,
+                    m=majority_is_one:
+                    (_np.where(m(cols)[idx], r1, r0) - cols[d, idx]) * st
+                )
+        empty = _np.empty(0, dtype=_np.int64)
+
+        def kernel(codes, cols, guard=guard, deltas=tuple(deltas),
+                   empty=empty):
+            if guard is None:
+                idx = _np.arange(codes.shape[0], dtype=_np.int64)
+            else:
+                idx = _np.flatnonzero(guard(cols))
+                if idx.size == 0:
+                    return empty, None
+            out = codes[idx]
+            for delta in deltas:
+                out = out + delta(cols, idx)
+            return idx, out
+    except KernelError:
+        kernel = None
+    per_action[layout] = kernel
+    return kernel
+
+
+# -- code-space exploration (million-state BFS, no State objects) --------------
+
+class CodeReach:
+    """Result of :func:`explore_codes`: exact reachable census."""
+
+    __slots__ = ("states", "levels", "edges")
+
+    def __init__(self, states: int, levels: int, edges: int):
+        self.states = states
+        self.levels = levels
+        self.edges = edges
+
+    def __repr__(self) -> str:
+        return (
+            f"CodeReach({self.states} states, {self.levels} levels, "
+            f"{self.edges} successor rows)"
+        )
+
+
+def explore_codes(
+    program,
+    start_states: Iterable[State],
+    fault_actions=(),
+    max_states: int = DEFAULT_MAX_CODES,
+) -> CodeReach:
+    """Exact reachable-state census of ``program [] faults`` by BFS in
+    packed-code space.
+
+    Every action (program and fault) must carry a compilable
+    :class:`Plan` and numpy must be available — this explorer exists for
+    state spaces where materializing ``State`` objects is not an option,
+    so there is no interpreted fallback to hide behind.  Dedup uses a
+    byte bitmap over the full code space when it fits (≤ 64M codes) and
+    a sorted-merge anti-join otherwise; either way the census is exact.
+
+    ``start_states`` is an iterable of :class:`State` objects, or the
+    string ``"all"`` for the program's entire state space — the codes
+    ``0..space-1`` are synthesized directly, so a multimillion-state
+    full-space sweep (e.g. a self-stabilization census) never builds a
+    single ``State``.  Frontiers are expanded in bounded chunks, so peak
+    memory stays proportional to the chunk, not the frontier.
+    """
+    if _np is None:
+        raise KernelError("explore_codes requires numpy")
+    if isinstance(start_states, str):
+        _require(
+            start_states == "all",
+            f"unknown start-state selector {start_states!r}",
+        )
+        first = next(iter(state_space(program.variables)), None)
+        if first is None:
+            return CodeReach(0, 0, 0)
+        schema = first._schema
+        starts = None
+    else:
+        starts = list(start_states)
+        if not starts:
+            return CodeReach(0, 0, 0)
+        schema = starts[0]._schema
+        for state in starts:
+            _require(
+                state._schema is schema,
+                "explore_codes start states must share one schema",
+            )
+    layout = layout_for(schema, program._domains)
+    _require(
+        layout is not None,
+        f"state space of {program.name!r} does not pack into "
+        f"{MAX_CODE_BITS}-bit codes",
+    )
+    actions = tuple(program.actions) + tuple(fault_actions)
+    kernels = []
+    for action in actions:
+        kernel = code_kernel(action, layout)
+        _require(
+            kernel is not None,
+            f"action {action.name!r} has no compilable plan for "
+            f"{program.name!r}",
+        )
+        kernels.append(kernel)
+
+    if starts is None:
+        start_codes = _np.arange(layout.space, dtype=_np.int64)
+    else:
+        start_codes = _np.unique(
+            _np.array(
+                [layout.pack_values(s._values) for s in starts],
+                dtype=_np.int64,
+            )
+        )
+    use_bitmap = layout.space <= _BITMAP_SPACE_LIMIT
+    if use_bitmap:
+        seen_map = _np.zeros(layout.space, dtype=bool)
+        seen_map[start_codes] = True
+    else:
+        seen_sorted = start_codes
+    total = int(start_codes.shape[0])
+    frontier = start_codes
+    levels = 0
+    edges = 0
+    while frontier.size:
+        levels += 1
+        fresh_parts = []
+        for lo in range(0, int(frontier.shape[0]), _FRONTIER_CHUNK):
+            chunk = frontier[lo:lo + _FRONTIER_CHUNK]
+            cols = layout.columns_from_codes(chunk)
+            for kernel in kernels:
+                idx, codes = kernel(chunk, cols)
+                if codes is None:
+                    continue
+                edges += int(idx.shape[0])
+                if use_bitmap:
+                    # mark between actions/chunks: later rows anti-join
+                    # against everything earlier ones discovered
+                    fresh = codes[~seen_map[codes]]
+                    if fresh.size:
+                        fresh = _np.unique(fresh)
+                        seen_map[fresh] = True
+                        fresh_parts.append(fresh)
+                else:
+                    pos = _np.searchsorted(seen_sorted, codes)
+                    pos[pos == seen_sorted.shape[0]] = 0
+                    fresh = codes[seen_sorted[pos] != codes]
+                    if fresh.size:
+                        fresh_parts.append(fresh)
+        if not fresh_parts:
+            break
+        if use_bitmap:
+            frontier = _np.concatenate(fresh_parts)
+        else:
+            frontier = _np.unique(_np.concatenate(fresh_parts))
+            positions = _np.searchsorted(seen_sorted, frontier)
+            seen_sorted = _np.insert(seen_sorted, positions, frontier)
+        total += int(frontier.shape[0])
+        if total > max_states:
+            raise RuntimeError(
+                f"code-space exploration exceeds max_states={max_states} "
+                f"for {program.name!r}"
+            )
+    return CodeReach(total, levels, edges)
+
+
+# -- cache control -------------------------------------------------------------
+
+def clear_kernel_caches() -> None:
+    """Drop every compiled kernel and interned layout, so cold-start
+    benchmarks pay for plan compilation like any other cache miss.
+    Wired into :func:`repro.core.exploration.clear_all_caches`."""
+    _LAYOUTS.clear()
+    _ROW_KERNELS.clear()
+    _BATCH_KERNELS.clear()
+    _CODE_KERNELS.clear()
+
+
+def decode_states(layout: Layout, cols, positions) -> List[State]:
+    """Materialize :class:`State` objects for selected columns of a rank
+    matrix (the slow path of batch exploration: only codes never seen
+    before reach it)."""
+    schema = layout.schema
+    return [
+        _state_of(schema, layout.values_from_column(cols, j))
+        for j in positions
+    ]

@@ -39,7 +39,9 @@ with its transition system.  See ``docs/performance.md``.
 
 from __future__ import annotations
 
+import gc
 from collections import deque
+from contextlib import contextmanager
 from typing import (
     Callable,
     Dict,
@@ -54,6 +56,11 @@ from typing import (
 from .predicate import Predicate, TRUE
 from .state import State, Variable, state_space
 
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - environment-dependent
+    _np = None
+
 __all__ = [
     "Region",
     "StateIndex",
@@ -61,10 +68,33 @@ __all__ = [
     "bits_of_ids",
     "iter_bits",
     "first_bit",
+    "paused_gc",
     "universe_index",
     "system_index",
     "clear_universe_cache",
 ]
+
+
+@contextmanager
+def paused_gc():
+    """Suspend generational GC for a bulk-allocation pass.
+
+    A large explored system keeps hundreds of thousands of gc-tracked
+    objects (States, labelled-edge tuples) alive; every young-generation
+    overflow during a bulk tuple/list build triggers collections that
+    rescan that standing graph, multiplying the build's cost several
+    times over.  The passes wrapped here allocate no reference cycles,
+    so deferring collection is safe.  Nesting is harmless — an inner
+    pause sees GC already disabled and leaves re-enabling to the
+    outermost exit."""
+    was_enabled = gc.isenabled()
+    if was_enabled:
+        gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
 
 
 # -- bit twiddling ------------------------------------------------------------
@@ -108,6 +138,30 @@ def iter_bits(bits: int, n: int) -> Iterator[int]:
 def first_bit(bits: int) -> int:
     """Position of the lowest set bit (``bits`` must be nonzero)."""
     return (bits & -bits).bit_length() - 1
+
+
+def _unpack_bits(bits: int, n: int):
+    """Big-int bitset -> numpy boolean mask of length ``n``."""
+    return _np.unpackbits(
+        _np.frombuffer(
+            bits.to_bytes((n + 7) >> 3, "little"), dtype=_np.uint8
+        ),
+        bitorder="little",
+    )[:n].astype(bool)
+
+
+def _pack_bits(mask) -> int:
+    """numpy boolean mask -> big-int bitset."""
+    return int.from_bytes(
+        _np.packbits(mask, bitorder="little").tobytes(), "little"
+    )
+
+
+def _data_to_mask(data: bytes, n: int):
+    """Little-endian bitset bytes -> numpy boolean mask of length ``n``."""
+    return _np.unpackbits(
+        _np.frombuffer(data, dtype=_np.uint8), bitorder="little"
+    )[:n].astype(bool)
 
 
 #: adjacency of one action over an index: (per-state tuples of successor
@@ -510,20 +564,27 @@ class SystemIndex:
         "ts", "states", "id_of", "n", "full_bits",
         "_plabeled", "_flabeled", "_psucc", "_apred", "_deadlock_bits",
         "_satisfying", "_region_bits", "_region_data", "_enabled_data",
+        "_shared_schema", "_csr", "_enabled_by_name",
     )
 
     def __init__(self, ts):
         self.ts = ts
         self.states: Tuple[State, ...] = tuple(ts.states)
-        self.id_of: Dict[State, int] = {
-            s: i for i, s in enumerate(self.states)
-        }
+        # level-synchronous exploration accumulates the dense-id
+        # adjacency (and the id map) as it assembles each frontier
+        # level; adopt it rather than re-deriving ids per edge
+        rows = getattr(ts, "_labeled_rows", None)
+        if rows is not None:
+            prows, frows, id_of = rows
+            self._plabeled = tuple(prows)
+            self._flabeled = tuple(frows)
+            self.id_of: Dict[State, int] = id_of
+        else:
+            self._plabeled = None
+            self._flabeled = None
+            self.id_of = {s: i for i, s in enumerate(self.states)}
         self.n = len(self.states)
         self.full_bits = (1 << self.n) - 1
-        #: per-state labelled program edges: ((action name, target id), ...)
-        self._plabeled: Optional[Tuple[Tuple[Tuple[str, int], ...], ...]] = None
-        #: per-state labelled fault edges (same layout)
-        self._flabeled: Optional[Tuple[Tuple[Tuple[str, int], ...], ...]] = None
         #: per-state deduplicated program successor ids
         self._psucc: Optional[Tuple[Tuple[int, ...], ...]] = None
         #: predecessor lists over *all* (program + fault) edges
@@ -533,6 +594,15 @@ class SystemIndex:
         self._region_bits: Dict[Predicate, int] = {}
         self._region_data: Dict[Predicate, bytes] = {}
         self._enabled_data: Dict[object, bytes] = {}
+        #: the one Schema every state shares (False = mixed, None = not
+        #: yet computed); schema-compiled predicate sweeps need it
+        self._shared_schema = None
+        #: include_faults -> (indptr, dst, act, names) columnar edge
+        #: views (see :meth:`_edge_csr`)
+        self._csr: Dict[bool, Optional[tuple]] = {}
+        #: action name -> enabled bitmap derived from recorded program
+        #: edges in one sweep (valid for planned actions only)
+        self._enabled_by_name: Optional[Dict[str, bytearray]] = None
 
     # -- adjacency (lazy) --------------------------------------------------
     @property
@@ -559,26 +629,41 @@ class SystemIndex:
 
     @property
     def psucc(self) -> Tuple[Tuple[int, ...], ...]:
-        """Deduplicated program-successor ids per state (SCC fodder)."""
+        """Deduplicated program-successor ids per state (SCC fodder).
+
+        The CSR program rows are plabeled's rows verbatim, so slicing a
+        flat ``dst`` list through ``indptr`` yields the same successor
+        sequences without a Python-level pass over every edge tuple."""
         if self._psucc is None:
-            self._psucc = tuple(
-                tuple(dict.fromkeys(t for _, t in row))
-                for row in self.plabeled
-            )
+            with paused_gc():
+                csr = self._edge_csr(False)
+                if csr is not None:
+                    indptr = csr[0].tolist()
+                    dst = csr[1].tolist()
+                    self._psucc = tuple(
+                        tuple(dict.fromkeys(dst[indptr[u]:indptr[u + 1]]))
+                        for u in range(self.n)
+                    )
+                else:
+                    self._psucc = tuple(
+                        tuple(dict.fromkeys(t for _, t in row))
+                        for row in self.plabeled
+                    )
         return self._psucc
 
     @property
     def apred(self) -> List[List[int]]:
         """Predecessor lists over program and fault edges."""
         if self._apred is None:
-            preds: List[List[int]] = [[] for _ in range(self.n)]
-            for u, row in enumerate(self.plabeled):
-                for _, v in row:
-                    preds[v].append(u)
-            for u, row in enumerate(self.flabeled):
-                for _, v in row:
-                    preds[v].append(u)
-            self._apred = preds
+            with paused_gc():
+                preds: List[List[int]] = [[] for _ in range(self.n)]
+                for u, row in enumerate(self.plabeled):
+                    for _, v in row:
+                        preds[v].append(u)
+                for u, row in enumerate(self.flabeled):
+                    for _, v in row:
+                        preds[v].append(u)
+                self._apred = preds
         return self._apred
 
     @property
@@ -593,13 +678,39 @@ class SystemIndex:
         return self._deadlock_bits
 
     # -- predicates --------------------------------------------------------
+    def _schema(self):
+        """The schema shared by every indexed state, or ``False``."""
+        shared = self._shared_schema
+        if shared is None:
+            states = self.states
+            shared = states[0]._schema if states else False
+            if shared is not False:
+                for state in states:
+                    if state._schema is not shared:
+                        shared = False
+                        break
+            self._shared_schema = shared
+        return shared
+
     def satisfying(self, predicate: Predicate) -> Tuple[State, ...]:
         cached = self._satisfying.get(predicate)
         if cached is None:
             if predicate is TRUE:
                 cached = self.states
             else:
-                cached = tuple(filter(predicate.fn, self.states))
+                # schema-compiled predicates sweep raw values-tuples,
+                # skipping the per-state State wrapper dispatch
+                evaluate = None
+                if predicate.values_builder is not None:
+                    schema = self._schema()
+                    if schema is not False:
+                        evaluate = predicate.values_builder(schema.index)
+                if evaluate is not None:
+                    cached = tuple(
+                        s for s in self.states if evaluate(s._values)
+                    )
+                else:
+                    cached = tuple(filter(predicate.fn, self.states))
             self._satisfying[predicate] = cached
         return cached
 
@@ -635,17 +746,108 @@ class SystemIndex:
 
     def enabled_data(self, action) -> bytes:
         """Bit array of states where ``action``'s guard holds (memoized
-        per action object)."""
+        per action object).
+
+        Planned program actions skip the guard sweep entirely: a plan
+        certifies the action is a deterministic assignment, so its guard
+        holds at a state exactly when exploration recorded an edge
+        labelled by it — and one pass over the recorded program edges
+        yields the bitmaps of *every* such action at once."""
         cached = self._enabled_data.get(action)
         if cached is None:
-            buf = bytearray((self.n + 7) >> 3)
-            guard = action.guard.fn
-            for i, state in enumerate(self.states):
-                if guard(state):
-                    buf[i >> 3] |= 1 << (i & 7)
-            cached = bytes(buf)
+            if (
+                getattr(action, "plan", None) is not None
+                and action.name not in self.ts.fault_action_names
+            ):
+                by_name = self._enabled_by_name
+                if by_name is None:
+                    by_name = {}
+                    for i, row in enumerate(self.plabeled):
+                        bit = 1 << (i & 7)
+                        for a, _ in row:
+                            buf = by_name.get(a)
+                            if buf is None:
+                                buf = by_name[a] = bytearray(
+                                    (self.n + 7) >> 3
+                                )
+                            buf[i >> 3] |= bit
+                    self._enabled_by_name = by_name
+                recorded = by_name.get(action.name)
+                cached = (
+                    bytes(recorded) if recorded is not None
+                    else bytes((self.n + 7) >> 3)
+                )
+            else:
+                buf = bytearray((self.n + 7) >> 3)
+                guard = action.guard.fn
+                for i, state in enumerate(self.states):
+                    if guard(state):
+                        buf[i >> 3] |= 1 << (i & 7)
+                cached = bytes(buf)
             self._enabled_data[action] = cached
         return cached
+
+    # -- columnar edge views ----------------------------------------------
+    def _edge_csr(self, include_faults: bool):
+        """Edge arrays ``(indptr, dst, act, names)`` sorted by (source,
+        program-before-fault, declaration order) — exactly the order the
+        scalar sweeps visit edges — or ``None`` when the exploration
+        engine did not leave columnar arrays behind.  ``indptr[u]`` to
+        ``indptr[u+1]`` delimits state ``u``'s edges; ``names[act[j]]``
+        labels edge ``j``."""
+        cached = self._csr.get(include_faults)
+        if cached is None and include_faults not in self._csr:
+            cached = None
+            arrays = getattr(self.ts, "_edge_arrays", None)
+            if arrays is not None and _np is not None:
+                (p_src, p_dst, p_act), (f_src, f_dst, f_act), names_p, \
+                    names_f = arrays
+                if include_faults and f_src.shape[0]:
+                    order = _np.argsort(
+                        _np.concatenate((p_src * 2, f_src * 2 + 1)),
+                        kind="stable",
+                    )
+                    src = _np.concatenate((p_src, f_src))[order]
+                    dst = _np.concatenate((p_dst, f_dst))[order]
+                    act = _np.concatenate(
+                        (p_act, f_act + len(names_p))
+                    )[order]
+                else:
+                    src, dst, act = p_src, p_dst, p_act
+                indptr = _np.searchsorted(
+                    src, _np.arange(self.n + 1, dtype=_np.int64)
+                )
+                cached = (indptr, dst, act, names_p + names_f)
+            self._csr[include_faults] = cached
+        return cached
+
+    def first_escaping_edge(
+        self, region_bits: int, include_faults: bool
+    ) -> Optional[Tuple[int, str, int]]:
+        """The first recorded edge whose source lies in the region and
+        whose target does not, as ``(source id, action name, target
+        id)`` — ``None`` when the region is closed.  "First" follows the
+        scalar sweep order (ascending source id, program rows before
+        fault rows), so counterexamples are engine-independent."""
+        csr = self._edge_csr(include_faults)
+        if csr is not None:
+            indptr, dst, act, names = csr
+            region = _unpack_bits(region_bits, self.n)
+            bad = _np.repeat(region, _np.diff(indptr)) & ~region[dst]
+            if not bad.any():
+                return None
+            j = int(_np.argmax(bad))
+            u = int(_np.searchsorted(indptr, j, side="right")) - 1
+            return u, names[int(act[j])], int(dst[j])
+        data = region_bits.to_bytes((self.n + 7) >> 3, "little")
+        for u in iter_bits(region_bits, self.n):
+            rows = self.plabeled[u]
+            if include_faults:
+                rows += self.flabeled[u]
+            for a, v in rows:
+                if not data[v >> 3] & (1 << (v & 7)):
+                    return u, a, v
+        return None
 
     # -- closures ----------------------------------------------------------
     def forward_closure_bits(
@@ -654,6 +856,23 @@ class SystemIndex:
         """States reachable from ``start ∩ within`` along edges staying in
         ``within`` (program edges, plus fault edges by default)."""
         n = self.n
+        csr = self._edge_csr(include_faults)
+        if csr is not None:
+            indptr_l = csr[0].tolist()
+            dst = csr[1]
+            within = _unpack_bits(within_bits, n)
+            seen = _unpack_bits(start_bits, n) & within
+            frontier = _np.flatnonzero(seen)
+            while frontier.size:
+                parts = [
+                    dst[indptr_l[u]:indptr_l[u + 1]]
+                    for u in frontier.tolist()
+                ]
+                vs = _np.concatenate(parts)
+                fresh = _np.unique(vs[~seen[vs] & within[vs]])
+                seen[fresh] = True
+                frontier = fresh
+            return _pack_bits(seen)
         within_data = within_bits.to_bytes((n + 7) >> 3, "little")
         seen = bytearray((n + 7) >> 3)
         worklist = deque()
@@ -698,7 +917,11 @@ def universe_index(program) -> Optional[StateIndex]:
     signature = tuple((v.name, v.domain) for v in program.variables)
     index = _UNIVERSE_CACHE.get(signature)
     if index is None:
-        index = StateIndex(state_space(program.variables), _distinct=True)
+        with paused_gc():
+            # bulk-allocating a full state space under a standing graph
+            # otherwise triggers generational collections that rescan
+            # everything already explored
+            index = StateIndex(state_space(program.variables), _distinct=True)
         _UNIVERSE_CACHE[signature] = index
         if len(_UNIVERSE_CACHE) > _UNIVERSE_CACHE_MAXSIZE:
             _UNIVERSE_CACHE.pop(next(iter(_UNIVERSE_CACHE)))

@@ -47,7 +47,7 @@ from .faults import FaultClass
 from .predicate import Predicate, TRUE
 from .program import Program
 from .refinement import refines_spec, start_states_of
-from .regions import first_bit, universe_index
+from .regions import first_bit, paused_gc, universe_index
 from .results import CheckResult, Counterexample, all_of
 from .specification import Spec
 from .state import State
@@ -169,20 +169,21 @@ def is_failsafe_tolerant(
         f"{program.name} is fail-safe {faults.name}-tolerant to {spec.name} "
         f"from {invariant.name} (span {span.name})"
     )
-    obligations = list(_common_obligations(
-        program, faults, spec, invariant, span, symmetric=symmetric
-    ))
-    ts = faults.system(program, span, symmetric=symmetric)
-    obligations.append(
-        spec.safety_part().check(
-            ts,
-            description=(
-                f"{program.name} [] {faults.name} refines "
-                f"{spec.safety_part().name} from {span.name}"
-            ),
+    with paused_gc():
+        obligations = list(_common_obligations(
+            program, faults, spec, invariant, span, symmetric=symmetric
+        ))
+        ts = faults.system(program, span, symmetric=symmetric)
+        obligations.append(
+            spec.safety_part().check(
+                ts,
+                description=(
+                    f"{program.name} [] {faults.name} refines "
+                    f"{spec.safety_part().name} from {span.name}"
+                ),
+            )
         )
-    )
-    return all_of(obligations, description=what)
+        return all_of(obligations, description=what)
 
 
 def is_nonmasking_tolerant(
@@ -210,29 +211,30 @@ def is_nonmasking_tolerant(
         f"{program.name} is nonmasking {faults.name}-tolerant to {spec.name} "
         f"from {invariant.name} (span {span.name})"
     )
-    obligations = list(_common_obligations(
-        program, faults, spec, invariant, span, symmetric=symmetric
-    ))
-    ts = faults.system(program, span, symmetric=symmetric)
-    obligations.append(
-        ts.is_closed(
-            invariant,
-            include_faults=False,
-            description=f"{invariant.name} closed in {program.name}",
+    with paused_gc():
+        obligations = list(_common_obligations(
+            program, faults, spec, invariant, span, symmetric=symmetric
+        ))
+        ts = faults.system(program, span, symmetric=symmetric)
+        obligations.append(
+            ts.is_closed(
+                invariant,
+                include_faults=False,
+                description=f"{invariant.name} closed in {program.name}",
+            )
         )
-    )
-    obligations.append(
-        check_leads_to(
-            ts,
-            TRUE,
-            invariant,
-            description=(
-                f"every computation of {program.name} [] {faults.name} from "
-                f"{span.name} converges to {invariant.name}"
-            ),
+        obligations.append(
+            check_leads_to(
+                ts,
+                TRUE,
+                invariant,
+                description=(
+                    f"every computation of {program.name} [] {faults.name} "
+                    f"from {span.name} converges to {invariant.name}"
+                ),
+            )
         )
-    )
-    return all_of(obligations, description=what)
+        return all_of(obligations, description=what)
 
 
 def is_masking_tolerant(
@@ -264,22 +266,23 @@ def is_masking_tolerant(
         f"{program.name} is masking {faults.name}-tolerant to {spec.name} "
         f"from {invariant.name} (span {span.name})"
     )
-    obligations = list(_common_obligations(
-        program, faults, spec, invariant, span, symmetric=symmetric
-    ))
-    ts = faults.system(program, span, symmetric=symmetric)
-    obligations.append(
-        spec.safety_part().check(
-            ts,
-            description=(
-                f"{program.name} [] {faults.name} refines "
-                f"{spec.safety_part().name} from {span.name}"
-            ),
+    with paused_gc():
+        obligations = list(_common_obligations(
+            program, faults, spec, invariant, span, symmetric=symmetric
+        ))
+        ts = faults.system(program, span, symmetric=symmetric)
+        obligations.append(
+            spec.safety_part().check(
+                ts,
+                description=(
+                    f"{program.name} [] {faults.name} refines "
+                    f"{spec.safety_part().name} from {span.name}"
+                ),
+            )
         )
-    )
-    for component in spec.liveness_part().components:
-        obligations.append(component.check(ts))
-    return all_of(obligations, description=what)
+        for component in spec.liveness_part().components:
+            obligations.append(component.check(ts))
+        return all_of(obligations, description=what)
 
 
 def is_tolerant(

@@ -50,6 +50,7 @@ from ..core import (
     Action,
     FaultClass,
     LeadsTo,
+    Plan,
     Predicate,
     Program,
     ReplicaSymmetry,
@@ -240,22 +241,36 @@ def _ib2_guard(j: int, guarded: bool) -> Predicate:
 def _ib_actions(j: int, guarded: bool) -> List[Action]:
     """``IB1.j`` and ``IB2.j``; with ``guarded=True`` the output action
     carries DB.j's witness (the fail-safe restriction ``DB.j ; IB2.j``)."""
-    dn = f"d{j}"
+    bn, dn, on = f"b{j}", f"d{j}", f"out{j}"
     copy = Action(
         f"IB1.{j}",
         _ib1_guard(j),
         assign(**{dn: lambda s: s["dg"]}),
-        reads={f"b{j}", dn, "dg"}, writes={dn},
+        reads={bn, dn, "dg"}, writes={dn},
+        plan=Plan(
+            ("and", ("eq_const", bn, False), ("eq_const", dn, BOTTOM)),
+            [("copy", dn, "dg")],
+        ),
     )
-    output_reads = {f"b{j}", f"out{j}", dn}
+    output_reads = {bn, on, dn}
+    output_guard = [
+        ("eq_const", bn, False),
+        ("ne_const", dn, BOTTOM),
+        ("eq_const", on, BOTTOM),
+    ]
     if guarded:
         # DB.j's witness consults every non-general's copy
         output_reads |= set(_D_NAMES)
+        output_guard += [
+            ("all_ne_const", _D_NAMES, BOTTOM),
+            ("eq_majority", dn, _D_NAMES, len(_D_NAMES)),
+        ]
     output = Action(
         f"IB2.{j}",
         _ib2_guard(j, guarded),
-        assign(**{f"out{j}": lambda s, dn=dn: s[dn]}),
-        reads=output_reads, writes={f"out{j}"},
+        assign(**{on: lambda s, dn=dn: s[dn]}),
+        reads=output_reads, writes={on},
+        plan=Plan(("and", *output_guard), [("copy", on, dn)]),
     )
     return [copy, output]
 
@@ -289,11 +304,19 @@ def _cb1_guard(j: int) -> Predicate:
 
 
 def _cb_action(j: int) -> Action:
+    k = len(_D_NAMES)
     return Action(
         f"CB1.{j}",
         _cb1_guard(j),
         assign(**{f"d{j}": lambda s: _majority_of_state(s)}),
         reads={f"b{j}", *_D_NAMES}, writes={f"d{j}"},
+        plan=Plan(
+            ("and",
+             ("eq_const", f"b{j}", False),
+             ("all_ne_const", _D_NAMES, BOTTOM),
+             ("ne_majority", f"d{j}", _D_NAMES, k)),
+            [("set_majority", f"d{j}", _D_NAMES, k)],
+        ),
     )
 
 
@@ -346,13 +369,17 @@ def _fault_latches() -> FaultClass:
 
     nobody_byzantine = _compiled_predicate("nobody Byzantine", build)
     flags = {"bg", *_B_NAMES}
+    quiet = ("and", ("eq_const", "bg", False),
+             *(("eq_const", n, False) for n in _B_NAMES))
     actions = [Action("BYZ.g.enter", nobody_byzantine, assign(bg=True),
-                      reads=flags, writes={"bg"})]
+                      reads=flags, writes={"bg"},
+                      plan=Plan(quiet, [("set_const", "bg", True)]))]
     for j in NON_GENERALS:
         actions.append(
             Action(f"BYZ.{j}.enter", nobody_byzantine,
                    assign(**{f"b{j}": True}),
-                   reads=flags, writes={f"b{j}"})
+                   reads=flags, writes={f"b{j}"},
+                   plan=Plan(quiet, [("set_const", f"b{j}", True)]))
         )
     return FaultClass(actions, name="BYZ (≤1 process)")
 
@@ -702,21 +729,35 @@ def build_family(non_generals: Sequence[int] = NON_GENERALS) -> ByzantineModel:
         return _compiled_predicate(name, build_fn)
 
     def ib_actions(j: int, guarded: bool) -> List[Action]:
-        dn = f"d{j}"
+        bn, dn, on = f"b{j}", f"d{j}", f"out{j}"
         copy = Action(
             f"IB1.{j}",
             _ib1_guard(j),
             assign(**{dn: lambda s: s["dg"]}),
-            reads={f"b{j}", dn, "dg"}, writes={dn},
+            reads={bn, dn, "dg"}, writes={dn},
+            plan=Plan(
+                ("and", ("eq_const", bn, False), ("eq_const", dn, BOTTOM)),
+                [("copy", dn, "dg")],
+            ),
         )
-        output_reads = {f"b{j}", f"out{j}", dn}
+        output_reads = {bn, on, dn}
+        output_guard = [
+            ("eq_const", bn, False),
+            ("ne_const", dn, BOTTOM),
+            ("eq_const", on, BOTTOM),
+        ]
         if guarded:
             output_reads |= set(d_names)
+            output_guard += [
+                ("all_ne_const", d_names, BOTTOM),
+                ("eq_majority", dn, d_names, k),
+            ]
         output = Action(
             f"IB2.{j}",
             ib2_guard(j, guarded),
-            assign(**{f"out{j}": lambda s, dn=dn: s[dn]}),
-            reads=output_reads, writes={f"out{j}"},
+            assign(**{on: lambda s, dn=dn: s[dn]}),
+            reads=output_reads, writes={on},
+            plan=Plan(("and", *output_guard), [("copy", on, dn)]),
         )
         return [copy, output]
 
@@ -745,6 +786,13 @@ def build_family(non_generals: Sequence[int] = NON_GENERALS) -> ByzantineModel:
                 [s[n] for n in d_names]
             )}),
             reads={bn, *d_names}, writes={dn},
+            plan=Plan(
+                ("and",
+                 ("eq_const", bn, False),
+                 ("all_ne_const", d_names, BOTTOM),
+                 ("ne_majority", dn, d_names, k)),
+                [("set_majority", dn, d_names, k)],
+            ),
         )
 
     def byz_behaviour() -> List[Action]:
@@ -789,13 +837,17 @@ def build_family(non_generals: Sequence[int] = NON_GENERALS) -> ByzantineModel:
 
         nobody_byzantine = _compiled_predicate("nobody Byzantine", build_fn)
         flags = {"bg", *b_names}
+        quiet = ("and", ("eq_const", "bg", False),
+                 *(("eq_const", n, False) for n in b_names))
         actions = [Action("BYZ.g.enter", nobody_byzantine, assign(bg=True),
-                          reads=flags, writes={"bg"})]
+                          reads=flags, writes={"bg"},
+                          plan=Plan(quiet, [("set_const", "bg", True)]))]
         for j in ngs:
             actions.append(
                 Action(f"BYZ.{j}.enter", nobody_byzantine,
                        assign(**{f"b{j}": True}),
-                       reads=flags, writes={f"b{j}"})
+                       reads=flags, writes={f"b{j}"},
+                       plan=Plan(quiet, [("set_const", f"b{j}", True)]))
             )
         return FaultClass(actions, name="BYZ (≤1 process)")
 

@@ -32,6 +32,7 @@ from ..core import (
     Action,
     FaultClass,
     LeadsTo,
+    Plan,
     Predicate,
     Program,
     Spec,
@@ -50,11 +51,22 @@ def has_token(index: int, size: int) -> Predicate:
     """The token-holding predicate of process ``index`` in a ring of
     ``size`` processes."""
     if index == 0:
+        def _builder0(schema_index, n=size):
+            a, b = schema_index["x0"], schema_index[f"x{n - 1}"]
+            return lambda values: values[a] == values[b]
+
         return Predicate(
-            lambda s, n=size: s["x0"] == s[f"x{n - 1}"], name="token@0"
+            lambda s, n=size: s["x0"] == s[f"x{n - 1}"], name="token@0",
+            values_builder=_builder0,
         )
+
+    def _builder(schema_index, i=index):
+        a, b = schema_index[f"x{i}"], schema_index[f"x{i - 1}"]
+        return lambda values: values[a] != values[b]
+
     return Predicate(
-        lambda s, i=index: s[f"x{i}"] != s[f"x{i - 1}"], name=f"token@{index}"
+        lambda s, i=index: s[f"x{i}"] != s[f"x{i - 1}"], name=f"token@{index}",
+        values_builder=_builder,
     )
 
 
@@ -98,6 +110,10 @@ def build(size: int = 4, k: int = None) -> TokenRingModel:
             tokens[0],
             assign(x0=lambda s, n=size, kk=k: (s[f"x{n - 1}"] + 1) % kk),
             reads={"x0", f"x{size - 1}"}, writes={"x0"},
+            plan=Plan(
+                ("eq_var", "x0", f"x{size - 1}"),
+                [("inc_mod", "x0", f"x{size - 1}", k)],
+            ),
         )
     ]
     for i in range(1, size):
@@ -107,6 +123,10 @@ def build(size: int = 4, k: int = None) -> TokenRingModel:
                 tokens[i],
                 assign(**{f"x{i}": lambda s, i=i: s[f"x{i - 1}"]}),
                 reads={f"x{i}", f"x{i - 1}"}, writes={f"x{i}"},
+                plan=Plan(
+                    ("ne_var", f"x{i}", f"x{i - 1}"),
+                    [("copy", f"x{i}", f"x{i - 1}")],
+                ),
             )
         )
     # The ring is NOT process-rotation symmetric — process 0 runs the
@@ -122,9 +142,22 @@ def build(size: int = 4, k: int = None) -> TokenRingModel:
     ring = Program(variables, actions, name=f"token_ring(n={size},K={k})",
                    symmetry=symmetry)
 
+    def _one_token_builder(index, n=size):
+        positions = tuple(index[f"x{i}"] for i in range(n))
+
+        def holds(values, positions=positions, n=n):
+            count = 1 if values[positions[0]] == values[positions[-1]] else 0
+            for i in range(1, n):
+                if values[positions[i]] != values[positions[i - 1]]:
+                    count += 1
+            return count == 1
+
+        return holds
+
     one_token = Predicate(
         lambda s, ts=tokens: sum(1 for t in ts.values() if t(s)) == 1,
         name="exactly one token",
+        values_builder=_one_token_builder,
     )
     spec = Spec(
         [StateInvariant(one_token, name="mutual exclusion of the token")]
