@@ -32,6 +32,7 @@ import json
 import os
 import platform
 import sys
+import tempfile
 import time
 from typing import Callable, Dict, List, Tuple
 
@@ -333,6 +334,69 @@ def _suite_monitoring_ingest() -> int:
     return count
 
 
+#: lazily resolved spec + population flag of the certificate-store
+#: suite's backing store (one per harness process)
+_WARM_STORE: Dict[str, object] = {"spec": None, "populated": False}
+
+
+def _warm_store_spec() -> str:
+    """The store the ``certificate_store_warm`` suite runs against: the
+    process-wide active store when one is installed (``--store`` /
+    ``--cold`` / ``--warm`` / ``REPRO_STORE``), else a temporary sqlite
+    file private to this harness run."""
+    if _WARM_STORE["spec"] is None:
+        from repro.store import backend as store_backend
+
+        active = store_backend.active_spec()
+        if active is not None:
+            _WARM_STORE["spec"] = active
+        else:
+            fd, path = tempfile.mkstemp(
+                prefix="repro_bench_store_", suffix=".sqlite"
+            )
+            os.close(fd)
+            _WARM_STORE["spec"] = path
+    return _WARM_STORE["spec"]
+
+
+def _catalogue_checks() -> int:
+    """Run every catalogue certificate, asserting each passes; returns
+    the number of checks (the suite's deterministic 'states' figure)."""
+    from repro.cli import CATALOGUE
+
+    count = 0
+    for name, entry in CATALOGUE.items():
+        _, checks = entry()
+        for check in checks:
+            result = check()
+            assert result, f"catalogue check failed for {name}: {result}"
+            count += 1
+    return count
+
+
+def _prepare_certificate_store_warm(quick: bool) -> None:
+    """Untimed set-up pass: install the suite's store and populate it
+    once (the first repetition pays exploration + verification; the
+    timed repetitions are then served from persistent artifacts)."""
+    from repro.store import backend as store_backend
+
+    store_backend.set_active_store(_warm_store_spec())
+    if not _WARM_STORE["populated"]:
+        _clear_caches()
+        _catalogue_checks()
+        _WARM_STORE["populated"] = True
+
+
+def _suite_certificate_store_warm() -> int:
+    """Warm-store catalogue verification: every tolerance/refinement
+    certificate of the bundled catalogue, answered from the persistent
+    certificate store populated by the (untimed) prepare pass.  The
+    'states' figure is the catalogue's check count — fixed by
+    construction in quick and full mode, so the regression gate compares
+    it exactly (a drift means the catalogue changed, not the store)."""
+    return _catalogue_checks()
+
+
 SUITES: Dict[str, Callable[[bool], int]] = {
     "byzantine_explore": lambda quick: _suite_byzantine_explore(),
     "byzantine_tolerance": lambda quick: _suite_byzantine_tolerance(),
@@ -347,6 +411,15 @@ SUITES: Dict[str, Callable[[bool], int]] = {
     "byzantine_k13_unreduced":
         lambda quick: _suite_byzantine_k13_unreduced(),
     "monitoring_ingest": lambda quick: _suite_monitoring_ingest(),
+    # keep last: installs a process-wide certificate store
+    "certificate_store_warm":
+        lambda quick: _suite_certificate_store_warm(),
+}
+
+#: per-suite untimed set-up hooks, run before each repetition's cache
+#: clear + timed body
+PREPARE: Dict[str, Callable[[bool], None]] = {
+    "certificate_store_warm": _prepare_certificate_store_warm,
 }
 
 #: suites whose ``states`` count is a *quotient* size that must match
@@ -370,16 +443,25 @@ STATE_GATED = frozenset({
     "token_ring_large",
     "byzantine_k13_unreduced",
     "monitoring_ingest",
+    "certificate_store_warm",
 })
 
 
 def run_suite(
-    name: str, repeat: int, quick: bool
+    name: str, repeat: int, quick: bool, prewarm: bool = False
 ) -> Dict[str, object]:
     suite = SUITES[name]
+    prepare = PREPARE.get(name)
+    if prewarm and prepare is None:
+        # --warm: one untimed pass leaves the attached store populated;
+        # the timed repetitions below are then served from it
+        _clear_caches()
+        suite(quick)
     walls: List[float] = []
     states = 0
     for _ in range(repeat):
+        if prepare is not None:
+            prepare(quick)
         _clear_caches()
         started = time.perf_counter()
         states = suite(quick)
@@ -422,6 +504,22 @@ def main(argv: List[str] = None) -> int:
         help="kernel backend for every suite (default: leave the "
         "library's auto selection in place)",
     )
+    parser.add_argument(
+        "--cold", action="store_true",
+        help="attach an (empty) certificate store to every suite: the "
+        "walls then include artifact recording overhead",
+    )
+    parser.add_argument(
+        "--warm", action="store_true",
+        help="attach a certificate store and run each suite once "
+        "untimed first: the timed repetitions are served from the "
+        "persisted artifacts",
+    )
+    parser.add_argument(
+        "--store", default=None,
+        help="store spec for --cold/--warm (default: a temporary "
+        "sqlite file per run)",
+    )
     args = parser.parse_args(argv)
     repeat = args.repeat or (1 if args.quick else 5)
 
@@ -432,15 +530,35 @@ def main(argv: List[str] = None) -> int:
         _kernels.set_backend(args.backend)
     set_default_workers(args.workers)
 
+    store_mode = "off"
+    if args.cold or args.warm:
+        from repro.store import backend as store_backend
+
+        store_mode = "warm" if args.warm else "cold"
+        spec = args.store
+        if spec is None:
+            fd, spec = tempfile.mkstemp(
+                prefix="repro_bench_store_", suffix=".sqlite"
+            )
+            os.close(fd)
+        store_backend.set_active_store(spec)
+        _WARM_STORE["spec"] = spec
+    elif args.store is not None:
+        print("--store has no effect without --cold or --warm")
+
     baseline: Dict[str, Dict[str, object]] = {}
     if not args.rebaseline and os.path.exists(BASELINE_PATH):
         with open(BASELINE_PATH, encoding="utf-8") as fh:
             baseline = json.load(fh)
 
+    from repro.store import backend as _store_backend
+
+    _store_backend.reset_stats()
+
     suites: Dict[str, Dict[str, object]] = {}
     speedups: Dict[str, float] = {}
     for name in SUITES:
-        result = run_suite(name, repeat, args.quick)
+        result = run_suite(name, repeat, args.quick, prewarm=args.warm)
         suites[name] = result
         base = baseline.get("suites", {}).get(name)
         line = (
@@ -468,6 +586,10 @@ def main(argv: List[str] = None) -> int:
         "suites": suites,
         "baseline": baseline or None,
         "speedup_vs_baseline": speedups,
+        "store": {
+            "mode": store_mode,
+            "counters": _store_backend.stats(),
+        },
     }
     with open(args.output, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)

@@ -206,7 +206,9 @@ class Campaign:
         with ProcessPoolExecutor(
             max_workers=min(self.workers, self.trials),
             initializer=_worker_init,
-            initargs=(_scenario_payload(self.scenario), options),
+            initargs=(
+                _scenario_payload(self.scenario), options, _store_spec()
+            ),
         ) as pool:
             futures = [
                 pool.submit(_worker_trial, trial)
@@ -371,8 +373,29 @@ def _scenario_payload(scenario: Scenario):
     return ("object", scenario)
 
 
-def _worker_init(scenario_payload, options: Dict[str, Any]) -> None:
+def _store_spec() -> Optional[str]:
+    """The parent's certificate-store spec, for worker inheritance
+    (None when no store is active or the store is process-local)."""
+    try:
+        from ..store import backend as store_backend
+
+        return store_backend.active_spec()
+    except Exception:
+        return None
+
+
+def _worker_init(
+    scenario_payload, options: Dict[str, Any],
+    store_spec: Optional[str] = None,
+) -> None:
     global _WORKER_CAMPAIGN
+    if store_spec is not None:
+        try:
+            from ..store import backend as store_backend
+
+            store_backend.set_active_store(store_spec)
+        except Exception:
+            pass
     kind, value = scenario_payload
     if kind == "registry":
         from .scenarios import get_scenario

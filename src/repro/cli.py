@@ -262,6 +262,50 @@ def _verify(names: Iterable[str], out=sys.stdout) -> int:
     return 0
 
 
+def _store_stats_line(out=sys.stdout) -> None:
+    """One summary line of certificate-store traffic, printed after a
+    verification run when a store is active.  Goes to ``out`` so scripts
+    (and the CI warm-cache smoke job) can grep it."""
+    from .store import backend as store_backend
+
+    if store_backend.active_store() is None:
+        return
+    stats = store_backend.stats()
+    line = (
+        f"store: {stats.get('hits', 0)} hits, "
+        f"{stats.get('misses', 0)} misses, {stats.get('puts', 0)} puts"
+    )
+    replayed = []
+    for event, label in (
+        ("verdict_hits", "verdicts"),
+        ("obligation_hits", "obligations"),
+        ("obligations_reused", "frame-reused"),
+        ("graph_hits", "graphs"),
+        ("graph_reassembled", "reassembled"),
+    ):
+        count = stats.get(event, 0)
+        if count:
+            replayed.append(f"{count} {label}")
+    if replayed:
+        line += " (" + ", ".join(replayed) + ")"
+    print(line, file=out)
+
+
+def _serve(args, out=sys.stdout) -> int:
+    """Run the blocking cache front end over a local artifact store."""
+    from .store.serve import serve
+
+    try:
+        serve(
+            args.store, host=args.host, port=args.port,
+            announce=lambda message: print(message, file=out),
+        )
+    except OSError as exc:
+        print(f"cannot serve {args.store!r}: {exc}", file=out)
+        return 2
+    return 0
+
+
 def _campaign(args, out=sys.stdout) -> int:
     from .campaigns import Campaign, SCENARIOS
 
@@ -423,6 +467,12 @@ def _bench(args, out=sys.stdout) -> int:
         forwarded += ["--workers", str(args.workers)]
     if args.backend is not None:
         forwarded += ["--backend", args.backend]
+    if args.cold:
+        forwarded.append("--cold")
+    if args.warm:
+        forwarded.append("--warm")
+    if args.store is not None:
+        forwarded += ["--store", args.store]
     if args.output is not None:
         forwarded += ["--output", args.output]
     elif not args.full:
@@ -488,6 +538,12 @@ def main(argv: List[str] = None, out=sys.stdout) -> int:
     verify_parser.add_argument("names", nargs="*", help="entries to verify")
     verify_parser.add_argument(
         "--all", action="store_true", help="verify the whole catalogue"
+    )
+    verify_parser.add_argument(
+        "--store", metavar="SPEC", default=None,
+        help="certificate store to read/write (a .sqlite path, a "
+             "directory, ':memory:', or an http URL of 'repro serve'; "
+             "default: $REPRO_STORE if set)",
     )
     campaign_parser = subparsers.add_parser(
         "campaign",
@@ -574,6 +630,36 @@ def main(argv: List[str] = None, out=sys.stdout) -> int:
         default=None,
         help="kernel backend for every suite (default: auto selection)",
     )
+    bench_parser.add_argument(
+        "--cold", action="store_true",
+        help="run with an empty certificate store attached (measures "
+             "population overhead)",
+    )
+    bench_parser.add_argument(
+        "--warm", action="store_true",
+        help="pre-populate the certificate store, then time warm runs "
+             "served from it",
+    )
+    bench_parser.add_argument(
+        "--store", metavar="SPEC", default=None,
+        help="store spec for --cold/--warm (default: a temporary sqlite "
+             "file per run)",
+    )
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="serve a local certificate store over HTTP for other "
+             "processes/machines",
+    )
+    serve_parser.add_argument(
+        "store", help="store spec to serve (a .sqlite path, a directory, "
+                      "or ':memory:')",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=7357, help="bind port"
+    )
     lint_parser = subparsers.add_parser(
         "lint",
         help="statically analyze catalogue programs (no exploration)",
@@ -624,11 +710,20 @@ def main(argv: List[str] = None, out=sys.stdout) -> int:
     if args.command == "lint":
         return _lint(args, out=out)
 
+    if args.command == "serve":
+        return _serve(args, out=out)
+
     names = list(CATALOGUE) if args.all else args.names
     if not names:
         print("nothing to verify; pass entry names or --all", file=out)
         return 2
-    return _verify(names, out=out)
+    if args.store is not None:
+        from .store import backend as store_backend
+
+        store_backend.set_active_store(args.store)
+    rc = _verify(names, out=out)
+    _store_stats_line(out=out)
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover

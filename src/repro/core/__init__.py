@@ -57,7 +57,7 @@ from .invariants import (
     reachable_invariant,
     weakest_detection_predicate,
 )
-from .predicate import FALSE, TRUE, Predicate, var_eq, var_in, var_ne
+from .predicate import FALSE, TRUE, EvaluatorMemo, Predicate, var_eq, var_in, var_ne
 from .program import Program
 from .refinement import (
     refines_program,
@@ -101,7 +101,7 @@ from .tolerance import (
 __all__ = [
     # state & predicates
     "BOTTOM", "Schema", "State", "StateInterner", "Variable", "state_space",
-    "Predicate", "TRUE", "FALSE", "var_eq", "var_ne", "var_in",
+    "Predicate", "EvaluatorMemo", "TRUE", "FALSE", "var_eq", "var_ne", "var_in",
     # actions & programs
     "Action", "Statement", "assign", "choose", "skip", "Program",
     # exploration & fairness

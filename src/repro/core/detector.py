@@ -63,6 +63,8 @@ def detects_spec(witness: Predicate, detection: Predicate) -> Spec:
     stability = TransitionInvariant(
         lambda s, t, z=witness, x=detection: (not z(s)) or z(t) or not x(t),
         name=f"Stability: ({{{witness.name}}},{{{witness.name} ∨ ¬{detection.name}}})",
+        predicates=(witness, detection),
+        stutter_true=True,  # Z and X unchanged => ¬Z(s) ∨ Z(t) holds
     )
     return Spec(
         [safeness, progress, stability],

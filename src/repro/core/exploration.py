@@ -178,6 +178,16 @@ class TransitionSystem:
         #: source id with declaration-order actions — the raw material
         #: for ``SystemIndex``'s vectorized closure and escape sweeps
         self._edge_arrays = None
+        #: True while State-level edge tuples are deferred: the columnar
+        #: engine (and store-loaded graphs) hold only the id rows, and
+        #: the first consumer that walks State-level edges pays one
+        #: materialization pass (:meth:`_materialize_edges`).  Closure
+        #: and region analyses never trigger it — they read the rows.
+        self._edges_lazy = False
+        #: (layout, rank-column matrix) of the explored states in id
+        #: order, retained by the columnar engine for vectorized
+        #: predicate sweeps (:meth:`~repro.core.regions.StateIndex`)
+        self._state_cols = None
         if workers is None:
             workers = _DEFAULT_WORKERS
         self._explore(max_states, workers)
@@ -413,15 +423,14 @@ class TransitionSystem:
         )
         states_list: List[State] = list(starts)
         program_edges_of = self._program_edges
-        fault_edges_of = self._fault_edges
         prows, frows, id_of = self._labeled_rows
         empty = np.empty(0, dtype=np.int64)
         acc_p: List = []
         acc_f: List = []
+        col_acc: List = [cols]
         frontier_lo = 0
         while True:
             n = cols.shape[1]
-            frontier = states_list[frontier_lo:frontier_lo + n]
             # expand: one kernel call per action over the whole level
             group_arrays = []
             for kernels_g in (kernels_p, kernels_f):
@@ -487,24 +496,18 @@ class TransitionSystem:
                         src, np.arange(n + 1, dtype=np.int64)
                     ).tolist(),
                 ))
+            # only the id rows are assembled here; the State-level edge
+            # tuples stay unmaterialized until a consumer actually walks
+            # them (closure/region/tolerance sweeps never do)
             (pn, pi, pb), (fn, fi, fb) = views
-            sl = states_list
-            for i, state in enumerate(frontier):
+            for i in range(n):
                 lo, hi = pb[i], pb[i + 1]
-                ids_row = pi[lo:hi]
-                prows.append(tuple(zip(pn[lo:hi], ids_row)))
-                program_edges_of[state] = tuple(
-                    zip(pn[lo:hi], [sl[j] for j in ids_row])
-                )
+                prows.append(tuple(zip(pn[lo:hi], pi[lo:hi])))
                 lo, hi = fb[i], fb[i + 1]
-                if lo != hi:
-                    ids_row = fi[lo:hi]
-                    frows.append(tuple(zip(fn[lo:hi], ids_row)))
-                    fault_edges_of[state] = tuple(
-                        zip(fn[lo:hi], [sl[j] for j in ids_row])
-                    )
-                else:
-                    frows.append(_EMPTY_EDGES)
+                frows.append(
+                    tuple(zip(fn[lo:hi], fi[lo:hi])) if lo != hi
+                    else _EMPTY_EDGES
+                )
 
             frontier_lo += n
             if new_cols is None:
@@ -514,7 +517,10 @@ class TransitionSystem:
                     [a.name for a in program_actions],
                     [a.name for a in fault_actions],
                 )
+                self._state_cols = (layout, np.hstack(col_acc))
+                self._edges_lazy = True
                 return True
+            col_acc.append(new_cols)
             cols = new_cols
 
     def _explore_batched(self, max_states: int, canonical) -> bool:
@@ -716,10 +722,38 @@ class TransitionSystem:
         return True
 
     # -- views ---------------------------------------------------------------
+    def _materialize_edges(self) -> None:
+        """Build the State-level edge tuples from the id rows.
+
+        The columnar engine and store-loaded graphs defer this: region,
+        closure, and tolerance machinery work on the rows (or the edge
+        arrays) and never ask for State-level tuples, so most systems
+        live and die without ever paying for them.  The first consumer
+        that does ask (path finding, spec transition sweeps, direct
+        ``edges_from`` callers) triggers one whole-graph pass."""
+        prows, frows, _ = self._labeled_rows
+        states_list = list(self._program_edges)
+        program_edges_of = self._program_edges
+        fault_edges_of = self._fault_edges
+        for state, prow, frow in zip(states_list, prows, frows):
+            if prow:
+                program_edges_of[state] = tuple(
+                    (name, states_list[j]) for name, j in prow
+                )
+            if frow:
+                fault_edges_of[state] = tuple(
+                    (name, states_list[j]) for name, j in frow
+                )
+        self._edges_lazy = False
+
     def program_edges_from(self, state: State) -> Sequence[Tuple[str, State]]:
+        if self._edges_lazy:
+            self._materialize_edges()
         return self._program_edges.get(state, _EMPTY_EDGES)
 
     def fault_edges_from(self, state: State) -> Sequence[Tuple[str, State]]:
+        if self._edges_lazy:
+            self._materialize_edges()
         return self._fault_edges.get(state, _EMPTY_EDGES)
 
     def edges_from(self, state: State, include_faults: bool = True
@@ -731,6 +765,8 @@ class TransitionSystem:
         edges to merge with its program edges, so the common case inside
         closure checks' inner loops allocates nothing.
         """
+        if self._edges_lazy:
+            self._materialize_edges()
         program_edges = self._program_edges.get(state, _EMPTY_EDGES)
         if not include_faults:
             return program_edges
@@ -740,6 +776,8 @@ class TransitionSystem:
         return program_edges + fault_edges
 
     def all_edges(self, include_faults: bool = True) -> Iterable[Edge]:
+        if self._edges_lazy:
+            self._materialize_edges()
         for state, edges in self._program_edges.items():
             for action_name, nxt in edges:
                 yield (state, action_name, nxt)
@@ -757,6 +795,15 @@ class TransitionSystem:
         recorded program edges — every enabled action contributed an
         edge during exploration, so no guard is re-evaluated here.
         """
+        if self._edges_lazy:
+            # read the id rows; every State-level value is a placeholder
+            return [
+                state
+                for state, row in zip(
+                    self._program_edges, self._labeled_rows[0]
+                )
+                if not row
+            ]
         return [
             state
             for state, edges in self._program_edges.items()
@@ -870,10 +917,16 @@ class TransitionSystem:
         return None
 
     def __repr__(self) -> str:
+        if self._edges_lazy:
+            prows, frows, _ = self._labeled_rows
+            n_program = sum(len(row) for row in prows)
+            n_fault = sum(len(row) for row in frows)
+        else:
+            n_program = sum(len(e) for e in self._program_edges.values())
+            n_fault = sum(len(e) for e in self._fault_edges.values())
         return (
             f"TransitionSystem({self.program.name!r}, {len(self.states)} states, "
-            f"{sum(len(e) for e in self._program_edges.values())} program edges, "
-            f"{sum(len(e) for e in self._fault_edges.values())} fault edges)"
+            f"{n_program} program edges, {n_fault} fault edges)"
         )
 
 
@@ -970,28 +1023,72 @@ def explored_system(
     same ``p [] F`` are cached independently.  ``workers`` is *not* part
     of the cache key: sharded and in-process exploration produce
     bit-identical systems, so a cached system satisfies any worker
-    count.
+    count.  The resolved engine *is* part of the key — the interpreted
+    backend serves as the oracle in parity tests, so a columnar-built
+    system must never satisfy an interpreted-mode caller (and vice
+    versa).
+
+    When a certificate store is active (:mod:`repro.store`), a cache
+    miss first tries to load the graph — or reassemble it from
+    per-action row artifacts when only one action changed — before
+    exploring; fresh explorations are recorded for later runs.  The
+    interpreted oracle always explores for real.
     """
     starts = tuple(dict.fromkeys(start_states))
     faults = tuple(fault_actions)
+    engine = (
+        "interpreted" if _kernels.get_backend() == "interpreted"
+        else _kernels.resolved_backend()
+    )
     # Program and Action objects hash/compare by identity (they are never
     # mutated after construction); start states compare by value.
     key = (
         program, starts, faults, max_states,
         program.symmetry if symmetric else None,
+        engine,
     )
     system = _SYSTEM_CACHE.get(key)
     if system is not None:
         _SYSTEM_CACHE.move_to_end(key)
         return system
-    system = TransitionSystem(
-        program, starts, fault_actions=faults, max_states=max_states,
-        symmetric=symmetric, workers=workers,
-    )
+    use_store = engine != "interpreted"
+    if use_store:
+        system = _store_load(program, starts, faults, max_states, symmetric)
+    if system is None:
+        system = TransitionSystem(
+            program, starts, fault_actions=faults, max_states=max_states,
+            symmetric=symmetric, workers=workers,
+        )
+        if use_store:
+            _store_save(system, starts, max_states, symmetric)
     _SYSTEM_CACHE[key] = system
     if len(_SYSTEM_CACHE) > _SYSTEM_CACHE_MAXSIZE:
         _SYSTEM_CACHE.popitem(last=False)
     return system
+
+
+def _store_load(program, starts, faults, max_states, symmetric):
+    """Serve an exploration from the certificate store; ``None`` (and
+    never an exception) means explore for real."""
+    try:
+        from ..store import artifacts as _store_artifacts
+
+        return _store_artifacts.load_or_assemble_system(
+            program, starts, faults, max_states, symmetric
+        )
+    except Exception:
+        return None
+
+
+def _store_save(system, starts, max_states, symmetric) -> None:
+    try:
+        from ..store import artifacts as _store_artifacts
+
+        _store_artifacts.save_system_artifacts(
+            system, starts, max_states, symmetric
+        )
+    except Exception:
+        pass
 
 
 def clear_system_cache() -> None:
@@ -1016,9 +1113,19 @@ def clear_all_caches() -> None:
     kernels and interned layouts
     (:func:`repro.core.kernels.clear_kernel_caches`) are drained here
     too, so cold starts pay for plan compilation like any other cache
-    miss.  Benchmark cold-start paths call this so recorded numbers
-    include every cache miss.
+    miss.  The certificate store's open handles and in-process memos
+    (:func:`repro.store.reset_store_handles`) are reset as well — the
+    store stays *active* and its persistent artifacts survive, which is
+    exactly the difference between the ``--cold`` and ``--warm``
+    benchmark modes.  Benchmark cold-start paths call this so recorded
+    numbers include every cache miss.
     """
     clear_system_cache()
     Action.clear_successor_caches()
     _kernels.clear_kernel_caches()
+    try:
+        from ..store import backend as _store_backend
+
+        _store_backend.reset_handles()
+    except Exception:
+        pass

@@ -68,6 +68,7 @@ except Exception:  # pragma: no cover - exercised on numpy-less installs
     _np = None
 
 __all__ = [
+    "ENGINE_VERSION",
     "Plan",
     "KernelError",
     "Layout",
@@ -82,6 +83,10 @@ __all__ = [
     "CodeReach",
     "clear_kernel_caches",
 ]
+
+#: semantic version of the successor engines; part of the certificate
+#: store's key salt so artifacts never cross an engine behaviour change
+ENGINE_VERSION = 1
 
 #: packed codes must fit a signed int64 with headroom for arithmetic
 MAX_CODE_BITS = 62

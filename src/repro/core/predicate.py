@@ -22,7 +22,41 @@ from typing import Callable, FrozenSet, Iterable, Iterator, Sequence, Set
 
 from .state import Schema, State, _state_of
 
-__all__ = ["Predicate", "TRUE", "FALSE", "var_eq", "var_ne", "var_in"]
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - environment-dependent
+    _np = None
+
+__all__ = ["Predicate", "EvaluatorMemo", "TRUE", "FALSE",
+           "var_eq", "var_ne", "var_in"]
+
+
+def _compose_values(a, b, combine: str):
+    """Compose two ``values_builder`` compilers under and/or (``None``
+    when either operand is not schema-compilable)."""
+    if a is None or b is None:
+        return None
+    if combine == "and":
+        return lambda index, _a=a, _b=b: (
+            lambda values, fa=_a(index), fb=_b(index): fa(values) and fb(values)
+        )
+    return lambda index, _a=a, _b=b: (
+        lambda values, fa=_a(index), fb=_b(index): fa(values) or fb(values)
+    )
+
+
+def _compose_columns(a, b, combine: str):
+    """Compose two ``columns_builder`` compilers under elementwise
+    and/or over boolean mask arrays."""
+    if a is None or b is None:
+        return None
+    if combine == "and":
+        return lambda layout, _a=a, _b=b: (
+            lambda cols, fa=_a(layout), fb=_b(layout): fa(cols) & fb(cols)
+        )
+    return lambda layout, _a=a, _b=b: (
+        lambda cols, fa=_a(layout), fb=_b(layout): fa(cols) | fb(cols)
+    )
 
 
 class Predicate:
@@ -37,13 +71,14 @@ class Predicate:
         counterexample explanations.
     """
 
-    __slots__ = ("fn", "name", "values_builder")
+    __slots__ = ("fn", "name", "values_builder", "columns_builder")
 
     def __init__(
         self,
         fn: Callable[[State], bool],
         name: str = "pred",
         values_builder: Callable = None,
+        columns_builder: Callable = None,
     ):
         self.fn = fn
         self.name = name
@@ -53,6 +88,15 @@ class Predicate:
         #: (:meth:`repro.core.regions.StateIndex.region_bits`) use it to
         #: skip the per-state schema dispatch the ``fn`` wrapper needs.
         self.values_builder = values_builder
+        #: Optional columnar compiler: ``columns_builder(layout)`` (a
+        #: :class:`repro.core.kernels.Layout`) returns an evaluator
+        #: mapping a ``(vars, N)`` rank-column matrix — the encoding the
+        #: batch exploration engine leaves on a system as
+        #: ``_state_cols`` — to a length-``N`` boolean mask, equivalent
+        #: to mapping ``fn`` over the decoded states.  Region sweeps use
+        #: it to evaluate the predicate over every state in a handful of
+        #: numpy operations instead of N Python calls.
+        self.columns_builder = columns_builder
 
     # -- evaluation --------------------------------------------------------
     def __call__(self, state: State) -> bool:
@@ -79,27 +123,74 @@ class Predicate:
         return Predicate(
             lambda s, a=self.fn, b=other.fn: a(s) and b(s),
             name=f"({self.name} ∧ {other.name})",
+            values_builder=_compose_values(
+                self.values_builder, other.values_builder, "and"
+            ),
+            columns_builder=_compose_columns(
+                self.columns_builder, other.columns_builder, "and"
+            ),
         )
 
     def __or__(self, other: "Predicate") -> "Predicate":
         return Predicate(
             lambda s, a=self.fn, b=other.fn: a(s) or b(s),
             name=f"({self.name} ∨ {other.name})",
+            values_builder=_compose_values(
+                self.values_builder, other.values_builder, "or"
+            ),
+            columns_builder=_compose_columns(
+                self.columns_builder, other.columns_builder, "or"
+            ),
         )
 
     def __invert__(self) -> "Predicate":
-        return Predicate(lambda s, a=self.fn: not a(s), name=f"¬{self.name}")
+        vb = self.values_builder
+        cb = self.columns_builder
+        return Predicate(
+            lambda s, a=self.fn: not a(s),
+            name=f"¬{self.name}",
+            values_builder=None if vb is None else (
+                lambda index, _a=vb: (
+                    lambda values, fa=_a(index): not fa(values)
+                )
+            ),
+            columns_builder=None if cb is None else (
+                lambda layout, _a=cb: (
+                    lambda cols, fa=_a(layout): ~fa(cols)
+                )
+            ),
+        )
 
     def implies(self, other: "Predicate") -> "Predicate":
         """The predicate ``self ⇒ other`` (pointwise implication)."""
         return Predicate(
             lambda s, a=self.fn, b=other.fn: (not a(s)) or b(s),
             name=f"({self.name} ⇒ {other.name})",
+            values_builder=_compose_values(
+                None if self.values_builder is None else (
+                    lambda index, _a=self.values_builder: (
+                        lambda values, fa=_a(index): not fa(values)
+                    )
+                ),
+                other.values_builder, "or",
+            ),
+            columns_builder=_compose_columns(
+                None if self.columns_builder is None else (
+                    lambda layout, _a=self.columns_builder: (
+                        lambda cols, fa=_a(layout): ~fa(cols)
+                    )
+                ),
+                other.columns_builder, "or",
+            ),
         )
 
     def rename(self, name: str) -> "Predicate":
         """Return the same predicate under a new display name."""
-        return Predicate(self.fn, name=name, values_builder=self.values_builder)
+        return Predicate(
+            self.fn, name=name,
+            values_builder=self.values_builder,
+            columns_builder=self.columns_builder,
+        )
 
     def compile_for(self, schema: Schema) -> Callable[[Sequence], bool]:
         """An evaluator over raw values sequences of ``schema``.
@@ -139,13 +230,57 @@ class Predicate:
         return f"Predicate({self.name})"
 
 
+class EvaluatorMemo(dict):
+    """A compiled-evaluator cache a predicate closure may carry.
+
+    Model predicates that compile a per-schema evaluator on first use
+    keep the compiled plans in one of these instead of a plain ``dict``:
+    content fingerprinting (:mod:`repro.store.keys`) treats an
+    ``EvaluatorMemo`` closure cell as an opaque, empty marker, so the
+    cache filling up never changes the predicate's content key.  A plain
+    ``dict`` in a closure is fingerprinted by value — correct for
+    configuration, key-drifting for caches."""
+
+    __slots__ = ()
+
+
 TRUE = Predicate(lambda s: True, name="true")
 FALSE = Predicate(lambda s: False, name="false")
 
 
 # the variable-comparison factories carry a values_builder so that
 # region sweeps and detector banks evaluate them on raw values tuples
-# without the State wrapper
+# without the State wrapper, and a columns_builder so that region
+# sweeps over columnar-explored systems vectorize over rank columns
+
+def _eq_columns(name: str, value: object):
+    def build(layout):
+        i = layout.index[name]
+        # a value outside the declared domain matches no rank: rank -1
+        # never occurs in a column, giving the correct all-False mask
+        r = layout.ranks[i].get(value, -1)
+        return lambda cols: cols[i] == r
+    return build
+
+
+def _ne_columns(name: str, value: object):
+    def build(layout):
+        i = layout.index[name]
+        r = layout.ranks[i].get(value, -1)
+        return lambda cols: cols[i] != r
+    return build
+
+
+def _in_columns(name: str, allowed: Set[object]):
+    def build(layout):
+        i = layout.index[name]
+        lut = _np.zeros(layout.sizes[i], dtype=bool)
+        for value, rank in layout.ranks[i].items():
+            if value in allowed:
+                lut[rank] = True
+        return lambda cols: lut[cols[i]]
+    return build
+
 
 def var_eq(name: str, value: object) -> Predicate:
     """Predicate ``name == value``."""
@@ -155,6 +290,7 @@ def var_eq(name: str, value: object) -> Predicate:
         values_builder=lambda index, n=name, v=value: (
             lambda values, i=index[n]: values[i] == v
         ),
+        columns_builder=_eq_columns(name, value),
     )
 
 
@@ -166,6 +302,7 @@ def var_ne(name: str, value: object) -> Predicate:
         values_builder=lambda index, n=name, v=value: (
             lambda values, i=index[n]: values[i] != v
         ),
+        columns_builder=_ne_columns(name, value),
     )
 
 
@@ -178,4 +315,5 @@ def var_in(name: str, values: Iterable[object]) -> Predicate:
         values_builder=lambda index, n=name, a=allowed: (
             lambda values, i=index[n]: values[i] in a
         ),
+        columns_builder=None if _np is None else _in_columns(name, allowed),
     )

@@ -45,6 +45,23 @@ __all__ = ["start_states_of", "system_from", "refines_spec", "refines_program",
            "violates_spec"]
 
 
+def _certificates():
+    """The certificate-store verdict layer, or ``None`` when no store is
+    active (or the store package failed to import) — callers then simply
+    compute.  Imported lazily so the core has no hard dependency on
+    :mod:`repro.store`."""
+    try:
+        from ..store import backend as store_backend
+
+        if store_backend.active_store() is None:
+            return None
+        from ..store import certificates
+
+        return certificates
+    except Exception:
+        return None
+
+
 def start_states_of(program: Program, predicate: Predicate) -> List[State]:
     """All states of ``program`` satisfying ``predicate`` (the paper's
     ``p | S`` start set), enumerated over the full state space (and
@@ -102,6 +119,38 @@ def refines_spec(
         + (" [] F" if fault_actions else "")
         + f" refines {spec.name} from {from_.name}"
     )
+    if ts is not None:
+        return _refines_spec_body(
+            program, spec, from_, fault_actions, symmetric, what, ts=ts
+        )
+
+    def compute() -> CheckResult:
+        return _refines_spec_body(
+            program, spec, from_, fault_actions, symmetric, what
+        )
+
+    certs = None if symmetric else _certificates()
+    if certs is None:
+        return compute()
+    try:
+        family = certs.ObligationFamily(
+            "refines_spec", program, tuple(fault_actions), [from_],
+            spec=spec, extra=what,
+        )
+    except Exception:
+        return compute()
+    return certs.cached_obligation(family, compute)
+
+
+def _refines_spec_body(
+    program: Program,
+    spec: Spec,
+    from_: Predicate,
+    fault_actions: Sequence,
+    symmetric: bool,
+    what: str,
+    ts: Optional[TransitionSystem] = None,
+) -> CheckResult:
     if ts is None:
         ts = system_from(program, from_, fault_actions, symmetric=symmetric)
     closed = ts.is_closed(from_, include_faults=False,

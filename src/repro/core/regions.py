@@ -255,14 +255,24 @@ class StateIndex:
     __slots__ = (
         "states", "n", "full_bits", "_id_of",
         "_satisfying", "_region_bits", "_edges",
-        "_schema", "_id_of_values",
+        "_schema", "_id_of_values", "_layout", "_cols",
     )
 
-    def __init__(self, states: Iterable[State], _distinct: bool = False):
+    def __init__(
+        self,
+        states: Iterable[State],
+        _distinct: bool = False,
+        layout=None,
+    ):
         """``_distinct=True`` promises the states are already unique
         (e.g. a Cartesian-product enumeration) and skips the dedup pass
         — hashing tens of thousands of ``State`` objects is a measurable
-        share of index construction."""
+        share of index construction.
+
+        ``layout`` is an optional :class:`repro.core.kernels.Layout`
+        covering every indexed state; when given, predicates carrying a
+        ``columns_builder`` sweep a lazily built rank-column matrix in a
+        few numpy operations instead of one Python call per state."""
         states = tuple(states)
         if not _distinct:
             states = tuple(dict.fromkeys(states))
@@ -282,6 +292,27 @@ class StateIndex:
         else:
             self._schema = None
         self._id_of_values: Optional[Dict[Tuple, int]] = None
+        self._layout = layout if self._schema is not None else None
+        #: lazily built (vars, n) rank-column matrix in id order
+        self._cols = None
+
+    def _columns(self):
+        """The rank-column matrix of the indexed states (lazy), or
+        ``None`` when no layout was supplied or numpy is absent."""
+        layout = self._layout
+        if layout is None or _np is None:
+            return None
+        cols = self._cols
+        if cols is None:
+            try:
+                cols = layout.columns_from_states(self.states)
+            except KeyError:
+                # a state value escaped its declared domain; columnar
+                # sweeps cannot represent it
+                self._layout = None
+                return None
+            self._cols = cols
+        return cols
 
     @property
     def id_of(self) -> Dict[State, int]:
@@ -326,6 +357,18 @@ class StateIndex:
         if cached is None:
             if predicate is TRUE:
                 cached = self.full_bits
+            elif (
+                predicate.columns_builder is not None
+                and self._columns() is not None
+            ):
+                # columnar sweep: evaluate over rank columns in a few
+                # vector operations, then derive both memos
+                mask = predicate.columns_builder(self._layout)(self._columns())
+                states = self.states
+                self._satisfying[predicate] = tuple(
+                    states[i] for i in _np.flatnonzero(mask).tolist()
+                )
+                cached = _pack_bits(mask)
             else:
                 # one fused sweep fills both memos without id lookups
                 buf = bytearray((self.n + 7) >> 3)
@@ -692,25 +735,52 @@ class SystemIndex:
             self._shared_schema = shared
         return shared
 
+    def _columns(self):
+        """The ``(layout, rank-column matrix)`` pair the columnar
+        exploration engine left on the system, or ``None`` (absent for
+        interpreted/bucket explorations and store-reassembled graphs)."""
+        state_cols = getattr(self.ts, "_state_cols", None)
+        if state_cols is None or _np is None:
+            return None
+        if state_cols[1].shape[1] != self.n:  # pragma: no cover - defensive
+            return None
+        return state_cols
+
     def satisfying(self, predicate: Predicate) -> Tuple[State, ...]:
         cached = self._satisfying.get(predicate)
         if cached is None:
             if predicate is TRUE:
                 cached = self.states
             else:
-                # schema-compiled predicates sweep raw values-tuples,
-                # skipping the per-state State wrapper dispatch
-                evaluate = None
-                if predicate.values_builder is not None:
-                    schema = self._schema()
-                    if schema is not False:
-                        evaluate = predicate.values_builder(schema.index)
-                if evaluate is not None:
+                bits = self._region_bits.get(predicate)
+                if bits is None and predicate.columns_builder is not None:
+                    pair = self._columns()
+                    if pair is not None:
+                        layout, cols = pair
+                        mask = predicate.columns_builder(layout)(cols)
+                        bits = _pack_bits(mask)
+                        self._region_bits[predicate] = bits
+                if bits is not None:
+                    # derive from the (columnar or previously computed)
+                    # bitset: ascending id order equals state order
+                    states = self.states
                     cached = tuple(
-                        s for s in self.states if evaluate(s._values)
+                        states[i] for i in iter_bits(bits, self.n)
                     )
                 else:
-                    cached = tuple(filter(predicate.fn, self.states))
+                    # schema-compiled predicates sweep raw values-tuples,
+                    # skipping the per-state State wrapper dispatch
+                    evaluate = None
+                    if predicate.values_builder is not None:
+                        schema = self._schema()
+                        if schema is not False:
+                            evaluate = predicate.values_builder(schema.index)
+                    if evaluate is not None:
+                        cached = tuple(
+                            s for s in self.states if evaluate(s._values)
+                        )
+                    else:
+                        cached = tuple(filter(predicate.fn, self.states))
             self._satisfying[predicate] = cached
         return cached
 
@@ -719,6 +789,15 @@ class SystemIndex:
         if cached is None:
             if predicate is TRUE:
                 cached = self.full_bits
+            elif (
+                predicate.columns_builder is not None
+                and predicate not in self._satisfying
+                and self._columns() is not None
+            ):
+                layout, cols = self._columns()
+                cached = _pack_bits(
+                    predicate.columns_builder(layout)(cols)
+                )
             else:
                 id_of = self.id_of
                 cached = bits_of_ids(
@@ -921,7 +1000,14 @@ def universe_index(program) -> Optional[StateIndex]:
             # bulk-allocating a full state space under a standing graph
             # otherwise triggers generational collections that rescan
             # everything already explored
-            index = StateIndex(state_space(program.variables), _distinct=True)
+            states = tuple(state_space(program.variables))
+            layout = None
+            if states and _np is not None:
+                from . import kernels as _kernels
+                layout = _kernels.layout_for(
+                    states[0].schema, program._domains
+                )
+            index = StateIndex(states, _distinct=True, layout=layout)
         _UNIVERSE_CACHE[signature] = index
         if len(_UNIVERSE_CACHE) > _UNIVERSE_CACHE_MAXSIZE:
             _UNIVERSE_CACHE.pop(next(iter(_UNIVERSE_CACHE)))

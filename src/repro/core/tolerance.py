@@ -46,7 +46,7 @@ from .fairness import check_leads_to
 from .faults import FaultClass
 from .predicate import Predicate, TRUE
 from .program import Program
-from .refinement import refines_spec, start_states_of
+from .refinement import _certificates, refines_spec, start_states_of
 from .regions import first_bit, paused_gc, universe_index
 from .results import CheckResult, Counterexample, all_of
 from .specification import Spec
@@ -125,6 +125,56 @@ def _require_symmetric_checkable(
     symmetry.require_spec_invariant(spec, variables, what)
 
 
+def _cached_obligation(
+    certs,
+    symmetric: bool,
+    tag: str,
+    program: Program,
+    faults,
+    predicates,
+    spec,
+    extra,
+    compute,
+) -> CheckResult:
+    """Route one obligation through the certificate store when possible:
+    exact-key replay, then frame-based reuse across a single-action edit,
+    then computing (and recording).  Symmetric checks always compute —
+    quotient verdicts are validated by their own parity suite and are
+    cheap relative to full graphs."""
+    if certs is None or symmetric:
+        return compute()
+    try:
+        family = certs.ObligationFamily(
+            tag, program, faults, predicates, spec=spec, extra=extra
+        )
+    except Exception:
+        return compute()
+    return certs.cached_obligation(family, compute)
+
+
+def _closure_obligation(
+    certs,
+    symmetric: bool,
+    program: Program,
+    actions,
+    predicate: Predicate,
+    what: str,
+    compute,
+) -> CheckResult:
+    """Serve a closure obligation from per-action row artifacts when the
+    store holds (or can certify) them; fall back to the graph check —
+    which reproduces the exact counterexample — otherwise.  A rows
+    artifact existing *is* the closure fact for its action: it is only
+    recorded when every successor stays inside the predicate's state
+    table, so an edited program re-certifies closure by re-sweeping the
+    one edited action."""
+    if certs is not None and not symmetric:
+        served = certs.closure_via_rows(program, actions, predicate, what)
+        if served is not None:
+            return served
+    return compute()
+
+
 def _common_obligations(
     program: Program,
     faults: FaultClass,
@@ -132,18 +182,21 @@ def _common_obligations(
     invariant: Predicate,
     span: Predicate,
     symmetric: bool = False,
+    certs=None,
 ) -> Iterable[CheckResult]:
     """Obligations shared by all three tolerance classes: refinement in
     the absence of faults, ``S ⇒ T``, and ``T`` closed in ``p [] F``."""
     yield refines_spec(program, spec, invariant, symmetric=symmetric)
     # S ⇒ T is a full-space implication — exact and orbit-agnostic, so
-    # it runs identically in symmetric mode
+    # it runs identically in symmetric mode (and is too cheap to cache)
     yield check_implication(program, invariant, span)
-    ts = faults.system(program, span, symmetric=symmetric)
-    yield ts.is_closed(
-        span,
-        include_faults=True,
-        description=f"{span.name} closed in {program.name} [] {faults.name}",
+    span_what = f"{span.name} closed in {program.name} [] {faults.name}"
+    yield _closure_obligation(
+        certs, symmetric, program,
+        tuple(program.actions) + tuple(faults.actions), span, span_what,
+        lambda: faults.system(program, span, symmetric=symmetric).is_closed(
+            span, include_faults=True, description=span_what
+        ),
     )
 
 
@@ -169,21 +222,37 @@ def is_failsafe_tolerant(
         f"{program.name} is fail-safe {faults.name}-tolerant to {spec.name} "
         f"from {invariant.name} (span {span.name})"
     )
+    certs = _certificates()
+    cert_key = None
+    if certs is not None:
+        cert_key = certs.certificate_key(
+            "failsafe", program, faults, spec, invariant, span, symmetric
+        )
+        cached = certs.lookup_certificate(cert_key)
+        if cached is not None:
+            return cached
     with paused_gc():
         obligations = list(_common_obligations(
-            program, faults, spec, invariant, span, symmetric=symmetric
+            program, faults, spec, invariant, span, symmetric=symmetric,
+            certs=certs,
         ))
-        ts = faults.system(program, span, symmetric=symmetric)
-        obligations.append(
-            spec.safety_part().check(
-                ts,
-                description=(
-                    f"{program.name} [] {faults.name} refines "
-                    f"{spec.safety_part().name} from {span.name}"
-                ),
-            )
+        safety = spec.safety_part()
+        safety_what = (
+            f"{program.name} [] {faults.name} refines "
+            f"{safety.name} from {span.name}"
         )
-        return all_of(obligations, description=what)
+        obligations.append(_cached_obligation(
+            certs, symmetric, "safety", program, faults, [span], safety,
+            safety_what,
+            lambda: safety.check(
+                faults.system(program, span, symmetric=symmetric),
+                description=safety_what,
+            ),
+        ))
+        result = all_of(obligations, description=what)
+    if cert_key is not None:
+        certs.record_certificate(cert_key, result)
+    return result
 
 
 def is_nonmasking_tolerant(
@@ -211,30 +280,48 @@ def is_nonmasking_tolerant(
         f"{program.name} is nonmasking {faults.name}-tolerant to {spec.name} "
         f"from {invariant.name} (span {span.name})"
     )
+    certs = _certificates()
+    cert_key = None
+    if certs is not None:
+        cert_key = certs.certificate_key(
+            "nonmasking", program, faults, spec, invariant, span, symmetric
+        )
+        cached = certs.lookup_certificate(cert_key)
+        if cached is not None:
+            return cached
     with paused_gc():
         obligations = list(_common_obligations(
-            program, faults, spec, invariant, span, symmetric=symmetric
+            program, faults, spec, invariant, span, symmetric=symmetric,
+            certs=certs,
         ))
-        ts = faults.system(program, span, symmetric=symmetric)
-        obligations.append(
-            ts.is_closed(
-                invariant,
-                include_faults=False,
-                description=f"{invariant.name} closed in {program.name}",
-            )
+        inv_what = f"{invariant.name} closed in {program.name}"
+        obligations.append(_closure_obligation(
+            certs, symmetric, program, tuple(program.actions), invariant,
+            inv_what,
+            lambda: faults.system(
+                program, span, symmetric=symmetric
+            ).is_closed(
+                invariant, include_faults=False, description=inv_what
+            ),
+        ))
+        converge_what = (
+            f"every computation of {program.name} [] {faults.name} "
+            f"from {span.name} converges to {invariant.name}"
         )
-        obligations.append(
-            check_leads_to(
-                ts,
+        obligations.append(_cached_obligation(
+            certs, symmetric, "leads_to", program, faults,
+            [TRUE, invariant, span], None, converge_what,
+            lambda: check_leads_to(
+                faults.system(program, span, symmetric=symmetric),
                 TRUE,
                 invariant,
-                description=(
-                    f"every computation of {program.name} [] {faults.name} "
-                    f"from {span.name} converges to {invariant.name}"
-                ),
-            )
-        )
-        return all_of(obligations, description=what)
+                description=converge_what,
+            ),
+        ))
+        result = all_of(obligations, description=what)
+    if cert_key is not None:
+        certs.record_certificate(cert_key, result)
+    return result
 
 
 def is_masking_tolerant(
@@ -266,23 +353,46 @@ def is_masking_tolerant(
         f"{program.name} is masking {faults.name}-tolerant to {spec.name} "
         f"from {invariant.name} (span {span.name})"
     )
+    certs = _certificates()
+    cert_key = None
+    if certs is not None:
+        cert_key = certs.certificate_key(
+            "masking", program, faults, spec, invariant, span, symmetric
+        )
+        cached = certs.lookup_certificate(cert_key)
+        if cached is not None:
+            return cached
     with paused_gc():
         obligations = list(_common_obligations(
-            program, faults, spec, invariant, span, symmetric=symmetric
+            program, faults, spec, invariant, span, symmetric=symmetric,
+            certs=certs,
         ))
-        ts = faults.system(program, span, symmetric=symmetric)
-        obligations.append(
-            spec.safety_part().check(
-                ts,
-                description=(
-                    f"{program.name} [] {faults.name} refines "
-                    f"{spec.safety_part().name} from {span.name}"
-                ),
-            )
+        safety = spec.safety_part()
+        safety_what = (
+            f"{program.name} [] {faults.name} refines "
+            f"{safety.name} from {span.name}"
         )
+        obligations.append(_cached_obligation(
+            certs, symmetric, "safety", program, faults, [span], safety,
+            safety_what,
+            lambda: safety.check(
+                faults.system(program, span, symmetric=symmetric),
+                description=safety_what,
+            ),
+        ))
         for component in spec.liveness_part().components:
-            obligations.append(component.check(ts))
-        return all_of(obligations, description=what)
+            obligations.append(_cached_obligation(
+                certs, symmetric, "liveness", program, faults, [span],
+                Spec((component,), name=f"{spec.name}/{component.name}"),
+                None,
+                lambda component=component: component.check(
+                    faults.system(program, span, symmetric=symmetric)
+                ),
+            ))
+        result = all_of(obligations, description=what)
+    if cert_key is not None:
+        certs.record_certificate(cert_key, result)
+    return result
 
 
 def is_tolerant(

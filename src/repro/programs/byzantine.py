@@ -48,6 +48,7 @@ from typing import Callable, Dict, Hashable, List, Sequence, Tuple
 from ..core import (
     BOTTOM,
     Action,
+    EvaluatorMemo,
     FaultClass,
     LeadsTo,
     Plan,
@@ -144,7 +145,7 @@ def _compiled_predicate(name: str, build: Callable) -> Predicate:
     predicates sweep the full product space, so the per-call cost of
     rebuilding ``f"b{j}"``-style keys and chaining ``&`` lambdas was a
     measurable share of the Byzantine workloads."""
-    plans: Dict[object, Callable] = {}
+    plans: Dict[object, Callable] = EvaluatorMemo()
 
     def holds(state) -> bool:
         schema = state.schema

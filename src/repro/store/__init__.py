@@ -1,0 +1,73 @@
+"""Persistent content-addressed certificate store.
+
+Explored graphs, region fixpoints, tolerance verdicts and theorem
+witness certificates are cached across processes and machines, keyed by
+salted content fingerprints of the checked objects (:mod:`.keys`).
+Backends (:mod:`.backend`) range from a local sqlite file to a
+``repro serve`` HTTP front end (:mod:`.serve`); the exploration layer
+talks to :mod:`.artifacts`, the verification layer to
+:mod:`.certificates` — including frame-aware *incremental
+re-verification* when a single action of a certified program changes.
+"""
+
+from .backend import (
+    BaseStore,
+    FileStore,
+    MemoryStore,
+    RemoteStore,
+    SQLiteStore,
+    active_store,
+    record_event,
+    register_reset_hook,
+    reset_handles as reset_store_handles,
+    reset_stats,
+    set_active_store,
+    stats,
+    store_from_spec,
+)
+from .keys import STORE_SCHEMA_VERSION, digest, fingerprint
+from .artifacts import (
+    ROWS_STATE_LIMIT,
+    load_or_assemble_system,
+    save_system_artifacts,
+    system_key,
+)
+from .certificates import (
+    ObligationFamily,
+    cached_obligation,
+    certificate_key,
+    closure_via_rows,
+    lookup_certificate,
+    predicate_reads,
+    record_certificate,
+)
+
+__all__ = [
+    "BaseStore",
+    "SQLiteStore",
+    "FileStore",
+    "MemoryStore",
+    "RemoteStore",
+    "store_from_spec",
+    "active_store",
+    "set_active_store",
+    "reset_store_handles",
+    "register_reset_hook",
+    "record_event",
+    "stats",
+    "reset_stats",
+    "STORE_SCHEMA_VERSION",
+    "digest",
+    "fingerprint",
+    "system_key",
+    "load_or_assemble_system",
+    "save_system_artifacts",
+    "ROWS_STATE_LIMIT",
+    "certificate_key",
+    "lookup_certificate",
+    "record_certificate",
+    "cached_obligation",
+    "ObligationFamily",
+    "closure_via_rows",
+    "predicate_reads",
+]

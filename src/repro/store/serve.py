@@ -1,0 +1,161 @@
+"""``repro serve`` — an asyncio HTTP front end over a local store.
+
+Protocol (deliberately tiny; :class:`~repro.store.backend.RemoteStore`
+is the only intended client, but any HTTP client works):
+
+- ``GET /a/<key>`` — ``200`` with the artifact bytes, or ``404``;
+- ``PUT /a/<key>`` — store the request body, reply ``204``;
+- ``GET /stats`` — JSON counters of the backing store.
+
+The server is a plain :func:`asyncio.start_server` loop — no external
+web framework — parsing just enough HTTP/1.1 to move opaque artifact
+blobs.  Connections are handled concurrently; the backing store's own
+locking makes the handlers safe.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional, Tuple
+
+from .backend import BaseStore, store_from_spec
+
+__all__ = ["StoreServer", "serve"]
+
+_MAX_HEADER = 64 * 1024
+_MAX_BODY = 512 * 1024 * 1024
+
+
+def _response(status: str, body: bytes = b"",
+              content_type: str = "application/octet-stream") -> bytes:
+    head = (
+        f"HTTP/1.1 {status}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: keep-alive\r\n"
+        "\r\n"
+    )
+    return head.encode("ascii") + body
+
+
+class StoreServer:
+    """Serve a local store over HTTP until cancelled."""
+
+    def __init__(self, store: BaseStore, host: str = "127.0.0.1",
+                 port: int = 7357):
+        self.store = store
+        self.host = host
+        self.port = port
+        self.requests = 0
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, bytes]]:
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError,
+                ConnectionError):
+            return None
+        if len(head) > _MAX_HEADER:
+            return None
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split(" ")
+        if len(parts) != 3:
+            return None
+        method, target = parts[0].upper(), parts[1]
+        length = 0
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    length = int(value.strip())
+                except ValueError:
+                    return None
+        if length < 0 or length > _MAX_BODY:
+            return None
+        body = b""
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return None
+        return method, target, body
+
+    def _handle(self, method: str, target: str, body: bytes) -> bytes:
+        self.requests += 1
+        if target == "/stats" and method == "GET":
+            payload = json.dumps(
+                {**self.store.counters(), "requests": self.requests}
+            ).encode("utf-8")
+            return _response("200 OK", payload, "application/json")
+        if not target.startswith("/a/"):
+            return _response("404 Not Found")
+        key = target[3:]
+        if not key or "/" in key or len(key) > 256:
+            return _response("400 Bad Request")
+        if method == "GET":
+            payload = self.store.get(key)
+            if payload is None:
+                return _response("404 Not Found")
+            return _response("200 OK", payload)
+        if method == "PUT":
+            self.store.put(key, body)
+            return _response("204 No Content")
+        return _response("405 Method Not Allowed")
+
+    async def _client(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                writer.write(self._handle(*request))
+                await writer.drain()
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._client, self.host, self.port, limit=_MAX_HEADER
+        )
+        addr = self._server.sockets[0].getsockname()
+        self.port = addr[1]
+
+    async def run_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+
+def serve(spec: str, host: str = "127.0.0.1", port: int = 7357,
+          announce=print) -> None:
+    """Blocking entry point used by ``repro serve``."""
+    store = store_from_spec(spec)
+    server = StoreServer(store, host, port)
+
+    async def main() -> None:
+        await server.start()
+        announce(
+            f"repro store server on http://{server.host}:{server.port} "
+            f"backed by {store!r}"
+        )
+        await server.run_forever()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        announce("repro store server stopped")
