@@ -28,6 +28,19 @@ Rules and code ranges:
   representable safety shapes (Lemma 3.2), satisfiability, and the
   invariant/span closure preconditions every tolerance definition
   assumes.
+- ``DC5xx`` — symbolic findings over the Plan IR
+  (:mod:`repro.analysis.symbolic`): dead/tautological guard
+  sub-expressions (``DC501``/``DC502``) and translation-validation
+  failures — a plan that disagrees with its action's interpreted
+  guard/statement (``DC511``) or does not compile (``DC512``).
+
+Actions that carry a Plan IR are analyzed *symbolically*: their frame
+(``DC1xx``) and guard (``DC3xx``) verdicts are proofs over the full
+space regardless of its size, recorded as
+:class:`~repro.analysis.diagnostics.Proof` values on the report.  With
+a certificate store active (``repro lint --store``), whole reports and
+per-action analyses replay content-addressed
+(:mod:`repro.analysis.lint_store`).
 
 Entry points: :func:`lint` / :func:`lint_program` for one target, the
 :data:`LINT_CATALOGUE` for the bundled programs, and ``repro lint`` on
@@ -38,10 +51,19 @@ from .diagnostics import (
     Diagnostic,
     InterferenceError,
     LintReport,
+    Proof,
     Severity,
     Suppression,
 )
-from .catalogue import LINT_CATALOGUE, all_lint_targets, lint_targets
+from .catalogue import (
+    EXEMPT_MODULES,
+    LINT_CATALOGUE,
+    CatalogueCoverageError,
+    all_lint_targets,
+    lint_entry,
+    lint_targets,
+    uncovered_modules,
+)
 from .frames import (
     check_frames,
     format_frame,
@@ -55,19 +77,36 @@ from .interference import (
 )
 from .linter import LintConfig, LintTarget, lint, lint_program
 from .probe import ProbeSet, build_probe, raw_successors
-from .reporters import render_json, render_text, summarize, worst_severity
+from .reporters import (
+    render_json,
+    render_sarif,
+    render_text,
+    summarize,
+    worst_severity,
+)
 from .specs import check_closure, check_spec
+from .symbolic import (
+    ActionAnalysis,
+    GuardSolver,
+    analyze_action,
+    clear_symbolic_caches,
+)
 from .symmetry_lint import check_symmetry
 
 __all__ = [
-    "Diagnostic", "Severity", "Suppression", "LintReport",
+    "Diagnostic", "Severity", "Suppression", "LintReport", "Proof",
     "InterferenceError",
     "LintConfig", "LintTarget", "lint", "lint_program",
     "LINT_CATALOGUE", "lint_targets", "all_lint_targets",
+    "lint_entry", "uncovered_modules", "EXEMPT_MODULES",
+    "CatalogueCoverageError",
     "check_frames", "infer_frame", "infer_predicate_reads", "format_frame",
     "check_guards", "check_interference",
     "interference_diagnostics_for_states",
     "check_spec", "check_closure", "check_symmetry",
+    "ActionAnalysis", "GuardSolver", "analyze_action",
+    "clear_symbolic_caches",
     "ProbeSet", "build_probe", "raw_successors",
-    "render_text", "render_json", "summarize", "worst_severity",
+    "render_text", "render_json", "render_sarif", "summarize",
+    "worst_severity",
 ]

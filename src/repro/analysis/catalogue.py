@@ -23,18 +23,71 @@ Classification notes (the interesting part of each target):
 - A span is only attached where it is actually closed under the
   target's action set: ``T_io`` is not closed under the *unguarded*
   ``IR``, so the ``tmr/ir`` target carries the invariant alone.
+
+The catalogue is **coverage-checked** against :mod:`repro.programs`:
+every builder registers (via :func:`lint_entry`) which scenario modules
+it covers, and :func:`all_lint_targets` raises
+:class:`CatalogueCoverageError` if a bundled scenario module is neither
+covered nor explicitly exempted in :data:`EXEMPT_MODULES`.  Adding a
+new scenario without a lint entry therefore fails the CI self-lint
+instead of silently skipping it.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..core.predicate import TRUE
 from .linter import LintTarget
 
-__all__ = ["LINT_CATALOGUE", "lint_targets", "all_lint_targets"]
+__all__ = [
+    "LINT_CATALOGUE",
+    "EXEMPT_MODULES",
+    "CatalogueCoverageError",
+    "lint_entry",
+    "lint_targets",
+    "all_lint_targets",
+    "uncovered_modules",
+]
+
+#: catalogue name -> builder of that entry's lint targets (filled by
+#: :func:`lint_entry`; kept a plain dict so tests can monkeypatch it)
+LINT_CATALOGUE: Dict[str, Callable[[], List[LintTarget]]] = {}
+
+#: catalogue name -> the repro.programs modules the entry self-lints
+_COVERS: Dict[str, tuple] = {}
+
+#: scenario modules that deliberately have no lint entry, with the
+#: recorded reason (shown when coverage enforcement trips)
+EXEMPT_MODULES: Dict[str, str] = {
+    "oral_messages": (
+        "direct EIG protocol simulation (run_oral_messages); it has no "
+        "guarded-command Program surface for the linter to check"
+    ),
+}
 
 
+class CatalogueCoverageError(RuntimeError):
+    """A bundled scenario module is neither lint-covered nor exempt."""
+
+
+def lint_entry(name: str, covers: Sequence[str] = ()):
+    """Register a lint-target builder under ``name``.
+
+    ``covers`` names the :mod:`repro.programs` modules whose programs
+    the entry lints; the coverage check in :func:`all_lint_targets`
+    unions these over the whole catalogue.
+    """
+
+    def register(builder: Callable[[], List[LintTarget]]):
+        LINT_CATALOGUE[name] = builder
+        _COVERS[name] = tuple(covers)
+        return builder
+
+    return register
+
+
+@lint_entry("memory_access", covers=("memory_access",))
 def _memory_access() -> List[LintTarget]:
     from ..programs import memory_access
 
@@ -63,6 +116,7 @@ def _memory_access() -> List[LintTarget]:
     ]
 
 
+@lint_entry('tmr', covers=('tmr',))
 def _tmr() -> List[LintTarget]:
     from ..programs import tmr
 
@@ -91,6 +145,7 @@ def _tmr() -> List[LintTarget]:
     ]
 
 
+@lint_entry('byzantine', covers=('byzantine',))
 def _byzantine() -> List[LintTarget]:
     from ..programs import byzantine
 
@@ -113,6 +168,7 @@ def _byzantine() -> List[LintTarget]:
     ]
 
 
+@lint_entry('token_ring', covers=('token_ring',))
 def _token_ring() -> List[LintTarget]:
     from ..programs import token_ring
 
@@ -126,6 +182,7 @@ def _token_ring() -> List[LintTarget]:
     ]
 
 
+@lint_entry('mutual_exclusion', covers=('mutual_exclusion',))
 def _mutual_exclusion() -> List[LintTarget]:
     from ..programs import mutual_exclusion
 
@@ -148,6 +205,7 @@ def _mutual_exclusion() -> List[LintTarget]:
     ]
 
 
+@lint_entry('leader_election', covers=('leader_election',))
 def _leader_election() -> List[LintTarget]:
     from ..programs import leader_election
 
@@ -164,6 +222,7 @@ def _leader_election() -> List[LintTarget]:
     ]
 
 
+@lint_entry('termination_detection', covers=('termination_detection',))
 def _termination_detection() -> List[LintTarget]:
     from ..programs import termination_detection
 
@@ -181,6 +240,7 @@ def _termination_detection() -> List[LintTarget]:
     ]
 
 
+@lint_entry('distributed_reset', covers=('distributed_reset',))
 def _distributed_reset() -> List[LintTarget]:
     from ..programs import distributed_reset
 
@@ -197,6 +257,7 @@ def _distributed_reset() -> List[LintTarget]:
     ]
 
 
+@lint_entry('tree_maintenance', covers=('tree_maintenance',))
 def _tree_maintenance() -> List[LintTarget]:
     from ..programs import tree_maintenance
 
@@ -211,6 +272,7 @@ def _tree_maintenance() -> List[LintTarget]:
     ]
 
 
+@lint_entry('barrier', covers=('barrier',))
 def _barrier() -> List[LintTarget]:
     from ..programs import barrier
 
@@ -232,6 +294,7 @@ def _barrier() -> List[LintTarget]:
     ]
 
 
+@lint_entry('failure_detector')
 def _failure_detector() -> List[LintTarget]:
     from ..failure_detectors import build
 
@@ -242,20 +305,28 @@ def _failure_detector() -> List[LintTarget]:
     ]
 
 
-#: catalogue name -> builder of that entry's lint targets
-LINT_CATALOGUE: Dict[str, Callable[[], List[LintTarget]]] = {
-    "memory_access": _memory_access,
-    "tmr": _tmr,
-    "byzantine": _byzantine,
-    "token_ring": _token_ring,
-    "mutual_exclusion": _mutual_exclusion,
-    "leader_election": _leader_election,
-    "termination_detection": _termination_detection,
-    "distributed_reset": _distributed_reset,
-    "tree_maintenance": _tree_maintenance,
-    "barrier": _barrier,
-    "failure_detector": _failure_detector,
-}
+def uncovered_modules(
+    modules: Optional[Iterable[str]] = None,
+) -> List[str]:
+    """Scenario modules with neither a covering lint entry nor an
+    exemption.  ``modules`` defaults to the live
+    :func:`repro.programs.program_modules` listing; tests inject their
+    own to exercise the enforcement without adding files.
+    """
+    if modules is None:
+        from ..programs import program_modules
+
+        modules = program_modules()
+    covered = {
+        module
+        for name, modules_of in _COVERS.items()
+        if name in LINT_CATALOGUE
+        for module in modules_of
+    }
+    return sorted(
+        module for module in modules
+        if module not in covered and module not in EXEMPT_MODULES
+    )
 
 
 def lint_targets(name: str) -> List[LintTarget]:
@@ -271,5 +342,18 @@ def lint_targets(name: str) -> List[LintTarget]:
 
 
 def all_lint_targets() -> List[LintTarget]:
-    """Every lint target of every catalogue entry, in catalogue order."""
+    """Every lint target of every catalogue entry, in catalogue order.
+
+    Raises :class:`CatalogueCoverageError` if a bundled scenario module
+    has no covering entry and no exemption — the self-lint refuses to
+    report success while silently skipping a scenario.
+    """
+    missing = uncovered_modules()
+    if missing:
+        raise CatalogueCoverageError(
+            f"scenario module(s) {missing} in repro.programs have no "
+            f"lint catalogue entry; add a lint_entry(..., covers=...) "
+            f"builder in repro.analysis.catalogue or record an "
+            f"exemption in EXEMPT_MODULES with a reason"
+        )
     return [t for name in LINT_CATALOGUE for t in lint_targets(name)]

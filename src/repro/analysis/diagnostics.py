@@ -14,7 +14,16 @@ Code blocks (the "DC" is for detector/corrector):
 - ``DC1xx`` — frame soundness (``reads``/``writes`` declarations);
 - ``DC2xx`` — interference between base and component actions;
 - ``DC3xx`` — guard satisfiability / enabledness;
-- ``DC4xx`` — specification and invariant well-formedness.
+- ``DC4xx`` — specification and invariant well-formedness;
+- ``DC5xx`` — symbolic findings over the Plan IR (dead/tautological
+  guard sub-expressions, translation-validation failures).
+
+Alongside findings, rules that *prove* a property (rather than sampling
+evidence for it) record a :class:`Proof` — which rule, for which
+action, by what method.  Proofs are the positive complement of
+diagnostics: a clean report with a frame-soundness proof for every
+planned action is a theorem about the program, not an absence of
+observations.
 
 :class:`InterferenceError` lives here (rather than in the synthesis
 layer) so that :mod:`repro.synthesis.nonmasking` can raise an exception
@@ -31,6 +40,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 __all__ = [
     "Severity",
     "Diagnostic",
+    "Proof",
     "Suppression",
     "LintReport",
     "InterferenceError",
@@ -136,6 +146,54 @@ class Diagnostic:
 
 
 @dataclass(frozen=True)
+class Proof:
+    """A positive, machine-checked fact established during linting.
+
+    Attributes
+    ----------
+    rule:
+        The rule family the proof belongs to (``frame-soundness``,
+        ``guard-satisfiability``, ``translation-validation``,
+        ``interference``).
+    method:
+        How it was established: ``ir-exact`` (exhaustive enumeration
+        over the plan's support variables), ``exhaustive`` (full
+        state-space sweep), ``decomposed`` (per-variable symbolic
+        decomposition on an oversized space — sound for the plan,
+        sampled for the action), or ``solver`` (finite-domain
+        constraint solving).
+    detail:
+        Human-readable statement of what was proven, self-contained.
+    """
+
+    rule: str
+    method: str
+    detail: str
+    target: str = ""
+    action: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "rule": self.rule,
+            "method": self.method,
+            "detail": self.detail,
+            "target": self.target,
+        }
+        if self.action is not None:
+            data["action"] = self.action
+        return data
+
+    def format(self) -> str:
+        location = self.target
+        if self.action is not None:
+            location = f"{location}::{self.action}" if location else self.action
+        return f"proof  {self.rule} [{self.method}] {location}: {self.detail}"
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+@dataclass(frozen=True)
 class Suppression:
     """An explicit, justified waiver for one diagnostic code.
 
@@ -160,12 +218,22 @@ class LintReport:
 
     target: str = ""
     diagnostics: List[Diagnostic] = field(default_factory=list)
+    proofs: List[Proof] = field(default_factory=list)
 
     def add(self, diagnostic: Diagnostic) -> None:
         self.diagnostics.append(diagnostic)
 
     def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
         self.diagnostics.extend(diagnostics)
+
+    def add_proofs(self, proofs: Iterable[Proof]) -> None:
+        self.proofs.extend(proofs)
+
+    def proofs_for(self, rule: str, action: Optional[str] = None) -> List[Proof]:
+        return [
+            p for p in self.proofs
+            if p.rule == rule and (action is None or p.action == action)
+        ]
 
     def errors(self) -> List[Diagnostic]:
         """Unsuppressed error-severity findings (what ``--strict`` gates on)."""
@@ -208,11 +276,13 @@ class LintReport:
         return {
             "target": self.target,
             "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "proofs": [p.to_dict() for p in self.proofs],
             "summary": {
                 "errors": len(self.errors()),
                 "warnings": len(self.warnings()),
                 "total": len(self.diagnostics),
                 "suppressed": sum(1 for d in self.diagnostics if d.suppressed),
+                "proven": len(self.proofs),
             },
         }
 

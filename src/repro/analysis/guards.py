@@ -24,7 +24,7 @@ a value outside the domain).  Weaker variants are worth surfacing too:
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..core.action import Action
 from ..core.predicate import Predicate
@@ -43,6 +43,7 @@ def check_guards(
     start: Optional[Predicate] = None,
     component_names: Iterable[str] = (),
     kind: str = "action",
+    facts: Optional[Dict[str, "GuardFacts"]] = None,
 ) -> List[Diagnostic]:
     """Guard diagnostics for ``actions`` over ``probe`` (see module doc).
 
@@ -50,12 +51,29 @@ def check_guards(
     actions, ``"fault action"`` for a fault class); a dead fault action
     means the modelled fault can never strike, which is as suspicious as
     a dead program action.
+
+    ``facts`` carries the symbolic analyzer's proven verdicts (by action
+    name, :class:`~.symbolic.GuardFacts`).  A proven-dead action is
+    skipped outright (its ``DC301`` was already emitted as a proof, not
+    a sample); a proven satisfiability/stutter verdict removes the
+    corresponding probe scan and diagnostic here.  ``DC302`` stays
+    probe-based either way: it reasons about the start *predicate*,
+    which has no IR.
     """
     component_names = frozenset(component_names)
     diagnostics: List[Diagnostic] = []
     start_fn = start.fn if start is not None else None
+    facts = facts or {}
 
     for action in actions:
+        fact = facts.get(action.name)
+        known_satisfiable = fact.satisfiable if fact is not None else None
+        known_changes = fact.changes_state if fact is not None else None
+        if known_satisfiable is False:
+            # proven dead: DC301 came from the symbolic pass, and the
+            # enabled-dependent rules below have nothing to probe
+            continue
+
         enabled_anywhere = False
         enabled_in_start = False
         changes_state = False
@@ -67,7 +85,7 @@ def check_guards(
                 enabled_anywhere = True
                 if start_fn is not None and not enabled_in_start:
                     enabled_in_start = bool(start_fn(state))
-                if not changes_state:
+                if not changes_state and known_changes is None:
                     for successor in raw_successors(action, state):
                         if successor != state:
                             changes_state = True
@@ -89,7 +107,8 @@ def check_guards(
                 )
                 break
             if (
-                enabled_anywhere and changes_state
+                enabled_anywhere
+                and (changes_state or known_changes is not None)
                 and (start_fn is None or enabled_in_start)
             ):
                 break  # nothing left to learn about this action
@@ -98,22 +117,26 @@ def check_guards(
             continue
 
         if not enabled_anywhere:
-            diagnostics.append(Diagnostic(
-                code="DC301",
-                severity=Severity.ERROR if probe.exhaustive
-                else Severity.WARNING,
-                rule=RULE,
-                message=(
-                    f"guard of {kind} {action.name!r} is "
-                    + ("unsatisfiable: the action is dead code"
-                       if probe.exhaustive else
-                       f"false on all {len(probe)} sampled valuations")
-                ),
-                target=target,
-                action=action.name,
-                hint="check the guard against the variable domains",
-                sampled=not probe.exhaustive,
-            ))
+            if known_satisfiable is None:
+                diagnostics.append(Diagnostic(
+                    code="DC301",
+                    severity=Severity.ERROR if probe.exhaustive
+                    else Severity.WARNING,
+                    rule=RULE,
+                    message=(
+                        f"guard of {kind} {action.name!r} is "
+                        + ("unsatisfiable: the action is dead code"
+                           if probe.exhaustive else
+                           f"false on all {len(probe)} sampled valuations")
+                    ),
+                    target=target,
+                    action=action.name,
+                    hint="check the guard against the variable domains",
+                    sampled=not probe.exhaustive,
+                ))
+            # proven satisfiable but never observed enabled on a sampled
+            # probe: the enabled-dependent advisories below would be
+            # guessing, so stop here either way
             continue
 
         if (
@@ -136,7 +159,7 @@ def check_guards(
                 sampled=not probe.exhaustive,
             ))
 
-        if not changes_state:
+        if not changes_state and known_changes is None:
             diagnostics.append(Diagnostic(
                 code="DC303",
                 severity=Severity.INFO,

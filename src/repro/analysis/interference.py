@@ -22,23 +22,32 @@ Two complementary rules over two classes of composed actions:
   positive, so they only get the advisory race audit.
 - ``DC201`` / ``DC202`` (warning / info): **frame races** — a composed
   action's write set intersects a base action's write set (write-write,
-  DC201) or read set (write-read, DC202).  Computed from declared
-  frames when present, else inferred by probing.  A shared variable is
-  how correctors do their job (they fix the base program's variables),
-  so overlap alone is not a bug — which is why these are advisory and
-  why both rules are **skipped** when DC203 was checked exhaustively
-  and found nothing: the paper's interference condition has then been
-  verified directly, and the syntactic overlap adds no information.
+  DC201) or read set (write-read, DC202).  Computed from the symbolic
+  analyzer's **exact IR frames** when the action's plan was validated,
+  else from declared frames, else inferred by probing.  A shared
+  variable is how correctors do their job (they fix the base program's
+  variables), so overlap alone is not a bug — which is why these are
+  advisory and why both rules are **skipped** when DC203 was checked
+  exhaustively and found nothing: the paper's interference condition
+  has then been verified directly, and the syntactic overlap adds no
+  information.
+
+When both actions of a racing pair carry validated plans, the guard
+solver additionally checks **pair disjointness**: if the two guards can
+never hold in the same state, the actions are never simultaneously
+enabled, the race cannot happen, and the pair is dropped from the
+advisory with an ``interference`` proof recorded instead — the paper's
+interference-freedom side condition discharged statically.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.action import Action
 from ..core.predicate import Predicate
 from ..core.state import State, Variable
-from .diagnostics import Diagnostic, Severity
+from .diagnostics import Diagnostic, Proof, Severity
 from .frames import infer_frame
 from .probe import ProbeSet, raw_successors
 
@@ -110,23 +119,28 @@ def _frame_of(
     variables: Sequence[Variable],
     probe: ProbeSet,
     pair_budget: int,
-) -> Tuple[frozenset, frozenset]:
-    """Declared frame when available, else an inferred one.
+    exact_frames: Optional[Dict[str, Tuple[frozenset, frozenset]]] = None,
+) -> Tuple[frozenset, frozenset, bool]:
+    """``(reads, writes, exact)`` — the symbolic analyzer's exact IR
+    frame when available, else the declared frame, else an inferred one.
 
     If the action is not even total (its guard/statement raises — the
     frame and guard rules report that as ``DC001``), fall back to the
     most conservative frame rather than crashing this rule.
     """
+    if exact_frames is not None and action.name in exact_frames:
+        reads, writes = exact_frames[action.name]
+        return reads, writes, True
     if action.reads is not None and action.writes is not None:
-        return action.reads, action.writes
+        return action.reads, action.writes, False
     try:
         reads, writes, _ = infer_frame(
             action, variables, probe, pair_budget=pair_budget
         )
     except Exception:
         names = frozenset(v.name for v in variables)
-        return names, names
-    return reads, writes
+        return names, names, False
+    return reads, writes, False
 
 
 def check_interference(
@@ -140,6 +154,10 @@ def check_interference(
     invariant_exhaustive: bool = True,
     target: str = "",
     pair_budget: int = 500,
+    exact_frames: Optional[Dict[str, Tuple[frozenset, frozenset]]] = None,
+    guards: Optional[Dict[str, Tuple]] = None,
+    solver=None,
+    proofs_out: Optional[List[Proof]] = None,
 ) -> List[Diagnostic]:
     """All interference diagnostics (see module docstring).
 
@@ -148,8 +166,14 @@ def check_interference(
     the state set for the semantic check; when the caller enumerated it
     from the full space, pass ``invariant_exhaustive=True`` and a clean
     result suppresses the advisory frame-race rules.
+
+    ``exact_frames`` / ``guards`` / ``solver`` come from the symbolic
+    pass: exact IR frames replace declared/inferred ones, and a racing
+    pair whose plan guards the ``solver`` proves disjoint is dropped
+    (with a :class:`Proof` appended to ``proofs_out``).
     """
     diagnostics: List[Diagnostic] = []
+    guards = guards or {}
     semantic_clean = False
     if invariant is not None and invariant_states is not None:
         semantic = interference_diagnostics_for_states(
@@ -162,23 +186,53 @@ def check_interference(
     if semantic_clean:
         return diagnostics
 
+    def disjoint(component: Action, base: Action) -> bool:
+        if solver is None:
+            return False
+        left = guards.get(component.name)
+        right = guards.get(base.name)
+        if left is None or right is None:
+            return False
+        return solver.co_satisfiable(left, right) is False
+
     base_frames = [
-        (action, *_frame_of(action, variables, probe, pair_budget))
+        (action, *_frame_of(action, variables, probe, pair_budget,
+                            exact_frames))
         for action in base_actions
     ]
     for component in list(correctors) + list(components):
-        _, component_writes = _frame_of(
-            component, variables, probe, pair_budget
+        _, component_writes, component_exact = _frame_of(
+            component, variables, probe, pair_budget, exact_frames
         )
         write_write = {}
         write_read = {}
-        for base, base_reads, base_writes in base_frames:
+        all_exact = component_exact
+        disjoint_with: List[str] = []
+        for base, base_reads, base_writes, base_exact in base_frames:
             ww = component_writes & base_writes
+            wr = (component_writes & base_reads) - ww
+            if (ww or wr) and disjoint(component, base):
+                disjoint_with.append(base.name)
+                continue
             if ww:
                 write_write[base.name] = ww
-            wr = (component_writes & base_reads) - ww
+                all_exact = all_exact and base_exact
             if wr:
                 write_read[base.name] = wr
+                all_exact = all_exact and base_exact
+        if disjoint_with and proofs_out is not None:
+            proofs_out.append(Proof(
+                rule=RULE,
+                method="solver",
+                detail=(
+                    f"guard of {component.name!r} is disjoint from "
+                    f"{sorted(disjoint_with)}: the actions are never "
+                    f"simultaneously enabled, so their frame overlap "
+                    f"cannot race"
+                ),
+                target=target,
+                action=component.name,
+            ))
         if write_write:
             shared = sorted(set().union(*write_write.values()))
             diagnostics.append(Diagnostic(
@@ -196,7 +250,7 @@ def check_interference(
                 variables=tuple(shared),
                 hint="provide the invariant so the semantic check (DC203) "
                      "can run exhaustively, or verify the composition",
-                sampled=not probe.exhaustive,
+                sampled=not probe.exhaustive and not all_exact,
             ))
         if write_read:
             shared = sorted(set().union(*write_read.values()))
@@ -213,6 +267,6 @@ def check_interference(
                 variables=tuple(shared),
                 hint="expected when the component repairs the base "
                      "program's state; listed for audit",
-                sampled=not probe.exhaustive,
+                sampled=not probe.exhaustive and not all_exact,
             ))
     return diagnostics

@@ -7,29 +7,41 @@ vs detector/corrector components.  :func:`lint` runs every applicable
 rule over a shared probe set and applies the target's suppressions.
 
 Nothing here explores a transition system: every rule evaluates guards,
-statements, and predicates pointwise on the probe states.  That is what
-makes ``repro lint`` cheap enough to run on every catalogue entry in CI
-while `repro verify` remains the (exhaustive, expensive) certificate.
+statements, and predicates pointwise on the probe states — except the
+symbolic pass (:mod:`repro.analysis.symbolic`), which *proves* frame,
+guard, and translation properties of actions that carry a Plan IR by
+exact enumeration over the plan's few support variables.  Planned
+actions therefore get proofs regardless of space size, while unplanned
+actions keep the differential probe.  That split is what makes ``repro
+lint`` cheap enough to run on every catalogue entry in CI while
+`repro verify` remains the (exhaustive, expensive) certificate.
+
+When a certificate store is active (``repro lint --store``), whole
+reports and per-action symbolic analyses are content-addressed through
+:mod:`repro.analysis.lint_store`: a warm run replays everything, and
+editing one action re-analyzes exactly that action.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.action import Action
 from ..core.faults import FaultClass
 from ..core.predicate import Predicate
 from ..core.program import Program
 from ..core.specification import Spec
-from ..core.state import State
-from .diagnostics import LintReport, Suppression
+from ..core.state import Schema, State
+from .diagnostics import LintReport, Proof, Suppression
 from .frames import check_frames
 from .guards import check_guards
 from .interference import check_interference
 from .probe import build_probe
 from .specs import check_closure, check_spec
+from .symbolic import ActionAnalysis, GuardSolver, analyze_action
 from .symmetry_lint import check_symmetry
+from . import lint_store
 
 __all__ = ["LintConfig", "LintTarget", "lint", "lint_program"]
 
@@ -45,6 +57,15 @@ class LintConfig:
     action, trying at most ``alt_limit`` alternative values per
     variable; closure sweeps stop after ``closure_limit`` in-predicate
     states.
+
+    The symbolic pass has its own budgets: ``solver_budget`` caps the
+    support-product size the guard solver and frame-table enumerate
+    exactly (beyond it the solver falls back to value-set abstraction
+    and frames fall back to probing); translation validation sweeps the
+    full space up to ``translation_limit`` states and decomposes
+    per-variable with ``translation_samples`` random base contexts
+    above it.  ``symbolic=False`` disables the pass entirely (every
+    action takes the differential-probe path, as before PR 10).
     """
 
     probe_limit: int = 4096
@@ -55,6 +76,10 @@ class LintConfig:
     symmetry_limit: int = 256
     seed: int = 0
     suggest_frames: bool = False
+    symbolic: bool = True
+    solver_budget: int = 1 << 16
+    translation_limit: int = 1 << 16
+    translation_samples: int = 4
 
 
 @dataclass(frozen=True)
@@ -109,9 +134,51 @@ def _invariant_states(
     return [s for s in probe.states if fn(s)], False
 
 
+def _symbolic_pass(
+    target: LintTarget,
+    config: LintConfig,
+    report: LintReport,
+    fault_actions: Tuple[Action, ...],
+) -> Dict[str, ActionAnalysis]:
+    """Run (or replay) the symbolic analyzer over every planned action.
+
+    Returns the analyses by action name; downstream rules consult them
+    to skip work the analyzer already decided exactly.
+    """
+    program = target.program
+    variables = program.variables
+    schema = Schema.of(tuple(v.name for v in variables))
+    analyses: Dict[str, ActionAnalysis] = {}
+    labeled = [(a, "action") for a in program.actions]
+    labeled += [(a, "fault action") for a in fault_actions]
+    for action, kind in labeled:
+        if getattr(action, "plan", None) is None or action._base is not None:
+            continue
+        analysis = lint_store.lookup_analysis(
+            action, variables, kind, config, target=target.name
+        )
+        if analysis is None:
+            analysis = analyze_action(
+                action, variables, schema,
+                target=target.name, kind=kind, config=config,
+            )
+            lint_store.record_analysis(
+                action, variables, kind, config, analysis
+            )
+        analyses[action.name] = analysis
+        report.extend(analysis.diagnostics)
+        report.add_proofs(analysis.proofs)
+    return analyses
+
+
 def lint(target: LintTarget, config: Optional[LintConfig] = None) -> LintReport:
     """Run every applicable rule over ``target``."""
     config = config or LintConfig()
+
+    cached = lint_store.lookup_report(target, config)
+    if cached is not None:
+        return cached
+
     program = target.program
     probe = build_probe(
         program.variables, limit=config.probe_limit, seed=config.seed
@@ -122,12 +189,23 @@ def lint(target: LintTarget, config: Optional[LintConfig] = None) -> LintReport:
         tuple(target.faults.actions) if target.faults is not None else ()
     )
 
+    # symbolic pass over the Plan IR: translation validation first, then
+    # exact frames and guard verdicts for every action it validated
+    analyses: Dict[str, ActionAnalysis] = {}
+    if config.symbolic:
+        analyses = _symbolic_pass(target, config, report, fault_actions)
+
     # frame soundness — program actions and fault actions alike (fault
-    # actions run through the same successor machinery when explored)
+    # actions run through the same successor machinery when explored).
+    # Actions whose plan survived translation validation were already
+    # judged exactly by the symbolic pass; the probe adds nothing.
     for action in program.actions + fault_actions:
         if action._base is not None:
             # a restricted action ``Z ∧ ac`` delegates to its base
             # action's memo; it carries no frame of its own to validate
+            continue
+        analysis = analyses.get(action.name)
+        if analysis is not None and analysis.validated and analysis.covers_frames:
             continue
         report.extend(check_frames(
             action, program.variables, probe,
@@ -137,19 +215,27 @@ def lint(target: LintTarget, config: Optional[LintConfig] = None) -> LintReport:
             alt_limit=config.alt_limit,
         ))
 
-    # guard satisfiability
+    # guard satisfiability — symbolic verdicts (proven satisfiable /
+    # dead / stutter) replace the probe scan where available
+    facts = {
+        name: analysis.guard_facts()
+        for name, analysis in analyses.items()
+        if analysis.validated
+    }
     start = target.start if target.start is not None else target.invariant
     report.extend(check_guards(
         program.actions, probe,
         target=target.name,
         start=start,
         component_names=target.correctors + target.components,
+        facts=facts,
     ))
     if fault_actions:
         report.extend(check_guards(
             fault_actions, probe,
             target=target.name,
             kind="fault action",
+            facts=facts,
         ))
 
     # symmetry-declaration soundness (DC106) — only fires when the
@@ -182,6 +268,24 @@ def lint(target: LintTarget, config: Optional[LintConfig] = None) -> LintReport:
             states, exhaustive = _invariant_states(target, config, probe)
         else:
             states, exhaustive = None, False
+        exact_frames = {
+            name: (analysis.reads, analysis.writes)
+            for name, analysis in analyses.items()
+            if analysis.validated and analysis.reads is not None
+        }
+        guards = {
+            action.name: action.plan.guard
+            for action in program.actions
+            if analyses.get(action.name) is not None
+            and analyses[action.name].validated
+        }
+        solver = None
+        if guards:
+            solver = GuardSolver(
+                {v.name: tuple(v.domain) for v in program.variables},
+                budget=config.solver_budget,
+            )
+        interference_proofs: List[Proof] = []
         report.extend(check_interference(
             target.base_actions(), correctors, program.variables, probe,
             components=components,
@@ -190,9 +294,15 @@ def lint(target: LintTarget, config: Optional[LintConfig] = None) -> LintReport:
             invariant_exhaustive=exhaustive,
             target=target.name,
             pair_budget=min(config.pair_budget, 500),
+            exact_frames=exact_frames,
+            guards=guards,
+            solver=solver,
+            proofs_out=interference_proofs,
         ))
+        report.add_proofs(interference_proofs)
 
     report.apply_suppressions(target.suppressions)
+    lint_store.record_report(target, config, report)
     return report
 
 

@@ -1,36 +1,50 @@
 """Render :class:`~repro.analysis.diagnostics.LintReport`\\ s.
 
-Two reporters, both writing to a file-like object:
+Three reporters, all writing to a file-like object:
 
 - :func:`render_text` — the human-facing format used by ``repro
   lint``: one line per diagnostic (``target: CODE severity [action]
   message``), an optional ``hint:`` continuation, and a per-run
-  summary line.
+  summary line (including the number of proven facts).
 - :func:`render_json` — one JSON document for the whole run
   (``{"reports": [...], "summary": {...}}``), for CI artifacts and
   editor integrations.  The shape is stable: diagnostics serialize via
   :meth:`Diagnostic.to_dict`, which never drops keys.
+- :func:`render_sarif` — SARIF 2.1.0 for code-scanning services
+  (GitHub uploads it for PR annotations).  Diagnostics become
+  ``results`` with stable rule ids; since the lint targets are built
+  programs rather than source files, locations are logical
+  (``target::action``) anchored on the catalogue module.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Sequence, TextIO
+from typing import Dict, List, Sequence, TextIO
 
 from .diagnostics import Diagnostic, LintReport, Severity
 
-__all__ = ["render_text", "render_json", "summarize", "worst_severity"]
+__all__ = [
+    "render_text",
+    "render_json",
+    "render_sarif",
+    "summarize",
+    "worst_severity",
+]
 
 
 def summarize(reports: Sequence[LintReport]) -> dict:
     """Aggregate counts over a run, for both reporters."""
     counts = {"error": 0, "warning": 0, "info": 0, "suppressed": 0}
+    proven = 0
     for report in reports:
         for diagnostic in report.diagnostics:
             if diagnostic.suppressed:
                 counts["suppressed"] += 1
             else:
                 counts[str(diagnostic.severity)] += 1
+        proven += len(getattr(report, "proofs", ()))
+    counts["proven"] = proven
     counts["targets"] = len(reports)
     return counts
 
@@ -68,22 +82,29 @@ def render_text(
         ]
         if not shown:
             out.write(f"{report.target}: ok\n")
-            continue
-        for diagnostic in shown:
-            out.write(_text_line(diagnostic) + "\n")
-            if verbose and diagnostic.hint:
-                out.write(f"    hint: {diagnostic.hint}\n")
-            if verbose and diagnostic.suppressed:
-                out.write(
-                    f"    suppressed: {diagnostic.justification}\n"
-                )
-            if verbose and diagnostic.evidence:
-                out.write(f"    evidence: {diagnostic.evidence}\n")
+        else:
+            for diagnostic in shown:
+                out.write(_text_line(diagnostic) + "\n")
+                if verbose and diagnostic.hint:
+                    out.write(f"    hint: {diagnostic.hint}\n")
+                if verbose and diagnostic.suppressed:
+                    out.write(
+                        f"    suppressed: {diagnostic.justification}\n"
+                    )
+                if verbose and diagnostic.evidence:
+                    out.write(f"    evidence: {diagnostic.evidence}\n")
+        if verbose:
+            for proof in getattr(report, "proofs", ()):
+                out.write(f"    {proof.format()}\n")
     counts = summarize(reports)
+    proven = ""
+    if counts.get("proven"):
+        proven = f", {counts['proven']} proven fact(s)"
     out.write(
         f"{counts['targets']} target(s): "
         f"{counts['error']} error(s), {counts['warning']} warning(s), "
-        f"{counts['info']} info, {counts['suppressed']} suppressed\n"
+        f"{counts['info']} info, {counts['suppressed']} suppressed"
+        f"{proven}\n"
     )
 
 
@@ -92,6 +113,86 @@ def render_json(reports: Sequence[LintReport], out: TextIO) -> None:
     document = {
         "reports": [report.to_dict() for report in reports],
         "summary": summarize(reports),
+    }
+    json.dump(document, out, indent=2, sort_keys=True)
+    out.write("\n")
+
+
+#: SARIF levels by severity (SARIF has no "info" result level; "note"
+#: is its advisory tier)
+_SARIF_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+#: the artifact results anchor on: the lint targets are built programs,
+#: not files, and this module is where every target is declared
+_CATALOGUE_URI = "src/repro/analysis/catalogue.py"
+
+
+def _sarif_result(diagnostic: Diagnostic) -> dict:
+    fqn = diagnostic.target or "<program>"
+    if diagnostic.action:
+        fqn += f"::{diagnostic.action}"
+    result: dict = {
+        "ruleId": diagnostic.code,
+        "level": _SARIF_LEVELS[diagnostic.severity],
+        "message": {"text": diagnostic.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": _CATALOGUE_URI},
+                "region": {"startLine": 1},
+            },
+            "logicalLocations": [{"fullyQualifiedName": fqn}],
+        }],
+        "properties": {
+            "target": diagnostic.target,
+            "sampled": diagnostic.sampled,
+        },
+    }
+    if diagnostic.action:
+        result["properties"]["action"] = diagnostic.action
+    if diagnostic.evidence:
+        result["properties"]["evidence"] = diagnostic.evidence
+    if diagnostic.suppressed:
+        result["suppressions"] = [{
+            "kind": "inSource",
+            "justification": diagnostic.justification or "",
+        }]
+    return result
+
+
+def render_sarif(reports: Sequence[LintReport], out: TextIO) -> None:
+    """The whole run as one SARIF 2.1.0 document."""
+    rules: Dict[str, dict] = {}
+    results: List[dict] = []
+    for report in reports:
+        for diagnostic in report.diagnostics:
+            rules.setdefault(diagnostic.code, {
+                "id": diagnostic.code,
+                "name": diagnostic.rule,
+                "shortDescription": {"text": diagnostic.rule},
+                "helpUri": "docs/static_analysis.md",
+            })
+            results.append(_sarif_result(diagnostic))
+    document = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "informationUri": "docs/static_analysis.md",
+                    "rules": [rules[code] for code in sorted(rules)],
+                },
+            },
+            "results": results,
+            "properties": {"summary": summarize(reports)},
+        }],
     }
     json.dump(document, out, indent=2, sort_keys=True)
     out.write("\n")

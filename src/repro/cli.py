@@ -282,6 +282,8 @@ def _store_stats_line(out=sys.stdout) -> None:
         ("obligations_reused", "frame-reused"),
         ("graph_hits", "graphs"),
         ("graph_reassembled", "reassembled"),
+        ("lint_report_hits", "lint-reports"),
+        ("lint_action_hits", "lint-actions"),
     ):
         count = stats.get(event, 0)
         if count:
@@ -490,11 +492,14 @@ def _bench(args, out=sys.stdout) -> int:
 def _lint(args, out=sys.stdout) -> int:
     from .analysis import (
         LINT_CATALOGUE,
+        CatalogueCoverageError,
         LintConfig,
         lint,
         lint_targets,
         render_json,
+        render_sarif,
         render_text,
+        uncovered_modules,
     )
 
     names = list(LINT_CATALOGUE) if args.all else args.names
@@ -502,10 +507,28 @@ def _lint(args, out=sys.stdout) -> int:
         print("nothing to lint; pass entry names or --all", file=out)
         return 2
 
+    if args.store is not None:
+        from .store import backend as store_backend
+
+        store_backend.set_active_store(args.store)
+
+    if args.all:
+        # the coverage contract behind --all: refuse to call the whole
+        # catalogue clean while a bundled scenario has no lint entry
+        missing = uncovered_modules()
+        if missing:
+            print(CatalogueCoverageError(
+                f"scenario module(s) {missing} in repro.programs have "
+                f"no lint catalogue entry; add a lint_entry(..., "
+                f"covers=...) builder or an EXEMPT_MODULES reason"
+            ), file=out)
+            return 2
+
     config = LintConfig(
         probe_limit=args.probe_limit,
         seed=args.seed,
         suggest_frames=args.suggest_frames,
+        symbolic=not args.no_symbolic,
     )
     reports = []
     for name in names:
@@ -515,10 +538,16 @@ def _lint(args, out=sys.stdout) -> int:
         for target in lint_targets(name):
             reports.append(lint(target, config))
 
-    if args.json:
+    fmt = "json" if args.json else args.format
+    if fmt == "json":
         render_json(reports, out)
+    elif fmt == "sarif":
+        render_sarif(reports, out)
     else:
         render_text(reports, out, verbose=args.verbose)
+        # the stats line is text-only: appending it to a JSON/SARIF
+        # document would corrupt it for downstream parsers
+        _store_stats_line(out)
 
     if args.strict and any(report.errors() for report in reports):
         return 1
@@ -669,7 +698,23 @@ def main(argv: List[str] = None, out=sys.stdout) -> int:
         "--all", action="store_true", help="lint the whole catalogue"
     )
     lint_parser.add_argument(
-        "--json", action="store_true", help="emit JSON diagnostics"
+        "--json", action="store_true",
+        help="emit JSON diagnostics (alias for --format json)",
+    )
+    lint_parser.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="output format; 'sarif' emits SARIF 2.1.0 for "
+             "code-scanning uploads",
+    )
+    lint_parser.add_argument(
+        "--store", metavar="SPEC", default=None,
+        help="certificate store to read/write lint reports and "
+             "per-action symbolic analyses (same SPEC forms as "
+             "'verify --store')",
+    )
+    lint_parser.add_argument(
+        "--no-symbolic", action="store_true",
+        help="disable the Plan-IR symbolic analyzer (probe-only lint)",
     )
     lint_parser.add_argument(
         "--strict", action="store_true",

@@ -39,6 +39,7 @@ Performance notes (see ``docs/performance.md``):
 
 from __future__ import annotations
 
+import sys
 from collections import OrderedDict, deque
 from typing import (
     Dict,
@@ -1123,6 +1124,11 @@ def clear_all_caches() -> None:
     clear_system_cache()
     Action.clear_successor_caches()
     _kernels.clear_kernel_caches()
+    # the symbolic lint analyzer's truth tables and per-action analyses
+    # (only when the module was ever imported — don't force it in)
+    symbolic = sys.modules.get("repro.analysis.symbolic")
+    if symbolic is not None:
+        symbolic.clear_symbolic_caches()
     try:
         from ..store import backend as _store_backend
 

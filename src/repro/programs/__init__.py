@@ -4,4 +4,26 @@ Each module builds one program family with its specification, invariant
 and fault-span predicates, and fault classes, returning a frozen "model"
 dataclass so that tests, benchmarks, and examples share a single source
 of truth for every construction in the paper.
+
+:func:`program_modules` enumerates the scenario modules in this package
+so the lint catalogue (:mod:`repro.analysis.catalogue`) can *prove* its
+self-lint covers every bundled scenario — a module added here without a
+lint entry (or an explicit exemption) fails ``repro lint --all`` in CI
+instead of silently skipping the pre-flight.
 """
+
+from __future__ import annotations
+
+import pkgutil
+from typing import Tuple
+
+__all__ = ["program_modules"]
+
+
+def program_modules() -> Tuple[str, ...]:
+    """The scenario module names bundled in this package, sorted."""
+    return tuple(sorted(
+        module.name
+        for module in pkgutil.iter_modules(__path__)
+        if not module.ispkg
+    ))
