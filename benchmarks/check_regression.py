@@ -27,6 +27,12 @@ Two guards keep the gate honest rather than flaky:
   are reported but never gated: at sub-millisecond scale the wall
   measures scheduler noise, not the engine.
 
+Suites listed in ``record.THROUGHPUT_FLOORS`` additionally carry an
+absolute states-per-second floor (for ``campaign_distributed``,
+trials/sec through the job queue): the relative gate only compares
+against the committed record, so an absolute floor catches a run whose
+record was committed on an already-degraded machine.
+
 Fresh runs use best-of ``--repeat`` (default 3) to damp one-off stalls.
 """
 
@@ -98,9 +104,19 @@ def main(argv: List[str] = None) -> int:
             for name in harness.SUITES
         }
 
+    floors = getattr(harness, "THROUGHPUT_FLOORS", {})
     failures = 0
     for name, result in current.items():
         wall = float(result["wall_s"])
+        floor = floors.get(name)
+        if floor is not None and wall > 0 and result.get("states"):
+            rate = float(result["states"]) / wall
+            if rate < floor:
+                print(
+                    f"{name:26s} {rate:9.1f} states/s   "
+                    f"BELOW FLOOR ({floor:.1f} states/s)"
+                )
+                failures += 1
         base = committed.get(name)
         if base is None or base.get("states") != result.get("states"):
             if base is not None and name in state_gated:

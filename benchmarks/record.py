@@ -334,6 +334,81 @@ def _suite_monitoring_ingest() -> int:
     return count
 
 
+#: lazily started fixture of the ``campaign_distributed`` suite: one
+#: in-process ``repro serve`` front end plus two pull workers, shared
+#: by every repetition (the scheduler/worker round trips are what the
+#: suite times; the server thread is per harness process)
+_DISTRIBUTED: Dict[str, object] = {"url": None, "seed": 0}
+
+#: fixed trial count of the ``campaign_distributed`` suite — its
+#: deterministic "states" figure in quick and full mode
+_DISTRIBUTED_TRIALS = 16
+
+
+def _prepare_campaign_distributed(quick: bool) -> None:
+    """Untimed set-up: start the job-queue server and two workers once.
+    Each repetition then uses a fresh master seed, so batch artifacts
+    from earlier repetitions are never cache hits — the suite times
+    scheduling + computation, not store reads."""
+    if _DISTRIBUTED["url"] is not None:
+        return
+    import asyncio
+    import threading
+
+    from repro.campaigns import worker_loop
+    from repro.store import MemoryStore
+    from repro.store.serve import StoreServer
+
+    server = StoreServer(MemoryStore(), port=0)
+    loop = asyncio.new_event_loop()
+    ready = threading.Event()
+
+    def run() -> None:
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(server.start())
+        ready.set()
+        loop.run_forever()
+
+    threading.Thread(target=run, daemon=True).start()
+    if not ready.wait(10):
+        raise RuntimeError("benchmark job-queue server failed to start")
+    url = f"http://127.0.0.1:{server.port}"
+    stop = threading.Event()
+    for i in range(2):
+        threading.Thread(
+            target=worker_loop, args=(url,),
+            kwargs={"stop": stop, "lease_s": 120.0,
+                    "worker_id": f"bench-w{i}"},
+            daemon=True,
+        ).start()
+    _DISTRIBUTED["url"] = url
+
+
+def _suite_campaign_distributed() -> int:
+    """A Byzantine-agreement campaign scheduled through the job queue:
+    trial batches leased by pull workers over HTTP, results merged in
+    trial order.  The wall is the end-to-end distributed run — server
+    round trips, batch encode/decode, and replay included — so the
+    derived states/sec is the queue's trial throughput, floored by
+    ``THROUGHPUT_FLOORS`` in the regression gate."""
+    from repro.campaigns import DistributedCampaign, get_scenario
+
+    seed = 1_000 + _DISTRIBUTED["seed"]
+    _DISTRIBUTED["seed"] += 1
+    campaign = DistributedCampaign(
+        get_scenario("byzantine"), trials=_DISTRIBUTED_TRIALS, seed=seed,
+        horizon=200.0, stream=None, base_url=_DISTRIBUTED["url"],
+        batch_size=4, deadline_s=600,
+    )
+    result = campaign.run()
+    assert not campaign.degraded, "benchmark server must be reachable"
+    assert campaign.batches_from_store == 0, (
+        "fresh seed per repetition: store hits would flatter the wall"
+    )
+    assert result.summary["completed"] == _DISTRIBUTED_TRIALS
+    return _DISTRIBUTED_TRIALS
+
+
 #: lazily resolved spec + population flag of the certificate-store
 #: suite's backing store (one per harness process)
 _WARM_STORE: Dict[str, object] = {"spec": None, "populated": False}
@@ -411,6 +486,8 @@ SUITES: Dict[str, Callable[[bool], int]] = {
     "byzantine_k13_unreduced":
         lambda quick: _suite_byzantine_k13_unreduced(),
     "monitoring_ingest": lambda quick: _suite_monitoring_ingest(),
+    "campaign_distributed":
+        lambda quick: _suite_campaign_distributed(),
     # keep last: installs a process-wide certificate store
     "certificate_store_warm":
         lambda quick: _suite_certificate_store_warm(),
@@ -419,7 +496,16 @@ SUITES: Dict[str, Callable[[bool], int]] = {
 #: per-suite untimed set-up hooks, run before each repetition's cache
 #: clear + timed body
 PREPARE: Dict[str, Callable[[bool], None]] = {
+    "campaign_distributed": _prepare_campaign_distributed,
     "certificate_store_warm": _prepare_certificate_store_warm,
+}
+
+#: minimum sustained states-per-second (for ``campaign_distributed``:
+#: trials/sec through the job queue) enforced by ``check_regression.py``
+#: on top of the relative-slowdown gate — an absolute floor catches a
+#: scheduler that got uniformly slower before a record is re-committed
+THROUGHPUT_FLOORS: Dict[str, float] = {
+    "campaign_distributed": 4.0,
 }
 
 #: suites whose ``states`` count is a *quotient* size that must match
@@ -436,6 +522,8 @@ PREPARE: Dict[str, Callable[[bool], None]] = {
 #: ``byzantine_k13_unreduced``) are gated on their closed-form exact
 #: counts: a kernel-compilation change that alters either is a
 #: correctness bug in the successor arithmetic.
+#: ``campaign_distributed`` runs the same fixed trial count in both
+#: modes, so its figure is gated like ``monitoring_ingest``'s.
 STATE_GATED = frozenset({
     "byzantine_tolerance",
     "nmr_tolerance_sym",
@@ -443,6 +531,7 @@ STATE_GATED = frozenset({
     "token_ring_large",
     "byzantine_k13_unreduced",
     "monitoring_ingest",
+    "campaign_distributed",
     "certificate_store_warm",
 })
 

@@ -17,9 +17,14 @@ role of exploring executions the designer did not anticipate.
 - :mod:`repro.campaigns.report` — JSONL event log and the aggregate
   summary (percentile detection/convergence latencies, availability);
 - :mod:`repro.campaigns.scenarios` — ready-made scenarios for the
-  program zoo (token ring, TMR, Byzantine agreement, memory access).
+  program zoo (token ring, TMR, Byzantine agreement, memory access);
+- :mod:`repro.campaigns.distributed` — the same campaigns (and
+  ``explore_codes`` censuses) sharded over the ``repro serve`` job
+  queue and ``repro worker`` fleets, verdict-identical to the
+  in-process paths.
 
-CLI: ``repro campaign <scenario> --trials N --seed S --jsonl PATH``.
+CLI: ``repro campaign <scenario> --trials N --seed S --jsonl PATH``
+(add ``--distributed URL`` to run through a served job queue).
 """
 
 from .classify import (
@@ -54,8 +59,16 @@ from .schedules import (
     random_schedule,
 )
 from .scenarios import SCENARIOS, get_scenario
+from .distributed import (
+    DistributedCampaign,
+    distributed_census,
+    worker_loop,
+)
 
 __all__ = [
+    "DistributedCampaign",
+    "distributed_census",
+    "worker_loop",
     "OUTCOMES",
     "TrialMetrics",
     "classify_outcome",

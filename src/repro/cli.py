@@ -13,6 +13,12 @@ Usage::
     python -m repro bench --full     # the full recorded suite
     python -m repro lint --all --strict   # static pre-flight, CI gate
     python -m repro lint tmr --json       # machine-readable diagnostics
+    python -m repro serve campaign.db --port 7357
+    python -m repro worker --store http://127.0.0.1:7357   # pull jobs
+    python -m repro campaign byzantine --trials 64 \\
+        --distributed http://127.0.0.1:7357   # shard trials over workers
+    python -m repro census token_ring --size 4 --shards 8 \\
+        --distributed http://127.0.0.1:7357   # shard a code-space census
 
 (``repro`` installed via ``pip install -e .`` works in place of
 ``python -m repro``.)
@@ -31,7 +37,12 @@ by default, ``--full`` for the numbers recorded in ``BENCH_core.json``.
 catalogue — frame soundness, interference races, dead guards, spec
 well-formedness — without exhaustive exploration; ``--strict`` makes
 any unsuppressed error fail the command, which is how CI gates every
-bundled program.
+bundled program.  ``serve`` exposes the active store (and a job board)
+over HTTP; ``worker`` pulls trial batches and census shards from a
+served job queue; ``campaign --distributed URL`` and ``census
+--distributed URL`` shard their work over that queue with results
+byte-identical to the in-process paths (see
+:mod:`repro.campaigns.distributed`).
 """
 
 from __future__ import annotations
@@ -347,25 +358,130 @@ def _campaign(args, out=sys.stdout) -> int:
     except OSError as exc:
         print(f"cannot write JSONL log {args.jsonl!r}: {exc}", file=out)
         return 2
+    distributed = None
     try:
-        campaign = Campaign(
-            SCENARIOS[args.scenario],
-            trials=args.trials,
-            seed=args.seed,
-            budget=args.budget,
-            horizon=args.horizon,
-            trial_timeout=args.trial_timeout,
-            stream=stream,
-            workers=args.workers,
-        )
-        result = campaign.run()
+        if args.distributed:
+            from .campaigns import DistributedCampaign
+
+            distributed = DistributedCampaign(
+                SCENARIOS[args.scenario],
+                trials=args.trials,
+                seed=args.seed,
+                budget=args.budget,
+                horizon=args.horizon,
+                trial_timeout=args.trial_timeout,
+                stream=stream,
+                base_url=args.distributed,
+                batch_size=args.batch_size,
+                target_lease_s=args.target_lease,
+                deadline_s=args.deadline,
+                fallback_workers=args.workers,
+            )
+            campaign = distributed.campaign
+            result = distributed.run()
+        else:
+            campaign = Campaign(
+                SCENARIOS[args.scenario],
+                trials=args.trials,
+                seed=args.seed,
+                budget=args.budget,
+                horizon=args.horizon,
+                trial_timeout=args.trial_timeout,
+                stream=stream,
+                workers=args.workers,
+            )
+            result = campaign.run()
     finally:
         if stream is not None:
             stream.close()
     print(result.format(), file=out)
+    if distributed is not None:
+        if distributed.degraded:
+            print(
+                f"   distributed: server {args.distributed!r} unavailable, "
+                "ran in-process",
+                file=out,
+            )
+        else:
+            print(
+                f"   distributed: {distributed.batches_total} batches, "
+                f"{distributed.batches_from_store} from store",
+                file=out,
+            )
     if args.jsonl:
         print(f"   telemetry: {args.jsonl} "
               f"({len(campaign.log.events)} events)", file=out)
+    return 0
+
+
+def _worker(args, out=sys.stdout) -> int:
+    """Run a pull-based job worker against a 'repro serve' front end."""
+    from .campaigns.distributed import worker_loop
+
+    queues = tuple(q for q in args.queues.split(",") if q)
+    if not queues:
+        print("no queues to poll; pass --queues campaign,census", file=out)
+        return 2
+    announce = (lambda message: print(message, file=out)) \
+        if args.verbose else None
+    try:
+        handled = worker_loop(
+            args.store,
+            queues=queues,
+            worker_id=args.id,
+            once=args.once,
+            lease_s=args.lease,
+            announce=announce,
+        )
+    except KeyboardInterrupt:
+        print("worker stopped", file=out)
+        return 0
+    print(f"worker processed {handled} job(s)", file=out)
+    return 0
+
+
+def _census(args, out=sys.stdout) -> int:
+    """Exact reachable-state census, optionally sharded over workers."""
+    from .campaigns.distributed import CENSUS_WORKLOADS, distributed_census
+
+    if args.workload not in CENSUS_WORKLOADS:
+        known = ", ".join(sorted(CENSUS_WORKLOADS))
+        print(
+            f"unknown census workload {args.workload!r}; known: {known}",
+            file=out,
+        )
+        return 2
+    if args.workload == "token_ring":
+        params = {"size": args.size, "k": args.k}
+    else:
+        params = {"k": args.k if args.k is not None else 3}
+    if args.store is not None:
+        from .store import backend as store_backend
+
+        store_backend.set_active_store(args.store)
+    try:
+        reach, stats = distributed_census(
+            args.workload,
+            params=params,
+            shards=args.shards,
+            base_url=args.distributed,
+            max_states=args.max_states,
+            deadline_s=args.deadline,
+        )
+    except (RuntimeError, TimeoutError) as exc:
+        print(f"census failed: {exc}", file=out)
+        return 1
+    print(
+        f"census {args.workload}{params}: {reach.states} states "
+        f"({reach.levels} levels, {reach.edges} successor rows)",
+        file=out,
+    )
+    mode = "in-process" if stats["degraded"] else "distributed"
+    print(
+        f"   shards: {stats['shards']} ({mode}), "
+        f"{stats['from_store']} from store, {stats['computed']} computed",
+        file=out,
+    )
     return 0
 
 
@@ -614,6 +730,26 @@ def main(argv: List[str] = None, out=sys.stdout) -> int:
         help="print the verdict recorded in an existing JSONL log "
              "(no trials are run)",
     )
+    campaign_parser.add_argument(
+        "--distributed", metavar="URL", default=None,
+        help="run trial batches through a 'repro serve' job queue at "
+             "this URL (verdicts identical to in-process; degrades to "
+             "in-process if the server is unreachable)",
+    )
+    campaign_parser.add_argument(
+        "--batch-size", type=int, default=None,
+        help="trials per distributed batch (default: adaptive toward "
+             "--target-lease seconds per batch)",
+    )
+    campaign_parser.add_argument(
+        "--target-lease", type=float, default=5.0,
+        help="target seconds of work per adaptive distributed batch",
+    )
+    campaign_parser.add_argument(
+        "--deadline", type=float, default=None,
+        help="abort the distributed run after this many wall-clock "
+             "seconds with batches still outstanding",
+    )
     monitor_parser = subparsers.add_parser(
         "monitor",
         help="replay recorded telemetry through the detector-bank runtime",
@@ -689,6 +825,75 @@ def main(argv: List[str] = None, out=sys.stdout) -> int:
     serve_parser.add_argument(
         "--port", type=int, default=7357, help="bind port"
     )
+    worker_parser = subparsers.add_parser(
+        "worker",
+        help="pull and run campaign/census jobs from a 'repro serve' "
+             "job queue",
+    )
+    worker_parser.add_argument(
+        "--store", metavar="URL", required=True,
+        help="base URL of the 'repro serve' front end to pull from",
+    )
+    worker_parser.add_argument(
+        "--queues", default="campaign,census",
+        help="comma-separated queue names to poll (in priority order)",
+    )
+    worker_parser.add_argument(
+        "--id", default=None,
+        help="worker identity shown in leases (default: host-pid)",
+    )
+    worker_parser.add_argument(
+        "--once", action="store_true",
+        help="exit at the first sweep that finds every queue empty "
+             "(instead of polling forever)",
+    )
+    worker_parser.add_argument(
+        "--lease", type=float, default=60.0,
+        help="lease seconds requested per job; a worker that dies is "
+             "re-leased after this long",
+    )
+    worker_parser.add_argument(
+        "--verbose", action="store_true",
+        help="print a line per completed/failed job",
+    )
+    census_parser = subparsers.add_parser(
+        "census",
+        help="exact reachable-state census in packed-code space, "
+             "optionally sharded over workers",
+    )
+    census_parser.add_argument(
+        "workload", help="census workload name (token_ring, byzantine)"
+    )
+    census_parser.add_argument(
+        "--size", type=int, default=4, help="token_ring: ring size"
+    )
+    census_parser.add_argument(
+        "--k", type=int, default=None,
+        help="token_ring: K (default size+... per builder); "
+             "byzantine: non-general count (default 3)",
+    )
+    census_parser.add_argument(
+        "--shards", type=int, default=4,
+        help="start-code shards (the census is exact for any count)",
+    )
+    census_parser.add_argument(
+        "--distributed", metavar="URL", default=None,
+        help="run shards through a 'repro serve' job queue at this URL "
+             "(default: compute in-process)",
+    )
+    census_parser.add_argument(
+        "--store", metavar="SPEC", default=None,
+        help="store for shard artifacts in in-process mode (re-runs "
+             "become cache hits)",
+    )
+    census_parser.add_argument(
+        "--max-states", type=int, default=None,
+        help="per-shard exploration cap (default: library cap)",
+    )
+    census_parser.add_argument(
+        "--deadline", type=float, default=None,
+        help="abort the distributed census after this many seconds",
+    )
     lint_parser = subparsers.add_parser(
         "lint",
         help="statically analyze catalogue programs (no exploration)",
@@ -757,6 +962,12 @@ def main(argv: List[str] = None, out=sys.stdout) -> int:
 
     if args.command == "serve":
         return _serve(args, out=out)
+
+    if args.command == "worker":
+        return _worker(args, out=out)
+
+    if args.command == "census":
+        return _census(args, out=out)
 
     names = list(CATALOGUE) if args.all else args.names
     if not names:

@@ -45,9 +45,12 @@ from .kernels import (
     CodeReach,
     KernelError,
     Plan,
+    census_start_codes,
     clear_kernel_caches,
+    explore_code_shard,
     explore_codes,
     get_backend,
+    merge_code_reaches,
     resolved_backend,
     set_backend,
 )
@@ -121,6 +124,7 @@ __all__ = [
     "set_default_workers",
     # batch kernels
     "Plan", "KernelError", "CodeReach", "explore_codes",
+    "explore_code_shard", "census_start_codes", "merge_code_reaches",
     "set_backend", "get_backend", "resolved_backend", "clear_kernel_caches",
     # symmetry
     "Symmetry", "SymmetryError", "ReplicaSymmetry", "RingRotation",

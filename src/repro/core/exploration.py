@@ -80,6 +80,11 @@ DEFAULT_MAX_STATES = 2_000_000
 #: code -> id table for (int32 entries: 64 MiB at the limit).
 _DENSE_ID_SPACE_LIMIT = 1 << 24
 
+#: Largest declared state space (Cartesian product of domains) the
+#: tiny-space interpreted fast path handles; above this the batch
+#: engines' per-level vectorization wins over their setup cost.
+_SMALL_SPACE_STATES = 128
+
 _EMPTY_EDGES: Tuple[Tuple[str, State], ...] = ()
 
 #: module-wide default worker count for sharded exploration (``None``
@@ -245,6 +250,9 @@ class TransitionSystem:
                     max_states, canonical_many, workers
                 ):
                     return
+            if self.program.state_count() <= _SMALL_SPACE_STATES:
+                self._explore_small(max_states, canonical)
+                return
             if _kernels.get_backend() != "interpreted":
                 if self._explore_columnar(max_states):
                     return
@@ -297,6 +305,38 @@ class TransitionSystem:
                                 f"state-space exceeds max_states={max_states} "
                                 f"for {self.program.name!r}"
                             )
+
+    def _explore_small(self, max_states: int, canonical) -> None:
+        """Tiny-space fast path: interpreted, level-synchronous BFS.
+
+        For state spaces of at most :data:`_SMALL_SPACE_STATES` codes
+        the batch engines' setup — layout construction and one
+        compilation attempt per action — costs more than the whole
+        interpreted expansion, so this path expands each level through
+        plain ``Action.successors`` calls and folds it with
+        :meth:`_assemble_level`.  Unlike the scalar engine it keeps the
+        dense-id row accumulator populated, so downstream region
+        indexing skips the State-level reassembly too."""
+        frontier: List[State] = list(self.start_states)
+        program_actions = self.program.actions
+        fault_actions = self.fault_actions
+        while frontier:
+            n = len(frontier)
+            program_buckets: List[List] = [[] for _ in range(n)]
+            fault_buckets: List[List] = [[] for _ in range(n)]
+            for actions, buckets in (
+                (program_actions, program_buckets),
+                (fault_actions, fault_buckets),
+            ):
+                for action in actions:
+                    name = action.name
+                    for i, state in enumerate(frontier):
+                        bucket = buckets[i]
+                        for nxt in action.successors(state):
+                            bucket.append((name, canonical(nxt, nxt)))
+            frontier = self._assemble_level(
+                frontier, program_buckets, fault_buckets, max_states
+            )
 
     def _assemble_level(
         self,

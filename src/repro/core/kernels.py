@@ -80,6 +80,9 @@ __all__ = [
     "row_kernel",
     "batch_kernel",
     "explore_codes",
+    "explore_code_shard",
+    "census_start_codes",
+    "merge_code_reaches",
     "CodeReach",
     "clear_kernel_caches",
 ]
@@ -827,14 +830,21 @@ def code_kernel(action, layout: Layout) -> Optional[Callable]:
 # -- code-space exploration (million-state BFS, no State objects) --------------
 
 class CodeReach:
-    """Result of :func:`explore_codes`: exact reachable census."""
+    """Result of :func:`explore_codes`: exact reachable census.
 
-    __slots__ = ("states", "levels", "edges")
+    ``codes`` is the sorted reachable-code array when the caller asked
+    for it (``collect_codes=True`` / the shard entry points) and
+    ``None`` otherwise — censuses that only need the count never pay to
+    materialize the set.
+    """
 
-    def __init__(self, states: int, levels: int, edges: int):
+    __slots__ = ("states", "levels", "edges", "codes")
+
+    def __init__(self, states: int, levels: int, edges: int, codes=None):
         self.states = states
         self.levels = levels
         self.edges = edges
+        self.codes = codes
 
     def __repr__(self) -> str:
         return (
@@ -843,60 +853,19 @@ class CodeReach:
         )
 
 
-def explore_codes(
-    program,
-    start_states: Iterable[State],
-    fault_actions=(),
-    max_states: int = DEFAULT_MAX_CODES,
-) -> CodeReach:
-    """Exact reachable-state census of ``program [] faults`` by BFS in
-    packed-code space.
-
-    Every action (program and fault) must carry a compilable
-    :class:`Plan` and numpy must be available — this explorer exists for
-    state spaces where materializing ``State`` objects is not an option,
-    so there is no interpreted fallback to hide behind.  Dedup uses a
-    byte bitmap over the full code space when it fits (≤ 64M codes) and
-    a sorted-merge anti-join otherwise; either way the census is exact.
-
-    ``start_states`` is an iterable of :class:`State` objects, or the
-    string ``"all"`` for the program's entire state space — the codes
-    ``0..space-1`` are synthesized directly, so a multimillion-state
-    full-space sweep (e.g. a self-stabilization census) never builds a
-    single ``State``.  Frontiers are expanded in bounded chunks, so peak
-    memory stays proportional to the chunk, not the frontier.
-    """
-    if _np is None:
-        raise KernelError("explore_codes requires numpy")
-    if isinstance(start_states, str):
-        _require(
-            start_states == "all",
-            f"unknown start-state selector {start_states!r}",
-        )
-        first = next(iter(state_space(program.variables)), None)
-        if first is None:
-            return CodeReach(0, 0, 0)
-        schema = first._schema
-        starts = None
-    else:
-        starts = list(start_states)
-        if not starts:
-            return CodeReach(0, 0, 0)
-        schema = starts[0]._schema
-        for state in starts:
-            _require(
-                state._schema is schema,
-                "explore_codes start states must share one schema",
-            )
+def _census_layout(program, schema) -> Layout:
     layout = layout_for(schema, program._domains)
     _require(
         layout is not None,
         f"state space of {program.name!r} does not pack into "
         f"{MAX_CODE_BITS}-bit codes",
     )
-    actions = tuple(program.actions) + tuple(fault_actions)
+    return layout
+
+
+def _census_kernels(program, fault_actions, layout: Layout) -> List[Callable]:
     kernels = []
-    for action in actions:
+    for action in tuple(program.actions) + tuple(fault_actions):
         kernel = code_kernel(action, layout)
         _require(
             kernel is not None,
@@ -904,16 +873,13 @@ def explore_codes(
             f"{program.name!r}",
         )
         kernels.append(kernel)
+    return kernels
 
-    if starts is None:
-        start_codes = _np.arange(layout.space, dtype=_np.int64)
-    else:
-        start_codes = _np.unique(
-            _np.array(
-                [layout.pack_values(s._values) for s in starts],
-                dtype=_np.int64,
-            )
-        )
+
+def _code_bfs(layout: Layout, kernels, start_codes, max_states: int,
+              name: str, collect: bool) -> CodeReach:
+    """The BFS core shared by whole censuses and shards: expand from
+    ``start_codes`` (sorted, unique) until no fresh code appears."""
     use_bitmap = layout.space <= _BITMAP_SPACE_LIMIT
     if use_bitmap:
         seen_map = _np.zeros(layout.space, dtype=bool)
@@ -961,9 +927,153 @@ def explore_codes(
         if total > max_states:
             raise RuntimeError(
                 f"code-space exploration exceeds max_states={max_states} "
-                f"for {program.name!r}"
+                f"for {name!r}"
             )
-    return CodeReach(total, levels, edges)
+    reached = None
+    if collect:
+        reached = _np.flatnonzero(seen_map) if use_bitmap else seen_sorted
+    return CodeReach(total, levels, edges, reached)
+
+
+def census_start_codes(program, start_states: Iterable[State]):
+    """Resolve a census start set to ``(layout, sorted unique codes)`` —
+    the scheduler half of a sharded census (slice the codes with
+    ``numpy.array_split`` and hand each slice to
+    :func:`explore_code_shard`)."""
+    if _np is None:
+        raise KernelError("explore_codes requires numpy")
+    if isinstance(start_states, str):
+        _require(
+            start_states == "all",
+            f"unknown start-state selector {start_states!r}",
+        )
+        first = next(iter(state_space(program.variables)), None)
+        _require(first is not None, f"{program.name!r} has an empty space")
+        layout = _census_layout(program, first._schema)
+        return layout, _np.arange(layout.space, dtype=_np.int64)
+    starts = list(start_states)
+    _require(bool(starts), "census_start_codes needs at least one start")
+    schema = starts[0]._schema
+    for state in starts:
+        _require(
+            state._schema is schema,
+            "explore_codes start states must share one schema",
+        )
+    layout = _census_layout(program, schema)
+    codes = _np.unique(
+        _np.array(
+            [layout.pack_values(s._values) for s in starts],
+            dtype=_np.int64,
+        )
+    )
+    return layout, codes
+
+
+def explore_codes(
+    program,
+    start_states: Iterable[State],
+    fault_actions=(),
+    max_states: int = DEFAULT_MAX_CODES,
+    collect_codes: bool = False,
+) -> CodeReach:
+    """Exact reachable-state census of ``program [] faults`` by BFS in
+    packed-code space.
+
+    Every action (program and fault) must carry a compilable
+    :class:`Plan` and numpy must be available — this explorer exists for
+    state spaces where materializing ``State`` objects is not an option,
+    so there is no interpreted fallback to hide behind.  Dedup uses a
+    byte bitmap over the full code space when it fits (≤ 64M codes) and
+    a sorted-merge anti-join otherwise; either way the census is exact.
+
+    ``start_states`` is an iterable of :class:`State` objects, or the
+    string ``"all"`` for the program's entire state space — the codes
+    ``0..space-1`` are synthesized directly, so a multimillion-state
+    full-space sweep (e.g. a self-stabilization census) never builds a
+    single ``State``.  Frontiers are expanded in bounded chunks, so peak
+    memory stays proportional to the chunk, not the frontier.
+    ``collect_codes=True`` additionally returns the sorted reachable
+    code set on the result.
+    """
+    if _np is None:
+        raise KernelError("explore_codes requires numpy")
+    if isinstance(start_states, str):
+        _require(
+            start_states == "all",
+            f"unknown start-state selector {start_states!r}",
+        )
+        if next(iter(state_space(program.variables)), None) is None:
+            return CodeReach(0, 0, 0)
+    else:
+        start_states = list(start_states)
+        if not start_states:
+            return CodeReach(0, 0, 0)
+    layout, start_codes = census_start_codes(program, start_states)
+    kernels = _census_kernels(program, fault_actions, layout)
+    return _code_bfs(
+        layout, kernels, start_codes, max_states, program.name, collect_codes
+    )
+
+
+def explore_code_shard(
+    program,
+    start_codes,
+    fault_actions=(),
+    max_states: int = DEFAULT_MAX_CODES,
+) -> CodeReach:
+    """BFS from an explicit array of packed start codes — one shard of a
+    distributed census.
+
+    The shard's :class:`CodeReach` always carries its reachable code
+    *set* (``codes``): reach sets of different shards overlap, so shard
+    counts do not add — :func:`merge_code_reaches` unions the sets to
+    recover the exact census.  Per-shard ``levels``/``edges`` are local
+    diagnostics only.
+    """
+    if _np is None:
+        raise KernelError("explore_codes requires numpy")
+    first = next(iter(state_space(program.variables)), None)
+    _require(first is not None, f"{program.name!r} has an empty space")
+    layout = _census_layout(program, first._schema)
+    codes = _np.unique(_np.asarray(start_codes, dtype=_np.int64))
+    if codes.size:
+        _require(
+            0 <= int(codes[0]) and int(codes[-1]) < layout.space,
+            f"start codes out of range for {program.name!r}",
+        )
+    else:
+        return CodeReach(0, 0, 0, codes)
+    kernels = _census_kernels(program, fault_actions, layout)
+    return _code_bfs(layout, kernels, codes, max_states, program.name, True)
+
+
+def merge_code_reaches(reaches) -> CodeReach:
+    """Union shard censuses into the exact whole-space answer.
+
+    ``states`` is the size of the union of the shard code sets —
+    byte-identical to an unsharded :func:`explore_codes` count for any
+    shard partition.  ``levels`` (max) and ``edges`` (sum) are
+    shard-local diagnostics, *not* the unsharded BFS figures.
+    """
+    if _np is None:
+        raise KernelError("merge_code_reaches requires numpy")
+    reaches = list(reaches)
+    arrays = []
+    for reach in reaches:
+        _require(
+            reach.codes is not None,
+            "merge_code_reaches needs shard results with collected codes",
+        )
+        arrays.append(reach.codes)
+    if not arrays:
+        return CodeReach(0, 0, 0, _np.empty(0, dtype=_np.int64))
+    union = _np.unique(_np.concatenate(arrays))
+    return CodeReach(
+        int(union.shape[0]),
+        max(reach.levels for reach in reaches),
+        sum(reach.edges for reach in reaches),
+        union,
+    )
 
 
 # -- cache control -------------------------------------------------------------

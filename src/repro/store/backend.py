@@ -29,9 +29,11 @@ from __future__ import annotations
 
 import os
 import pickle
+import random
 import sqlite3
 import tempfile
 import threading
+import time
 import urllib.error
 import urllib.request
 from typing import Any, Callable, Dict, List, Optional, Union
@@ -42,6 +44,7 @@ __all__ = [
     "FileStore",
     "MemoryStore",
     "RemoteStore",
+    "with_retries",
     "store_from_spec",
     "active_store",
     "set_active_store",
@@ -55,6 +58,37 @@ __all__ = [
 ]
 
 _PICKLE_PROTOCOL = 4
+
+#: transport-level failures worth retrying.  ``HTTPError`` subclasses
+#: ``URLError`` but carries a definitive server answer (404, 400, ...)
+#: — :func:`with_retries` always re-raises it immediately.
+RETRYABLE_ERRORS = (urllib.error.URLError, OSError, TimeoutError)
+
+
+def with_retries(fn: Callable[[], Any], retries: int = 3,
+                 backoff: float = 0.1,
+                 sleep: Callable[[float], None] = time.sleep,
+                 rng: Optional[random.Random] = None) -> Any:
+    """Call ``fn``, retrying transport errors with exponential backoff
+    and full jitter (delay uniformly drawn from ``[0, backoff * 2^n]``,
+    so a fleet of workers hammering a briefly-down server decorrelates
+    instead of stampeding).  HTTP *status* errors are definitive server
+    answers, not transport failures, and re-raise immediately; after
+    ``retries`` failed retries the last transport error propagates.
+    ``sleep``/``rng`` are injectable so tests need no wall-clock time.
+    """
+    uniform = rng.uniform if rng is not None else random.uniform
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except urllib.error.HTTPError:
+            raise
+        except RETRYABLE_ERRORS:
+            if attempt >= retries:
+                raise
+            sleep(uniform(0.0, backoff * (2 ** attempt)))
+            attempt += 1
 
 
 def dumps(obj: Any) -> bytes:
@@ -237,18 +271,26 @@ class MemoryStore(BaseStore):
 class RemoteStore(BaseStore):
     """HTTP client for a ``repro serve`` front end.
 
-    Network failures degrade to cache misses; after
-    ``max_failures`` consecutive transport errors the store goes dormant
-    (every call is a miss) instead of stalling verification on a dead
-    server.
+    Transient transport errors (dropped connection, refused socket,
+    timeout) retry in place with exponential backoff + jitter before
+    being counted as a failure, so a server restart mid-campaign is a
+    hiccup, not a miss storm.  Network failures that survive the
+    retries degrade to cache misses; after ``max_failures`` consecutive
+    ones the store goes dormant (every call is a miss) instead of
+    stalling verification on a dead server.  ``timeout`` bounds each
+    individual attempt — connect and read — so a black-holed server
+    cannot hang a campaign.
     """
 
     def __init__(self, base_url: str, timeout: float = 5.0,
-                 max_failures: int = 3):
+                 max_failures: int = 3, retries: int = 2,
+                 backoff: float = 0.1):
         super().__init__()
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.max_failures = max_failures
+        self.retries = retries
+        self.backoff = backoff
         self._failures = 0
 
     def _url(self, key: str) -> str:
@@ -261,18 +303,24 @@ class RemoteStore(BaseStore):
     def _get(self, key: str) -> Optional[bytes]:
         if self.dormant:
             return None
-        try:
+
+        def attempt() -> bytes:
             with urllib.request.urlopen(
                 self._url(key), timeout=self.timeout
             ) as response:
-                payload = response.read()
+                return response.read()
+
+        try:
+            payload = with_retries(
+                attempt, retries=self.retries, backoff=self.backoff
+            )
         except urllib.error.HTTPError as exc:
             if exc.code == 404:
                 self._failures = 0
                 return None
             self._failures += 1
             return None
-        except (urllib.error.URLError, OSError, TimeoutError):
+        except RETRYABLE_ERRORS:
             self._failures += 1
             return None
         self._failures = 0
@@ -286,10 +334,17 @@ class RemoteStore(BaseStore):
             headers={"Content-Type": "application/octet-stream",
                      "X-Repro-Kind": kind},
         )
-        try:
+
+        def attempt() -> None:
             with urllib.request.urlopen(request, timeout=self.timeout):
                 pass
-        except (urllib.error.URLError, OSError, TimeoutError):
+
+        try:
+            with_retries(attempt, retries=self.retries, backoff=self.backoff)
+        except urllib.error.HTTPError:
+            self._failures += 1
+            return
+        except RETRYABLE_ERRORS:
             self._failures += 1
             return
         self._failures = 0

@@ -1,0 +1,409 @@
+"""Work-stealing job queues for the ``repro serve`` front end.
+
+The certificate store (PR 9) made artifacts shared; this module makes
+*work* shared.  A :class:`JobBoard` holds named FIFO queues of jobs —
+campaign trial batches, census code-range shards — that pull-based
+workers lease over the same HTTP protocol that moves artifacts:
+
+- the **scheduler** (a ``repro campaign --distributed`` or ``repro
+  census --distributed`` process) submits jobs whose ``job_id`` *is*
+  the content key of the result it wants.  Submitting the same job
+  twice is a no-op (idempotent resubmit), and a result that is already
+  in the store means the job never needs to run at all — a re-run
+  batch is a cache hit, not a recount;
+- **workers** (``repro worker --store URL``) lease the next pending
+  job with a deadline.  A worker that dies mid-batch simply lets its
+  lease expire; the reaper re-queues the job and another worker picks
+  it up.  Because results are content-addressed, a slow original
+  worker completing *after* the re-issue writes the same artifact —
+  completion is idempotent from any worker;
+- the **server** (:mod:`repro.store.serve`) exposes the board under
+  ``/jobs/<queue>/...`` next to ``/a/<key>`` and reports per-queue
+  depth/lease/miss counters in ``/stats`` and ``/healthz``.
+
+The board is deliberately in-memory: jobs describe *recomputable* work
+whose results persist in the content-addressed store, so losing the
+board on a server restart costs one re-submission pass, never a wrong
+answer.
+
+Determinism is untouched by any of this: a job's payload pins the
+exact trial range (or census shard) and every per-trial seed is a pure
+function of the master seed, so which worker runs a batch — or how
+many times it runs — is unobservable in the merged result.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+import urllib.error
+import urllib.request
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional
+
+from .backend import with_retries
+
+__all__ = [
+    "Job",
+    "JobQueue",
+    "JobBoard",
+    "JobClient",
+    "default_worker_id",
+]
+
+#: a job that failed (worker reported an error) more than this many
+#: times is parked as ``failed`` instead of being re-queued forever
+MAX_ATTEMPTS = 5
+
+
+class Job:
+    """One unit of leasable work.
+
+    ``job_id`` doubles as the idempotency token — schedulers use the
+    content key of the result they want, so duplicate submissions (from
+    retries, restarts, or two racing schedulers) collapse onto one job.
+    ``result_key`` names the store artifact whose presence *is* the
+    completion signal for pollers that never talk to the queue.
+    """
+
+    __slots__ = (
+        "job_id", "queue", "payload", "result_key", "state",
+        "worker", "lease_deadline", "leases", "submits", "error",
+    )
+
+    def __init__(self, job_id: str, queue: str, payload: Dict[str, Any],
+                 result_key: Optional[str]):
+        self.job_id = job_id
+        self.queue = queue
+        self.payload = payload
+        self.result_key = result_key
+        self.state = "pending"   # pending | leased | done | failed
+        self.worker: Optional[str] = None
+        self.lease_deadline: Optional[float] = None
+        self.leases = 0
+        self.submits = 1
+        self.error: Optional[str] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "id": self.job_id,
+            "queue": self.queue,
+            "payload": self.payload,
+            "result_key": self.result_key,
+            "state": self.state,
+            "worker": self.worker,
+            "leases": self.leases,
+            "error": self.error,
+        }
+
+
+class JobQueue:
+    """FIFO queue with leases.  Not thread-safe on its own — the owning
+    :class:`JobBoard` serializes access (and injects the clock, so
+    lease-expiry tests need no sleeping)."""
+
+    def __init__(self, name: str, clock: Callable[[], float] = time.monotonic):
+        self.name = name
+        self._clock = clock
+        self._jobs: Dict[str, Job] = {}
+        self._pending: deque = deque()
+        self._leased: Dict[str, Job] = {}
+        self.submitted = 0
+        self.resubmitted = 0
+        self.leased_total = 0
+        self.lease_misses = 0
+        self.completed = 0
+        self.expired = 0
+        self.failures = 0
+        self.workers: set = set()
+
+    # -- scheduler side --------------------------------------------------------
+    def submit(self, payload: Dict[str, Any], job_id: str,
+               result_key: Optional[str] = None) -> Job:
+        job = self._jobs.get(job_id)
+        if job is not None:
+            # idempotent resubmit: done stays done, pending stays queued
+            # exactly once, a parked failure gets a fresh chance
+            job.submits += 1
+            self.resubmitted += 1
+            if job.state == "failed":
+                job.state = "pending"
+                job.error = None
+                self._pending.append(job.job_id)
+            return job
+        job = Job(job_id, self.name, payload, result_key)
+        self._jobs[job_id] = job
+        self._pending.append(job_id)
+        self.submitted += 1
+        return job
+
+    def job(self, job_id: str) -> Optional[Job]:
+        return self._jobs.get(job_id)
+
+    # -- worker side -----------------------------------------------------------
+    def reap(self) -> int:
+        """Re-queue every expired lease; returns how many were re-issued."""
+        now = self._clock()
+        expired = [
+            job for job in self._leased.values()
+            if job.lease_deadline is not None and job.lease_deadline <= now
+        ]
+        for job in expired:
+            del self._leased[job.job_id]
+            job.state = "pending"
+            job.worker = None
+            job.lease_deadline = None
+            self._pending.append(job.job_id)
+            self.expired += 1
+        return len(expired)
+
+    def has_pending(self) -> bool:
+        """Cheap hint for the server's long-poll loop: reap expired
+        leases, then report whether anything is actually leasable.  A
+        ``True`` can still race another worker to the job — callers must
+        treat it as a hint and re-``lease``, never as a reservation."""
+        self.reap()
+        return any(
+            self._jobs[job_id].state == "pending"
+            for job_id in self._pending
+        )
+
+    def lease(self, worker: str, lease_s: float) -> Optional[Job]:
+        self.reap()
+        self.workers.add(worker)
+        while self._pending:
+            job = self._jobs[self._pending.popleft()]
+            if job.state != "pending":
+                continue  # completed (or re-leased) while queued
+            job.state = "leased"
+            job.worker = worker
+            job.lease_deadline = self._clock() + max(lease_s, 0.001)
+            job.leases += 1
+            self.leased_total += 1
+            self._leased[job.job_id] = job
+            return job
+        self.lease_misses += 1
+        return None
+
+    def complete(self, job_id: str, worker: Optional[str] = None,
+                 result_key: Optional[str] = None) -> str:
+        job = self._jobs.get(job_id)
+        if job is None:
+            return "unknown"
+        if job.state == "done":
+            return "already-done"
+        # any completion wins, even from a worker whose lease expired —
+        # results are content-addressed, so every completion is the same
+        self._leased.pop(job_id, None)
+        job.state = "done"
+        if result_key is not None:
+            job.result_key = result_key
+        job.worker = worker or job.worker
+        job.lease_deadline = None
+        self.completed += 1
+        return "done"
+
+    def fail(self, job_id: str, worker: Optional[str] = None,
+             error: Optional[str] = None) -> str:
+        job = self._jobs.get(job_id)
+        if job is None:
+            return "unknown"
+        if job.state == "done":
+            return "already-done"
+        self._leased.pop(job_id, None)
+        self.failures += 1
+        job.error = error
+        if job.leases >= MAX_ATTEMPTS:
+            job.state = "failed"
+            return "failed"
+        job.state = "pending"
+        job.worker = None
+        job.lease_deadline = None
+        self._pending.append(job_id)
+        return "requeued"
+
+    # -- observability ---------------------------------------------------------
+    def counters(self) -> Dict[str, Any]:
+        self.reap()
+        depth = sum(
+            1 for job in self._jobs.values() if job.state == "pending"
+        )
+        return {
+            "depth": depth,
+            "leased": len(self._leased),
+            "done": self.completed,
+            "failed": sum(
+                1 for job in self._jobs.values() if job.state == "failed"
+            ),
+            "submitted": self.submitted,
+            "resubmitted": self.resubmitted,
+            "leases": self.leased_total,
+            "lease_misses": self.lease_misses,
+            "expired": self.expired,
+            "failures": self.failures,
+            "workers": len(self.workers),
+        }
+
+
+class JobBoard:
+    """Thread-safe registry of named :class:`JobQueue`\\ s.
+
+    The asyncio server drives it from one thread, but tests (and the
+    in-process scheduler used by the parity suite) call it directly
+    from several — every operation takes the board lock.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic):
+        self._clock = clock
+        self._queues: Dict[str, JobQueue] = {}
+        self._lock = threading.Lock()
+
+    def queue(self, name: str) -> JobQueue:
+        with self._lock:
+            q = self._queues.get(name)
+            if q is None:
+                q = self._queues[name] = JobQueue(name, self._clock)
+            return q
+
+    def submit(self, queue: str, payload: Dict[str, Any], job_id: str,
+               result_key: Optional[str] = None) -> Dict[str, Any]:
+        q = self.queue(queue)
+        with self._lock:
+            return q.submit(payload, job_id, result_key).as_dict()
+
+    def lease(self, queue: str, worker: str,
+              lease_s: float) -> Optional[Dict[str, Any]]:
+        q = self.queue(queue)
+        with self._lock:
+            job = q.lease(worker, lease_s)
+            return None if job is None else job.as_dict()
+
+    def peek(self, queue: str) -> bool:
+        q = self.queue(queue)
+        with self._lock:
+            return q.has_pending()
+
+    def complete(self, queue: str, job_id: str,
+                 worker: Optional[str] = None,
+                 result_key: Optional[str] = None) -> Dict[str, str]:
+        q = self.queue(queue)
+        with self._lock:
+            return {"status": q.complete(job_id, worker, result_key)}
+
+    def fail(self, queue: str, job_id: str, worker: Optional[str] = None,
+             error: Optional[str] = None) -> Dict[str, str]:
+        q = self.queue(queue)
+        with self._lock:
+            return {"status": q.fail(job_id, worker, error)}
+
+    def job(self, queue: str, job_id: str) -> Optional[Dict[str, Any]]:
+        q = self.queue(queue)
+        with self._lock:
+            job = q.job(job_id)
+            return None if job is None else job.as_dict()
+
+    def status(self) -> Dict[str, Dict[str, Any]]:
+        with self._lock:
+            return {name: q.counters() for name, q in self._queues.items()}
+
+
+# -- HTTP client ---------------------------------------------------------------
+
+def default_worker_id() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+class JobClient:
+    """HTTP client for the ``/jobs`` endpoints of ``repro serve``.
+
+    Transport errors retry with exponential backoff + full jitter
+    (shared with :class:`~repro.store.backend.RemoteStore`); a server
+    that stays down after the retries raises — unlike artifact reads, a
+    scheduler or worker cannot degrade a *lease* to a cache miss.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 10.0,
+                 retries: int = 4, backoff: float = 0.25):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+
+    def _call(self, path: str, payload: Optional[Dict[str, Any]] = None,
+              method: Optional[str] = None) -> Optional[Dict[str, Any]]:
+        if method is None:
+            method = "GET" if payload is None else "POST"
+        data = None
+        headers = {}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", data=data, method=method,
+            headers=headers,
+        )
+
+        def attempt():
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                body = response.read()
+                return response.status, body
+
+        status, body = with_retries(
+            attempt, retries=self.retries, backoff=self.backoff
+        )
+        if status == 204 or not body:
+            return None
+        return json.loads(body)
+
+    def submit(self, queue: str, payload: Dict[str, Any], job_id: str,
+               result_key: Optional[str] = None) -> Dict[str, Any]:
+        return self._call(f"/jobs/{queue}/submit", {
+            "id": job_id, "payload": payload, "result_key": result_key,
+        })
+
+    def lease(self, queue: str, worker: str, lease_s: float = 30.0,
+              wait_s: float = 0.0) -> Optional[Dict[str, Any]]:
+        """Lease the next pending job.  ``wait_s > 0`` long-polls: the
+        server parks the request until a job is leasable or the wait
+        elapses, so idle workers hold one open request instead of
+        hammering the queue."""
+        return self._call(f"/jobs/{queue}/lease", {
+            "worker": worker, "lease_s": lease_s, "wait_s": wait_s,
+        })
+
+    def complete(self, queue: str, job_id: str, worker: str,
+                 result_key: Optional[str] = None) -> Dict[str, Any]:
+        return self._call(f"/jobs/{queue}/complete", {
+            "id": job_id, "worker": worker, "result_key": result_key,
+        })
+
+    def fail(self, queue: str, job_id: str, worker: str,
+             error: str) -> Dict[str, Any]:
+        return self._call(f"/jobs/{queue}/fail", {
+            "id": job_id, "worker": worker, "error": error,
+        })
+
+    def job(self, queue: str, job_id: str) -> Optional[Dict[str, Any]]:
+        try:
+            return self._call(f"/jobs/{queue}/job/{job_id}")
+        except urllib.error.HTTPError as exc:
+            if exc.code == 404:
+                return None
+            raise
+
+    def queue_status(self) -> Dict[str, Any]:
+        return self._call("/stats").get("queues", {})
+
+    def healthz(self) -> Optional[Dict[str, Any]]:
+        """Liveness probe; ``None`` (never an exception) when the server
+        is unreachable — schedulers use this to decide between
+        distributed and in-process execution."""
+        try:
+            return self._call("/healthz")
+        except Exception:
+            return None

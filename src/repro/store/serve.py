@@ -1,16 +1,25 @@
 """``repro serve`` — an asyncio HTTP front end over a local store.
 
 Protocol (deliberately tiny; :class:`~repro.store.backend.RemoteStore`
-is the only intended client, but any HTTP client works):
+and :class:`~repro.store.jobs.JobClient` are the only intended
+clients, but any HTTP client works):
 
 - ``GET /a/<key>`` — ``200`` with the artifact bytes, or ``404``;
 - ``PUT /a/<key>`` — store the request body, reply ``204``;
-- ``GET /stats`` — JSON counters of the backing store.
+- ``GET /stats`` — JSON counters of the backing store, plus per-queue
+  depth/lease/miss counters for every job queue;
+- ``GET /healthz`` — liveness probe (``200`` with uptime-ish JSON) so
+  smoke jobs and operators can poll readiness instead of sleeping;
+- ``POST /jobs/<queue>/submit|lease|complete|fail`` and
+  ``GET /jobs/<queue>/job/<id>`` — the work-queue protocol of
+  :mod:`repro.store.jobs` (JSON bodies; an empty lease answers
+  ``204``).
 
 The server is a plain :func:`asyncio.start_server` loop — no external
 web framework — parsing just enough HTTP/1.1 to move opaque artifact
-blobs.  Connections are handled concurrently; the backing store's own
-locking makes the handlers safe.
+blobs and small JSON job envelopes.  Connections are handled
+concurrently; the backing store's own locking and the job board's
+single lock make the handlers safe.
 """
 
 from __future__ import annotations
@@ -20,11 +29,20 @@ import json
 from typing import Optional, Tuple
 
 from .backend import BaseStore, store_from_spec
+from .jobs import JobBoard
 
 __all__ = ["StoreServer", "serve"]
 
 _MAX_HEADER = 64 * 1024
 _MAX_BODY = 512 * 1024 * 1024
+
+#: cap on how long one lease request may long-poll, whatever the client
+#: asked for (bounded parked connections, and clients keep their socket
+#: timeouts comfortably above the wait)
+_MAX_LEASE_WAIT = 30.0
+
+#: how often a parked lease request re-checks the queue
+_LEASE_POLL_S = 0.01
 
 
 def _response(status: str, body: bytes = b"",
@@ -39,14 +57,21 @@ def _response(status: str, body: bytes = b"",
     return head.encode("ascii") + body
 
 
+def _json_response(payload: object, status: str = "200 OK") -> bytes:
+    return _response(
+        status, json.dumps(payload).encode("utf-8"), "application/json"
+    )
+
+
 class StoreServer:
-    """Serve a local store over HTTP until cancelled."""
+    """Serve a local store (and a job board) over HTTP until cancelled."""
 
     def __init__(self, store: BaseStore, host: str = "127.0.0.1",
-                 port: int = 7357):
+                 port: int = 7357, board: Optional[JobBoard] = None):
         self.store = store
         self.host = host
         self.port = port
+        self.board = board if board is not None else JobBoard()
         self.requests = 0
         self._server: Optional[asyncio.base_events.Server] = None
 
@@ -83,13 +108,20 @@ class StoreServer:
                 return None
         return method, target, body
 
-    def _handle(self, method: str, target: str, body: bytes) -> bytes:
+    async def _handle(self, method: str, target: str, body: bytes) -> bytes:
         self.requests += 1
+        if target == "/healthz" and method == "GET":
+            return _json_response(
+                {"status": "ok", "requests": self.requests}
+            )
         if target == "/stats" and method == "GET":
-            payload = json.dumps(
-                {**self.store.counters(), "requests": self.requests}
-            ).encode("utf-8")
-            return _response("200 OK", payload, "application/json")
+            return _json_response({
+                **self.store.counters(),
+                "requests": self.requests,
+                "queues": self.board.status(),
+            })
+        if target.startswith("/jobs/"):
+            return await self._handle_jobs(method, target, body)
         if not target.startswith("/a/"):
             return _response("404 Not Found")
         key = target[3:]
@@ -105,6 +137,76 @@ class StoreServer:
             return _response("204 No Content")
         return _response("405 Method Not Allowed")
 
+    async def _handle_jobs(
+        self, method: str, target: str, body: bytes
+    ) -> bytes:
+        parts = [p for p in target[len("/jobs/"):].split("/")]
+        if len(parts) < 2 or not parts[0] or not parts[1]:
+            return _response("404 Not Found")
+        queue, verb = parts[0], parts[1]
+        if verb == "job":
+            if method != "GET" or len(parts) != 3 or not parts[2]:
+                return _response("404 Not Found")
+            job = self.board.job(queue, parts[2])
+            if job is None:
+                return _response("404 Not Found")
+            return _json_response(job)
+        if len(parts) != 2:
+            return _response("404 Not Found")
+        if method != "POST":
+            return _response("405 Method Not Allowed")
+        try:
+            data = json.loads(body) if body else {}
+            if not isinstance(data, dict):
+                raise ValueError
+        except ValueError:
+            return _response("400 Bad Request")
+        if verb == "submit":
+            job_id = data.get("id")
+            if not job_id:
+                return _response("400 Bad Request")
+            return _json_response(self.board.submit(
+                queue, data.get("payload") or {}, job_id,
+                data.get("result_key"),
+            ))
+        if verb == "lease":
+            worker = data.get("worker") or "anonymous"
+            lease_s = float(data.get("lease_s") or 30.0)
+            job = self.board.lease(queue, worker, lease_s)
+            wait_s = min(
+                float(data.get("wait_s") or 0.0), _MAX_LEASE_WAIT
+            )
+            if job is None and wait_s > 0:
+                # long poll: park the request until something becomes
+                # leasable (peek is a hint — another worker can win the
+                # race, in which case we just keep waiting)
+                deadline = asyncio.get_running_loop().time() + wait_s
+                while (
+                    job is None
+                    and asyncio.get_running_loop().time() < deadline
+                ):
+                    await asyncio.sleep(_LEASE_POLL_S)
+                    if self.board.peek(queue):
+                        job = self.board.lease(queue, worker, lease_s)
+            if job is None:
+                return _response("204 No Content")
+            return _json_response(job)
+        if verb == "complete":
+            job_id = data.get("id")
+            if not job_id:
+                return _response("400 Bad Request")
+            return _json_response(self.board.complete(
+                queue, job_id, data.get("worker"), data.get("result_key")
+            ))
+        if verb == "fail":
+            job_id = data.get("id")
+            if not job_id:
+                return _response("400 Bad Request")
+            return _json_response(self.board.fail(
+                queue, job_id, data.get("worker"), data.get("error")
+            ))
+        return _response("404 Not Found")
+
     async def _client(self, reader: asyncio.StreamReader,
                       writer: asyncio.StreamWriter) -> None:
         try:
@@ -112,7 +214,7 @@ class StoreServer:
                 request = await self._read_request(reader)
                 if request is None:
                     break
-                writer.write(self._handle(*request))
+                writer.write(await self._handle(*request))
                 await writer.drain()
         finally:
             try:
@@ -140,6 +242,22 @@ class StoreServer:
             await self._server.wait_closed()
             self._server = None
 
+    def stats_line(self) -> str:
+        """One line of store + per-queue counters (depth/leased/done and
+        lease misses), printed by ``repro serve`` on shutdown."""
+        counters = self.store.counters()
+        bits = [
+            f"store: {counters['hits']} hits, {counters['misses']} misses, "
+            f"{counters['puts']} puts, {self.requests} requests"
+        ]
+        for name, q in sorted(self.board.status().items()):
+            bits.append(
+                f"{name}: depth {q['depth']}, leased {q['leased']}, "
+                f"done {q['done']}, misses {q['lease_misses']}, "
+                f"expired {q['expired']}, workers {q['workers']}"
+            )
+        return "; ".join(bits)
+
 
 def serve(spec: str, host: str = "127.0.0.1", port: int = 7357,
           announce=print) -> None:
@@ -159,3 +277,4 @@ def serve(spec: str, host: str = "127.0.0.1", port: int = 7357,
         asyncio.run(main())
     except KeyboardInterrupt:
         announce("repro store server stopped")
+        announce(server.stats_line())

@@ -289,6 +289,15 @@ class TestServe:
         finally:
             loop.call_soon_threadsafe(loop.stop)
             thread.join(timeout=10)
+            # cancel the parked keep-alive handler before closing, or
+            # its coroutine is garbage-collected mid-await
+            pending = asyncio.all_tasks(loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
             loop.close()
 
     def test_dormancy_after_transport_failures(self):
